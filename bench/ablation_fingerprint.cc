@@ -1,0 +1,44 @@
+// Ablation: fingerprint length (Sec III-B "Reason for Fingerprint Use" and
+// Sec III-D Technique 1). 16-bit fingerprints give collision probability
+// under 0.01%; shorter fingerprints alias distinct keys onto one candidate
+// entry (merging their Qweights -> false positives), longer ones spend
+// memory for nothing.
+//
+// Output: precision/recall/F1 and candidate occupancy per fingerprint
+// width at a fixed byte budget.
+
+#include "bench/bench_util.h"
+
+namespace qf::bench {
+namespace {
+
+void Run() {
+  const size_t items = ItemsFromEnv(800'000);
+  Criteria criteria = InternetCriteria();
+  Trace trace = MakeInternetTrace(items);
+  PrintHeader("Ablation: fingerprint bits", trace, criteria);
+  auto truth = TrueOutstandingKeys(trace, criteria);
+  std::printf("ground truth: %zu keys\n\n", truth.size());
+
+  for (size_t budget : {size_t{32} * 1024, size_t{256} * 1024}) {
+    std::printf("budget %zu bytes:\n", budget);
+    for (int bits : {2, 4, 8, 12, 16, 24, 32}) {
+      DefaultQuantileFilter::Options o;
+      o.memory_bytes = budget;
+      o.fingerprint_bits = bits;
+      DefaultQuantileFilter filter(o, criteria);
+      RunResult r = RunDetector(filter, trace, truth);
+      std::printf("  fp=%2d bits  P=%6.4f  R=%6.4f  F1=%6.4f\n", bits,
+                  r.accuracy.precision, r.accuracy.recall, r.accuracy.f1);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace qf::bench
+
+int main() {
+  qf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation of the paper's two core techniques (Sec I / III):
+//   naive     — dual Csketch (above/below counts), Sec II-D
+//   qweight   — single Csketch over Qweights (Technique 1 only):
+//               QuantileFilter with ~zero candidate share
+//   full      — dual-part QuantileFilter (Techniques 1 + 2)
+// plus the exact oracle's memory for context.
+//
+// Output: F1 and throughput at matched budgets — Technique 1 should beat
+// the naive scheme (one structure, one action per item), Technique 2 should
+// add the candidate part's large accuracy jump.
+
+#include "bench/bench_util.h"
+
+#include "core/naive_filter.h"
+
+namespace qf::bench {
+namespace {
+
+void Run() {
+  const size_t items = ItemsFromEnv(800'000);
+  Criteria criteria = InternetCriteria();
+  Trace trace = MakeInternetTrace(items);
+  PrintHeader("Ablation: naive vs Qweight-only vs full QuantileFilter",
+              trace, criteria);
+  auto truth = TrueOutstandingKeys(trace, criteria);
+  std::printf("ground truth: %zu keys\n\n", truth.size());
+
+  for (size_t budget = 1u << 13; budget <= (1u << 19); budget <<= 2) {
+    {
+      NaiveDualCsketchFilter::Options o;
+      o.memory_bytes = budget;
+      NaiveDualCsketchFilter naive(o, criteria);
+      PrintRow("naive-dual", budget, RunDetector(naive, trace, truth));
+    }
+    {
+      // Technique 1 alone: all memory to the vague part (candidate share
+      // one bucket).
+      DefaultQuantileFilter::Options o;
+      o.memory_bytes = budget;
+      o.candidate_fraction = 0.001;
+      DefaultQuantileFilter vague_only(o, criteria);
+      PrintRow("qweight-only", budget, RunDetector(vague_only, trace, truth));
+    }
+    {
+      DefaultQuantileFilter::Options o;
+      o.memory_bytes = budget;
+      DefaultQuantileFilter full(o, criteria);
+      PrintRow("full-qf", budget, RunDetector(full, trace, truth));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace qf::bench
+
+int main() {
+  qf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Shared plumbing for the figure-reproduction benches: trace construction
+// at bench scale, environment-variable sizing, detector factories and
+// aligned table printing.
+//
+// Every bench binary prints the series of the paper figure it reproduces.
+// Default stream sizes are scaled for a single-core machine; set
+// QF_BENCH_ITEMS to raise/lower them (the paper used 20-26M-item traces on
+// an 18-core i9).
+
+#ifndef QUANTILEFILTER_BENCH_BENCH_UTIL_H_
+#define QUANTILEFILTER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+
+#include "baseline/exact_detector.h"
+#include "core/criteria.h"
+#include "core/quantile_filter.h"
+#include "eval/runner.h"
+#include "stream/generators.h"
+
+namespace qf::bench {
+
+inline size_t ItemsFromEnv(size_t default_items) {
+  const char* env = std::getenv("QF_BENCH_ITEMS");
+  if (env == nullptr) return default_items;
+  long long v = std::atoll(env);
+  return v <= 0 ? default_items : static_cast<size_t>(v);
+}
+
+/// Paper defaults (Sec V-A): eps=30, delta=0.95; T=300 (internet, zipf),
+/// T=20000 (cloud).
+inline Criteria InternetCriteria(double threshold = 300.0) {
+  return Criteria(30.0, 0.95, threshold);
+}
+inline Criteria CloudCriteria(double threshold = 20000.0) {
+  return Criteria(30.0, 0.95, threshold);
+}
+
+inline Trace MakeInternetTrace(size_t items) {
+  InternetTraceOptions o;
+  o.num_items = items;
+  // Keep the paper's key:item ratio (0.64M keys : 26.1M items).
+  o.num_keys = items / 40 < 1000 ? 1000 : items / 40;
+  return GenerateInternetTrace(o);
+}
+
+inline Trace MakeCloudTrace(size_t items) {
+  CloudTraceOptions o;
+  o.num_items = items;
+  return GenerateCloudTrace(o);
+}
+
+inline Trace MakeZipfTrace(size_t items, uint64_t num_keys) {
+  ZipfTraceOptions o;
+  o.num_items = items;
+  o.num_keys = num_keys;
+  return GenerateZipfTrace(o);
+}
+
+/// Builds a QuantileFilter with the paper's default parameters at `budget`.
+inline DefaultQuantileFilter MakeQf(size_t budget, const Criteria& criteria) {
+  DefaultQuantileFilter::Options o;
+  o.memory_bytes = budget;
+  return DefaultQuantileFilter(o, criteria);
+}
+
+inline void PrintHeader(const char* title, const Trace& trace,
+                        const Criteria& criteria) {
+  std::printf("== %s ==\n", title);
+  std::printf("trace: %zu items, %zu keys, %.2f%% abnormal  |  criteria: "
+              "eps=%.0f delta=%.2f T=%.0f\n",
+              trace.size(), DistinctKeys(trace),
+              100.0 * AbnormalFraction(trace, criteria.threshold()),
+              criteria.eps(), criteria.delta(), criteria.threshold());
+}
+
+inline void PrintRow(const char* algo, size_t memory_bytes,
+                     const RunResult& r) {
+  std::printf("%-16s mem=%10zuB  P=%6.4f  R=%6.4f  F1=%6.4f  %8.2f MOPS\n",
+              algo, memory_bytes, r.accuracy.precision, r.accuracy.recall,
+              r.accuracy.f1, r.mops);
+}
+
+}  // namespace qf::bench
+
+#endif  // QUANTILEFILTER_BENCH_BENCH_UTIL_H_

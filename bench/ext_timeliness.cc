@@ -1,0 +1,53 @@
+// Extension bench: reporting timeliness. The paper's metrics stop at
+// set-level precision/recall ("not yet including any constraints on
+// reporting timeliness", Sec V-B); here we measure how many items late the
+// first report of each true outstanding key arrives, relative to the exact
+// oracle, for QuantileFilter and SQUAD across memory budgets.
+
+#include "bench/bench_util.h"
+
+#include "baseline/squad.h"
+#include "eval/timeliness.h"
+
+namespace qf::bench {
+namespace {
+
+void PrintTimeliness(const char* algo, size_t budget,
+                     const TimelinessResult& r) {
+  std::printf("%-16s mem=%9zuB  detected %zu/%zu (missed %zu, early %zu)  "
+              "delay items: mean=%8.1f median=%8.1f max=%8.0f\n",
+              algo, budget, r.detected, r.truth_keys, r.missed, r.early,
+              r.mean_delay_items, r.median_delay_items, r.max_delay_items);
+}
+
+void Run() {
+  const size_t items = ItemsFromEnv(600'000);
+  Criteria criteria = InternetCriteria();
+  Trace trace = MakeInternetTrace(items);
+  PrintHeader("Extension: reporting timeliness vs memory", trace, criteria);
+  std::printf("\n");
+
+  for (size_t budget = 1u << 14; budget <= (1u << 20); budget <<= 2) {
+    {
+      DefaultQuantileFilter filter = MakeQf(budget, criteria);
+      PrintTimeliness("QuantileFilter", budget,
+                      MeasureTimeliness(filter, trace, criteria));
+    }
+    {
+      Squad::Options o;
+      o.memory_bytes = budget;
+      Squad squad(o, criteria);
+      PrintTimeliness("SQUAD", budget,
+                      MeasureTimeliness(squad, trace, criteria));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace qf::bench
+
+int main() {
+  qf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Extension bench (the paper's Choice-2 future work): which sketch suits
+// the vague part best? Compares Count sketch (int16), Count-Min (int16),
+// Tower (8/16/32-bit rows) and float-counter Count sketch as vague engines
+// at matched total budgets.
+
+#include "bench/bench_util.h"
+
+#include "sketch/count_min_sketch.h"
+#include "sketch/count_sketch.h"
+#include "sketch/tower_sketch.h"
+
+namespace qf::bench {
+namespace {
+
+template <typename SketchT>
+RunResult RunEngine(size_t budget, const Trace& trace, const Criteria& c,
+                    const std::unordered_set<uint64_t>& truth) {
+  typename QuantileFilter<SketchT>::Options o;
+  o.memory_bytes = budget;
+  QuantileFilter<SketchT> filter(o, c);
+  return RunDetector(filter, trace, truth);
+}
+
+void Sweep(const char* name, const Trace& trace, const Criteria& criteria) {
+  PrintHeader(name, trace, criteria);
+  auto truth = TrueOutstandingKeys(trace, criteria);
+  std::printf("ground truth: %zu keys\n\n", truth.size());
+
+  for (size_t budget = 1u << 12; budget <= (1u << 18); budget <<= 2) {
+    RunResult cs = RunEngine<CountSketch<int16_t>>(budget, trace, criteria,
+                                                   truth);
+    RunResult cms = RunEngine<CountMinSketch<int16_t>>(budget, trace,
+                                                       criteria, truth);
+    RunResult tower = RunEngine<TowerSketch>(budget, trace, criteria, truth);
+    RunResult fp = RunEngine<CountSketch<float>>(budget, trace, criteria,
+                                                 truth);
+    std::printf("budget=%8zuB  CS16: F1=%6.4f  CMS16: F1=%6.4f  "
+                "Tower: F1=%6.4f  CSfloat: F1=%6.4f\n",
+                budget, cs.accuracy.f1, cms.accuracy.f1, tower.accuracy.f1,
+                fp.accuracy.f1);
+  }
+  std::printf("\n");
+}
+
+void Run() {
+  const size_t items = ItemsFromEnv(800'000);
+  Sweep("Extension: vague-part engine comparison (Internet dataset)",
+        MakeInternetTrace(items), InternetCriteria());
+}
+
+}  // namespace
+}  // namespace qf::bench
+
+int main() {
+  qf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Fig 11: QuantileFilter accuracy as a function of the
+// vague : candidate memory split, at fixed total budgets.
+//
+// Paper shape: broad plateau for middling splits, degradation at the
+// extremes; the paper settles on vague:candidate = 1:4 (candidate 80%).
+
+#include "bench/bench_util.h"
+
+namespace qf::bench {
+namespace {
+
+void Run() {
+  const size_t items = ItemsFromEnv(800'000);
+  Criteria criteria = InternetCriteria();
+  Trace trace = MakeInternetTrace(items);
+  PrintHeader("Fig 11: accuracy vs memory proportion", trace, criteria);
+  auto truth = TrueOutstandingKeys(trace, criteria);
+  std::printf("\n");
+
+  for (size_t budget : {size_t{1} << 13, size_t{1} << 14, size_t{1} << 16,
+                        size_t{1} << 18}) {
+    std::printf("total budget %zu bytes:\n", budget);
+    // candidate_fraction sweep: 1:16 ... 16:1 (vague:candidate).
+    for (double candidate_fraction :
+         {0.059, 0.2, 0.333, 0.5, 0.667, 0.8, 0.941}) {
+      DefaultQuantileFilter::Options o;
+      o.memory_bytes = budget;
+      o.candidate_fraction = candidate_fraction;
+      DefaultQuantileFilter filter(o, criteria);
+      RunResult r = RunDetector(filter, trace, truth);
+      std::printf("  candidate=%4.1f%%  P=%6.4f  R=%6.4f  F1=%6.4f\n",
+                  100.0 * candidate_fraction, r.accuracy.precision,
+                  r.accuracy.recall, r.accuracy.f1);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace qf::bench
+
+int main() {
+  qf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Fig 12 and the Sec V-D variant-throughput numbers: F1 of the
+// six QuantileFilter variants — {Comparative, Probabilistic, Forceful}
+// election x {Count sketch, Count-Min sketch} vague part — plus SQUAD as
+// the reference, across memory budgets; then the per-variant throughput at
+// a fixed ~245KB budget.
+//
+// Paper shape: CS variants beat CMS variants and are insensitive to the
+// election strategy; CMS variants order Comparative > Probabilistic >
+// Forceful; throughputs differ only mildly.
+
+#include "bench/bench_util.h"
+
+#include "baseline/squad.h"
+#include "sketch/count_min_sketch.h"
+
+namespace qf::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  ElectionStrategy election;
+  bool use_cms;
+};
+
+constexpr Variant kVariants[] = {
+    {"Comp.+CS", ElectionStrategy::kComparative, false},
+    {"Prob.+CS", ElectionStrategy::kProbabilistic, false},
+    {"Force+CS", ElectionStrategy::kForceful, false},
+    {"Comp.+CMS", ElectionStrategy::kComparative, true},
+    {"Prob.+CMS", ElectionStrategy::kProbabilistic, true},
+    {"Force+CMS", ElectionStrategy::kForceful, true},
+    // Extension beyond the paper's six variants: HeavyKeeper-style decay.
+    {"Decay+CS*", ElectionStrategy::kDecay, false},
+};
+
+RunResult RunVariant(const Variant& v, size_t budget, const Trace& trace,
+                     const Criteria& criteria,
+                     const std::unordered_set<uint64_t>& truth) {
+  if (v.use_cms) {
+    QuantileFilter<CountMinSketch<int16_t>>::Options o;
+    o.memory_bytes = budget;
+    o.election = v.election;
+    QuantileFilter<CountMinSketch<int16_t>> filter(o, criteria);
+    return RunDetector(filter, trace, truth);
+  }
+  QuantileFilter<CountSketch<int16_t>>::Options o;
+  o.memory_bytes = budget;
+  o.election = v.election;
+  QuantileFilter<CountSketch<int16_t>> filter(o, criteria);
+  return RunDetector(filter, trace, truth);
+}
+
+void Sweep(const char* name, const Trace& trace, const Criteria& criteria) {
+  PrintHeader(name, trace, criteria);
+  auto truth = TrueOutstandingKeys(trace, criteria);
+  std::printf("\n");
+
+  for (size_t budget : {size_t{1} << 12, size_t{1} << 13, size_t{1} << 15,
+                        size_t{1} << 17}) {
+    std::printf("budget %zu bytes:\n", budget);
+    for (const Variant& v : kVariants) {
+      RunResult r = RunVariant(v, budget, trace, criteria, truth);
+      std::printf("  %-10s F1=%6.4f  (P=%6.4f R=%6.4f)\n", v.name,
+                  r.accuracy.f1, r.accuracy.precision, r.accuracy.recall);
+    }
+    {
+      Squad::Options o;
+      o.memory_bytes = budget;
+      Squad squad(o, criteria);
+      RunResult r = RunDetector(squad, trace, truth);
+      std::printf("  %-10s F1=%6.4f  (actual mem %zuB)\n", "SQUAD",
+                  r.accuracy.f1, r.memory_bytes);
+    }
+    std::printf("\n");
+  }
+
+  // Sec V-D: variant throughput at ~245KB.
+  const size_t kThroughputBudget = 245 * 1024;
+  std::printf("throughput at 245KB:\n");
+  for (const Variant& v : kVariants) {
+    RunResult r = RunVariant(v, kThroughputBudget, trace, criteria, truth);
+    std::printf("  %-10s %8.2f MOPS\n", v.name, r.mops);
+  }
+  std::printf("\n");
+}
+
+void Run() {
+  const size_t items = ItemsFromEnv(800'000);
+  Sweep("Fig 12(a): variants on Internet dataset", MakeInternetTrace(items),
+        InternetCriteria());
+  Sweep("Fig 12(b): variants on Cloud (Yahoo-like) dataset",
+        MakeCloudTrace(items), CloudCriteria());
+}
+
+}  // namespace
+}  // namespace qf::bench
+
+int main() {
+  qf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Fig 5: accuracy vs memory on the Cloud (Yahoo-like) dataset
+// and the two synthetic Zipf datasets (high- and low-cardinality presets).
+//
+// Paper shape: same ordering as Fig 4, with HistSketch's footprint
+// exploding on the high-cardinality cloud stream (~1GB in the paper,
+// key-count-bound here).
+
+#include "bench/bench_util.h"
+
+#include "baseline/hist_sketch.h"
+#include "baseline/sketch_polymer.h"
+#include "baseline/squad.h"
+
+namespace qf::bench {
+namespace {
+
+void SweepDataset(const char* name, const Trace& trace,
+                  const Criteria& criteria) {
+  PrintHeader(name, trace, criteria);
+  auto truth = TrueOutstandingKeys(trace, criteria);
+  std::printf("ground truth: %zu outstanding keys\n\n", truth.size());
+
+  for (size_t budget = 1u << 15; budget <= (1u << 22); budget <<= 2) {
+    {
+      DefaultQuantileFilter filter = MakeQf(budget, criteria);
+      PrintRow("QuantileFilter", budget, RunDetector(filter, trace, truth));
+    }
+    {
+      Squad::Options o;
+      o.memory_bytes = budget;
+      Squad squad(o, criteria);
+      RunResult r = RunDetector(squad, trace, truth);
+      PrintRow("SQUAD", r.memory_bytes, r);
+    }
+    {
+      SketchPolymer::Options o;
+      o.memory_bytes = budget;
+      SketchPolymer sp(o, criteria);
+      PrintRow("SketchPolymer", budget, RunDetector(sp, trace, truth));
+    }
+    {
+      HistSketch::Options o;
+      o.memory_bytes = budget;
+      HistSketch hs(o, criteria);
+      RunResult r = RunDetector(hs, trace, truth);
+      PrintRow("HistSketch", r.memory_bytes, r);
+    }
+    std::printf("\n");
+  }
+}
+
+void Run() {
+  const size_t items = ItemsFromEnv(800'000);
+
+  SweepDataset("Fig 5(a-c): accuracy vs memory (Cloud dataset)",
+               MakeCloudTrace(items), CloudCriteria());
+
+  // Zipf presets: the paper's 4.2M-key and 120K-key datasets, scaled by the
+  // same items ratio.
+  Criteria zipf_criteria = InternetCriteria(300.0);
+  SweepDataset("Fig 5(d): accuracy vs memory (Zipf, high cardinality)",
+               MakeZipfTrace(items, items / 6), zipf_criteria);
+  SweepDataset("Fig 5(d'): accuracy vs memory (Zipf, low cardinality)",
+               MakeZipfTrace(items, 120'000 < items / 2 ? 120'000 : items / 2),
+               zipf_criteria);
+}
+
+}  // namespace
+}  // namespace qf::bench
+
+int main() {
+  qf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Fig 6: QuantileFilter accuracy vs value threshold T on the
+// Internet and Cloud datasets, at several memory settings.
+//
+// Paper shape: accuracy stays roughly flat across a wide range of T (the
+// +-1 sign hashing keeps the vague part's counter state insensitive to the
+// abnormal-item proportion).
+
+#include "bench/bench_util.h"
+
+namespace qf::bench {
+namespace {
+
+void Sweep(const char* name, const Trace& trace,
+           const std::vector<double>& thresholds) {
+  std::printf("== Fig 6: accuracy vs threshold T (%s) ==\n", name);
+  for (size_t budget : {size_t{1} << 16, size_t{1} << 18, size_t{1} << 20}) {
+    for (double t : thresholds) {
+      Criteria criteria(30.0, 0.95, t);
+      auto truth = TrueOutstandingKeys(trace, criteria);
+      DefaultQuantileFilter filter = MakeQf(budget, criteria);
+      RunResult r = RunDetector(filter, trace, truth);
+      std::printf("mem=%8zuB  T=%7.0f  abnormal=%6.2f%%  truth=%6zu  "
+                  "P=%6.4f  R=%6.4f  F1=%6.4f\n",
+                  budget, t, 100.0 * AbnormalFraction(trace, t), truth.size(),
+                  r.accuracy.precision, r.accuracy.recall, r.accuracy.f1);
+    }
+    std::printf("\n");
+  }
+}
+
+void Run() {
+  const size_t items = ItemsFromEnv(800'000);
+  // Paper ranges: 1..500ms for Internet, 1..4096ms for Cloud.
+  Sweep("Internet dataset", MakeInternetTrace(items),
+        {1, 8, 32, 100, 300, 500});
+  Sweep("Cloud dataset", MakeCloudTrace(items),
+        {64, 512, 4096, 20000, 60000});
+}
+
+}  // namespace
+}  // namespace qf::bench
+
+int main() {
+  qf::bench::Run();
+  return 0;
+}

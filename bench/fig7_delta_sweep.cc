@@ -1,0 +1,53 @@
+// Reproduces Fig 7: accuracy vs the monitored quantile delta, comparing
+// QuantileFilter with SketchPolymer (the baseline whose recall improves at
+// higher delta) and SQUAD.
+//
+// Paper shape: changing delta does not erase QF's advantage; higher delta
+// makes keys easier to flag for every scheme.
+
+#include "bench/bench_util.h"
+
+#include "baseline/sketch_polymer.h"
+#include "baseline/squad.h"
+
+namespace qf::bench {
+namespace {
+
+void Run() {
+  const size_t items = ItemsFromEnv(800'000);
+  Trace trace = MakeInternetTrace(items);
+  std::printf("== Fig 7: accuracy vs quantile delta (Internet dataset) ==\n");
+  const size_t budget = 1 << 18;
+
+  for (double delta : {0.5, 0.75, 0.9, 0.95, 0.99}) {
+    Criteria criteria(30.0, delta, 300.0);
+    auto truth = TrueOutstandingKeys(trace, criteria);
+    std::printf("delta=%.2f  truth=%zu keys\n", delta, truth.size());
+    {
+      DefaultQuantileFilter filter = MakeQf(budget, criteria);
+      PrintRow("QuantileFilter", budget, RunDetector(filter, trace, truth));
+    }
+    {
+      Squad::Options o;
+      o.memory_bytes = budget;
+      Squad squad(o, criteria);
+      RunResult r = RunDetector(squad, trace, truth);
+      PrintRow("SQUAD", r.memory_bytes, r);
+    }
+    {
+      SketchPolymer::Options o;
+      o.memory_bytes = budget;
+      SketchPolymer sp(o, criteria);
+      PrintRow("SketchPolymer", budget, RunDetector(sp, trace, truth));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace qf::bench
+
+int main() {
+  qf::bench::Run();
+  return 0;
+}

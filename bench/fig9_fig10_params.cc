@@ -1,0 +1,52 @@
+// Reproduces Fig 9 and Fig 10: QuantileFilter accuracy (Fig 9) and
+// throughput (Fig 10) as functions of (a) the vague-part array number d and
+// (b) the candidate-part block length b, on the Internet dataset.
+//
+// Paper shape: both parameters barely move accuracy; throughput degrades
+// as d or b grows (more work per item). The paper picks d=3, b=6.
+
+#include "bench/bench_util.h"
+
+namespace qf::bench {
+namespace {
+
+void Run() {
+  const size_t items = ItemsFromEnv(800'000);
+  Criteria criteria = InternetCriteria();
+  Trace trace = MakeInternetTrace(items);
+  PrintHeader("Fig 9(a)/10(a): sweep of array number d", trace, criteria);
+  auto truth = TrueOutstandingKeys(trace, criteria);
+  std::printf("\n");
+
+  const size_t budget = 1 << 18;
+  for (int d : {1, 2, 3, 5, 8, 12, 20}) {
+    DefaultQuantileFilter::Options o;
+    o.memory_bytes = budget;
+    o.vague_depth = d;
+    DefaultQuantileFilter filter(o, criteria);
+    RunResult r = RunDetector(filter, trace, truth);
+    std::printf("d=%2d  P=%6.4f  R=%6.4f  F1=%6.4f  %8.2f MOPS\n", d,
+                r.accuracy.precision, r.accuracy.recall, r.accuracy.f1,
+                r.mops);
+  }
+
+  std::printf("\n== Fig 9(b)/10(b): sweep of block length b ==\n");
+  for (int b : {1, 2, 4, 6, 8, 12, 16}) {
+    DefaultQuantileFilter::Options o;
+    o.memory_bytes = budget;
+    o.bucket_entries = b;
+    DefaultQuantileFilter filter(o, criteria);
+    RunResult r = RunDetector(filter, trace, truth);
+    std::printf("b=%2d  P=%6.4f  R=%6.4f  F1=%6.4f  %8.2f MOPS\n", b,
+                r.accuracy.precision, r.accuracy.recall, r.accuracy.f1,
+                r.mops);
+  }
+}
+
+}  // namespace
+}  // namespace qf::bench
+
+int main() {
+  qf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,286 @@
+// Operation-level microbenchmarks (google-benchmark) for every detector and
+// substrate sketch: per-item insert cost on a realistic skewed stream, and
+// the point operations (query, delete) of QuantileFilter.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/hist_sketch.h"
+#include "baseline/sketch_polymer.h"
+#include "baseline/squad.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "core/naive_filter.h"
+#include "core/quantile_filter.h"
+#include "quantile/ddsketch.h"
+#include "quantile/gk.h"
+#include "quantile/kll.h"
+#include "quantile/tdigest.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/count_sketch.h"
+#include "sketch/space_saving.h"
+#include "sketch/tower_sketch.h"
+
+namespace qf {
+namespace {
+
+constexpr size_t kStreamLen = 1 << 16;
+
+// Pre-generated skewed key/value stream shared by the insert benchmarks.
+struct Workload {
+  std::vector<uint64_t> keys;
+  std::vector<double> values;
+  Workload() {
+    Rng rng(1);
+    ZipfSampler zipf(100000, 1.0);
+    keys.resize(kStreamLen);
+    values.resize(kStreamLen);
+    for (size_t i = 0; i < kStreamLen; ++i) {
+      keys[i] = zipf.Sample(rng);
+      values[i] = rng.Bernoulli(0.08) ? 500.0 : 50.0;
+    }
+  }
+};
+
+const Workload& SharedWorkload() {
+  static const Workload* w = new Workload();
+  return *w;
+}
+
+void BM_QuantileFilterInsert(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  DefaultQuantileFilter::Options o;
+  o.memory_bytes = static_cast<size_t>(state.range(0));
+  DefaultQuantileFilter filter(o, Criteria(30, 0.95, 300));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Insert(w.keys[i], w.values[i]));
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantileFilterInsert)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_QuantileFilterQuery(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  DefaultQuantileFilter::Options o;
+  o.memory_bytes = 1 << 18;
+  DefaultQuantileFilter filter(o, Criteria(30, 0.95, 300));
+  for (size_t i = 0; i < kStreamLen; ++i) filter.Insert(w.keys[i], w.values[i]);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.QueryQweight(w.keys[i]));
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantileFilterQuery);
+
+void BM_NaiveFilterInsert(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  NaiveDualCsketchFilter::Options o;
+  o.memory_bytes = 1 << 18;
+  NaiveDualCsketchFilter filter(o, Criteria(30, 0.95, 300));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Insert(w.keys[i], w.values[i]));
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NaiveFilterInsert);
+
+void BM_SquadInsert(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  Squad::Options o;
+  o.memory_bytes = 1 << 18;
+  Squad squad(o, Criteria(30, 0.95, 300));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(squad.Insert(w.keys[i], w.values[i]));
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SquadInsert);
+
+void BM_SketchPolymerInsert(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  SketchPolymer::Options o;
+  o.memory_bytes = 1 << 18;
+  SketchPolymer sp(o, Criteria(30, 0.95, 300));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sp.Insert(w.keys[i], w.values[i]));
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchPolymerInsert);
+
+void BM_HistSketchInsert(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  HistSketch::Options o;
+  HistSketch hs(o, Criteria(30, 0.95, 300));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hs.Insert(w.keys[i], w.values[i]));
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistSketchInsert);
+
+void BM_CountSketchAdd(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  CountSketch<int16_t> sketch(3, 16384, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(w.keys[i], 19);
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountSketchAdd);
+
+void BM_CountSketchEstimate(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  CountSketch<int16_t> sketch(3, 16384, 7);
+  for (size_t i = 0; i < kStreamLen; ++i) sketch.Add(w.keys[i], 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Estimate(w.keys[i]));
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountSketchEstimate);
+
+void BM_CountMinAdd(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  CountMinSketch<int16_t> sketch(3, 16384, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(w.keys[i], 1);
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinAdd);
+
+void BM_SpaceSavingAdd(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  SpaceSaving ss(1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ss.Add(w.keys[i]));
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingAdd);
+
+void BM_GkInsert(benchmark::State& state) {
+  Rng rng(3);
+  GkSummary gk(0.01);
+  for (auto _ : state) {
+    gk.Insert(rng.NextDouble() * 1000.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GkInsert);
+
+void BM_GkQuery(benchmark::State& state) {
+  Rng rng(3);
+  GkSummary gk(0.01);
+  for (int i = 0; i < 100000; ++i) gk.Insert(rng.NextDouble() * 1000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gk.Quantile(0.95));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GkQuery);
+
+void BM_KllInsert(benchmark::State& state) {
+  Rng rng(4);
+  KllSketch kll(200);
+  for (auto _ : state) {
+    kll.Insert(rng.NextDouble());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KllInsert);
+
+void BM_KllQuery(benchmark::State& state) {
+  Rng rng(4);
+  KllSketch kll(200);
+  for (int i = 0; i < 100000; ++i) kll.Insert(rng.NextDouble());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kll.Quantile(0.95));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KllQuery);
+
+void BM_TDigestInsert(benchmark::State& state) {
+  Rng rng(5);
+  TDigest digest(100);
+  for (auto _ : state) {
+    digest.Insert(rng.NextDouble());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TDigestInsert);
+
+void BM_DdSketchInsert(benchmark::State& state) {
+  Rng rng(6);
+  DdSketch dd(0.01);
+  for (auto _ : state) {
+    dd.Insert(1.0 + rng.NextDouble() * 1000.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DdSketchInsert);
+
+void BM_QuantileFilterMerge(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  DefaultQuantileFilter::Options o;
+  o.memory_bytes = static_cast<size_t>(state.range(0));
+  DefaultQuantileFilter a(o, Criteria(30, 0.95, 300));
+  DefaultQuantileFilter b(o, Criteria(30, 0.95, 300));
+  for (size_t i = 0; i < kStreamLen; ++i) {
+    (i % 2 ? a : b).Insert(w.keys[i], w.values[i]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MergeFrom(b));
+  }
+}
+BENCHMARK(BM_QuantileFilterMerge)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_QuantileFilterSerialize(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  DefaultQuantileFilter::Options o;
+  o.memory_bytes = 1 << 18;
+  DefaultQuantileFilter filter(o, Criteria(30, 0.95, 300));
+  for (size_t i = 0; i < kStreamLen; ++i) filter.Insert(w.keys[i], w.values[i]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.SerializeState());
+  }
+}
+BENCHMARK(BM_QuantileFilterSerialize);
+
+void BM_TowerSketchAdd(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  TowerSketch sketch = TowerSketch::FromBytes(96 * 1024, 3, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(w.keys[i], 19);
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TowerSketchAdd);
+
+}  // namespace
+}  // namespace qf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Quickstart: detect quantile-outstanding keys in a synthetic key-value
+// stream with QuantileFilter.
+//
+//   build/examples/quickstart
+//
+// Walks through the full public API: configure criteria <eps, delta, T>,
+// build a filter from a byte budget, stream items, receive reports inline,
+// query/delete keys, and read the filter's internal statistics.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/quantile_filter.h"
+
+int main() {
+  // Criteria: report a key when its (eps=5, delta=0.9)-quantile exceeds
+  // T=200ms — i.e. when more than 10% of its recent values (minus an
+  // eps-sized allowance) are above 200.
+  qf::Criteria criteria(/*eps=*/5.0, /*delta=*/0.9, /*threshold=*/200.0);
+
+  qf::DefaultQuantileFilter::Options options;
+  options.memory_bytes = 64 * 1024;  // the whole filter fits in L1/L2 cache
+  qf::DefaultQuantileFilter filter(options, criteria);
+
+  std::printf("QuantileFilter quickstart\n");
+  std::printf("  criteria: eps=%.0f delta=%.2f T=%.0f\n", criteria.eps(),
+              criteria.delta(), criteria.threshold());
+  std::printf("  memory:   %zu bytes (candidate + vague)\n\n",
+              filter.MemoryBytes());
+
+  // Synthetic stream: 1000 well-behaved services with ~2% slow requests,
+  // plus one misbehaving service (key 424242) with ~40% slow requests.
+  qf::Rng rng(7);
+  const uint64_t kBadService = 424242;
+  int bad_reports = 0, other_reports = 0;
+  for (int i = 0; i < 500000; ++i) {
+    uint64_t key = 1 + rng.NextBounded(1000);
+    double latency = rng.Bernoulli(0.02) ? 350.0 : 40.0;
+    other_reports += filter.Insert(key, latency) ? 1 : 0;
+
+    if (i % 50 == 0) {  // the bad service sends traffic too
+      double bad_latency = rng.Bernoulli(0.40) ? 350.0 : 40.0;
+      if (filter.Insert(kBadService, bad_latency)) {
+        if (++bad_reports == 1) {
+          std::printf("first report: key %llu flagged after %d items\n",
+                      static_cast<unsigned long long>(kBadService), i + 1);
+        }
+      }
+    }
+  }
+
+  std::printf("reports for the misbehaving key: %d\n", bad_reports);
+  std::printf("reports for the 1000 healthy keys: %d\n\n", other_reports);
+
+  // Point query: current Qweight of any key (exact if it is a candidate).
+  std::printf("Qweight(bad key) now: %lld\n",
+              static_cast<long long>(filter.QueryQweight(kBadService)));
+
+  // Forget a key (e.g. after an operator acknowledges the alert).
+  filter.Delete(kBadService);
+  std::printf("Qweight(bad key) after Delete: %lld\n\n",
+              static_cast<long long>(filter.QueryQweight(kBadService)));
+
+  const auto& stats = filter.stats();
+  std::printf("filter stats: items=%llu reports=%llu candidate_hits=%llu "
+              "vague_inserts=%llu swaps=%llu\n",
+              static_cast<unsigned long long>(stats.items),
+              static_cast<unsigned long long>(stats.reports),
+              static_cast<unsigned long long>(stats.candidate_hits),
+              static_cast<unsigned long long>(stats.vague_inserts),
+              static_cast<unsigned long long>(stats.swaps));
+  std::printf("candidate occupancy: %.1f%%\n",
+              100.0 * filter.candidate_part().Occupancy());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Sensor data analytics at the network edge (the paper's third motivating
+// application): thousands of sensors stream readings; quantile anomalies
+// signal events worth attention. Demonstrates the windowed (periodic-reset)
+// filter — edge devices run for weeks, so outdated data must age out — and
+// the key-sharded wrapper for multi-core edge gateways.
+//
+//   build/examples/sensor_edge_monitor
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/sharded_filter.h"
+#include "core/windowed_filter.h"
+
+namespace {
+
+// A sensor whose readings drift into an anomalous regime for one window.
+double SensorReading(qf::Rng& rng, bool anomalous) {
+  double base = 20.0 + 5.0 * rng.NextGaussian();  // e.g. degrees C
+  return anomalous ? base + 40.0 : base;
+}
+
+}  // namespace
+
+int main() {
+  // Report a sensor when 20% of its recent readings exceed 50 (delta=0.8),
+  // tolerating eps=3 stray spikes.
+  qf::Criteria criteria(/*eps=*/3.0, /*delta=*/0.8, /*threshold=*/50.0);
+
+  std::printf("[windowed filter] day-long windows on one edge device\n");
+  qf::WindowedQuantileFilter<qf::CountSketch<int16_t>>::Filter::Options opts;
+  opts.memory_bytes = 32 * 1024;  // SRAM-scale budget
+  qf::WindowedQuantileFilter<qf::CountSketch<int16_t>> windowed(
+      opts, criteria, /*window_items=*/100000);
+
+  qf::Rng rng(3);
+  const uint64_t kFaultySensor = 777;
+  int alerts_during_fault = 0, alerts_after_fix = 0;
+  // Window 1: sensor 777 misbehaves.
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t sensor = 1 + rng.NextBounded(2000);
+    windowed.Insert(sensor, SensorReading(rng, false));
+    if (i % 25 == 0) {
+      alerts_during_fault +=
+          windowed.Insert(kFaultySensor, SensorReading(rng, rng.Bernoulli(0.5)));
+    }
+  }
+  // Window 2: it was repaired; stale state must not haunt it.
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t sensor = 1 + rng.NextBounded(2000);
+    windowed.Insert(sensor, SensorReading(rng, false));
+    if (i % 25 == 0) {
+      alerts_after_fix +=
+          windowed.Insert(kFaultySensor, SensorReading(rng, false));
+    }
+  }
+  std::printf("  sensor %llu: %d alerts while faulty, %d after repair "
+              "(windows completed: %llu)\n\n",
+              static_cast<unsigned long long>(kFaultySensor),
+              alerts_during_fault, alerts_after_fix,
+              static_cast<unsigned long long>(windowed.windows_completed()));
+
+  std::printf("[sharded filter] 4-way key sharding on a gateway\n");
+  qf::ShardedQuantileFilter<qf::CountSketch<int16_t>>::Filter::Options sopts;
+  sopts.memory_bytes = 128 * 1024;  // split across shards
+  qf::ShardedQuantileFilter<qf::CountSketch<int16_t>> sharded(sopts, criteria,
+                                                              /*num_shards=*/4);
+  int shard_alerts = 0;
+  for (int i = 0; i < 400000; ++i) {
+    uint64_t sensor = 1 + rng.NextBounded(8000);
+    bool anomalous = (sensor % 1000 == 0) && rng.Bernoulli(0.4);
+    shard_alerts += sharded.Insert(sensor, SensorReading(rng, anomalous));
+  }
+  auto stats = sharded.AggregateStats();
+  std::printf("  %d shards, %zu bytes total, %llu items, %d alert events\n",
+              sharded.num_shards(), sharded.MemoryBytes(),
+              static_cast<unsigned long long>(stats.items), shard_alerts);
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    std::printf("  shard %d handled %llu items (%llu reports)\n", s,
+                static_cast<unsigned long long>(sharded.shard(s).stats().items),
+                static_cast<unsigned long long>(
+                    sharded.shard(s).stats().reports));
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+#include "baseline/exact_detector.h"
+
+namespace qf {
+
+std::unordered_set<uint64_t> TrueOutstandingKeys(const Trace& trace,
+                                                 const Criteria& criteria) {
+  ExactDetector oracle(criteria);
+  std::unordered_set<uint64_t> outstanding;
+  for (const Item& item : trace) {
+    if (oracle.Insert(item.key, item.value)) outstanding.insert(item.key);
+  }
+  return outstanding;
+}
+
+}  // namespace qf

@@ -1,0 +1,87 @@
+// Zero-error reference detector for Definition 4.
+//
+// Because the outstanding test q_{eps,delta} > T reduces to the count-domain
+// condition n_below <= delta*n - eps (see core/qweight.h), exact detection
+// needs only two integers per key. This oracle defines ground truth for
+// every accuracy experiment, and is itself a usable (if memory-unbounded)
+// detector.
+
+#ifndef QUANTILEFILTER_BASELINE_EXACT_DETECTOR_H_
+#define QUANTILEFILTER_BASELINE_EXACT_DETECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/criteria.h"
+#include "core/qweight.h"
+#include "stream/item.h"
+
+namespace qf {
+
+class ExactDetector {
+ public:
+  explicit ExactDetector(const Criteria& criteria) : criteria_(criteria) {}
+
+  const Criteria& criteria() const { return criteria_; }
+
+  /// Memory actually consumed (grows with distinct keys; the oracle is not
+  /// space-bounded).
+  size_t MemoryBytes() const {
+    return counts_.size() *
+           (sizeof(uint64_t) + sizeof(Counts) + 2 * sizeof(void*));
+  }
+
+  /// Processes one item with exact Definition-4 semantics: the value joins
+  /// V_x; if the (eps, delta)-quantile of the updated V_x exceeds T the key
+  /// is reported and V_x is reset to empty.
+  bool Insert(uint64_t key, double value) {
+    return Insert(key, value, criteria_);
+  }
+
+  bool Insert(uint64_t key, double value, const Criteria& criteria) {
+    Counts& c = counts_[key];
+    if (criteria.ValueIsAbnormal(value)) {
+      ++c.above;
+    } else {
+      ++c.below;
+    }
+    if (QuantileOutstanding(c.below, c.above, criteria)) {
+      c = Counts{};  // reset V_x
+      return true;
+    }
+    return false;
+  }
+
+  /// Current exact Qweight of `key`.
+  double Qweight(uint64_t key) const {
+    auto it = counts_.find(key);
+    if (it == counts_.end()) return 0.0;
+    return ExactQweight(it->second.below, it->second.above, criteria_);
+  }
+
+  /// Forgets `key` entirely.
+  void Delete(uint64_t key) { counts_.erase(key); }
+
+  void Reset() { counts_.clear(); }
+
+ private:
+  struct Counts {
+    uint64_t below = 0;
+    uint64_t above = 0;
+  };
+
+  Criteria criteria_;
+  std::unordered_map<uint64_t, Counts> counts_;
+};
+
+/// Streams `trace` through an ExactDetector and returns the set of keys that
+/// are ever reported — the ground-truth outstanding-key set used by every
+/// accuracy metric in the evaluation.
+std::unordered_set<uint64_t> TrueOutstandingKeys(const Trace& trace,
+                                                 const Criteria& criteria);
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_BASELINE_EXACT_DETECTOR_H_

@@ -1,0 +1,77 @@
+#include "baseline/hist_sketch.h"
+
+#include <cmath>
+#include <limits>
+
+namespace qf {
+
+HistSketch::HistSketch(const Options& options, const Criteria& criteria)
+    : options_(options), criteria_(criteria) {
+  if (options_.value_levels < 2) options_.value_levels = 2;
+}
+
+size_t HistSketch::MemoryBytes() const {
+  // Node key + count + bucket array + hash-map pointers, per tracked key.
+  const size_t per_key = sizeof(uint64_t) + sizeof(Histogram) +
+                         static_cast<size_t>(options_.value_levels) *
+                             sizeof(uint32_t) +
+                         2 * sizeof(void*);
+  return histograms_.size() * per_key;
+}
+
+int HistSketch::LevelOf(double value) const {
+  if (value < 1.0) return 0;
+  int level = static_cast<int>(std::floor(std::log2(value)));
+  if (level >= options_.value_levels) level = options_.value_levels - 1;
+  return level;
+}
+
+bool HistSketch::Insert(uint64_t key, double value) {
+  Histogram& hist = histograms_[key];
+  if (hist.buckets.empty()) {
+    hist.buckets.assign(static_cast<size_t>(options_.value_levels), 0);
+  }
+  ++hist.buckets[LevelOf(value)];
+  ++hist.count;
+
+  const double idx =
+      criteria_.delta() * static_cast<double>(hist.count) - criteria_.eps();
+  if (idx < 0.0) return false;
+  const uint64_t target = static_cast<uint64_t>(idx);
+
+  uint64_t cum = 0;
+  for (int l = 0; l < options_.value_levels; ++l) {
+    cum += hist.buckets[l];
+    if (cum > target) {
+      if (std::pow(2.0, l) > criteria_.threshold()) {
+        hist.buckets.assign(hist.buckets.size(), 0);  // reset V_x
+        hist.count = 0;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+double HistSketch::QueryQuantile(uint64_t key) const {
+  auto it = histograms_.find(key);
+  if (it == histograms_.end() || it->second.count == 0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const Histogram& hist = it->second;
+  const double idx =
+      criteria_.delta() * static_cast<double>(hist.count) - criteria_.eps();
+  if (idx < 0.0) return -std::numeric_limits<double>::infinity();
+  const uint64_t target = static_cast<uint64_t>(idx);
+  uint64_t cum = 0;
+  for (int l = 0; l < options_.value_levels; ++l) {
+    cum += hist.buckets[l];
+    if (cum > target) return std::pow(2.0, l);
+  }
+  return -std::numeric_limits<double>::infinity();
+}
+
+void HistSketch::Reset() { histograms_.clear(); }
+
+}  // namespace qf

@@ -1,0 +1,123 @@
+#include "baseline/sketch_polymer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/hash.h"
+
+namespace qf {
+
+namespace {
+constexpr double kWarmupShare = 0.2;  // budget share for the cold-start stage
+}  // namespace
+
+SketchPolymer::SketchPolymer(const Options& options, const Criteria& criteria)
+    : options_(options),
+      criteria_(criteria),
+      warmup_counts_(CountMinSketch<int32_t>::FromBytes(
+          static_cast<size_t>(kWarmupShare *
+                              static_cast<double>(options.memory_bytes)),
+          options.depth, Mix64(options.seed ^ 0xAAAAULL))) {
+  const size_t per_level =
+      static_cast<size_t>((1.0 - kWarmupShare) *
+                          static_cast<double>(options.memory_bytes)) /
+      static_cast<size_t>(options.value_levels < 1 ? 1 : options.value_levels);
+  levels_.reserve(options.value_levels);
+  for (int l = 0; l < options.value_levels; ++l) {
+    levels_.push_back(CountMinSketch<int32_t>::FromBytes(
+        per_level < 64 ? 64 : per_level, options.depth,
+        Mix64(options.seed + 31 * l)));
+  }
+}
+
+size_t SketchPolymer::MemoryBytes() const {
+  size_t bytes = warmup_counts_.MemoryBytes();
+  for (const auto& level : levels_) bytes += level.MemoryBytes();
+  return bytes;
+}
+
+int SketchPolymer::LevelOf(double value) const {
+  if (value < 1.0) return 0;
+  int level = static_cast<int>(std::floor(std::log2(value)));
+  if (level >= options_.value_levels) level = options_.value_levels - 1;
+  return level;
+}
+
+double SketchPolymer::LevelLowerEdge(int level) const {
+  return std::pow(2.0, level);
+}
+
+bool SketchPolymer::Insert(uint64_t key, double value) {
+  // Cold-start stage: the first `warmup` occurrences select the polymer
+  // stage and their values are not recorded.
+  if (warmup_counts_.Estimate(key) <
+      static_cast<int64_t>(options_.warmup)) {
+    warmup_counts_.Add(key, 1);
+    return false;
+  }
+
+  levels_[LevelOf(value)].Add(key, 1);
+
+  // Offline-style query: read all level counters for this key.
+  std::vector<int64_t> counts;
+  const uint64_t n = LevelCounts(key, &counts);
+  if (n == 0) return false;
+  const double idx =
+      criteria_.delta() * static_cast<double>(n) - criteria_.eps();
+  if (idx < 0.0) return false;
+  const uint64_t target = static_cast<uint64_t>(idx);
+
+  uint64_t cum = 0;
+  for (int l = 0; l < options_.value_levels; ++l) {
+    cum += static_cast<uint64_t>(counts[l]);
+    if (cum > target) {
+      if (LevelLowerEdge(l) > criteria_.threshold()) {
+        // Report and reset: subtract the estimated level counts (an
+        // estimate-based reset, with the same error source as the naive
+        // dual-sketch solution).
+        for (int j = 0; j < options_.value_levels; ++j) {
+          if (counts[j] > 0) levels_[j].Subtract(key, counts[j]);
+        }
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+uint64_t SketchPolymer::LevelCounts(uint64_t key,
+                                    std::vector<int64_t>* counts) const {
+  counts->resize(options_.value_levels);
+  uint64_t total = 0;
+  for (int l = 0; l < options_.value_levels; ++l) {
+    int64_t c = levels_[l].Estimate(key);
+    if (c < 0) c = 0;
+    (*counts)[l] = c;
+    total += static_cast<uint64_t>(c);
+  }
+  return total;
+}
+
+double SketchPolymer::QueryQuantile(uint64_t key) const {
+  std::vector<int64_t> counts;
+  const uint64_t n = LevelCounts(key, &counts);
+  if (n == 0) return -std::numeric_limits<double>::infinity();
+  const double idx =
+      criteria_.delta() * static_cast<double>(n) - criteria_.eps();
+  if (idx < 0.0) return -std::numeric_limits<double>::infinity();
+  const uint64_t target = static_cast<uint64_t>(idx);
+  uint64_t cum = 0;
+  for (int l = 0; l < options_.value_levels; ++l) {
+    cum += static_cast<uint64_t>(counts[l]);
+    if (cum > target) return LevelLowerEdge(l);
+  }
+  return -std::numeric_limits<double>::infinity();
+}
+
+void SketchPolymer::Reset() {
+  warmup_counts_.Clear();
+  for (auto& level : levels_) level.Clear();
+}
+
+}  // namespace qf

@@ -1,0 +1,71 @@
+// SketchPolymer-style baseline (Guo et al., KDD 2023): per-item tail
+// quantile estimation with one compact sketch over log-bucketized values.
+//
+// Reimplemented from the published design, keeping the structural traits the
+// QuantileFilter paper measures:
+//   * values are mapped to log2 buckets and per-(key, bucket) counts are
+//     kept in lightweight count-min rows — so a quantile query must read
+//     O(log(value range)) counters, the non-constant "offline query" cost;
+//   * the earliest arrivals of each key are consumed by a cold-start
+//     admission stage and never recorded (SketchPolymer uses early items to
+//     pick its per-key "polymer" stage), which yields the systematic recall
+//     ceiling the paper reports even with ample memory;
+//   * under tight memory, hash collisions inflate high-bucket counts, the
+//     estimated quantile rises, and keys are broadly misreported — the very
+//     low precision / high recall regime in Figs 4-5.
+
+#ifndef QUANTILEFILTER_BASELINE_SKETCH_POLYMER_H_
+#define QUANTILEFILTER_BASELINE_SKETCH_POLYMER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/criteria.h"
+#include "sketch/count_min_sketch.h"
+
+namespace qf {
+
+class SketchPolymer {
+ public:
+  struct Options {
+    size_t memory_bytes = 1 << 20;
+    /// Number of log2 value buckets ("tower" height).
+    int value_levels = 24;
+    int depth = 2;
+    /// Occurrences of a key consumed by the cold-start stage before values
+    /// start being recorded.
+    uint32_t warmup = 8;
+    uint64_t seed = 0x5CFE;
+  };
+
+  SketchPolymer(const Options& options, const Criteria& criteria);
+
+  const Criteria& criteria() const { return criteria_; }
+  size_t MemoryBytes() const;
+
+  /// Insert + immediate quantile query against T. Returns true iff `key` is
+  /// reported.
+  bool Insert(uint64_t key, double value);
+
+  /// Estimated (eps, delta)-quantile of `key` from the level counts
+  /// (lower edge of the quantile's bucket).
+  double QueryQuantile(uint64_t key) const;
+
+  void Reset();
+
+ private:
+  int LevelOf(double value) const;
+  double LevelLowerEdge(int level) const;
+  /// Per-level estimated counts for `key`; returns the total.
+  uint64_t LevelCounts(uint64_t key, std::vector<int64_t>* counts) const;
+
+  Options options_;
+  Criteria criteria_;
+  CountMinSketch<int32_t> warmup_counts_;
+  std::vector<CountMinSketch<int32_t>> levels_;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_BASELINE_SKETCH_POLYMER_H_

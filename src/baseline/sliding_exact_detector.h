@@ -1,0 +1,116 @@
+// Zero-error sliding-window detector (extension).
+//
+// The ideal semantics that both WindowedQuantileFilter (hard epochs) and
+// RotatingQuantileFilter (two staggered filters) approximate: Definition 4
+// evaluated over each key's values from the last `window_items` stream
+// positions only. Exact but memory-unbounded (per-key value timelines), so
+// it serves as ground truth when evaluating the window wrappers, not as a
+// deployable detector.
+
+#ifndef QUANTILEFILTER_BASELINE_SLIDING_EXACT_DETECTOR_H_
+#define QUANTILEFILTER_BASELINE_SLIDING_EXACT_DETECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "core/criteria.h"
+#include "core/qweight.h"
+
+namespace qf {
+
+class SlidingExactDetector {
+ public:
+  /// `window_items`: stream-position horizon; a value older than
+  /// `window_items` insertions (across all keys) leaves its key's V_x.
+  /// 0 disables expiry (degenerates to ExactDetector semantics).
+  SlidingExactDetector(const Criteria& criteria, uint64_t window_items)
+      : criteria_(criteria), window_items_(window_items) {}
+
+  const Criteria& criteria() const { return criteria_; }
+  uint64_t items_seen() const { return now_; }
+
+  size_t MemoryBytes() const {
+    size_t bytes = 0;
+    for (const auto& [key, state] : keys_) {
+      bytes += sizeof(key) + sizeof(state) +
+               state.events.size() * sizeof(Event) + 2 * sizeof(void*);
+    }
+    return bytes;
+  }
+
+  /// Definition 4 over the windowed V_x: expire old values, admit the new
+  /// one, report + clear the key's window when the (eps, delta)-quantile of
+  /// the surviving values exceeds T.
+  bool Insert(uint64_t key, double value) {
+    const uint64_t index = now_++;
+    KeyState& state = keys_[key];
+    Expire(&state, index);
+
+    const bool abnormal = criteria_.ValueIsAbnormal(value);
+    state.events.push_back(Event{index, abnormal});
+    (abnormal ? state.above : state.below) += 1;
+
+    if (QuantileOutstanding(state.below, state.above, criteria_)) {
+      state.events.clear();
+      state.below = state.above = 0;
+      return true;
+    }
+    return false;
+  }
+
+  /// Exact windowed Qweight of `key` as of the last insertion.
+  double Qweight(uint64_t key) const {
+    auto it = keys_.find(key);
+    if (it == keys_.end()) return 0.0;
+    // Count only the still-live events (const view: no pruning).
+    uint64_t below = 0, above = 0;
+    for (const Event& e : it->second.events) {
+      if (!Expired(e.index)) (e.abnormal ? above : below) += 1;
+    }
+    return ExactQweight(below, above, criteria_);
+  }
+
+  void Delete(uint64_t key) { keys_.erase(key); }
+
+  void Reset() {
+    keys_.clear();
+    now_ = 0;
+  }
+
+ private:
+  struct Event {
+    uint64_t index;
+    bool abnormal;
+  };
+  struct KeyState {
+    std::deque<Event> events;
+    uint64_t below = 0;
+    uint64_t above = 0;
+  };
+
+  bool Expired(uint64_t event_index) const {
+    return window_items_ > 0 && now_ > window_items_ &&
+           event_index < now_ - window_items_;
+  }
+
+  void Expire(KeyState* state, uint64_t now) {
+    if (window_items_ == 0) return;
+    while (!state->events.empty() &&
+           now >= window_items_ &&
+           state->events.front().index < now - window_items_) {
+      (state->events.front().abnormal ? state->above : state->below) -= 1;
+      state->events.pop_front();
+    }
+  }
+
+  Criteria criteria_;
+  uint64_t window_items_;
+  uint64_t now_ = 0;
+  std::unordered_map<uint64_t, KeyState> keys_;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_BASELINE_SLIDING_EXACT_DETECTOR_H_

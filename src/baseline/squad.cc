@@ -1,0 +1,98 @@
+#include "baseline/squad.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/hash.h"
+#include "core/qweight.h"
+
+namespace qf {
+
+namespace {
+
+size_t CapacityFor(const Squad::Options& options) {
+  size_t cap = options.memory_bytes / options.bytes_per_key;
+  return cap < 4 ? 4 : cap;
+}
+
+}  // namespace
+
+Squad::Squad(const Options& options, const Criteria& criteria)
+    : options_(options), criteria_(criteria), heavy_(CapacityFor(options)) {
+  summaries_.reserve(heavy_.capacity());
+  size_t reservoirs =
+      options.background_reservoirs < 1 ? 1 : options.background_reservoirs;
+  background_.reserve(reservoirs);
+  for (size_t i = 0; i < reservoirs; ++i) {
+    background_.emplace_back(options.background_capacity,
+                             Mix64(options.seed + i));
+  }
+}
+
+size_t Squad::MemoryBytes() const {
+  size_t bytes = heavy_.MemoryBytes();
+  for (const auto& [key, summary] : summaries_) {
+    bytes += summary->MemoryBytes() + sizeof(key) + 2 * sizeof(void*);
+  }
+  for (const auto& reservoir : background_) bytes += reservoir.MemoryBytes();
+  return bytes;
+}
+
+bool Squad::Insert(uint64_t key, double value) {
+  // Background tail state: every value also feeds the shared reservoir its
+  // key hashes to, so untracked keys stay queryable (coarsely).
+  background_[HashKey(key, options_.seed) % background_.size()].Insert(value);
+
+  uint64_t evicted = heavy_.Add(key);
+  if (evicted != 0) summaries_.erase(evicted);
+
+  auto it = summaries_.find(key);
+  if (it == summaries_.end()) {
+    if (!heavy_.Lookup(key, nullptr)) return false;  // not admitted
+    it = summaries_.emplace(key, std::make_unique<GkSummary>(options_.gk_eps))
+             .first;
+  }
+  GkSummary& summary = *it->second;
+  summary.Insert(value);
+
+  // Offline-style query after the insertion: locate the (eps, delta) rank in
+  // the per-key summary and compare against T.
+  const uint64_t n = summary.count();
+  const double idx =
+      criteria_.delta() * static_cast<double>(n) - criteria_.eps();
+  if (idx < 0.0) return false;
+  const double q = summary.ValueAtRank(static_cast<uint64_t>(idx));
+  if (q > criteria_.threshold()) {
+    summary.Clear();  // reset V_x after the report
+    return true;
+  }
+  return false;
+}
+
+double Squad::QueryQuantile(uint64_t key) const {
+  auto it = summaries_.find(key);
+  if (it == summaries_.end() || it->second->count() == 0) {
+    // Untracked key: answer from the shared background reservoir — coarse
+    // cross-key state, at the plain delta rank (no per-key eps offset is
+    // meaningful for mixed samples).
+    const ReservoirSampler& reservoir =
+        background_[HashKey(key, options_.seed) % background_.size()];
+    if (reservoir.count() == 0) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    return reservoir.Quantile(criteria_.delta());
+  }
+  const uint64_t n = it->second->count();
+  const double idx =
+      criteria_.delta() * static_cast<double>(n) - criteria_.eps();
+  if (idx < 0.0) return -std::numeric_limits<double>::infinity();
+  return it->second->ValueAtRank(static_cast<uint64_t>(idx));
+}
+
+void Squad::Reset() {
+  heavy_.Clear();
+  summaries_.clear();
+  for (auto& reservoir : background_) reservoir.Clear();
+}
+
+}  // namespace qf

@@ -1,0 +1,78 @@
+// SQUAD-style baseline (Shahout, Friedman, Ben Basat, SIGMOD 2023):
+// heavy-hitter-guided per-key quantile estimation.
+//
+// Reimplemented from the published design: a SpaceSaving table identifies
+// the heavy keys, and each tracked key carries its own GK quantile summary;
+// keys below the heavy-hitter bar share a small array of hash-indexed
+// background reservoirs (SQUAD keeps coarse shared state for the tail).
+// Detection follows the paper's "online insertion + offline query" pattern
+// the QuantileFilter paper criticizes: after every insertion the key's
+// summary is queried (a non-constant-time scan/binary search over the GK
+// tuples) and the (eps, delta)-quantile is compared against T. Untracked
+// keys can only be judged through their shared background reservoir, whose
+// cross-key mixing makes per-key detection unreliable — the source of
+// SQUAD's low recall at small memory, converging to near-exact behaviour
+// once the table covers all reportable keys.
+
+#ifndef QUANTILEFILTER_BASELINE_SQUAD_H_
+#define QUANTILEFILTER_BASELINE_SQUAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/criteria.h"
+#include "quantile/gk.h"
+#include "quantile/reservoir.h"
+#include "sketch/space_saving.h"
+
+namespace qf {
+
+class Squad {
+ public:
+  struct Options {
+    size_t memory_bytes = 1 << 20;
+    /// Estimated bytes per tracked key (SpaceSaving entry + GK summary);
+    /// determines how many keys the budget can track.
+    size_t bytes_per_key = 640;
+    /// GK rank-error parameter for per-key summaries.
+    double gk_eps = 0.01;
+    /// Shared background reservoirs for the untracked tail: count and
+    /// per-reservoir sample capacity. Queries for unknown keys fall back to
+    /// the reservoir their hash selects (coarse, cross-key state — usable
+    /// for quantile queries, too unattributable for reporting).
+    size_t background_reservoirs = 16;
+    size_t background_capacity = 256;
+    uint64_t seed = 0x50AD;
+  };
+
+  Squad(const Options& options, const Criteria& criteria);
+
+  const Criteria& criteria() const { return criteria_; }
+  size_t tracked_keys() const { return summaries_.size(); }
+  size_t MemoryBytes() const;
+
+  /// Insert + immediate offline-style query, per the SOTA usage pattern the
+  /// paper benchmarks. Returns true iff `key` is reported.
+  bool Insert(uint64_t key, double value);
+
+  /// Estimated (eps, delta)-quantile of `key`: the per-key GK answer when
+  /// tracked; otherwise the coarse background-reservoir answer at the plain
+  /// delta rank (or -inf if that reservoir is empty).
+  double QueryQuantile(uint64_t key) const;
+
+  void Reset();
+
+ private:
+  Options options_;
+  Criteria criteria_;
+  SpaceSaving heavy_;
+  std::unordered_map<uint64_t, std::unique_ptr<GkSummary>> summaries_;
+  std::vector<ReservoirSampler> background_;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_BASELINE_SQUAD_H_

@@ -1,0 +1,94 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace qf {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    Flag flag;
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flag.name = body.substr(0, eq);
+      flag.value = body.substr(eq + 1);
+      flag.has_value = true;
+    } else {
+      flag.name = body;
+      // "--name value" form: consume the next token iff it is not a flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flag.value = argv[++i];
+        flag.has_value = true;
+      }
+    }
+    flags_.push_back(std::move(flag));
+  }
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  // Last occurrence wins, matching common CLI conventions.
+  const Flag* found = nullptr;
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) {
+      flag.queried = true;
+      found = &flag;
+    }
+  }
+  return found;
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  const Flag* flag = Find(name);
+  return (flag != nullptr && flag->has_value) ? flag->value : default_value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name,
+                           int64_t default_value) const {
+  const Flag* flag = Find(name);
+  if (flag == nullptr || !flag->has_value) return default_value;
+  char* end = nullptr;
+  long long v = std::strtoll(flag->value.c_str(), &end, 0);
+  return (end != nullptr && *end == '\0' && end != flag->value.c_str())
+             ? static_cast<int64_t>(v)
+             : default_value;
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  const Flag* flag = Find(name);
+  if (flag == nullptr || !flag->has_value) return default_value;
+  char* end = nullptr;
+  double v = std::strtod(flag->value.c_str(), &end);
+  return (end != nullptr && *end == '\0' && end != flag->value.c_str())
+             ? v
+             : default_value;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  const Flag* flag = Find(name);
+  if (flag == nullptr) return default_value;
+  if (!flag->has_value) return true;  // bare --name means true
+  if (flag->value == "true" || flag->value == "1") return true;
+  if (flag->value == "false" || flag->value == "0") return false;
+  return default_value;
+}
+
+std::vector<std::string> FlagParser::UnqueriedFlags() const {
+  std::vector<std::string> out;
+  for (const Flag& flag : flags_) {
+    if (!flag.queried) out.push_back(flag.name);
+  }
+  return out;
+}
+
+}  // namespace qf

@@ -1,0 +1,54 @@
+// Minimal command-line flag parser for the repository's tools.
+//
+// Supports "--name=value" and "--name value" forms, typed getters with
+// defaults, and leftover positional arguments. No global registry — a
+// parser instance is constructed from argc/argv and queried explicitly,
+// which keeps tools self-describing and testable.
+
+#ifndef QUANTILEFILTER_COMMON_FLAGS_H_
+#define QUANTILEFILTER_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qf {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+
+  /// True if "--name" was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// Typed getters; return `default_value` when absent or malformed.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Arguments that were not flags (nor flag values), in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were provided but never queried — typo detection for tools
+  /// that want to reject unknown flags.
+  std::vector<std::string> UnqueriedFlags() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    mutable bool queried = false;
+  };
+
+  const Flag* Find(const std::string& name) const;
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_COMMON_FLAGS_H_

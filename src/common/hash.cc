@@ -1,0 +1,43 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace qf {
+
+namespace {
+
+inline uint64_t Rotl64(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+
+}  // namespace
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  // MurmurHash3 x64 style core over 8-byte blocks, with a splitmix finalizer.
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint64_t kMul = 0x87C37B91114253D5ULL;
+  uint64_t h = seed ^ (static_cast<uint64_t>(len) * kMul);
+
+  while (len >= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    k *= kMul;
+    k = Rotl64(k, 31);
+    k *= 0x4CF5AD432745937FULL;
+    h ^= k;
+    h = Rotl64(h, 27);
+    h = h * 5 + 0x52DCE729;
+    p += 8;
+    len -= 8;
+  }
+
+  uint64_t tail = 0;
+  for (size_t i = 0; i < len; ++i) {
+    tail |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  h ^= Mix64(tail);
+  return Mix64(h);
+}
+
+HashFamily::HashFamily(int rows, uint64_t master_seed)
+    : rows_(rows), master_seed_(master_seed) {}
+
+}  // namespace qf

@@ -1,0 +1,93 @@
+// Hashing substrate used by every sketch in this repository.
+//
+// Sketch algorithms (Count sketch, Count-Min sketch, SpaceSaving,
+// QuantileFilter's candidate part, ...) need three primitives:
+//   1. a strong 64-bit mix of an arbitrary key,
+//   2. a family of pairwise-independent index hashes h_i(x) -> [0, w),
+//   3. a family of sign hashes S_i(x) -> {-1, +1}.
+// All three are provided here, seeded so that independent rows of a sketch
+// observe (approximately) independent hash functions.
+
+#ifndef QUANTILEFILTER_COMMON_HASH_H_
+#define QUANTILEFILTER_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace qf {
+
+/// Finalizing 64-bit mixer (splitmix64 / MurmurHash3 fmix64 style).
+/// Bijective on uint64_t; excellent avalanche behaviour.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Hashes a 64-bit key under a seed. Different seeds give hash functions
+/// that behave independently for sketch purposes.
+constexpr uint64_t HashKey(uint64_t key, uint64_t seed) {
+  return Mix64(key ^ Mix64(seed));
+}
+
+/// MurmurHash3-style hash of an arbitrary byte string (for string keys such
+/// as 5-tuples serialized to bytes).
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed);
+
+/// Convenience overload for string keys.
+inline uint64_t HashBytes(std::string_view s, uint64_t seed) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// A family of seeded hash functions: row i maps a key to a column in
+/// [0, width) and to a sign in {-1, +1}. Rows use decorrelated seeds.
+class HashFamily {
+ public:
+  /// Creates a family with `rows` independent members. `master_seed`
+  /// determines every row seed, so two families built from the same master
+  /// seed are identical (useful for tests).
+  HashFamily(int rows, uint64_t master_seed);
+
+  int rows() const { return rows_; }
+  uint64_t master_seed() const { return master_seed_; }
+
+  /// Column index of `key` in row `i`, uniform over [0, width).
+  uint32_t Index(uint64_t key, int i, uint32_t width) const {
+    // Lemire's multiply-shift range reduction on the high 32 hash bits:
+    // bias is negligible for width << 2^32.
+    uint32_t h = static_cast<uint32_t>(HashKey(key, index_seed(i)) >> 32);
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(h) * static_cast<uint64_t>(width)) >> 32);
+  }
+
+  /// Sign of `key` in row `i`: +1 or -1 with equal probability.
+  int Sign(uint64_t key, int i) const {
+    return (HashKey(key, sign_seed(i)) & 1) ? +1 : -1;
+  }
+
+  /// Raw 64-bit hash of `key` in row `i` (for callers that need more bits).
+  uint64_t Raw(uint64_t key, int i) const {
+    return HashKey(key, index_seed(i));
+  }
+
+ private:
+  uint64_t index_seed(int i) const { return Mix64(master_seed_ + 2 * i); }
+  uint64_t sign_seed(int i) const { return Mix64(master_seed_ + 2 * i + 1); }
+
+  int rows_;
+  uint64_t master_seed_;
+};
+
+/// Computes an f-bit fingerprint of `key` (f in [1, 32]). Never returns 0 so
+/// that 0 can denote an empty candidate-part slot.
+inline uint32_t Fingerprint(uint64_t key, uint64_t seed, int bits) {
+  uint32_t mask = (bits >= 32) ? 0xFFFFFFFFu : ((1u << bits) - 1u);
+  uint32_t fp = static_cast<uint32_t>(HashKey(key, seed)) & mask;
+  return fp == 0 ? 1u : fp;
+}
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_COMMON_HASH_H_

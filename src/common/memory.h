@@ -1,0 +1,39 @@
+// Byte-budget helpers.
+//
+// The paper's evaluation sweeps total memory (2^15 .. 2^30 bytes) and splits
+// it between structures (e.g. candidate:vague = 4:1). Every detector in this
+// repository is constructed from a byte budget, so sizing arithmetic lives
+// here in one place.
+
+#ifndef QUANTILEFILTER_COMMON_MEMORY_H_
+#define QUANTILEFILTER_COMMON_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qf {
+
+/// Number of elements of `elem_bytes` each that fit in `budget_bytes`,
+/// never less than `min_elems`.
+constexpr size_t ElemsForBudget(size_t budget_bytes, size_t elem_bytes,
+                                size_t min_elems = 1) {
+  size_t n = elem_bytes == 0 ? min_elems : budget_bytes / elem_bytes;
+  return n < min_elems ? min_elems : n;
+}
+
+/// Splits `budget_bytes` into `num` : `den` parts and returns the `num`
+/// share. Used for the candidate:vague split (default 4:1).
+constexpr size_t Share(size_t budget_bytes, size_t num, size_t den) {
+  return budget_bytes * num / (num + den);
+}
+
+/// Rounds `n` down to the previous power of two (>= 1).
+constexpr size_t FloorPow2(size_t n) {
+  size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_COMMON_MEMORY_H_

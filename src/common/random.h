@@ -1,0 +1,86 @@
+// Fast deterministic PRNG used by workload generators and by the
+// probabilistic-rounding path of QuantileFilter's vague part.
+//
+// std::mt19937_64 is avoided on the hot insertion path: the paper's
+// fractional-Qweight rounding draws one random bit-string per item, so the
+// generator must cost only a few cycles. xoshiro256** passes BigCrush and
+// costs ~4 ops per draw.
+
+#ifndef QUANTILEFILTER_COMMON_RANDOM_H_
+#define QUANTILEFILTER_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace qf {
+
+/// xoshiro256** generator. Seeded via splitmix64 so any 64-bit seed yields a
+/// well-dispersed state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    uint64_t s = seed;
+    for (auto& word : state_) {
+      s = Mix64(s);
+      word = s;
+    }
+  }
+
+  /// Next 64 uniform random bits.
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Multiplicative range reduction; bias negligible for bound << 2^64.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal draw (Box-Muller; uses two uniforms per pair, caches
+  /// the second).
+  double NextGaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_COMMON_RANDOM_H_

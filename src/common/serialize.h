@@ -1,0 +1,80 @@
+// Tiny byte-buffer serialization helpers for checkpointing sketch state.
+//
+// Streams are little-endian host-layout POD copies; the format is meant for
+// checkpoint/restore and monitor->collector shipping between builds of the
+// same binary, not as a cross-architecture interchange format (trace files
+// have their own versioned format in stream/trace_io.h).
+
+#ifndef QUANTILEFILTER_COMMON_SERIALIZE_H_
+#define QUANTILEFILTER_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace qf {
+
+/// A read cursor over a byte buffer. Read* methods return false (and leave
+/// outputs untouched) on underflow; `ok()` stays false afterwards.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buffer)
+      : ByteReader(buffer.data(), buffer.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  template <typename T>
+  bool Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!ok_ || remaining() < sizeof(T)) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  template <typename T>
+  bool ReadVector(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    if (!Read(&count)) return false;
+    if (remaining() < count * sizeof(T)) {
+      ok_ = false;
+      return false;
+    }
+    out->resize(count);
+    if (count > 0) std::memcpy(out->data(), data_ + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+template <typename T>
+void AppendPod(const T& value, std::vector<uint8_t>* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&value);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+void AppendVector(const std::vector<T>& values, std::vector<uint8_t>* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AppendPod(static_cast<uint64_t>(values.size()), out);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(values.data());
+  out->insert(out->end(), p, p + values.size() * sizeof(T));
+}
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_COMMON_SERIALIZE_H_

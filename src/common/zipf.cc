@@ -1,0 +1,41 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+namespace qf {
+
+ZipfSampler::ZipfSampler(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - Hinv(H(2.5) - std::pow(2.0, -alpha));
+}
+
+double ZipfSampler::H(double x) const {
+  // H(x) = (x^(1-alpha) - 1) / (1 - alpha), or ln(x) when alpha == 1.
+  if (std::abs(alpha_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - alpha_) - 1.0) / (1.0 - alpha_);
+}
+
+double ZipfSampler::Hinv(double x) const {
+  if (std::abs(alpha_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - alpha_), 1.0 / (1.0 - alpha_));
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  if (alpha_ <= 1e-12) return 1 + rng.NextBounded(n_);  // uniform fast path
+  while (true) {
+    double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    double x = Hinv(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= H(static_cast<double>(k) + 0.5) -
+                 std::pow(static_cast<double>(k), -alpha_)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace qf

@@ -1,0 +1,46 @@
+// Zipf-distributed integer sampler.
+//
+// The paper's synthetic dataset draws keys (and one value component) from
+// Zipf distributions with parameter alpha over supports of up to millions of
+// elements. Building the full CDF would cost O(N) memory per sampler, so we
+// use Hörmann's rejection-inversion method, which samples in O(1) expected
+// time with O(1) state for any alpha > 0 and any support size.
+
+#ifndef QUANTILEFILTER_COMMON_ZIPF_H_
+#define QUANTILEFILTER_COMMON_ZIPF_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace qf {
+
+/// Samples from {1, ..., n} with P(k) proportional to 1 / k^alpha.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1 and `alpha` >= 0 (alpha == 0 degenerates to uniform;
+  /// alpha == 1 is handled via the logarithmic branch).
+  ZipfSampler(uint64_t n, double alpha);
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+  /// Draws one sample in [1, n].
+  uint64_t Sample(Rng& rng) const;
+
+ private:
+  // H(x) = integral of 1/x^alpha; see Hörmann, "Rejection-inversion to
+  // generate variates from monotone discrete distributions" (1996).
+  double H(double x) const;
+  double Hinv(double x) const;
+
+  uint64_t n_;
+  double alpha_;
+  double h_x1_;        // H(1.5) - 1
+  double h_n_;         // H(n + 0.5)
+  double s_;           // 2 - Hinv(H(2.5) - 1/2^alpha)
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_COMMON_ZIPF_H_

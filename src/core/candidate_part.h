@@ -1,0 +1,173 @@
+// Candidate part of QuantileFilter (Sec III-B).
+//
+// An array of m buckets, each holding up to b entries of
+// <key fingerprint, integer Qweight counter>. Keys that the election
+// strategy considers likely-outstanding live here and get exact (per-entry)
+// Qweight tracking, which removes hash-collision noise for precisely the
+// keys that matter for reporting.
+
+#ifndef QUANTILEFILTER_CORE_CANDIDATE_PART_H_
+#define QUANTILEFILTER_CORE_CANDIDATE_PART_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/memory.h"
+#include "common/serialize.h"
+
+namespace qf {
+
+class CandidatePart {
+ public:
+  struct Options {
+    size_t memory_bytes = 64 * 1024;
+    int bucket_entries = 6;      // paper default b = 6
+    int fingerprint_bits = 16;   // paper default: 16-bit fingerprints
+    uint64_t seed = 0x5EEDCA4D;
+  };
+
+  /// One slot. fingerprint == 0 marks an empty slot (Fingerprint() never
+  /// returns 0 for a real key).
+  struct Entry {
+    uint32_t fingerprint = 0;
+    int32_t qweight = 0;
+
+    bool empty() const { return fingerprint == 0; }
+  };
+
+  explicit CandidatePart(const Options& options)
+      : bucket_entries_(options.bucket_entries < 1 ? 1
+                                                   : options.bucket_entries),
+        fingerprint_bits_(options.fingerprint_bits < 1
+                              ? 1
+                              : (options.fingerprint_bits > 32
+                                     ? 32
+                                     : options.fingerprint_bits)),
+        seed_(options.seed),
+        num_buckets_(ElemsForBudget(options.memory_bytes,
+                                    sizeof(Entry) * bucket_entries_, 1)),
+        slots_(num_buckets_ * bucket_entries_) {}
+
+  size_t num_buckets() const { return num_buckets_; }
+  int bucket_entries() const { return bucket_entries_; }
+  int fingerprint_bits() const { return fingerprint_bits_; }
+  size_t MemoryBytes() const { return slots_.size() * sizeof(Entry); }
+
+  uint32_t BucketOf(uint64_t key) const {
+    uint64_t h = HashKey(key, seed_);
+    return static_cast<uint32_t>(h % num_buckets_);
+  }
+
+  uint32_t FingerprintOf(uint64_t key) const {
+    return Fingerprint(key, seed_ ^ 0xF1A9F1A9F1A9F1A9ULL, fingerprint_bits_);
+  }
+
+  /// The identifier under which a (bucket, fingerprint) pair is inserted
+  /// into the vague part: the paper replaces h_i(x) with h_i(fp + h_b(x))
+  /// because the full key is unknown once only the fingerprint is stored.
+  uint64_t VagueKey(uint32_t bucket, uint32_t fp) const {
+    return (static_cast<uint64_t>(bucket) << fingerprint_bits_) |
+           static_cast<uint64_t>(fp);
+  }
+
+  /// Slot holding `fp` in `bucket`, or nullptr.
+  Entry* Find(uint32_t bucket, uint32_t fp) {
+    Entry* base = BucketBase(bucket);
+    for (int i = 0; i < bucket_entries_; ++i) {
+      if (base[i].fingerprint == fp) return &base[i];
+    }
+    return nullptr;
+  }
+  const Entry* Find(uint32_t bucket, uint32_t fp) const {
+    return const_cast<CandidatePart*>(this)->Find(bucket, fp);
+  }
+
+  /// First empty slot in `bucket`, or nullptr if the bucket is full.
+  Entry* FindEmpty(uint32_t bucket) {
+    Entry* base = BucketBase(bucket);
+    for (int i = 0; i < bucket_entries_; ++i) {
+      if (base[i].empty()) return &base[i];
+    }
+    return nullptr;
+  }
+
+  /// Entry with the smallest Qweight in a full `bucket` (the eviction
+  /// victim for candidate election).
+  Entry* MinEntry(uint32_t bucket) {
+    Entry* base = BucketBase(bucket);
+    Entry* best = &base[0];
+    for (int i = 1; i < bucket_entries_; ++i) {
+      if (base[i].qweight < best->qweight) best = &base[i];
+    }
+    return best;
+  }
+
+  /// All slots (for inspection in tests and stats).
+  const std::vector<Entry>& slots() const { return slots_; }
+
+  /// Fraction of slots currently occupied.
+  double Occupancy() const {
+    size_t used = 0;
+    for (const Entry& e : slots_) used += e.empty() ? 0 : 1;
+    return slots_.empty() ? 0.0
+                          : static_cast<double>(used) /
+                                static_cast<double>(slots_.size());
+  }
+
+  void Clear() { slots_.assign(slots_.size(), Entry{}); }
+
+  /// Mutable view of a bucket's `bucket_entries()` slots (for merging).
+  Entry* MutableBucket(uint32_t bucket) { return BucketBase(bucket); }
+  const Entry* Bucket(uint32_t bucket) const {
+    return const_cast<CandidatePart*>(this)->BucketBase(bucket);
+  }
+
+  /// True iff `other` was built with identical structure and hashing, so
+  /// entries are positionally and fingerprint-compatible.
+  bool Compatible(const CandidatePart& other) const {
+    return num_buckets_ == other.num_buckets_ &&
+           bucket_entries_ == other.bucket_entries_ &&
+           fingerprint_bits_ == other.fingerprint_bits_ &&
+           seed_ == other.seed_;
+  }
+
+  /// Checkpointing of the slot array.
+  void AppendTo(std::vector<uint8_t>* out) const {
+    AppendPod(static_cast<uint64_t>(num_buckets_), out);
+    AppendPod(static_cast<uint32_t>(bucket_entries_), out);
+    AppendVector(slots_, out);
+  }
+  bool ReadFrom(ByteReader* reader) {
+    uint64_t buckets = 0;
+    uint32_t entries = 0;
+    std::vector<Entry> slots;
+    if (!reader->Read(&buckets) || !reader->Read(&entries) ||
+        !reader->ReadVector(&slots)) {
+      return false;
+    }
+    if (buckets != num_buckets_ ||
+        static_cast<int>(entries) != bucket_entries_ ||
+        slots.size() != slots_.size()) {
+      return false;
+    }
+    slots_ = std::move(slots);
+    return true;
+  }
+
+ private:
+  Entry* BucketBase(uint32_t bucket) {
+    return &slots_[static_cast<size_t>(bucket) * bucket_entries_];
+  }
+
+  int bucket_entries_;
+  int fingerprint_bits_;
+  uint64_t seed_;
+  size_t num_buckets_;
+  std::vector<Entry> slots_;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_CORE_CANDIDATE_PART_H_

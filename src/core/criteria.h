@@ -1,0 +1,95 @@
+// Filtering criteria <eps, delta, T> (Definition 4) and the derived Qweight
+// constants (Sec III-A).
+//
+// Qweight assigns -1 to items with value <= T and +delta/(1-delta) to items
+// with value > T; the key is outstanding exactly when its total Qweight is
+// >= eps/(1-delta). Criteria precomputes those derived constants once so the
+// per-item hot path does no divisions.
+
+#ifndef QUANTILEFILTER_CORE_CRITERIA_H_
+#define QUANTILEFILTER_CORE_CRITERIA_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace qf {
+
+class Criteria {
+ public:
+  /// `delta` in [0, 1): the monitored quantile. `eps` >= 0: allowed rank
+  /// deviation (suppresses premature/infrequent-key reports). `threshold`:
+  /// the value threshold T.
+  Criteria(double eps, double delta, double threshold)
+      : eps_(eps < 0 ? 0 : eps),
+        delta_(Clamp01(delta)),
+        threshold_(threshold),
+        positive_weight_(delta_ / (1.0 - delta_)),
+        positive_floor_(static_cast<int64_t>(std::floor(positive_weight_))),
+        positive_frac_(positive_weight_ -
+                       static_cast<double>(positive_floor_)),
+        report_threshold_(static_cast<int64_t>(
+            std::ceil(eps_ / (1.0 - delta_) - kSnap))) {
+    // Snap fractional parts produced purely by floating-point noise (e.g.
+    // delta = 0.9 gives 9.000000000000002 or 18.999999999999996): a weight
+    // that is mathematically integral must be treated as such, or report
+    // thresholds and draws go off by one at exact boundaries.
+    if (positive_frac_ < kSnap) {
+      positive_frac_ = 0.0;
+    } else if (positive_frac_ > 1.0 - kSnap) {
+      ++positive_floor_;
+      positive_frac_ = 0.0;
+    }
+  }
+
+  /// Default criteria from the paper's evaluation: eps=30, delta=0.95, T=300.
+  Criteria() : Criteria(30.0, 0.95, 300.0) {}
+
+  double eps() const { return eps_; }
+  double delta() const { return delta_; }
+  double threshold() const { return threshold_; }
+
+  /// True if `value` counts as abnormal (exceeds T).
+  bool ValueIsAbnormal(double value) const { return value > threshold_; }
+
+  /// Weight of an abnormal item: delta / (1 - delta).
+  double positive_weight() const { return positive_weight_; }
+  /// Integer part of positive_weight(); the deterministic counter increment.
+  int64_t positive_floor() const { return positive_floor_; }
+  /// Fractional part of positive_weight(); the probability of the extra +1.
+  double positive_frac() const { return positive_frac_; }
+
+  /// Integer report threshold: a key whose (integer) Qweight reaches this is
+  /// reported. For integer counters, C >= eps/(1-delta) iff
+  /// C >= ceil(eps/(1-delta)).
+  int64_t report_threshold() const { return report_threshold_; }
+
+  /// Exact real-valued report threshold eps / (1 - delta).
+  double report_threshold_real() const { return eps_ / (1.0 - delta_); }
+
+  friend bool operator==(const Criteria& a, const Criteria& b) {
+    return a.eps_ == b.eps_ && a.delta_ == b.delta_ &&
+           a.threshold_ == b.threshold_;
+  }
+
+ private:
+  static constexpr double kSnap = 1e-9;
+
+  static double Clamp01(double d) {
+    if (d < 0.0) return 0.0;
+    // delta == 1 would make the positive weight infinite; cap just below.
+    if (d > 0.999999) return 0.999999;
+    return d;
+  }
+
+  double eps_;
+  double delta_;
+  double threshold_;
+  double positive_weight_;
+  int64_t positive_floor_;
+  double positive_frac_;
+  int64_t report_threshold_;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_CORE_CRITERIA_H_

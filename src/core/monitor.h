@@ -1,0 +1,114 @@
+// Production-facing stream monitor built on QuantileFilter (extension).
+//
+// Applications rarely consume raw per-item booleans: an operator wants
+// structured alert records, per-key alert cooldowns (a persistently
+// outstanding key re-fires every ~eps items, which floods dashboards), and
+// periodic state aging. Monitor packages those policies around the filter:
+//
+//   qf::Monitor::Options options;
+//   options.cooldown_items = 10000;  // at most one alert per key per 10k
+//   qf::Monitor monitor(options, criteria,
+//                       [](const qf::Monitor::Alert& a) { page(a); });
+//   monitor.Observe(key, value);
+
+#ifndef QUANTILEFILTER_CORE_MONITOR_H_
+#define QUANTILEFILTER_CORE_MONITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "core/quantile_filter.h"
+
+namespace qf {
+
+class Monitor {
+ public:
+  struct Alert {
+    uint64_t key = 0;
+    uint64_t item_index = 0;   // stream position that triggered the report
+    int64_t qweight = 0;       // Qweight at report time (>= threshold)
+    uint64_t suppressed = 0;   // reports swallowed by cooldown since last
+  };
+  using AlertCallback = std::function<void(const Alert&)>;
+
+  struct Options {
+    DefaultQuantileFilter::Options filter;
+    /// Minimum items between two alerts for the same key (0 = alert on
+    /// every report, the raw filter behaviour).
+    uint64_t cooldown_items = 0;
+    /// Clear all state every `reset_items` observations (0 = never); the
+    /// paper's periodic reset, driven automatically.
+    uint64_t reset_items = 0;
+  };
+
+  Monitor(const Options& options, const Criteria& criteria,
+          AlertCallback callback)
+      : options_(options),
+        criteria_(criteria),
+        callback_(std::move(callback)),
+        filter_(options.filter, criteria) {}
+
+  uint64_t items_observed() const { return items_; }
+  uint64_t alerts_emitted() const { return alerts_; }
+  uint64_t alerts_suppressed() const { return suppressed_total_; }
+  const DefaultQuantileFilter& filter() const { return filter_; }
+  size_t MemoryBytes() const { return filter_.MemoryBytes(); }
+
+  /// Feeds one item; fires the callback when a report passes the cooldown.
+  /// Returns true iff an alert was emitted (not merely reported).
+  bool Observe(uint64_t key, double value) {
+    return Observe(key, value, criteria_);
+  }
+
+  bool Observe(uint64_t key, double value, const Criteria& criteria) {
+    if (options_.reset_items > 0 && items_ > 0 &&
+        items_ % options_.reset_items == 0) {
+      filter_.Reset();
+      last_alert_.clear();
+    }
+    const uint64_t index = items_++;
+    // QueryQweight before the report resets it, so the alert can carry it.
+    if (!filter_.Insert(key, value, criteria)) return false;
+
+    if (options_.cooldown_items > 0) {
+      auto it = last_alert_.find(key);
+      if (it != last_alert_.end() &&
+          index - it->second.index < options_.cooldown_items) {
+        ++it->second.suppressed;
+        ++suppressed_total_;
+        return false;
+      }
+    }
+
+    Alert alert;
+    alert.key = key;
+    alert.item_index = index;
+    alert.qweight = criteria.report_threshold();  // state resets on report
+    auto& entry = last_alert_[key];
+    alert.suppressed = entry.suppressed;
+    entry = KeyState{index, 0};
+    ++alerts_;
+    if (callback_) callback_(alert);
+    return true;
+  }
+
+ private:
+  struct KeyState {
+    uint64_t index = 0;
+    uint64_t suppressed = 0;
+  };
+
+  Options options_;
+  Criteria criteria_;
+  AlertCallback callback_;
+  DefaultQuantileFilter filter_;
+  std::unordered_map<uint64_t, KeyState> last_alert_;
+  uint64_t items_ = 0;
+  uint64_t alerts_ = 0;
+  uint64_t suppressed_total_ = 0;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_CORE_MONITOR_H_

@@ -1,0 +1,68 @@
+// Multiple simultaneous criteria per key (Sec III-C, third flexibility).
+//
+// One Qweight cannot serve two criteria (unless only eps differs), so each
+// (key, criterion) pair is turned into a distinct derived key and inserted
+// separately: r criteria cost r insertions per item. This wrapper owns the
+// criteria list and the derived-key plumbing.
+
+#ifndef QUANTILEFILTER_CORE_MULTI_CRITERIA_H_
+#define QUANTILEFILTER_CORE_MULTI_CRITERIA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/criteria.h"
+#include "core/quantile_filter.h"
+
+namespace qf {
+
+template <typename SketchT = CountSketch<int16_t>>
+class MultiCriteriaFilter {
+ public:
+  using Filter = QuantileFilter<SketchT>;
+
+  MultiCriteriaFilter(const typename Filter::Options& options,
+                      std::vector<Criteria> criteria)
+      : criteria_(std::move(criteria)), filter_(options) {}
+
+  const std::vector<Criteria>& criteria() const { return criteria_; }
+  size_t MemoryBytes() const { return filter_.MemoryBytes(); }
+  const typename Filter::Stats& stats() const { return filter_.stats(); }
+
+  /// Processes one item under every registered criterion. Returns a bitmask:
+  /// bit r is set iff the key was reported under criterion r.
+  uint64_t Insert(uint64_t key, double value) {
+    uint64_t reported = 0;
+    for (size_t r = 0; r < criteria_.size(); ++r) {
+      if (filter_.Insert(DerivedKey(key, r), value, criteria_[r])) {
+        reported |= (1ULL << r);
+      }
+    }
+    return reported;
+  }
+
+  /// Qweight estimate of `key` under criterion `r`.
+  int64_t QueryQweight(uint64_t key, size_t r) const {
+    return filter_.QueryQweight(DerivedKey(key, r));
+  }
+
+  /// Forgets `key`'s state under criterion `r`.
+  void Delete(uint64_t key, size_t r) { filter_.Delete(DerivedKey(key, r)); }
+
+  void Reset() { filter_.Reset(); }
+
+ private:
+  /// The (key, criterion-number) tuple the paper describes, realized as a
+  /// mixed 64-bit derived key.
+  static uint64_t DerivedKey(uint64_t key, size_t r) {
+    return HashKey(key, 0x3C1A2B00ULL + r);
+  }
+
+  std::vector<Criteria> criteria_;
+  Filter filter_;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_CORE_MULTI_CRITERIA_H_

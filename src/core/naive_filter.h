@@ -1,0 +1,92 @@
+// The naive dual-Csketch solution (Sec II-D).
+//
+// Two Count sketches count, per key, the items above and at-or-below T.
+// After every insertion the key's two frequencies F_a / F_b are queried and
+// the report test F_b <= floor((F_a + F_b) * delta - eps) is applied; on
+// report, the estimated frequencies are subtracted back out of both
+// sketches. Kept as the paper keeps it: a baseline that motivates the
+// Qweight and candidate-election techniques (three sketch operations per
+// item, reset error from hash collisions, strong sensitivity to sketch
+// size).
+
+#ifndef QUANTILEFILTER_CORE_NAIVE_FILTER_H_
+#define QUANTILEFILTER_CORE_NAIVE_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/hash.h"
+#include "core/criteria.h"
+#include "sketch/count_sketch.h"
+
+namespace qf {
+
+class NaiveDualCsketchFilter {
+ public:
+  struct Options {
+    size_t memory_bytes = 256 * 1024;
+    /// Fraction of memory for the above-threshold sketch. Abnormal items are
+    /// the minority (~5% in the paper's setups), so the above-sketch can be
+    /// smaller.
+    double above_fraction = 0.5;
+    int depth = 3;
+    uint64_t seed = 0xBA5EBA11;
+  };
+
+  NaiveDualCsketchFilter(const Options& options, const Criteria& criteria)
+      : criteria_(criteria),
+        above_(CountSketch<int32_t>::FromBytes(
+            Fraction(options.memory_bytes, options.above_fraction),
+            options.depth, Mix64(options.seed ^ 0xAB0EULL))),
+        below_(CountSketch<int32_t>::FromBytes(
+            Fraction(options.memory_bytes, 1.0 - options.above_fraction),
+            options.depth, Mix64(options.seed ^ 0xBE10ULL))) {}
+
+  const Criteria& criteria() const { return criteria_; }
+  size_t MemoryBytes() const {
+    return above_.MemoryBytes() + below_.MemoryBytes();
+  }
+
+  /// Processes one item; returns true iff `key` is reported.
+  bool Insert(uint64_t key, double value) {
+    if (criteria_.ValueIsAbnormal(value)) {
+      above_.Add(key, 1);
+    } else {
+      below_.Add(key, 1);
+    }
+    // Estimates can be negative under collision noise; clamp to 0 as counts.
+    const int64_t fa = ClampNonNegative(above_.Estimate(key));
+    const int64_t fb = ClampNonNegative(below_.Estimate(key));
+    const double n = static_cast<double>(fa + fb);
+    if (n <= 0) return false;
+    if (static_cast<double>(fb) <= criteria_.delta() * n - criteria_.eps()) {
+      // Report: reset the key's counts in both sketches. The subtracted
+      // values are estimates, which is exactly the reset error the paper
+      // criticizes in this baseline.
+      above_.Subtract(key, fa);
+      below_.Subtract(key, fb);
+      return true;
+    }
+    return false;
+  }
+
+  void Reset() {
+    above_.Clear();
+    below_.Clear();
+  }
+
+ private:
+  static size_t Fraction(size_t bytes, double f) {
+    size_t share = static_cast<size_t>(static_cast<double>(bytes) * f);
+    return share < 64 ? 64 : share;
+  }
+  static int64_t ClampNonNegative(int64_t v) { return v < 0 ? 0 : v; }
+
+  Criteria criteria_;
+  CountSketch<int32_t> above_;
+  CountSketch<int32_t> below_;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_CORE_NAIVE_FILTER_H_

@@ -1,0 +1,360 @@
+// QuantileFilter (Sec III): online detection of quantile-outstanding keys.
+//
+// The filter is the composition of
+//   * a candidate part  — exact Qweight counters for elected keys
+//     (core/candidate_part.h), and
+//   * a vague part      — a signed sketch over everyone else
+//     (core/vague_part.h),
+// with a candidate-election policy that promotes keys whose estimated
+// Qweight beats the weakest resident candidate (Algorithm 2).
+//
+// Template parameter `SketchT` selects the vague-part engine:
+// CountSketch<int16_t> (paper default) or CountMinSketch<int16_t>
+// ("Choice 2" ablation). Counter width is selected through the sketch type.
+//
+// Per-item cost is O(b + d) with b = bucket entries and d = sketch rows —
+// a small constant; there is no separate query phase, which is the paper's
+// [R1] fast-online-computation requirement.
+
+#ifndef QUANTILEFILTER_CORE_QUANTILE_FILTER_H_
+#define QUANTILEFILTER_CORE_QUANTILE_FILTER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/serialize.h"
+#include "common/random.h"
+#include "core/candidate_part.h"
+#include "core/criteria.h"
+#include "core/vague_part.h"
+
+namespace qf {
+
+/// Candidate-election replacement strategies ("Choice 1", Sec III-D), plus
+/// kDecay, an extension in the spirit of HeavyKeeper-style exponential
+/// decay: instead of comparing against the newcomer, the weakest resident
+/// entry is probabilistically worn down and replaced once it drops below
+/// the newcomer — favoring keys with sustained (not just instantaneous)
+/// Qweight.
+enum class ElectionStrategy {
+  kComparative,    // swap iff estimate > weakest candidate (paper default)
+  kProbabilistic,  // swap with probability max(est / (est + min), 0)
+  kForceful,       // always swap
+  kDecay,          // decay the weakest entry; swap once it falls below
+};
+
+template <typename SketchT = CountSketch<int16_t>>
+class QuantileFilter {
+ public:
+  struct Options {
+    /// Total byte budget, split candidate : vague = candidate_fraction.
+    size_t memory_bytes = 256 * 1024;
+    /// Share of memory given to the candidate part (paper default 4:1).
+    double candidate_fraction = 0.8;
+    int vague_depth = 3;        // d, paper default
+    int bucket_entries = 6;     // b, paper default
+    int fingerprint_bits = 16;  // paper default
+    ElectionStrategy election = ElectionStrategy::kComparative;
+    uint64_t seed = 0x9F17E60ULL;
+  };
+
+  struct Stats {
+    uint64_t items = 0;           // items inserted
+    uint64_t reports = 0;         // outstanding-key reports emitted
+    uint64_t candidate_hits = 0;  // items resolved in the candidate part
+    uint64_t admissions = 0;      // items admitted to empty candidate slots
+    uint64_t vague_inserts = 0;   // items routed to the vague part
+    uint64_t swaps = 0;           // candidate-election swaps
+  };
+
+  QuantileFilter(const Options& options, const Criteria& default_criteria)
+      : options_(options),
+        default_criteria_(default_criteria),
+        candidate_(MakeCandidateOptions(options)),
+        vague_(VagueBytes(options), options.vague_depth,
+               Mix64(options.seed ^ 0xA60EULL)),
+        rng_(Mix64(options.seed ^ 0xD1CEULL)) {}
+
+  explicit QuantileFilter(const Options& options)
+      : QuantileFilter(options, Criteria()) {}
+
+  const Criteria& default_criteria() const { return default_criteria_; }
+  const Stats& stats() const { return stats_; }
+  const CandidatePart& candidate_part() const { return candidate_; }
+  size_t MemoryBytes() const {
+    return candidate_.MemoryBytes() + vague_.MemoryBytes();
+  }
+
+  /// Processes one item under the default criteria. Returns true iff this
+  /// item caused `key` to be reported as outstanding (the caller holds the
+  /// full key, so real-time reporting needs no reverse fingerprint lookup).
+  bool Insert(uint64_t key, double value) {
+    return Insert(key, value, default_criteria_);
+  }
+
+  /// Processes one item under caller-supplied criteria (Sec III-C: distinct
+  /// criteria per key, supplied alongside each item).
+  bool Insert(uint64_t key, double value, const Criteria& criteria) {
+    ++stats_.items;
+    const bool abnormal = criteria.ValueIsAbnormal(value);
+    const uint32_t fp = candidate_.FingerprintOf(key);
+    const uint32_t bucket = candidate_.BucketOf(key);
+
+    // Case 1: fingerprint already resident -> exact per-entry tracking.
+    if (CandidatePart::Entry* entry = candidate_.Find(bucket, fp)) {
+      ++stats_.candidate_hits;
+      entry->qweight = SaturatingAdd(
+          entry->qweight, DrawItemQweight(abnormal, criteria, rng_));
+      if (entry->qweight >= criteria.report_threshold()) {
+        entry->qweight = 0;
+        ++stats_.reports;
+        return true;
+      }
+      return false;
+    }
+
+    // Case 2: room in the bucket -> admit directly.
+    if (CandidatePart::Entry* empty = candidate_.FindEmpty(bucket)) {
+      ++stats_.admissions;
+      const int64_t w = DrawItemQweight(abnormal, criteria, rng_);
+      *empty = CandidatePart::Entry{fp, ClampToI32(w)};
+      if (empty->qweight >= criteria.report_threshold()) {
+        empty->qweight = 0;
+        ++stats_.reports;
+        return true;
+      }
+      return false;
+    }
+
+    // Case 3: bucket full -> vague part, then candidate election.
+    ++stats_.vague_inserts;
+    const uint64_t vkey = candidate_.VagueKey(bucket, fp);
+    const int64_t estimate = vague_.Insert(vkey, abnormal, criteria, rng_);
+    if (estimate >= criteria.report_threshold()) {
+      vague_.Subtract(vkey, estimate);
+      ++stats_.reports;
+      return true;
+    }
+
+    CandidatePart::Entry* weakest = candidate_.MinEntry(bucket);
+    if (ShouldSwap(estimate, weakest)) {
+      ++stats_.swaps;
+      // Demote the weakest candidate's Qweight into the vague part...
+      vague_.Add(candidate_.VagueKey(bucket, weakest->fingerprint),
+                 weakest->qweight);
+      // ...and promote the newcomer, moving its mass out of the sketch.
+      vague_.Subtract(vkey, estimate);
+      *weakest = CandidatePart::Entry{fp, ClampToI32(estimate)};
+    }
+    return false;
+  }
+
+  /// Current Qweight estimate for `key`: exact if resident in the candidate
+  /// part, otherwise the vague-part estimate. (The "query" operation of
+  /// Sec III-B.)
+  int64_t QueryQweight(uint64_t key) const {
+    const uint32_t fp = candidate_.FingerprintOf(key);
+    const uint32_t bucket = candidate_.BucketOf(key);
+    if (const CandidatePart::Entry* entry = candidate_.Find(bucket, fp)) {
+      return entry->qweight;
+    }
+    return vague_.Estimate(candidate_.VagueKey(bucket, fp));
+  }
+
+  /// Forgets `key`'s accumulated Qweight (the "delete" operation; used to
+  /// change a key's criteria: delete, then insert under the new criteria).
+  void Delete(uint64_t key) {
+    const uint32_t fp = candidate_.FingerprintOf(key);
+    const uint32_t bucket = candidate_.BucketOf(key);
+    if (CandidatePart::Entry* entry = candidate_.Find(bucket, fp)) {
+      entry->qweight = 0;
+      return;
+    }
+    const uint64_t vkey = candidate_.VagueKey(bucket, fp);
+    vague_.Subtract(vkey, vague_.Estimate(vkey));
+  }
+
+  /// A dashboard view of one candidate entry. Only the fingerprint is
+  /// known (the paper's design deliberately drops full keys); callers that
+  /// need key identities correlate via reports, which happen on arrival
+  /// while the key is still in hand.
+  struct CandidateView {
+    uint32_t bucket = 0;
+    uint32_t fingerprint = 0;
+    int32_t qweight = 0;
+  };
+
+  /// The `k` candidate entries with the highest Qweights — the keys closest
+  /// to (or freshly past) a report, for monitoring dashboards.
+  std::vector<CandidateView> HottestCandidates(size_t k) const {
+    std::vector<CandidateView> views;
+    const auto& slots = candidate_.slots();
+    const int entries = candidate_.bucket_entries();
+    views.reserve(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].empty()) continue;
+      views.push_back(CandidateView{
+          static_cast<uint32_t>(i / static_cast<size_t>(entries)),
+          slots[i].fingerprint, slots[i].qweight});
+    }
+    std::sort(views.begin(), views.end(),
+              [](const CandidateView& a, const CandidateView& b) {
+                return a.qweight > b.qweight;
+              });
+    if (views.size() > k) views.resize(k);
+    return views;
+  }
+
+  /// Clears all state (the periodic "reset" operation of Sec III-B).
+  void Reset() {
+    candidate_.Clear();
+    vague_.Clear();
+  }
+
+  void ClearStats() { stats_ = Stats{}; }
+
+  /// True iff `other` was constructed with structurally identical options
+  /// (same budgets, geometry and seeds), so state can be merged/restored.
+  bool Compatible(const QuantileFilter& other) const {
+    return candidate_.Compatible(other.candidate_) &&
+           vague_.Mergeable(other.vague_);
+  }
+
+  /// Merges another monitor's state into this one (distributed collection:
+  /// per-link monitors ship their filters to a collector). Vague parts add
+  /// cell-wise; candidate entries with matching fingerprints sum, and
+  /// bucket overflow spills the weakest Qweights into the vague part —
+  /// mirroring candidate election. Returns false (no-op) on mismatch.
+  bool MergeFrom(const QuantileFilter& other) {
+    if (!Compatible(other)) return false;
+    vague_.MergeFrom(other.vague_);
+    const int entries = candidate_.bucket_entries();
+    for (uint32_t b = 0; b < candidate_.num_buckets(); ++b) {
+      const CandidatePart::Entry* theirs = other.candidate_.Bucket(b);
+      for (int i = 0; i < entries; ++i) {
+        if (theirs[i].empty()) continue;
+        MergeCandidateEntry(b, theirs[i]);
+      }
+    }
+    return true;
+  }
+
+  /// Checkpoint the full filter state (candidate slots + vague counters).
+  std::vector<uint8_t> SerializeState() const {
+    std::vector<uint8_t> out;
+    AppendPod(kStateMagic, &out);
+    candidate_.AppendTo(&out);
+    vague_.AppendTo(&out);
+    return out;
+  }
+
+  /// Restores state saved by SerializeState into a filter constructed with
+  /// the same options. Returns false (state unchanged or cleared) on
+  /// malformed input or geometry mismatch.
+  bool RestoreState(const std::vector<uint8_t>& bytes) {
+    ByteReader reader(bytes);
+    uint32_t magic = 0;
+    if (!reader.Read(&magic) || magic != kStateMagic) return false;
+    if (!candidate_.ReadFrom(&reader)) return false;
+    if (!vague_.ReadFrom(&reader)) {
+      candidate_.Clear();  // half-restored state would be inconsistent
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr uint32_t kStateMagic = 0x51465354;  // "QFST"
+
+  /// Inserts one foreign candidate entry into bucket `b`, following the
+  /// same priority rules as candidate election.
+  void MergeCandidateEntry(uint32_t b, const CandidatePart::Entry& entry) {
+    if (CandidatePart::Entry* mine =
+            candidate_.Find(b, entry.fingerprint)) {
+      mine->qweight = SaturatingAdd(mine->qweight,
+                                    static_cast<int64_t>(entry.qweight));
+      return;
+    }
+    if (CandidatePart::Entry* empty = candidate_.FindEmpty(b)) {
+      *empty = entry;
+      return;
+    }
+    CandidatePart::Entry* weakest = candidate_.MinEntry(b);
+    if (entry.qweight > weakest->qweight) {
+      vague_.Add(candidate_.VagueKey(b, weakest->fingerprint),
+                 weakest->qweight);
+      *weakest = entry;
+    } else {
+      vague_.Add(candidate_.VagueKey(b, entry.fingerprint), entry.qweight);
+    }
+  }
+
+  static CandidatePart::Options MakeCandidateOptions(const Options& o) {
+    CandidatePart::Options c;
+    c.memory_bytes = static_cast<size_t>(
+        static_cast<double>(o.memory_bytes) * o.candidate_fraction);
+    c.bucket_entries = o.bucket_entries;
+    c.fingerprint_bits = o.fingerprint_bits;
+    c.seed = Mix64(o.seed ^ 0xCA4DULL);
+    return c;
+  }
+
+  static size_t VagueBytes(const Options& o) {
+    size_t candidate = static_cast<size_t>(
+        static_cast<double>(o.memory_bytes) * o.candidate_fraction);
+    size_t rest = o.memory_bytes > candidate ? o.memory_bytes - candidate : 0;
+    return rest < 64 ? 64 : rest;
+  }
+
+  static int32_t ClampToI32(int64_t v) {
+    if (v > INT32_MAX) return INT32_MAX;
+    if (v < INT32_MIN) return INT32_MIN;
+    return static_cast<int32_t>(v);
+  }
+
+  bool ShouldSwap(int64_t estimate, CandidatePart::Entry* weakest) {
+    switch (options_.election) {
+      case ElectionStrategy::kComparative:
+        return estimate > weakest->qweight;
+      case ElectionStrategy::kForceful:
+        return true;
+      case ElectionStrategy::kProbabilistic: {
+        // p = max(est / (est + min), 0), guarding the degenerate denominator.
+        const int64_t denom = estimate + weakest->qweight;
+        if (denom == 0) return estimate > 0;
+        const double p =
+            static_cast<double>(estimate) / static_cast<double>(denom);
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return rng_.Bernoulli(p);
+      }
+      case ElectionStrategy::kDecay:
+        // Wear the weakest resident down by 1 with probability 1/2 per
+        // contender, then compare: residents survive only on sustained
+        // Qweight (HeavyKeeper-flavored eviction).
+        if (rng_.Bernoulli(0.5)) {
+          weakest->qweight = SaturatingAdd(weakest->qweight, int64_t{-1});
+        }
+        return estimate > weakest->qweight;
+    }
+    return false;
+  }
+
+  Options options_;
+  Criteria default_criteria_;
+  CandidatePart candidate_;
+  VaguePart<SketchT> vague_;
+  Rng rng_;
+  Stats stats_;
+};
+
+/// The paper's default configuration: Count sketch vague part with 16-bit
+/// saturating counters, comparative election.
+using DefaultQuantileFilter = QuantileFilter<CountSketch<int16_t>>;
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_CORE_QUANTILE_FILTER_H_

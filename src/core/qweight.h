@@ -1,0 +1,57 @@
+// Qweight arithmetic (Sec III-A) and the exact-theory helpers that the
+// property tests and the exact oracle build on.
+//
+// The central identity (proved in the paper and re-verified by our tests):
+// for a key with `a` items above T and `b` items at or below T (n = a + b),
+//     q_{eps,delta} > T   <=>   Qweight = (delta/(1-delta)) * a - b
+//                                       >= eps / (1-delta)
+//                         <=>   b <= delta * n - eps.
+// The last form needs only two integers per key, which is what makes an
+// exact zero-error detector feasible (see baseline/exact_detector.h).
+
+#ifndef QUANTILEFILTER_CORE_QWEIGHT_H_
+#define QUANTILEFILTER_CORE_QWEIGHT_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "core/criteria.h"
+
+namespace qf {
+
+/// Exact (real-valued) Qweight of one item.
+inline double ExactItemQweight(bool abnormal, const Criteria& c) {
+  return abnormal ? c.positive_weight() : -1.0;
+}
+
+/// Integer item Qweight with unbiased probabilistic rounding: the integer
+/// part is added deterministically and the fractional part with matching
+/// probability (paper Sec III-A, Technical Details). Expected value equals
+/// ExactItemQweight; variance of the rounding is frac*(1-frac) < 0.25.
+inline int64_t DrawItemQweight(bool abnormal, const Criteria& c, Rng& rng) {
+  if (!abnormal) return -1;
+  int64_t w = c.positive_floor();
+  if (c.positive_frac() > 0.0 && rng.Bernoulli(c.positive_frac())) ++w;
+  return w;
+}
+
+/// Exact Qweight of a key from its below/above counts.
+inline double ExactQweight(uint64_t n_below, uint64_t n_above,
+                           const Criteria& c) {
+  return c.positive_weight() * static_cast<double>(n_above) -
+         static_cast<double>(n_below);
+}
+
+/// Exact Definition-4 test: is the (eps, delta)-quantile of a value multiset
+/// with `n_below` values <= T and `n_above` values > T strictly above T?
+/// Evaluated in the count domain (b <= delta*n - eps), which is equivalent to
+/// indexing the sorted multiset and needs no stored values.
+inline bool QuantileOutstanding(uint64_t n_below, uint64_t n_above,
+                                const Criteria& c) {
+  const double n = static_cast<double>(n_below + n_above);
+  return static_cast<double>(n_below) <= c.delta() * n - c.eps();
+}
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_CORE_QWEIGHT_H_

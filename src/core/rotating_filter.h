@@ -1,0 +1,107 @@
+// Smooth sliding-window detection via filter rotation (extension).
+//
+// The paper's periodic reset (Sec III-B) forgets *everything* at the window
+// boundary, so an anomaly whose evidence straddles the boundary can escape.
+// The classic fix is two staggered filters: a "primary" that answers, and a
+// "warmup" started half a window later that sees the same items. Every half
+// window the primary retires and the warmup — which by then has exactly half
+// a window of history — takes over. Every item is therefore judged against
+// between W/2 and W items of history, with no total-amnesia instant.
+//
+// Cost: 2x insertion work and 2x memory versus one filter of the same
+// budget (each half gets budget/2 here, keeping the total equal to the
+// configured budget).
+
+#ifndef QUANTILEFILTER_CORE_ROTATING_FILTER_H_
+#define QUANTILEFILTER_CORE_ROTATING_FILTER_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "core/quantile_filter.h"
+
+namespace qf {
+
+template <typename SketchT = CountSketch<int16_t>>
+class RotatingQuantileFilter {
+ public:
+  using Filter = QuantileFilter<SketchT>;
+
+  /// `window_items`: maximum history any item is judged against (the
+  /// effective window is [window_items/2, window_items]). Must be >= 2.
+  RotatingQuantileFilter(const typename Filter::Options& options,
+                         const Criteria& criteria, uint64_t window_items)
+      : criteria_(criteria),
+        half_window_(window_items < 2 ? 1 : window_items / 2),
+        primary_(HalfBudget(options, 1), criteria),
+        warmup_(HalfBudget(options, 2), criteria) {}
+
+  uint64_t half_window() const { return half_window_; }
+  uint64_t rotations() const { return rotations_; }
+  size_t MemoryBytes() const {
+    return primary_.MemoryBytes() + warmup_.MemoryBytes();
+  }
+
+  bool Insert(uint64_t key, double value) {
+    return Insert(key, value, criteria_);
+  }
+
+  bool Insert(uint64_t key, double value, const Criteria& criteria) {
+    if (items_since_rotation_ >= half_window_) Rotate();
+    ++items_since_rotation_;
+    // The warmup filter absorbs the item but its verdicts are ignored; its
+    // state must mirror the primary's future, so reported keys reset there
+    // too (same key, same criteria -> it usually reports in lockstep).
+    bool reported = primary_.Insert(key, value, criteria);
+    bool warm_reported = warmup_.Insert(key, value, criteria);
+    if (reported && !warm_reported) {
+      // Keep the warmup consistent with the primary's reset semantics.
+      warmup_.Delete(key);
+    }
+    return reported;
+  }
+
+  int64_t QueryQweight(uint64_t key) const {
+    return primary_.QueryQweight(key);
+  }
+
+  void Delete(uint64_t key) {
+    primary_.Delete(key);
+    warmup_.Delete(key);
+  }
+
+  void Reset() {
+    primary_.Reset();
+    warmup_.Reset();
+    items_since_rotation_ = 0;
+  }
+
+ private:
+  static typename Filter::Options HalfBudget(
+      const typename Filter::Options& options, int which) {
+    typename Filter::Options half = options;
+    half.memory_bytes = options.memory_bytes / 2;
+    half.seed = Mix64(options.seed + 0x9E37 * which);
+    return half;
+  }
+
+  void Rotate() {
+    ++rotations_;
+    items_since_rotation_ = 0;
+    // The warmup (half a window of history) becomes the primary; the old
+    // primary restarts empty as the new warmup.
+    std::swap(primary_, warmup_);
+    warmup_.Reset();
+  }
+
+  Criteria criteria_;
+  uint64_t half_window_;
+  Filter primary_;
+  Filter warmup_;
+  uint64_t items_since_rotation_ = 0;
+  uint64_t rotations_ = 0;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_CORE_ROTATING_FILTER_H_

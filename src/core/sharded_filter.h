@@ -1,0 +1,101 @@
+// Key-sharded QuantileFilter for multi-core pipelines (extension).
+//
+// The paper's single-structure design is single-writer. Real deployments
+// (cf. OctoSketch [22]) shard the key space across cores: each shard owns an
+// independent QuantileFilter over a disjoint key partition, so shards never
+// contend and results compose exactly (a key's Qweight lives in exactly one
+// shard). This wrapper provides the partitioning, aggregate statistics and
+// a per-shard accessor for pinning shards to worker threads.
+//
+// Thread-safety contract: distinct shards may be driven concurrently from
+// distinct threads; a single shard is single-writer, like the underlying
+// filter. ShardFor() is pure and lock-free.
+
+#ifndef QUANTILEFILTER_CORE_SHARDED_FILTER_H_
+#define QUANTILEFILTER_CORE_SHARDED_FILTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/quantile_filter.h"
+
+namespace qf {
+
+template <typename SketchT = CountSketch<int16_t>>
+class ShardedQuantileFilter {
+ public:
+  using Filter = QuantileFilter<SketchT>;
+
+  /// Splits `options.memory_bytes` evenly across `num_shards` filters.
+  ShardedQuantileFilter(const typename Filter::Options& options,
+                        const Criteria& criteria, int num_shards)
+      : num_shards_(num_shards < 1 ? 1 : num_shards) {
+    typename Filter::Options shard_options = options;
+    shard_options.memory_bytes =
+        options.memory_bytes / static_cast<size_t>(num_shards_);
+    shards_.reserve(num_shards_);
+    for (int s = 0; s < num_shards_; ++s) {
+      shard_options.seed = Mix64(options.seed + 0x9E37 * (s + 1));
+      shards_.push_back(std::make_unique<Filter>(shard_options, criteria));
+    }
+  }
+
+  int num_shards() const { return num_shards_; }
+
+  /// The shard index that owns `key`.
+  int ShardFor(uint64_t key) const {
+    return static_cast<int>(HashKey(key, 0x5A4DULL) %
+                            static_cast<uint64_t>(num_shards_));
+  }
+
+  /// Direct access to one shard (to drive it from its worker thread).
+  Filter& shard(int s) { return *shards_[s]; }
+  const Filter& shard(int s) const { return *shards_[s]; }
+
+  /// Convenience single-threaded interface: routes to the owning shard.
+  bool Insert(uint64_t key, double value) {
+    return shards_[ShardFor(key)]->Insert(key, value);
+  }
+  bool Insert(uint64_t key, double value, const Criteria& criteria) {
+    return shards_[ShardFor(key)]->Insert(key, value, criteria);
+  }
+  int64_t QueryQweight(uint64_t key) const {
+    return shards_[ShardFor(key)]->QueryQweight(key);
+  }
+  void Delete(uint64_t key) { shards_[ShardFor(key)]->Delete(key); }
+
+  void Reset() {
+    for (auto& shard : shards_) shard->Reset();
+  }
+
+  size_t MemoryBytes() const {
+    size_t bytes = 0;
+    for (const auto& shard : shards_) bytes += shard->MemoryBytes();
+    return bytes;
+  }
+
+  /// Sum of per-shard statistics.
+  typename Filter::Stats AggregateStats() const {
+    typename Filter::Stats total;
+    for (const auto& shard : shards_) {
+      const auto& s = shard->stats();
+      total.items += s.items;
+      total.reports += s.reports;
+      total.candidate_hits += s.candidate_hits;
+      total.admissions += s.admissions;
+      total.vague_inserts += s.vague_inserts;
+      total.swaps += s.swaps;
+    }
+    return total;
+  }
+
+ private:
+  int num_shards_;
+  std::vector<std::unique_ptr<Filter>> shards_;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_CORE_SHARDED_FILTER_H_

@@ -1,0 +1,77 @@
+// Vague part of QuantileFilter (Sec III-A/III-B).
+//
+// A thin, typed wrapper around a signed sketch (Count sketch by default;
+// Count-Min for the paper's "Choice 2" ablation) that speaks Qweights:
+// it converts an item's (value, criteria) into an unbiased integer weight
+// and offers the estimate / reset-after-report operations Algorithm 1 needs.
+
+#ifndef QUANTILEFILTER_CORE_VAGUE_PART_H_
+#define QUANTILEFILTER_CORE_VAGUE_PART_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/serialize.h"
+#include "core/criteria.h"
+#include "core/qweight.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/count_sketch.h"
+
+namespace qf {
+
+template <typename SketchT>
+class VaguePart {
+ public:
+  VaguePart(size_t memory_bytes, int depth, uint64_t seed)
+      : sketch_(SketchT::FromBytes(memory_bytes, depth, seed)) {}
+
+  int depth() const { return sketch_.depth(); }
+  size_t width() const { return sketch_.width(); }
+  size_t MemoryBytes() const { return sketch_.MemoryBytes(); }
+
+  /// Inserts one item for `vkey` and returns the post-insert Qweight
+  /// estimate (Algorithm 1 lines 3-5). Integer counters receive the
+  /// unbiased probabilistically-rounded weight; floating-point counters
+  /// (the paper's alternative design) accumulate the exact weight.
+  int64_t Insert(uint64_t vkey, bool abnormal, const Criteria& criteria,
+                 Rng& rng) {
+    if constexpr (SketchT::kFloatingCounters) {
+      sketch_.AddReal(vkey, ExactItemQweight(abnormal, criteria));
+    } else {
+      sketch_.Add(vkey, DrawItemQweight(abnormal, criteria, rng));
+    }
+    return sketch_.Estimate(vkey);
+  }
+
+  /// Adds a raw integer Qweight (used when a candidate entry is demoted
+  /// into the vague part during election).
+  void Add(uint64_t vkey, int64_t qweight) { sketch_.Add(vkey, qweight); }
+
+  int64_t Estimate(uint64_t vkey) const { return sketch_.Estimate(vkey); }
+
+  /// Removes `amount` of estimated Qweight from `vkey`'s counters — the
+  /// reset-after-report / promote-to-candidate operation.
+  void Subtract(uint64_t vkey, int64_t amount) {
+    sketch_.Subtract(vkey, amount);
+  }
+
+  void Clear() { sketch_.Clear(); }
+
+  bool Mergeable(const VaguePart& other) const {
+    return sketch_.Mergeable(other.sketch_);
+  }
+  bool MergeFrom(const VaguePart& other) {
+    return sketch_.MergeFrom(other.sketch_);
+  }
+  void AppendTo(std::vector<uint8_t>* out) const { sketch_.AppendTo(out); }
+  bool ReadFrom(ByteReader* reader) { return sketch_.ReadFrom(reader); }
+
+ private:
+  SketchT sketch_;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_CORE_VAGUE_PART_H_

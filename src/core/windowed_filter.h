@@ -1,0 +1,94 @@
+// Periodic-reset wrapper (the paper's "reset" operation, Sec III-B).
+//
+// "A fixed-size QuantileFilter needs to be periodically cleared ... outdated
+// data should not be included ... it cannot maintain precision with an
+// unlimited number of insertions. If it is necessary to adjust the size of
+// the data structures, this can be done at this time."
+//
+// WindowedQuantileFilter clears the wrapped filter every `window_items`
+// insertions and supports re-sizing at the window boundary (Resize schedules
+// a new budget that takes effect at the next reset, so the hot path never
+// reallocates mid-window).
+
+#ifndef QUANTILEFILTER_CORE_WINDOWED_FILTER_H_
+#define QUANTILEFILTER_CORE_WINDOWED_FILTER_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/quantile_filter.h"
+
+namespace qf {
+
+template <typename SketchT = CountSketch<int16_t>>
+class WindowedQuantileFilter {
+ public:
+  using Filter = QuantileFilter<SketchT>;
+
+  /// `window_items`: insertions per window; the filter is cleared at each
+  /// boundary. 0 disables periodic resets.
+  WindowedQuantileFilter(const typename Filter::Options& options,
+                         const Criteria& criteria, uint64_t window_items)
+      : options_(options),
+        criteria_(criteria),
+        window_items_(window_items),
+        filter_(options, criteria) {}
+
+  const Filter& filter() const { return filter_; }
+  uint64_t window_items() const { return window_items_; }
+  uint64_t windows_completed() const { return windows_completed_; }
+  uint64_t items_in_window() const { return items_in_window_; }
+  size_t MemoryBytes() const { return filter_.MemoryBytes(); }
+
+  /// Processes one item; resets state first if the window just rolled over.
+  bool Insert(uint64_t key, double value) {
+    return Insert(key, value, criteria_);
+  }
+
+  bool Insert(uint64_t key, double value, const Criteria& criteria) {
+    if (window_items_ > 0 && items_in_window_ >= window_items_) {
+      RollWindow();
+    }
+    ++items_in_window_;
+    return filter_.Insert(key, value, criteria);
+  }
+
+  int64_t QueryQweight(uint64_t key) const {
+    return filter_.QueryQweight(key);
+  }
+
+  /// Schedules a new total memory budget; applied at the next window
+  /// boundary (the moment the paper designates for structural changes).
+  void Resize(size_t new_memory_bytes) { pending_resize_ = new_memory_bytes; }
+
+  /// Schedules a new window length, applied immediately.
+  void SetWindowItems(uint64_t window_items) { window_items_ = window_items; }
+
+  /// Forces a window roll now (e.g. on a wall-clock timer).
+  void ForceReset() { RollWindow(); }
+
+ private:
+  void RollWindow() {
+    ++windows_completed_;
+    items_in_window_ = 0;
+    if (pending_resize_.has_value()) {
+      options_.memory_bytes = *pending_resize_;
+      pending_resize_.reset();
+      filter_ = Filter(options_, criteria_);
+    } else {
+      filter_.Reset();
+    }
+  }
+
+  typename Filter::Options options_;
+  Criteria criteria_;
+  uint64_t window_items_;
+  Filter filter_;
+  uint64_t items_in_window_ = 0;
+  uint64_t windows_completed_ = 0;
+  std::optional<size_t> pending_resize_;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_CORE_WINDOWED_FILTER_H_

@@ -1,0 +1,36 @@
+#include "eval/metrics.h"
+
+namespace qf {
+
+Accuracy ComputeAccuracy(const std::unordered_set<uint64_t>& reported,
+                         const std::unordered_set<uint64_t>& truth) {
+  Accuracy acc;
+  for (uint64_t key : reported) {
+    if (truth.count(key)) {
+      ++acc.tp;
+    } else {
+      ++acc.fp;
+    }
+  }
+  acc.fn = truth.size() - acc.tp;
+
+  if (reported.empty() && truth.empty()) {
+    acc.precision = acc.recall = acc.f1 = 1.0;
+    return acc;
+  }
+  acc.precision = (acc.tp + acc.fp) == 0
+                      ? 1.0
+                      : static_cast<double>(acc.tp) /
+                            static_cast<double>(acc.tp + acc.fp);
+  acc.recall = (acc.tp + acc.fn) == 0
+                   ? 1.0
+                   : static_cast<double>(acc.tp) /
+                         static_cast<double>(acc.tp + acc.fn);
+  acc.f1 = (acc.precision + acc.recall) == 0.0
+               ? 0.0
+               : 2.0 * acc.precision * acc.recall /
+                     (acc.precision + acc.recall);
+  return acc;
+}
+
+}  // namespace qf

@@ -1,0 +1,32 @@
+// Accuracy metrics for outstanding-key detection (Sec V-B).
+//
+// After streaming a trace, the reported keys are deduplicated and compared
+// against the ground-truth outstanding set; Precision, Recall and F1 are
+// computed exactly as in the paper.
+
+#ifndef QUANTILEFILTER_EVAL_METRICS_H_
+#define QUANTILEFILTER_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace qf {
+
+struct Accuracy {
+  uint64_t tp = 0;
+  uint64_t fp = 0;
+  uint64_t fn = 0;
+  double precision = 0.0;  // TP / (TP + FP)
+  double recall = 0.0;     // TP / (TP + FN)
+  double f1 = 0.0;         // harmonic mean of the two
+};
+
+/// Compares the deduplicated `reported` key set against `truth`.
+/// Conventions: empty reported + empty truth = perfect (1/1/1);
+/// empty reported + non-empty truth = zero recall.
+Accuracy ComputeAccuracy(const std::unordered_set<uint64_t>& reported,
+                         const std::unordered_set<uint64_t>& truth);
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_EVAL_METRICS_H_

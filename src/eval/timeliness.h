@@ -1,0 +1,90 @@
+// Reporting-timeliness metric (extension).
+//
+// The paper's accuracy metrics deliberately exclude "constraints on
+// reporting timeliness" (Sec V-B). For an online detector, though, *when*
+// the alert fires matters: this harness measures, per true outstanding key,
+// the item-count gap between the exact oracle's first report and the
+// detector's first report.
+
+#ifndef QUANTILEFILTER_EVAL_TIMELINESS_H_
+#define QUANTILEFILTER_EVAL_TIMELINESS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/exact_detector.h"
+#include "core/criteria.h"
+#include "stream/item.h"
+
+namespace qf {
+
+struct TimelinessResult {
+  size_t truth_keys = 0;      // keys the oracle ever reports
+  size_t detected = 0;        // of those, keys the detector also reports
+  size_t missed = 0;          // truth keys never reported by the detector
+  size_t early = 0;           // detector fired before the oracle (a "free"
+                              // early warning, or a lucky false positive)
+  double mean_delay_items = 0.0;    // over detected keys, >= 0 part only
+  double median_delay_items = 0.0;  // ditto
+  double max_delay_items = 0.0;
+};
+
+/// First-report stream index per key for the exact oracle.
+inline std::unordered_map<uint64_t, size_t> OracleFirstReports(
+    const Trace& trace, const Criteria& criteria) {
+  ExactDetector oracle(criteria);
+  std::unordered_map<uint64_t, size_t> first;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (oracle.Insert(trace[i].key, trace[i].value)) {
+      first.emplace(trace[i].key, i);  // emplace keeps the earliest index
+    }
+  }
+  return first;
+}
+
+/// Streams `trace` through `detector` and scores first-report delays
+/// against the oracle's first-report indices.
+template <typename DetectorT>
+TimelinessResult MeasureTimeliness(DetectorT& detector, const Trace& trace,
+                                   const Criteria& criteria) {
+  const auto oracle_first = OracleFirstReports(trace, criteria);
+
+  std::unordered_map<uint64_t, size_t> detector_first;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (detector.Insert(trace[i].key, trace[i].value)) {
+      detector_first.emplace(trace[i].key, i);
+    }
+  }
+
+  TimelinessResult result;
+  result.truth_keys = oracle_first.size();
+  std::vector<double> delays;
+  for (const auto& [key, oracle_idx] : oracle_first) {
+    auto it = detector_first.find(key);
+    if (it == detector_first.end()) {
+      ++result.missed;
+      continue;
+    }
+    ++result.detected;
+    if (it->second < oracle_idx) {
+      ++result.early;
+      continue;
+    }
+    delays.push_back(static_cast<double>(it->second - oracle_idx));
+  }
+  if (!delays.empty()) {
+    double sum = 0;
+    for (double d : delays) sum += d;
+    result.mean_delay_items = sum / static_cast<double>(delays.size());
+    std::sort(delays.begin(), delays.end());
+    result.median_delay_items = delays[delays.size() / 2];
+    result.max_delay_items = delays.back();
+  }
+  return result;
+}
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_EVAL_TIMELINESS_H_

@@ -1,0 +1,63 @@
+// Umbrella header: the QuantileFilter library's public API in one include.
+//
+//   #include "qf.h"
+//
+// For finer-grained builds include the individual headers; every public
+// type lives in namespace qf.
+
+#ifndef QUANTILEFILTER_QF_H_
+#define QUANTILEFILTER_QF_H_
+
+// Core: the paper's contribution and its wrappers.
+#include "core/criteria.h"
+#include "core/monitor.h"
+#include "core/multi_criteria.h"
+#include "core/naive_filter.h"
+#include "core/quantile_filter.h"
+#include "core/qweight.h"
+#include "core/sharded_filter.h"
+#include "core/windowed_filter.h"
+
+// Sketch substrates.
+#include "sketch/count_min_sketch.h"
+#include "sketch/count_sketch.h"
+#include "sketch/space_saving.h"
+#include "sketch/tower_sketch.h"
+
+// Single-key quantile sketches.
+#include "quantile/ddsketch.h"
+#include "quantile/gk.h"
+#include "quantile/kll.h"
+#include "quantile/qdigest.h"
+#include "quantile/reservoir.h"
+#include "quantile/tdigest.h"
+
+// Baselines and the exact oracle.
+#include "baseline/exact_detector.h"
+#include "baseline/hist_sketch.h"
+#include "baseline/per_key_detector.h"
+#include "baseline/sketch_polymer.h"
+#include "baseline/sliding_exact_detector.h"
+#include "baseline/squad.h"
+
+// Streams, workloads, persistence.
+#include "stream/flow.h"
+#include "stream/flow_trace.h"
+#include "stream/generators.h"
+#include "stream/item.h"
+#include "stream/trace_io.h"
+
+// Evaluation harness.
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "eval/timeliness.h"
+
+namespace qf {
+
+/// Library version (reproduction of the ICDE 2024 QuantileFilter paper).
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_QF_H_

@@ -1,0 +1,68 @@
+#include "quantile/ddsketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qf {
+
+DdSketch::DdSketch(double alpha, size_t max_buckets)
+    : alpha_(std::clamp(alpha, 1e-6, 0.5)),
+      gamma_((1.0 + alpha_) / (1.0 - alpha_)),
+      log_gamma_(std::log(gamma_)),
+      max_buckets_(max_buckets < 8 ? 8 : max_buckets) {}
+
+size_t DdSketch::MemoryBytes() const {
+  // std::map node: key + count + ~3 pointers + color.
+  return sizeof(*this) + buckets_.size() * (sizeof(int) + sizeof(uint64_t) +
+                                            4 * sizeof(void*));
+}
+
+int DdSketch::BucketIndex(double value) const {
+  return static_cast<int>(std::ceil(std::log(value) / log_gamma_));
+}
+
+double DdSketch::BucketValue(int index) const {
+  // Midpoint estimate: 2 * gamma^i / (gamma + 1).
+  return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void DdSketch::Insert(double value) {
+  ++count_;
+  if (value <= 0.0) {
+    ++zero_count_;
+    return;
+  }
+  ++buckets_[BucketIndex(value)];
+  CollapseIfNeeded();
+}
+
+void DdSketch::CollapseIfNeeded() {
+  while (buckets_.size() > max_buckets_) {
+    // Merge the lowest bucket into its successor.
+    auto first = buckets_.begin();
+    auto second = std::next(first);
+    second->second += first->second;
+    buckets_.erase(first);
+  }
+}
+
+double DdSketch::Quantile(double phi) const {
+  if (count_ == 0) return 0.0;
+  phi = std::clamp(phi, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(phi * static_cast<double>(count_ - 1));
+  if (target < zero_count_) return 0.0;
+  uint64_t cum = zero_count_;
+  for (const auto& [index, bucket_count] : buckets_) {
+    cum += bucket_count;
+    if (cum > target) return BucketValue(index);
+  }
+  return buckets_.empty() ? 0.0 : BucketValue(buckets_.rbegin()->first);
+}
+
+void DdSketch::Clear() {
+  buckets_.clear();
+  count_ = 0;
+  zero_count_ = 0;
+}
+
+}  // namespace qf

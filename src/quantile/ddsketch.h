@@ -1,0 +1,52 @@
+// DDSketch (Masson, Rim, Lee, VLDB 2019): relative-error quantile sketch.
+//
+// Values are mapped to logarithmic buckets index = ceil(log_gamma(v)) with
+// gamma = (1 + alpha) / (1 - alpha); any quantile is then accurate to
+// relative error alpha. Bucket counts are stored in a dense circular store
+// that collapses the lowest buckets when the bucket budget is exceeded
+// (the standard "collapsing lowest" policy).
+
+#ifndef QUANTILEFILTER_QUANTILE_DDSKETCH_H_
+#define QUANTILEFILTER_QUANTILE_DDSKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace qf {
+
+class DdSketch {
+ public:
+  /// `alpha`: relative accuracy (e.g. 0.01 = 1%). `max_buckets`: bucket
+  /// budget before the lowest buckets collapse together.
+  explicit DdSketch(double alpha = 0.01, size_t max_buckets = 2048);
+
+  uint64_t count() const { return count_; }
+  size_t bucket_count() const { return buckets_.size(); }
+  size_t MemoryBytes() const;
+
+  /// Inserts a value. Values <= 0 are clamped into the zero bucket.
+  void Insert(double value);
+
+  /// Approximate phi-quantile with relative error alpha.
+  double Quantile(double phi) const;
+
+  void Clear();
+
+ private:
+  int BucketIndex(double value) const;
+  double BucketValue(int index) const;
+  void CollapseIfNeeded();
+
+  double alpha_;
+  double gamma_;
+  double log_gamma_;
+  size_t max_buckets_;
+  uint64_t count_ = 0;
+  uint64_t zero_count_ = 0;
+  std::map<int, uint64_t> buckets_;  // index -> count, ordered
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_QUANTILE_DDSKETCH_H_

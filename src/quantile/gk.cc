@@ -1,0 +1,93 @@
+#include "quantile/gk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qf {
+
+GkSummary::GkSummary(double eps) : eps_(eps <= 0 ? 1e-4 : eps) {
+  compress_every_ = static_cast<uint64_t>(std::max(1.0, 1.0 / (2.0 * eps_)));
+}
+
+size_t GkSummary::MemoryBytes() const {
+  return tuples_.capacity() * sizeof(Tuple) + sizeof(*this);
+}
+
+void GkSummary::Insert(double value) {
+  // Locate the first tuple with a strictly larger value.
+  auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](double v, const Tuple& t) { return v < t.value; });
+
+  uint64_t delta = 0;
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    // Interior insertion: the new tuple's rank uncertainty is the current
+    // allowed band, floor(2 * eps * n) - 1 (>= 0).
+    double band = 2.0 * eps_ * static_cast<double>(count_);
+    delta = band > 1.0 ? static_cast<uint64_t>(band) - 1 : 0;
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+  ++count_;
+
+  if (++since_compress_ >= compress_every_) {
+    Compress();
+    since_compress_ = 0;
+  }
+}
+
+void GkSummary::Compress() {
+  if (tuples_.size() < 3) return;
+  const uint64_t band =
+      static_cast<uint64_t>(2.0 * eps_ * static_cast<double>(count_));
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size());
+  merged.push_back(tuples_.front());
+  // Greedy right-to-left merge adapted to a single forward pass: absorb
+  // tuple i into its successor when g_i + g_{i+1} + delta_{i+1} <= band.
+  for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    const Tuple& cur = tuples_[i];
+    const Tuple& next = tuples_[i + 1];
+    if (cur.g + next.g + next.delta <= band) {
+      // Defer: fold cur's gap into next (done by mutating a copy below).
+      tuples_[i + 1].g += cur.g;
+    } else {
+      merged.push_back(cur);
+    }
+  }
+  merged.push_back(tuples_.back());
+  tuples_ = std::move(merged);
+}
+
+double GkSummary::Quantile(double phi) const {
+  if (count_ == 0) return 0.0;
+  phi = std::clamp(phi, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(phi * static_cast<double>(count_ - 1));
+  return ValueAtRank(rank);
+}
+
+double GkSummary::ValueAtRank(uint64_t rank) const {
+  if (tuples_.empty()) return 0.0;
+  if (rank >= count_) rank = count_ - 1;
+  const uint64_t target = rank + 1;  // 1-based rank
+  const uint64_t tolerance =
+      static_cast<uint64_t>(eps_ * static_cast<double>(count_)) + 1;
+  // Return the first tuple whose whole rank interval [rmin, rmax] lies
+  // within `tolerance` of the target (the standard GK query).
+  uint64_t rmin = 0;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    uint64_t rmax = rmin + t.delta;
+    if (rmax <= target + tolerance && target <= rmin + tolerance) {
+      return t.value;
+    }
+  }
+  return tuples_.back().value;
+}
+
+void GkSummary::Clear() {
+  tuples_.clear();
+  count_ = 0;
+  since_compress_ = 0;
+}
+
+}  // namespace qf

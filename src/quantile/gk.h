@@ -1,0 +1,59 @@
+// Greenwald-Khanna epsilon-approximate quantile summary (SIGMOD 2001).
+//
+// Single-key streaming quantile sketch: maintains a sorted list of tuples
+// (v, g, delta) such that any phi-quantile can be answered within rank error
+// eps * n. This is the classic "online insertion + offline query" structure
+// the paper contrasts against: queries binary-search the summary and are not
+// constant-time. Used directly as a holistic per-key baseline and inside
+// SQUAD.
+
+#ifndef QUANTILEFILTER_QUANTILE_GK_H_
+#define QUANTILEFILTER_QUANTILE_GK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qf {
+
+class GkSummary {
+ public:
+  /// `eps` is the target rank-error fraction (e.g. 0.01 keeps rank error
+  /// within 1% of the stream length).
+  explicit GkSummary(double eps);
+
+  uint64_t count() const { return count_; }
+  size_t summary_size() const { return tuples_.size(); }
+  size_t MemoryBytes() const;
+
+  void Insert(double value);
+
+  /// Value whose rank is within eps*n of `phi`*n. `phi` in [0, 1].
+  /// Returns 0 for an empty summary.
+  double Quantile(double phi) const;
+
+  /// Value whose rank is within eps*n of `rank` (0-based). Clamped to the
+  /// observed range.
+  double ValueAtRank(uint64_t rank) const;
+
+  void Clear();
+
+ private:
+  struct Tuple {
+    double value;
+    uint64_t g;      // rank gap to the previous tuple
+    uint64_t delta;  // rank uncertainty of this tuple
+  };
+
+  void Compress();
+
+  double eps_;
+  uint64_t count_ = 0;
+  uint64_t compress_every_;  // insertions between compressions
+  uint64_t since_compress_ = 0;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_QUANTILE_GK_H_

@@ -1,0 +1,95 @@
+#include "quantile/kll.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qf {
+
+namespace {
+constexpr double kDecay = 2.0 / 3.0;  // capacity ratio between levels
+}  // namespace
+
+KllSketch::KllSketch(int k, uint64_t seed)
+    : k_(k < 8 ? 8 : k), rng_(seed), levels_(1) {
+  levels_[0].reserve(k_);
+}
+
+size_t KllSketch::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& level : levels_) bytes += level.capacity() * sizeof(double);
+  return bytes;
+}
+
+size_t KllSketch::LevelCapacity(size_t level) const {
+  // Top level has capacity k; each level below shrinks by kDecay, floor 2.
+  size_t depth_from_top = levels_.size() - 1 - level;
+  double cap = static_cast<double>(k_) * std::pow(kDecay,
+                                                  static_cast<double>(
+                                                      depth_from_top));
+  return cap < 2.0 ? 2 : static_cast<size_t>(cap);
+}
+
+void KllSketch::Insert(double value) {
+  levels_[0].push_back(value);
+  ++count_;
+  if (levels_[0].size() >= LevelCapacity(0)) Compact();
+}
+
+void KllSketch::Compact() {
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    if (levels_[l].size() < LevelCapacity(l)) continue;
+    if (l + 1 == levels_.size()) levels_.emplace_back();
+    auto& cur = levels_[l];
+    std::sort(cur.begin(), cur.end());
+    // Promote every other item, random starting parity: unbiased for ranks.
+    size_t start = rng_.Next() & 1;
+    auto& up = levels_[l + 1];
+    for (size_t i = start; i < cur.size(); i += 2) up.push_back(cur[i]);
+    cur.clear();
+  }
+}
+
+double KllSketch::Quantile(double phi) const {
+  if (count_ == 0) return 0.0;
+  phi = std::clamp(phi, 0.0, 1.0);
+
+  // Materialize (value, weight) pairs, sort by value, walk the CDF.
+  std::vector<std::pair<double, uint64_t>> items;
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    uint64_t w = 1ULL << l;
+    for (double v : levels_[l]) items.emplace_back(v, w);
+  }
+  if (items.empty()) return 0.0;
+  std::sort(items.begin(), items.end());
+
+  uint64_t total = 0;
+  for (const auto& [v, w] : items) total += w;
+  uint64_t target = static_cast<uint64_t>(phi * static_cast<double>(total));
+  if (target >= total) target = total - 1;
+
+  uint64_t cum = 0;
+  for (const auto& [v, w] : items) {
+    cum += w;
+    if (cum > target) return v;
+  }
+  return items.back().first;
+}
+
+uint64_t KllSketch::Rank(double value) const {
+  uint64_t rank = 0;
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    uint64_t w = 1ULL << l;
+    for (double v : levels_[l]) {
+      if (v <= value) rank += w;
+    }
+  }
+  return rank;
+}
+
+void KllSketch::Clear() {
+  levels_.assign(1, {});
+  levels_[0].reserve(k_);
+  count_ = 0;
+}
+
+}  // namespace qf

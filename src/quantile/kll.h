@@ -1,0 +1,51 @@
+// KLL streaming quantile sketch (Karnin, Lang, Liberty, FOCS 2016).
+//
+// A hierarchy of compactors: level l holds items of weight 2^l. When a level
+// fills, it is sorted and every other item (random parity) is promoted to the
+// next level. Capacities decay geometrically (c = 2/3) from the top level, so
+// total space is O(k / (1-c)). Like GK, queries materialize the weighted item
+// set and are not constant-time — the "offline query" behaviour the paper
+// contrasts with.
+
+#ifndef QUANTILEFILTER_QUANTILE_KLL_H_
+#define QUANTILEFILTER_QUANTILE_KLL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace qf {
+
+class KllSketch {
+ public:
+  /// `k` controls accuracy: rank error is O(1/k) with high probability.
+  explicit KllSketch(int k, uint64_t seed = 0xC0FFEEULL);
+
+  uint64_t count() const { return count_; }
+  size_t MemoryBytes() const;
+
+  void Insert(double value);
+
+  /// Approximate phi-quantile, phi in [0, 1]. Returns 0 for empty sketches.
+  double Quantile(double phi) const;
+
+  /// Approximate rank (number of items <= value).
+  uint64_t Rank(double value) const;
+
+  void Clear();
+
+ private:
+  size_t LevelCapacity(size_t level) const;
+  void Compact();
+
+  int k_;
+  uint64_t count_ = 0;
+  mutable Rng rng_;
+  std::vector<std::vector<double>> levels_;  // levels_[l]: weight 2^l items
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_QUANTILE_KLL_H_

@@ -1,0 +1,107 @@
+#include "quantile/qdigest.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace qf {
+
+QDigest::QDigest(int k, int log_universe)
+    : k_(k < 4 ? 4 : k),
+      log_universe_(log_universe < 1 ? 1 : (log_universe > 62 ? 62
+                                                              : log_universe)),
+      universe_(1ULL << log_universe_) {}
+
+size_t QDigest::MemoryBytes() const {
+  return sizeof(*this) +
+         nodes_.size() * (2 * sizeof(uint64_t) + 2 * sizeof(void*));
+}
+
+uint64_t QDigest::LeafId(uint64_t value) const {
+  if (value >= universe_) value = universe_ - 1;
+  return universe_ + value;  // leaves occupy ids [U, 2U)
+}
+
+void QDigest::Insert(uint64_t value, uint64_t weight) {
+  nodes_[LeafId(value)] += weight;
+  count_ += weight;
+  if (++since_compress_ >= static_cast<uint64_t>(k_)) {
+    Compress();
+    since_compress_ = 0;
+  }
+}
+
+void QDigest::Compress() {
+  if (count_ == 0) return;
+  const uint64_t threshold = count_ / static_cast<uint64_t>(k_);
+  if (threshold == 0) return;
+
+  // Bottom-up pass: merge a node (and its sibling) into the parent when the
+  // triangle count (node + sibling + parent) is at most the threshold.
+  std::vector<uint64_t> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, cnt] : nodes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(), std::greater<uint64_t>());  // deepest 1st
+
+  for (uint64_t id : ids) {
+    if (id <= 1) continue;
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) continue;
+    uint64_t sibling = id ^ 1;
+    uint64_t parent = id >> 1;
+    uint64_t triangle = it->second;
+    auto sib_it = nodes_.find(sibling);
+    if (sib_it != nodes_.end()) triangle += sib_it->second;
+    auto par_it = nodes_.find(parent);
+    if (par_it != nodes_.end()) triangle += par_it->second;
+    if (triangle <= threshold) {
+      nodes_[parent] = triangle;
+      nodes_.erase(id);
+      if (sib_it != nodes_.end()) nodes_.erase(sibling);
+    }
+  }
+}
+
+uint64_t QDigest::Quantile(double phi) const {
+  if (count_ == 0) return 0;
+  phi = std::clamp(phi, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(phi * static_cast<double>(count_ - 1));
+
+  // Sort surviving nodes by (interval upper bound, interval size): the
+  // classic q-digest post-order walk, accumulating counts until the target
+  // rank is covered.
+  struct NodeView {
+    uint64_t upper;
+    uint64_t size;
+    uint64_t count;
+  };
+  std::vector<NodeView> views;
+  views.reserve(nodes_.size());
+  for (const auto& [id, cnt] : nodes_) {
+    // Node id covers values [lo, hi]: at depth d (id in [2^d, 2^{d+1})),
+    // interval size is U >> d.
+    int depth = 63 - __builtin_clzll(id);
+    uint64_t size = universe_ >> depth;
+    uint64_t lo = (id - (1ULL << depth)) * size;
+    views.push_back(NodeView{lo + size - 1, size, cnt});
+  }
+  std::sort(views.begin(), views.end(), [](const NodeView& a,
+                                           const NodeView& b) {
+    if (a.upper != b.upper) return a.upper < b.upper;
+    return a.size < b.size;
+  });
+
+  uint64_t cum = 0;
+  for (const NodeView& v : views) {
+    cum += v.count;
+    if (cum > target) return v.upper;
+  }
+  return views.empty() ? 0 : views.back().upper;
+}
+
+void QDigest::Clear() {
+  nodes_.clear();
+  count_ = 0;
+  since_compress_ = 0;
+}
+
+}  // namespace qf

@@ -1,0 +1,59 @@
+// Q-digest (Shrivastava et al., SenSys 2004): quantile sketch over a fixed
+// integer domain, built for sensor networks — one of the paper's prior-art
+// single-key schemes (Sec II-B).
+//
+// The structure is a partial binary tree over the domain [0, 2^log_universe):
+// a node survives compression iff its count and its (parent-)triangle count
+// straddle the n/k threshold. Quantile queries walk the surviving nodes in
+// post-order of their intervals. Space is O(k log U); rank error is
+// O(log(U)/k * n).
+
+#ifndef QUANTILEFILTER_QUANTILE_QDIGEST_H_
+#define QUANTILEFILTER_QUANTILE_QDIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace qf {
+
+class QDigest {
+ public:
+  /// `k`: compression factor (bigger = more accurate, more space).
+  /// `log_universe`: values are clamped to [0, 2^log_universe).
+  explicit QDigest(int k = 64, int log_universe = 32);
+
+  uint64_t count() const { return count_; }
+  size_t node_count() const { return nodes_.size(); }
+  size_t MemoryBytes() const;
+
+  void Insert(uint64_t value, uint64_t weight = 1);
+
+  /// Convenience overload for the double-valued stream interface; negative
+  /// values clamp to 0.
+  void Insert(double value) {
+    Insert(value <= 0.0 ? 0 : static_cast<uint64_t>(value), 1);
+  }
+
+  /// Approximate phi-quantile, phi in [0, 1].
+  uint64_t Quantile(double phi) const;
+
+  void Clear();
+
+ private:
+  // Canonical q-digest node ids: the root interval [0, U) has id 1; node v
+  // has children 2v and 2v+1. Leaves are at depth log_universe.
+  uint64_t LeafId(uint64_t value) const;
+  void Compress();
+
+  int k_;
+  int log_universe_;
+  uint64_t universe_;
+  uint64_t count_ = 0;
+  uint64_t since_compress_ = 0;
+  std::unordered_map<uint64_t, uint64_t> nodes_;  // node id -> count
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_QUANTILE_QDIGEST_H_

@@ -1,0 +1,78 @@
+// Fixed-size reservoir sampler with quantile queries.
+//
+// The simplest possible quantile "sketch": keep a uniform sample of the
+// stream (Vitter's Algorithm R) and answer quantiles from the sorted sample.
+// SQUAD-style systems use reservoirs for the keys that are not heavy enough
+// to deserve full summaries; it also serves as a floor baseline in the
+// per-key detector adapter.
+
+#ifndef QUANTILEFILTER_QUANTILE_RESERVOIR_H_
+#define QUANTILEFILTER_QUANTILE_RESERVOIR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace qf {
+
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(size_t capacity, uint64_t seed = 0x4E5E40ULL)
+      : capacity_(capacity < 1 ? 1 : capacity), rng_(seed) {
+    sample_.reserve(capacity_);
+  }
+
+  uint64_t count() const { return count_; }
+  size_t sample_size() const { return sample_.size(); }
+  size_t MemoryBytes() const {
+    return sizeof(*this) + sample_.capacity() * sizeof(double);
+  }
+
+  void Insert(double value) {
+    ++count_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(value);
+      sorted_ = false;
+      return;
+    }
+    // Algorithm R: replace a uniformly random slot with probability cap/n.
+    uint64_t j = rng_.NextBounded(count_);
+    if (j < capacity_) {
+      sample_[j] = value;
+      sorted_ = false;
+    }
+  }
+
+  /// Approximate phi-quantile from the sample. Returns 0 when empty.
+  double Quantile(double phi) const {
+    if (sample_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(sample_.begin(), sample_.end());
+      sorted_ = true;
+    }
+    phi = std::clamp(phi, 0.0, 1.0);
+    size_t idx = static_cast<size_t>(phi *
+                                     static_cast<double>(sample_.size() - 1));
+    return sample_[idx];
+  }
+
+  void Clear() {
+    sample_.clear();
+    count_ = 0;
+    sorted_ = false;
+  }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  mutable std::vector<double> sample_;
+  mutable bool sorted_ = false;
+  uint64_t count_ = 0;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_QUANTILE_RESERVOIR_H_

@@ -1,0 +1,139 @@
+#include "quantile/tdigest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qf {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+TDigest::TDigest(double compression)
+    : compression_(compression < 20.0 ? 20.0 : compression) {
+  buffer_.reserve(static_cast<size_t>(compression_) * 4);
+}
+
+size_t TDigest::MemoryBytes() const {
+  return sizeof(*this) + centroids_.capacity() * sizeof(Centroid) +
+         buffer_.capacity() * sizeof(double);
+}
+
+double TDigest::ScaleK(double q, double compression) {
+  // k1 scale function: k(q) = (compression / 2*pi) * asin(2q - 1).
+  q = std::clamp(q, 0.0, 1.0);
+  return compression / (2.0 * kPi) * std::asin(2.0 * q - 1.0);
+}
+
+double TDigest::ScaleQ(double k, double compression) {
+  return 0.5 * (std::sin(k * 2.0 * kPi / compression) + 1.0);
+}
+
+void TDigest::Insert(double value, uint64_t weight) {
+  if (total_count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  for (uint64_t i = 0; i < weight; ++i) buffer_.push_back(value);
+  total_count_ += weight;
+  if (buffer_.size() >= buffer_.capacity()) Flush();
+}
+
+void TDigest::Flush() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+
+  // Merge the sorted buffer and the sorted centroid list into a new centroid
+  // list, closing a centroid whenever the scale-function budget is exhausted.
+  std::vector<Centroid> incoming;
+  incoming.reserve(centroids_.size() + buffer_.size());
+  size_t ci = 0, bi = 0;
+  while (ci < centroids_.size() || bi < buffer_.size()) {
+    if (bi >= buffer_.size() ||
+        (ci < centroids_.size() && centroids_[ci].mean <= buffer_[bi])) {
+      incoming.push_back(centroids_[ci++]);
+    } else {
+      incoming.push_back(Centroid{buffer_[bi++], 1});
+    }
+  }
+  buffer_.clear();
+
+  uint64_t total = 0;
+  for (const Centroid& c : incoming) total += c.weight;
+
+  std::vector<Centroid> merged;
+  merged.reserve(static_cast<size_t>(2 * compression_) + 8);
+  uint64_t so_far = 0;
+  double k_limit = ScaleK(0.0, compression_) + 1.0;
+  double q_limit = ScaleQ(k_limit, compression_);
+  Centroid open = incoming.front();
+  for (size_t i = 1; i < incoming.size(); ++i) {
+    const Centroid& next = incoming[i];
+    double q_if_merged = static_cast<double>(so_far + open.weight +
+                                             next.weight) /
+                         static_cast<double>(total);
+    if (q_if_merged <= q_limit) {
+      // Merge next into the open centroid (weighted mean).
+      double w_open = static_cast<double>(open.weight);
+      double w_next = static_cast<double>(next.weight);
+      open.mean = (open.mean * w_open + next.mean * w_next) / (w_open + w_next);
+      open.weight += next.weight;
+    } else {
+      so_far += open.weight;
+      merged.push_back(open);
+      k_limit = ScaleK(static_cast<double>(so_far) / static_cast<double>(total),
+                       compression_) +
+                1.0;
+      q_limit = ScaleQ(k_limit, compression_);
+      open = next;
+    }
+  }
+  merged.push_back(open);
+  centroids_ = std::move(merged);
+}
+
+double TDigest::Quantile(double phi) const {
+  Flush();
+  if (centroids_.empty()) return 0.0;
+  phi = std::clamp(phi, 0.0, 1.0);
+  if (centroids_.size() == 1) return centroids_[0].mean;
+
+  const double target = phi * static_cast<double>(total_count_);
+  double cum = 0.0;
+  for (size_t i = 0; i < centroids_.size(); ++i) {
+    const double w = static_cast<double>(centroids_[i].weight);
+    const double center = cum + w / 2.0;
+    if (target <= center || i + 1 == centroids_.size()) {
+      if (i == 0 && target < center) {
+        // Interpolate between the minimum and the first centroid center.
+        double t = center <= 0 ? 0.0 : target / center;
+        return min_ + t * (centroids_[0].mean - min_);
+      }
+      if (i + 1 == centroids_.size() && target > center) {
+        double rest = static_cast<double>(total_count_) - center;
+        double t = rest <= 0 ? 0.0 : (target - center) / rest;
+        return centroids_[i].mean + t * (max_ - centroids_[i].mean);
+      }
+      // Interpolate between centers of centroid i-1 and i.
+      const double prev_w = static_cast<double>(centroids_[i - 1].weight);
+      const double prev_center = cum - prev_w / 2.0;
+      double span = center - prev_center;
+      double t = span <= 0 ? 0.0 : (target - prev_center) / span;
+      return centroids_[i - 1].mean +
+             t * (centroids_[i].mean - centroids_[i - 1].mean);
+    }
+    cum += w;
+  }
+  return centroids_.back().mean;
+}
+
+void TDigest::Clear() {
+  centroids_.clear();
+  buffer_.clear();
+  total_count_ = 0;
+  min_ = max_ = 0.0;
+}
+
+}  // namespace qf

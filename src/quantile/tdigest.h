@@ -1,0 +1,53 @@
+// Merging t-digest (Dunning & Ertl 2019).
+//
+// Centroid-based quantile sketch with the k1 (arcsine) scale function, which
+// concentrates resolution at the distribution tails — the regime the paper's
+// tail-latency use cases live in. Incoming points accumulate in a buffer and
+// are periodically merged into the centroid list.
+
+#ifndef QUANTILEFILTER_QUANTILE_TDIGEST_H_
+#define QUANTILEFILTER_QUANTILE_TDIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qf {
+
+class TDigest {
+ public:
+  /// `compression` bounds the number of centroids (~2x compression).
+  explicit TDigest(double compression = 100.0);
+
+  uint64_t count() const { return total_count_; }
+  size_t MemoryBytes() const;
+  size_t centroid_count() const { return centroids_.size(); }
+
+  void Insert(double value, uint64_t weight = 1);
+
+  /// Approximate phi-quantile with linear interpolation between centroids.
+  double Quantile(double phi) const;
+
+  void Clear();
+
+ private:
+  struct Centroid {
+    double mean;
+    uint64_t weight;
+  };
+
+  void Flush() const;  // merges buffer_ into centroids_ (logically const)
+  static double ScaleK(double q, double compression);
+  static double ScaleQ(double k, double compression);
+
+  double compression_;
+  uint64_t total_count_ = 0;
+  mutable std::vector<Centroid> centroids_;  // sorted by mean
+  mutable std::vector<double> buffer_;
+  mutable double min_ = 0.0;
+  mutable double max_ = 0.0;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_QUANTILE_TDIGEST_H_

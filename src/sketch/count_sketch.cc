@@ -1,0 +1,17 @@
+#include "sketch/count_sketch.h"
+
+namespace qf {
+
+int64_t MedianOfSmall(int64_t* v, int n) {
+  if (n == 1) return v[0];
+  if (n == 2) return std::min(v[0], v[1]);
+  if (n == 3) {  // hot path: the paper's default depth is 3
+    int64_t a = v[0], b = v[1], c = v[2];
+    if (a > b) std::swap(a, b);
+    return (c < a) ? a : std::min(b, c);
+  }
+  std::nth_element(v, v + (n - 1) / 2, v + n);
+  return v[(n - 1) / 2];
+}
+
+}  // namespace qf

@@ -1,0 +1,85 @@
+#include "sketch/space_saving.h"
+
+#include <utility>
+
+namespace qf {
+
+SpaceSaving::SpaceSaving(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {
+  heap_.reserve(capacity_);
+  position_.reserve(capacity_);
+}
+
+size_t SpaceSaving::MemoryBytes() const {
+  // Heap entries plus an amortized hash-map cost (~2 pointers per slot).
+  return capacity_ * (sizeof(Entry) + sizeof(uint64_t) + 2 * sizeof(void*));
+}
+
+uint64_t SpaceSaving::Add(uint64_t key, uint64_t increment) {
+  auto it = position_.find(key);
+  if (it != position_.end()) {
+    heap_[it->second].count += increment;
+    SiftDown(it->second);
+    return 0;
+  }
+  if (heap_.size() < capacity_) {
+    heap_.push_back(Entry{key, increment, 0});
+    position_[key] = heap_.size() - 1;
+    SiftUp(heap_.size() - 1);
+    return 0;
+  }
+  // Evict the current minimum; the newcomer inherits its count as error.
+  Entry& root = heap_[0];
+  uint64_t evicted = root.key;
+  position_.erase(evicted);
+  root = Entry{key, root.count + increment, root.count};
+  position_[key] = 0;
+  SiftDown(0);
+  return evicted;
+}
+
+bool SpaceSaving::Lookup(uint64_t key, Entry* entry) const {
+  auto it = position_.find(key);
+  if (it == position_.end()) return false;
+  if (entry != nullptr) *entry = heap_[it->second];
+  return true;
+}
+
+uint64_t SpaceSaving::Estimate(uint64_t key) const {
+  Entry e;
+  if (Lookup(key, &e)) return e.count;
+  return heap_.empty() ? 0 : heap_[0].count;
+}
+
+void SpaceSaving::Clear() {
+  heap_.clear();
+  position_.clear();
+}
+
+void SpaceSaving::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    size_t smallest = i;
+    size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n && heap_[l].count < heap_[smallest].count) smallest = l;
+    if (r < n && heap_[r].count < heap_[smallest].count) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    position_[heap_[i].key] = i;
+    position_[heap_[smallest].key] = smallest;
+    i = smallest;
+  }
+}
+
+void SpaceSaving::SiftUp(size_t i) {
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (heap_[parent].count <= heap_[i].count) return;
+    std::swap(heap_[i], heap_[parent]);
+    position_[heap_[i].key] = i;
+    position_[heap_[parent].key] = parent;
+    i = parent;
+  }
+}
+
+}  // namespace qf

@@ -1,0 +1,60 @@
+// SpaceSaving heavy-hitter summary (Metwally, Agrawal, El Abbadi 2005).
+//
+// Substrate for the SQUAD baseline: SQUAD keeps full quantile state only for
+// keys that SpaceSaving currently believes are heavy. The structure holds at
+// most `capacity` keys; when a new key arrives at a full table, it evicts the
+// key with the minimum count and inherits that count as over-estimation
+// error.
+
+#ifndef QUANTILEFILTER_SKETCH_SPACE_SAVING_H_
+#define QUANTILEFILTER_SKETCH_SPACE_SAVING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace qf {
+
+class SpaceSaving {
+ public:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t count = 0;
+    uint64_t error = 0;  // possible over-estimation inherited at eviction
+  };
+
+  explicit SpaceSaving(size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return heap_.size(); }
+  size_t MemoryBytes() const;
+
+  /// Records one occurrence of `key`. Returns the key evicted to make room,
+  /// or 0 if nothing was evicted (0 is reserved as "no key").
+  uint64_t Add(uint64_t key, uint64_t increment = 1);
+
+  /// True if `key` is currently tracked; fills `entry` if so.
+  bool Lookup(uint64_t key, Entry* entry) const;
+
+  /// Estimated count of `key` (its tracked count, or the minimum count if
+  /// untracked — the classic SpaceSaving upper bound).
+  uint64_t Estimate(uint64_t key) const;
+
+  /// All tracked entries, unordered.
+  const std::vector<Entry>& entries() const { return heap_; }
+
+  void Clear();
+
+ private:
+  void SiftDown(size_t i);
+  void SiftUp(size_t i);
+
+  size_t capacity_;
+  std::vector<Entry> heap_;                       // min-heap by count
+  std::unordered_map<uint64_t, size_t> position_;  // key -> heap index
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_SKETCH_SPACE_SAVING_H_

@@ -1,0 +1,32 @@
+#include "stream/flow.h"
+
+#include <cstdio>
+
+namespace qf {
+
+bool ParseIpv4(const std::string& text, uint32_t* out) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  int matched =
+      std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) return false;
+  *out = (a << 24) | (b << 16) | (c << 8) | d;
+  return true;
+}
+
+std::string FormatIpv4(uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xFF,
+                (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF);
+  return buf;
+}
+
+std::string FormatFlow(const FiveTuple& t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s:%u->%s:%u/%u",
+                FormatIpv4(t.src_ip).c_str(), t.src_port,
+                FormatIpv4(t.dst_ip).c_str(), t.dst_port, t.protocol);
+  return buf;
+}
+
+}  // namespace qf

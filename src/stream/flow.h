@@ -1,0 +1,60 @@
+// Network flow keys: the 5-tuple used by the paper's CAIDA and Yahoo
+// datasets (source/destination IP, ports, protocol), plus the mapping to
+// the 64-bit key ids every structure in this repository consumes.
+//
+// Sketches never need the original key back (reports happen on arrival,
+// when the caller still holds the item), so a strong 64-bit hash of the
+// tuple is sufficient; collisions across 64 bits are negligible at stream
+// scale.
+
+#ifndef QUANTILEFILTER_STREAM_FLOW_H_
+#define QUANTILEFILTER_STREAM_FLOW_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/hash.h"
+
+namespace qf {
+
+struct FiveTuple {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t protocol = 0;
+
+  friend bool operator==(const FiveTuple& a, const FiveTuple& b) {
+    return a.src_ip == b.src_ip && a.dst_ip == b.dst_ip &&
+           a.src_port == b.src_port && a.dst_port == b.dst_port &&
+           a.protocol == b.protocol;
+  }
+};
+
+/// Serializes the tuple into a fixed 13-byte wire layout (no padding) and
+/// hashes it; the layout is pinned so key ids are stable across builds.
+inline uint64_t FlowKey(const FiveTuple& t, uint64_t seed = 0xF10F10ULL) {
+  uint8_t buf[13];
+  std::memcpy(buf + 0, &t.src_ip, 4);
+  std::memcpy(buf + 4, &t.dst_ip, 4);
+  std::memcpy(buf + 8, &t.src_port, 2);
+  std::memcpy(buf + 10, &t.dst_port, 2);
+  buf[12] = t.protocol;
+  uint64_t key = HashBytes(buf, sizeof(buf), seed);
+  return key == 0 ? 1 : key;
+}
+
+/// Parses dotted-quad IPv4 ("10.1.2.3") into host byte order; returns false
+/// on malformed input.
+bool ParseIpv4(const std::string& text, uint32_t* out);
+
+/// Formats an IPv4 address back to dotted-quad (for report rendering).
+std::string FormatIpv4(uint32_t ip);
+
+/// Renders a tuple as "src:port->dst:port/proto".
+std::string FormatFlow(const FiveTuple& t);
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_STREAM_FLOW_H_

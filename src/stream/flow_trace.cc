@@ -1,0 +1,85 @@
+#include "stream/flow_trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace qf {
+
+namespace {
+
+// Splits on commas; returns false unless exactly `expected` fields emerge.
+bool SplitFields(const std::string& line, size_t expected,
+                 std::vector<std::string>* fields) {
+  fields->clear();
+  size_t pos = 0;
+  while (true) {
+    size_t comma = line.find(',', pos);
+    if (comma == std::string::npos) {
+      fields->push_back(line.substr(pos));
+      break;
+    }
+    fields->push_back(line.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return fields->size() == expected;
+}
+
+bool ParsePort(const std::string& s, uint16_t* out) {
+  char* end = nullptr;
+  long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v < 0 || v > 65535) return false;
+  *out = static_cast<uint16_t>(v);
+  return true;
+}
+
+}  // namespace
+
+bool ParseFlowRecord(const std::string& line, Item* item) {
+  std::vector<std::string> fields;
+  if (!SplitFields(line, 6, &fields)) return false;
+
+  FiveTuple tuple;
+  if (!ParseIpv4(fields[0], &tuple.src_ip)) return false;
+  if (!ParseIpv4(fields[1], &tuple.dst_ip)) return false;
+  if (!ParsePort(fields[2], &tuple.src_port)) return false;
+  if (!ParsePort(fields[3], &tuple.dst_port)) return false;
+  uint16_t proto = 0;
+  if (!ParsePort(fields[4], &proto) || proto > 255) return false;
+  tuple.protocol = static_cast<uint8_t>(proto);
+
+  char* end = nullptr;
+  double value = std::strtod(fields[5].c_str(), &end);
+  if (end == fields[5].c_str()) return false;
+
+  item->key = FlowKey(tuple);
+  item->value = value;
+  return true;
+}
+
+bool ReadFlowTrace(const std::string& path, Trace* trace,
+                   size_t* skipped_lines) {
+  trace->clear();
+  if (skipped_lines != nullptr) *skipped_lines = 0;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    std::string line(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    Item item;
+    if (ParseFlowRecord(line, &item)) {
+      trace->push_back(item);
+    } else if (skipped_lines != nullptr) {
+      ++*skipped_lines;
+    }
+  }
+  std::fclose(f);
+  return !trace->empty();
+}
+
+}  // namespace qf

@@ -1,0 +1,32 @@
+// Flow-level trace ingestion: converts textual 5-tuple flow records (the
+// shape of the paper's CAIDA/Yahoo datasets) into the key-value items the
+// detectors consume.
+//
+// Line format (one record per line, '#'-prefixed comments skipped):
+//   src_ip,dst_ip,src_port,dst_port,protocol,value
+// e.g.
+//   10.0.0.1,10.0.0.2,443,51234,6,12.5
+
+#ifndef QUANTILEFILTER_STREAM_FLOW_TRACE_H_
+#define QUANTILEFILTER_STREAM_FLOW_TRACE_H_
+
+#include <string>
+
+#include "stream/flow.h"
+#include "stream/item.h"
+
+namespace qf {
+
+/// Parses one flow-record line into an item (key = FlowKey(five-tuple)).
+/// Returns false on malformed input; `*item` is untouched then.
+bool ParseFlowRecord(const std::string& line, Item* item);
+
+/// Reads a flow-record file. Malformed lines are counted in
+/// `*skipped_lines` (if non-null) and skipped. Returns false if the file
+/// cannot be opened or contains no valid records.
+bool ReadFlowTrace(const std::string& path, Trace* trace,
+                   size_t* skipped_lines = nullptr);
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_STREAM_FLOW_TRACE_H_

@@ -1,0 +1,119 @@
+#include "stream/generators.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace qf {
+
+namespace {
+
+/// Deterministic standard-normal draw for a key: Box-Muller over two hash
+/// values. Stable across runs for the same (key, seed).
+double GaussianFromKey(uint64_t key, uint64_t seed) {
+  double u1 =
+      (static_cast<double>(HashKey(key, seed) >> 11) + 0.5) * 0x1.0p-53;
+  double u2 =
+      (static_cast<double>(HashKey(key, seed ^ 0xABCDEF12ULL) >> 11) + 0.5) *
+      0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+/// Deterministic uniform [0,1) draw for a key.
+double UniformFromKey(uint64_t key, uint64_t seed) {
+  return static_cast<double>(HashKey(key, seed) >> 11) * 0x1.0p-53;
+}
+
+/// Maps a Zipf rank to a stable, well-dispersed 64-bit key id so that key
+/// popularity is independent of the hash functions inside the sketches.
+uint64_t KeyIdFromRank(uint64_t rank, uint64_t seed) {
+  uint64_t id = HashKey(rank, seed ^ 0x5EEDB001ULL);
+  return id == 0 ? 1 : id;  // 0 is reserved as "no key" in some structures
+}
+
+}  // namespace
+
+Trace GenerateZipfTrace(const ZipfTraceOptions& options) {
+  Rng rng(options.seed);
+  ZipfSampler key_sampler(options.num_keys, options.key_alpha);
+  ZipfSampler value_sampler(options.value_zipf_n, options.value_zipf_alpha);
+
+  Trace trace;
+  trace.reserve(options.num_items);
+  for (size_t i = 0; i < options.num_items; ++i) {
+    uint64_t rank = key_sampler.Sample(rng);
+    uint64_t key = KeyIdFromRank(rank, options.seed);
+    // Value = Zipf component + per-key normal constant (paper Sec V-A(3)).
+    double per_key = options.per_key_mean +
+                     options.per_key_stddev * GaussianFromKey(key, options.seed);
+    double value =
+        static_cast<double>(value_sampler.Sample(rng)) + per_key;
+    trace.push_back(Item{key, value});
+  }
+  return trace;
+}
+
+Trace GenerateInternetTrace(const InternetTraceOptions& options) {
+  Rng rng(options.seed);
+  ZipfSampler key_sampler(options.num_keys, options.key_alpha);
+
+  Trace trace;
+  trace.reserve(options.num_items);
+  for (size_t i = 0; i < options.num_items; ++i) {
+    uint64_t rank = key_sampler.Sample(rng);
+    uint64_t key = KeyIdFromRank(rank, options.seed);
+    double shift =
+        options.key_shift_sigma * GaussianFromKey(key, options.seed + 11);
+    if (UniformFromKey(key, options.seed + 13) < options.anomaly_fraction) {
+      shift += options.anomaly_shift;
+    }
+    double value =
+        std::exp(options.log_mu + shift + options.log_sigma * rng.NextGaussian());
+    trace.push_back(Item{key, value});
+  }
+  return trace;
+}
+
+Trace GenerateCloudTrace(const CloudTraceOptions& options) {
+  Rng rng(options.seed);
+  uint64_t num_keys = static_cast<uint64_t>(
+      options.keys_per_item * static_cast<double>(options.num_items));
+  if (num_keys < 1) num_keys = 1;
+  ZipfSampler key_sampler(num_keys, options.key_alpha);
+
+  Trace trace;
+  trace.reserve(options.num_items);
+  for (size_t i = 0; i < options.num_items; ++i) {
+    uint64_t rank = key_sampler.Sample(rng);
+    uint64_t key = KeyIdFromRank(rank, options.seed);
+    double shift =
+        options.key_shift_sigma * GaussianFromKey(key, options.seed + 17);
+    if (UniformFromKey(key, options.seed + 19) < options.anomaly_fraction) {
+      shift += options.anomaly_shift;
+    }
+    double value =
+        std::exp(options.log_mu + shift + options.log_sigma * rng.NextGaussian());
+    trace.push_back(Item{key, value});
+  }
+  return trace;
+}
+
+double AbnormalFraction(const Trace& trace, double threshold) {
+  if (trace.empty()) return 0.0;
+  size_t above = 0;
+  for (const Item& item : trace) above += item.value > threshold ? 1 : 0;
+  return static_cast<double>(above) / static_cast<double>(trace.size());
+}
+
+size_t DistinctKeys(const Trace& trace) {
+  std::unordered_set<uint64_t> keys;
+  keys.reserve(trace.size() / 2);
+  for (const Item& item : trace) keys.insert(item.key);
+  return keys.size();
+}
+
+}  // namespace qf

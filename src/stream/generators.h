@@ -1,0 +1,81 @@
+// Synthetic trace generators standing in for the paper's datasets
+// (Sec V-A). See DESIGN.md §4 for the substitution rationale.
+//
+// * ZipfTraceGenerator  — the paper's synthetic dataset, implemented exactly
+//   as described: key frequency ~ Zipf(alpha); each value is the sum of a
+//   fixed-parameter Zipf component and a per-key constant drawn from a
+//   normal distribution.
+// * InternetTraceGenerator — CAIDA-like: strongly skewed key popularity,
+//   log-normal inter-arrival "latencies" with per-key location shifts and an
+//   injected anomalous-key population, calibrated so ~7.6% of items exceed
+//   T = 300.
+// * CloudTraceGenerator — Yahoo-like: enormous key cardinality relative to
+//   stream length (most keys occur once), duration values with T = 20000
+//   and ~4.6% abnormal items.
+//
+// All per-key attributes (location shift, anomaly membership) are derived
+// deterministically from the key hash, so regenerating a trace with the same
+// seed is reproducible and ground truth is stable.
+
+#ifndef QUANTILEFILTER_STREAM_GENERATORS_H_
+#define QUANTILEFILTER_STREAM_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "stream/item.h"
+
+namespace qf {
+
+/// The paper's synthetic dataset (Sec V-A, dataset 3).
+struct ZipfTraceOptions {
+  size_t num_items = 1'000'000;
+  uint64_t num_keys = 120'000;   // paper presets: 4.2M and 120K (scaled)
+  double key_alpha = 1.0;        // Zipf skew of key popularity
+  uint64_t value_zipf_n = 1000;  // support of the Zipf value component
+  double value_zipf_alpha = 1.5;
+  double per_key_mean = 80.0;   // mean of the per-key normal constant
+  double per_key_stddev = 110.0;
+  uint64_t seed = 1;
+};
+Trace GenerateZipfTrace(const ZipfTraceOptions& options);
+
+/// CAIDA-like internet trace (Sec V-A, dataset 1). Default T = 300.
+struct InternetTraceOptions {
+  size_t num_items = 2'000'000;
+  uint64_t num_keys = 64'000;  // paper: 0.64M keys for 26.1M items (scaled)
+  double key_alpha = 1.0;
+  double log_mu = 3.66;        // location of log-normal latency
+  double log_sigma = 1.2;      // within-key dispersion
+  double key_shift_sigma = 0.8;  // across-key location dispersion
+  double anomaly_fraction = 0.02;  // keys with persistently elevated latency
+  double anomaly_shift = 2.5;      // extra log-location for anomalous keys
+  uint64_t seed = 2;
+};
+Trace GenerateInternetTrace(const InternetTraceOptions& options);
+
+/// Yahoo-like cloud trace (Sec V-A, dataset 2). Default T = 20000.
+struct CloudTraceOptions {
+  size_t num_items = 2'000'000;
+  /// Key cardinality close to the item count: most keys appear once.
+  double keys_per_item = 0.8;
+  double key_alpha = 0.6;
+  double log_mu = 7.6;   // durations around e^7.6 ~ 2000
+  double log_sigma = 1.6;
+  double key_shift_sigma = 0.7;
+  double anomaly_fraction = 0.02;
+  double anomaly_shift = 2.5;
+  uint64_t seed = 3;
+};
+Trace GenerateCloudTrace(const CloudTraceOptions& options);
+
+/// Fraction of items in `trace` whose value exceeds `threshold` (used to
+/// calibrate T so the abnormal proportion matches the paper's ~5%).
+double AbnormalFraction(const Trace& trace, double threshold);
+
+/// Number of distinct keys in `trace`.
+size_t DistinctKeys(const Trace& trace);
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_STREAM_GENERATORS_H_

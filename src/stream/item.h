@@ -1,0 +1,23 @@
+// Stream item types (Definition 1): a key-value pair stream.
+
+#ifndef QUANTILEFILTER_STREAM_ITEM_H_
+#define QUANTILEFILTER_STREAM_ITEM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qf {
+
+/// One stream element <x, v>. Keys are 64-bit identifiers (string keys such
+/// as 5-tuples are hashed to 64 bits before entering the system, as every
+/// sketch in this repo operates on key hashes anyway).
+struct Item {
+  uint64_t key;
+  double value;
+};
+
+using Trace = std::vector<Item>;
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_STREAM_ITEM_H_

@@ -1,0 +1,114 @@
+#include "stream/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/hash.h"
+
+namespace qf {
+
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'F', 'T', 'R'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+uint64_t ChecksumOf(const Trace& trace) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const Item& item : trace) {
+    uint64_t value_bits;
+    std::memcpy(&value_bits, &item.value, sizeof(value_bits));
+    h = Mix64(h ^ item.key);
+    h = Mix64(h ^ value_bits);
+  }
+  return h;
+}
+
+}  // namespace
+
+bool WriteTrace(const Trace& trace, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  uint64_t count = trace.size();
+  uint64_t checksum = ChecksumOf(trace);
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) return false;
+  if (std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1) return false;
+  if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) return false;
+  if (count > 0 &&
+      std::fwrite(trace.data(), sizeof(Item), count, f.get()) != count) {
+    return false;
+  }
+  if (std::fwrite(&checksum, sizeof(checksum), 1, f.get()) != 1) return false;
+  return std::fflush(f.get()) == 0;
+}
+
+bool ReadTrace(const std::string& path, Trace* trace) {
+  trace->clear();
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return false;
+  }
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+      version != kVersion) {
+    return false;
+  }
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) return false;
+  // Guard against absurd counts from corrupt headers before allocating.
+  if (count > (1ULL << 34)) return false;
+  trace->resize(count);
+  if (count > 0 &&
+      std::fread(trace->data(), sizeof(Item), count, f.get()) != count) {
+    trace->clear();
+    return false;
+  }
+  uint64_t checksum = 0;
+  if (std::fread(&checksum, sizeof(checksum), 1, f.get()) != 1 ||
+      checksum != ChecksumOf(*trace)) {
+    trace->clear();
+    return false;
+  }
+  return true;
+}
+
+bool WriteTraceCsv(const Trace& trace, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  if (std::fprintf(f.get(), "key,value\n") < 0) return false;
+  for (const Item& item : trace) {
+    if (std::fprintf(f.get(), "%016" PRIx64 ",%.17g\n", item.key,
+                     item.value) < 0) {
+      return false;
+    }
+  }
+  return std::fflush(f.get()) == 0;
+}
+
+bool ReadTraceCsv(const std::string& path, Trace* trace) {
+  trace->clear();
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) return false;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    uint64_t key = 0;
+    double value = 0;
+    if (std::sscanf(line, "%" SCNx64 ",%lf", &key, &value) == 2) {
+      trace->push_back(Item{key, value});
+    }
+  }
+  return !trace->empty();
+}
+
+}  // namespace qf

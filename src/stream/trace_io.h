@@ -1,0 +1,43 @@
+// Binary trace persistence.
+//
+// Benches regenerate synthetic traces on every run; persisting them lets a
+// user freeze a workload (or convert a real packet trace offline) and replay
+// the identical item sequence across detectors, machines and code versions.
+//
+// Format (little-endian):
+//   magic   "QFTR"            4 bytes
+//   version uint32            currently 1
+//   count   uint64            number of items
+//   items   count x {uint64 key, double value}
+//   xxh     uint64            checksum of the payload (Mix64 chain)
+//
+// CSV import/export ("key,value" per line) is provided for interoperability
+// with ad-hoc tooling.
+
+#ifndef QUANTILEFILTER_STREAM_TRACE_IO_H_
+#define QUANTILEFILTER_STREAM_TRACE_IO_H_
+
+#include <string>
+
+#include "stream/item.h"
+
+namespace qf {
+
+/// Writes `trace` to `path` in the binary format above. Returns false on
+/// I/O failure.
+bool WriteTrace(const Trace& trace, const std::string& path);
+
+/// Reads a binary trace. Returns false on I/O failure, bad magic/version,
+/// truncation, or checksum mismatch; `*trace` is cleared on failure.
+bool ReadTrace(const std::string& path, Trace* trace);
+
+/// Writes "key,value" CSV lines (keys in hex to avoid precision loss).
+bool WriteTraceCsv(const Trace& trace, const std::string& path);
+
+/// Reads the CSV form; tolerates a header line. Returns false on I/O
+/// failure or if no valid rows were parsed.
+bool ReadTraceCsv(const std::string& path, Trace* trace);
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_STREAM_TRACE_IO_H_

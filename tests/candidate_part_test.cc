@@ -1,0 +1,132 @@
+#include "core/candidate_part.h"
+
+#include <cstdint>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace qf {
+namespace {
+
+CandidatePart::Options SmallOptions() {
+  CandidatePart::Options o;
+  o.memory_bytes = 16 * sizeof(CandidatePart::Entry) * 4;  // 16 buckets of 4
+  o.bucket_entries = 4;
+  o.fingerprint_bits = 16;
+  o.seed = 123;
+  return o;
+}
+
+TEST(CandidatePartTest, SizingFromBudget) {
+  CandidatePart part(SmallOptions());
+  EXPECT_EQ(part.num_buckets(), 16u);
+  EXPECT_EQ(part.bucket_entries(), 4);
+  EXPECT_LE(part.MemoryBytes(), SmallOptions().memory_bytes);
+}
+
+TEST(CandidatePartTest, StartsEmpty) {
+  CandidatePart part(SmallOptions());
+  for (const auto& e : part.slots()) EXPECT_TRUE(e.empty());
+  EXPECT_EQ(part.Occupancy(), 0.0);
+}
+
+TEST(CandidatePartTest, FindAfterInsert) {
+  CandidatePart part(SmallOptions());
+  uint64_t key = 42;
+  uint32_t bucket = part.BucketOf(key);
+  uint32_t fp = part.FingerprintOf(key);
+  CandidatePart::Entry* slot = part.FindEmpty(bucket);
+  ASSERT_NE(slot, nullptr);
+  *slot = CandidatePart::Entry{fp, 17};
+
+  CandidatePart::Entry* found = part.Find(bucket, fp);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->qweight, 17);
+  EXPECT_EQ(part.Find(bucket, fp ^ 1), nullptr);
+}
+
+TEST(CandidatePartTest, FindEmptyReturnsNullWhenFull) {
+  CandidatePart part(SmallOptions());
+  uint32_t bucket = 3;
+  for (int i = 0; i < 4; ++i) {
+    CandidatePart::Entry* slot = part.FindEmpty(bucket);
+    ASSERT_NE(slot, nullptr);
+    *slot = CandidatePart::Entry{static_cast<uint32_t>(i + 1), i};
+  }
+  EXPECT_EQ(part.FindEmpty(bucket), nullptr);
+}
+
+TEST(CandidatePartTest, MinEntryFindsSmallestQweight) {
+  CandidatePart part(SmallOptions());
+  uint32_t bucket = 5;
+  int32_t weights[] = {10, -3, 7, 0};
+  for (int i = 0; i < 4; ++i) {
+    *part.FindEmpty(bucket) =
+        CandidatePart::Entry{static_cast<uint32_t>(i + 1), weights[i]};
+  }
+  CandidatePart::Entry* min_entry = part.MinEntry(bucket);
+  ASSERT_NE(min_entry, nullptr);
+  EXPECT_EQ(min_entry->qweight, -3);
+  EXPECT_EQ(min_entry->fingerprint, 2u);
+}
+
+TEST(CandidatePartTest, BucketAndFingerprintAreDeterministic) {
+  CandidatePart a(SmallOptions());
+  CandidatePart b(SmallOptions());
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(a.BucketOf(key), b.BucketOf(key));
+    EXPECT_EQ(a.FingerprintOf(key), b.FingerprintOf(key));
+    EXPECT_LT(a.BucketOf(key), a.num_buckets());
+    EXPECT_NE(a.FingerprintOf(key), 0u);
+  }
+}
+
+TEST(CandidatePartTest, VagueKeyIsInjectivePerBucketFp) {
+  CandidatePart part(SmallOptions());
+  std::set<uint64_t> vague_keys;
+  for (uint32_t bucket = 0; bucket < 16; ++bucket) {
+    for (uint32_t fp = 1; fp <= 64; ++fp) {
+      vague_keys.insert(part.VagueKey(bucket, fp));
+    }
+  }
+  EXPECT_EQ(vague_keys.size(), 16u * 64u);
+}
+
+TEST(CandidatePartTest, OccupancyTracksFills) {
+  CandidatePart part(SmallOptions());
+  *part.FindEmpty(0) = CandidatePart::Entry{1, 0};
+  *part.FindEmpty(1) = CandidatePart::Entry{2, 0};
+  EXPECT_NEAR(part.Occupancy(), 2.0 / 64.0, 1e-12);
+}
+
+TEST(CandidatePartTest, ClearEmptiesEverything) {
+  CandidatePart part(SmallOptions());
+  for (uint32_t bucket = 0; bucket < 16; ++bucket) {
+    *part.FindEmpty(bucket) = CandidatePart::Entry{9, 9};
+  }
+  part.Clear();
+  EXPECT_EQ(part.Occupancy(), 0.0);
+}
+
+TEST(CandidatePartTest, TinyBudgetStillWorks) {
+  CandidatePart::Options o;
+  o.memory_bytes = 1;  // less than one bucket
+  o.bucket_entries = 6;
+  CandidatePart part(o);
+  EXPECT_GE(part.num_buckets(), 1u);
+  uint64_t key = 7;
+  EXPECT_LT(part.BucketOf(key), part.num_buckets());
+}
+
+TEST(CandidatePartTest, FingerprintBitsClamped) {
+  CandidatePart::Options o = SmallOptions();
+  o.fingerprint_bits = 99;
+  CandidatePart part(o);
+  EXPECT_EQ(part.fingerprint_bits(), 32);
+  o.fingerprint_bits = -1;
+  CandidatePart part2(o);
+  EXPECT_EQ(part2.fingerprint_bits(), 1);
+}
+
+}  // namespace
+}  // namespace qf

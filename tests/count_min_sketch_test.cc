@@ -1,0 +1,71 @@
+#include "sketch/count_min_sketch.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace qf {
+namespace {
+
+TEST(CountMinSketchTest, SingleKeyExactWithoutCollisions) {
+  CountMinSketch<int32_t> sketch(3, 1024, 42);
+  sketch.Add(7, 10);
+  sketch.Add(7, 5);
+  EXPECT_EQ(sketch.Estimate(7), 15);
+}
+
+TEST(CountMinSketchTest, OverestimatesUnderPositiveCollisions) {
+  // Classic CM property: with only positive updates, the estimate never
+  // underestimates the true count.
+  CountMinSketch<int32_t> sketch(2, 32, 7);
+  for (uint64_t k = 0; k < 500; ++k) sketch.Add(k, 2);
+  for (uint64_t k = 0; k < 500; ++k) EXPECT_GE(sketch.Estimate(k), 2);
+}
+
+TEST(CountMinSketchTest, NegativeWeightsSupported) {
+  CountMinSketch<int32_t> sketch(3, 1024, 5);
+  sketch.Add(9, -40);
+  EXPECT_EQ(sketch.Estimate(9), -40);
+}
+
+TEST(CountMinSketchTest, SubtractRemovesMass) {
+  CountMinSketch<int32_t> sketch(3, 1024, 5);
+  sketch.Add(9, 40);
+  sketch.Subtract(9, 40);
+  EXPECT_EQ(sketch.Estimate(9), 0);
+}
+
+TEST(CountMinSketchTest, ClearZeroesEverything) {
+  CountMinSketch<int32_t> sketch(2, 64, 3);
+  for (uint64_t k = 0; k < 200; ++k) sketch.Add(k, 1);
+  sketch.Clear();
+  for (uint64_t k = 0; k < 200; ++k) EXPECT_EQ(sketch.Estimate(k), 0);
+}
+
+TEST(CountMinSketchTest, FromBytesRespectsBudget) {
+  auto sketch = CountMinSketch<int16_t>::FromBytes(8 * 1024, 2, 5);
+  EXPECT_LE(sketch.MemoryBytes(), 8u * 1024u);
+  EXPECT_GT(sketch.MemoryBytes(), 7u * 1024u);
+}
+
+TEST(CountMinSketchTest, SaturatesInsteadOfWrapping) {
+  CountMinSketch<int8_t> sketch(1, 4, 2);
+  for (int i = 0; i < 1000; ++i) sketch.Add(1, 1);
+  int64_t est = sketch.Estimate(1);
+  EXPECT_GT(est, 0);
+  EXPECT_LE(est, 127);
+}
+
+TEST(CountMinSketchTest, WiderSketchReducesOverestimate) {
+  auto overestimate = [](size_t width) {
+    CountMinSketch<int32_t> sketch(3, width, 11);
+    for (uint64_t k = 0; k < 5000; ++k) sketch.Add(k, 1);
+    int64_t total = 0;
+    for (uint64_t k = 0; k < 100; ++k) total += sketch.Estimate(k) - 1;
+    return total;
+  };
+  EXPECT_LT(overestimate(4096), overestimate(128));
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,92 @@
+#include "common/counters.h"
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace qf {
+namespace {
+
+TEST(SaturatingAddTest, PlainAdditionWithinRange) {
+  EXPECT_EQ(SaturatingAdd<int16_t>(100, 23), 123);
+  EXPECT_EQ(SaturatingAdd<int16_t>(100, -223), -123);
+  EXPECT_EQ(SaturatingAdd<int8_t>(0, 0), 0);
+}
+
+TEST(SaturatingAddTest, ClampsAtMax) {
+  EXPECT_EQ(SaturatingAdd<int16_t>(32767, 1), 32767);
+  EXPECT_EQ(SaturatingAdd<int16_t>(32000, 10000), 32767);
+  EXPECT_EQ(SaturatingAdd<int8_t>(127, 1), 127);
+  EXPECT_EQ(SaturatingAdd<int32_t>(INT32_MAX, INT64_MAX), INT32_MAX);
+}
+
+TEST(SaturatingAddTest, ClampsAtMin) {
+  EXPECT_EQ(SaturatingAdd<int16_t>(-32768, -1), -32768);
+  EXPECT_EQ(SaturatingAdd<int16_t>(-32000, -10000), -32768);
+  EXPECT_EQ(SaturatingAdd<int8_t>(-128, -1), -128);
+  EXPECT_EQ(SaturatingAdd<int32_t>(INT32_MIN, INT64_MIN), INT32_MIN);
+}
+
+TEST(SaturatingAddTest, NeverRollsOver) {
+  // The paper's overflow requirement: 32767 + 1 must not become -32768.
+  int16_t c = 32767;
+  c = SaturatingAdd(c, 1);
+  EXPECT_GT(c, 0);
+  c = std::numeric_limits<int16_t>::min();
+  c = SaturatingAdd(c, -1);
+  EXPECT_LT(c, 0);
+}
+
+TEST(SaturatingAddTest, RecoversFromSaturation) {
+  // Saturated counters still respond to opposite-sign updates.
+  int16_t c = SaturatingAdd<int16_t>(32767, 100);
+  EXPECT_EQ(c, 32767);
+  c = SaturatingAdd(c, -10);
+  EXPECT_EQ(c, 32757);
+}
+
+TEST(SaturatingAddTest, ExtremeDeltasDoNotOverflowInternally) {
+  // Deltas near the int64 limits must not wrap the internal arithmetic.
+  EXPECT_EQ(SaturatingAdd<int32_t>(5, std::numeric_limits<int64_t>::max()),
+            INT32_MAX);
+  EXPECT_EQ(SaturatingAdd<int32_t>(-5, std::numeric_limits<int64_t>::min()),
+            INT32_MIN);
+}
+
+TEST(SaturatingCounterTest, AccumulatesAndResets) {
+  SaturatingCounter<int16_t> c;
+  EXPECT_EQ(c.value(), 0);
+  c.Add(19);
+  c.Add(19);
+  c.Add(-1);
+  EXPECT_EQ(c.value(), 37);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(SaturatingCounterTest, SaturatesLikeFreeFunction) {
+  SaturatingCounter<int8_t> c(120);
+  c.Add(100);
+  EXPECT_EQ(c.value(), 127);
+  c.Add(-1000);
+  EXPECT_EQ(c.value(), -128);
+}
+
+// Property sweep: saturating add over an int8 grid must equal the clamped
+// wide-integer sum everywhere.
+TEST(SaturatingAddTest, MatchesClampedWideSumExhaustivelyForInt8) {
+  for (int v = -128; v <= 127; ++v) {
+    for (int d = -400; d <= 400; d += 7) {
+      int64_t wide = static_cast<int64_t>(v) + d;
+      if (wide > 127) wide = 127;
+      if (wide < -128) wide = -128;
+      EXPECT_EQ(SaturatingAdd<int8_t>(static_cast<int8_t>(v), d),
+                static_cast<int8_t>(wide))
+          << "v=" << v << " d=" << d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,76 @@
+#include "core/criteria.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace qf {
+namespace {
+
+TEST(CriteriaTest, PaperDefaults) {
+  Criteria c;
+  EXPECT_DOUBLE_EQ(c.eps(), 30.0);
+  EXPECT_DOUBLE_EQ(c.delta(), 0.95);
+  EXPECT_DOUBLE_EQ(c.threshold(), 300.0);
+  // delta/(1-delta) = 19, eps/(1-delta) = 600.
+  EXPECT_NEAR(c.positive_weight(), 19.0, 1e-9);
+  EXPECT_EQ(c.report_threshold(), 600);
+}
+
+TEST(CriteriaTest, DerivedConstants) {
+  Criteria c(5.0, 0.9, 70.0);
+  EXPECT_NEAR(c.positive_weight(), 9.0, 1e-9);
+  EXPECT_EQ(c.positive_floor(), 9);
+  EXPECT_NEAR(c.positive_frac(), 0.0, 1e-9);
+  EXPECT_EQ(c.report_threshold(), 50);  // 5 / 0.1
+}
+
+TEST(CriteriaTest, FractionalPositiveWeight) {
+  Criteria c(1.0, 0.8, 10.0);  // weight = 4, threshold = 5
+  EXPECT_EQ(c.positive_floor(), 4);
+  Criteria c2(1.0, 0.6, 10.0);  // weight = 1.5
+  EXPECT_EQ(c2.positive_floor(), 1);
+  EXPECT_NEAR(c2.positive_frac(), 0.5, 1e-9);
+}
+
+TEST(CriteriaTest, ReportThresholdCeils) {
+  Criteria c(1.0, 0.6, 10.0);  // eps/(1-delta) = 2.5 -> ceil 3
+  EXPECT_EQ(c.report_threshold(), 3);
+  EXPECT_NEAR(c.report_threshold_real(), 2.5, 1e-9);
+}
+
+TEST(CriteriaTest, ValueIsAbnormalIsStrict) {
+  Criteria c(0.0, 0.5, 100.0);
+  EXPECT_FALSE(c.ValueIsAbnormal(100.0));  // equal to T is normal
+  EXPECT_TRUE(c.ValueIsAbnormal(100.0001));
+  EXPECT_FALSE(c.ValueIsAbnormal(-5.0));
+}
+
+TEST(CriteriaTest, DegenerateInputsAreClamped) {
+  Criteria neg_eps(-10.0, 0.5, 1.0);
+  EXPECT_EQ(neg_eps.eps(), 0.0);
+  Criteria delta_one(1.0, 1.0, 1.0);
+  EXPECT_LT(delta_one.delta(), 1.0);
+  EXPECT_TRUE(std::isfinite(delta_one.positive_weight()));
+  Criteria delta_neg(1.0, -0.5, 1.0);
+  EXPECT_EQ(delta_neg.delta(), 0.0);
+  EXPECT_EQ(delta_neg.positive_weight(), 0.0);
+}
+
+TEST(CriteriaTest, EqualityComparesInputs) {
+  EXPECT_EQ(Criteria(1, 0.9, 10), Criteria(1, 0.9, 10));
+  EXPECT_FALSE(Criteria(1, 0.9, 10) == Criteria(2, 0.9, 10));
+  EXPECT_FALSE(Criteria(1, 0.9, 10) == Criteria(1, 0.8, 10));
+  EXPECT_FALSE(Criteria(1, 0.9, 10) == Criteria(1, 0.9, 11));
+}
+
+TEST(CriteriaTest, DeltaZeroMeansMinimumTracking) {
+  // delta = 0: the 0-quantile (minimum). Positive weight is 0, so abnormal
+  // items add nothing and normal items subtract; report threshold = eps.
+  Criteria c(2.0, 0.0, 50.0);
+  EXPECT_EQ(c.positive_weight(), 0.0);
+  EXPECT_EQ(c.report_threshold(), 2);
+}
+
+}  // namespace
+}  // namespace qf

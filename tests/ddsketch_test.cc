@@ -1,0 +1,101 @@
+#include "quantile/ddsketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+TEST(DdSketchTest, EmptySketch) {
+  DdSketch dd(0.01);
+  EXPECT_EQ(dd.count(), 0u);
+  EXPECT_EQ(dd.Quantile(0.5), 0.0);
+}
+
+TEST(DdSketchTest, RelativeErrorGuarantee) {
+  // The defining property: every quantile is within alpha relative error.
+  const double alpha = 0.02;
+  DdSketch dd(alpha);
+  Rng rng(23);
+  const int n = 100000;
+  std::vector<double> data;
+  for (int i = 0; i < n; ++i) {
+    double v = std::exp(rng.NextGaussian() * 2.0 + 3.0);  // heavy tailed
+    data.push_back(v);
+    dd.Insert(v);
+  }
+  std::sort(data.begin(), data.end());
+  for (double phi : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    double truth = data[static_cast<size_t>(phi * (n - 1))];
+    double est = dd.Quantile(phi);
+    EXPECT_NEAR(est / truth, 1.0, 2.5 * alpha) << "phi=" << phi;
+  }
+}
+
+TEST(DdSketchTest, ZeroAndNegativeValuesGoToZeroBucket) {
+  DdSketch dd(0.01);
+  dd.Insert(0.0);
+  dd.Insert(-5.0);
+  dd.Insert(10.0);
+  EXPECT_EQ(dd.count(), 3u);
+  EXPECT_EQ(dd.Quantile(0.0), 0.0);
+  // Index convention floor(phi*(n-1)): with {0, 0, 10}, phi=0.99 selects
+  // index 1 (still zero); only phi=1.0 reaches the positive value.
+  EXPECT_EQ(dd.Quantile(0.99), 0.0);
+  EXPECT_NEAR(dd.Quantile(1.0), 10.0, 0.5);
+}
+
+TEST(DdSketchTest, BucketBudgetIsEnforced) {
+  DdSketch dd(0.01, 64);
+  Rng rng(24);
+  // Values spanning 12 orders of magnitude would need ~1400 buckets at 1%.
+  for (int i = 0; i < 50000; ++i) {
+    dd.Insert(std::pow(10.0, rng.NextDouble() * 12.0 - 3.0));
+  }
+  EXPECT_LE(dd.bucket_count(), 64u);
+  // Upper quantiles stay accurate (collapse eats the lowest buckets only).
+  double q99 = dd.Quantile(0.99);
+  EXPECT_GT(q99, 1e6);
+}
+
+TEST(DdSketchTest, MemorySmall) {
+  DdSketch dd(0.01, 2048);
+  Rng rng(25);
+  for (int i = 0; i < 200000; ++i) dd.Insert(1.0 + rng.NextDouble() * 999.0);
+  EXPECT_LT(dd.MemoryBytes(), 64u * 1024u);
+}
+
+TEST(DdSketchTest, QuantilesMonotone) {
+  DdSketch dd(0.01);
+  Rng rng(26);
+  for (int i = 0; i < 20000; ++i) dd.Insert(1.0 + rng.NextDouble() * 100.0);
+  double prev = 0;
+  for (double phi = 0.0; phi <= 1.0; phi += 0.1) {
+    double q = dd.Quantile(phi);
+    EXPECT_GE(q, prev - 1e-9);
+    prev = q;
+  }
+}
+
+TEST(DdSketchTest, ClearResets) {
+  DdSketch dd(0.01);
+  for (int i = 1; i <= 100; ++i) dd.Insert(i);
+  dd.Clear();
+  EXPECT_EQ(dd.count(), 0u);
+  EXPECT_EQ(dd.bucket_count(), 0u);
+}
+
+TEST(DdSketchTest, ConstantStream) {
+  DdSketch dd(0.01);
+  for (int i = 0; i < 1000; ++i) dd.Insert(250.0);
+  EXPECT_NEAR(dd.Quantile(0.5), 250.0, 250.0 * 0.02);
+  EXPECT_EQ(dd.bucket_count(), 1u);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,141 @@
+// Typed suite over every detector in the repository: anything exposing
+// `bool Insert(uint64_t, double)` + `size_t MemoryBytes()` must satisfy the
+// basic detection contract (hot lone key eventually reported, quiet keys
+// silent, memory reporting sane), so the evaluation harness treats them
+// interchangeably.
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_detector.h"
+#include "baseline/hist_sketch.h"
+#include "baseline/sketch_polymer.h"
+#include "baseline/squad.h"
+#include "common/random.h"
+#include "core/naive_filter.h"
+#include "core/quantile_filter.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/tower_sketch.h"
+
+namespace qf {
+namespace {
+
+// Shared criteria: eps=3, delta=0.75, T=100 (weight +3, threshold 12).
+Criteria TestCriteria() { return Criteria(3, 0.75, 100.0); }
+
+template <typename T>
+T MakeDetector();
+
+template <>
+QuantileFilter<CountSketch<int16_t>>
+MakeDetector<QuantileFilter<CountSketch<int16_t>>>() {
+  QuantileFilter<CountSketch<int16_t>>::Options o;
+  o.memory_bytes = 256 * 1024;
+  return QuantileFilter<CountSketch<int16_t>>(o, TestCriteria());
+}
+template <>
+QuantileFilter<CountMinSketch<int16_t>>
+MakeDetector<QuantileFilter<CountMinSketch<int16_t>>>() {
+  QuantileFilter<CountMinSketch<int16_t>>::Options o;
+  o.memory_bytes = 256 * 1024;
+  return QuantileFilter<CountMinSketch<int16_t>>(o, TestCriteria());
+}
+template <>
+QuantileFilter<TowerSketch> MakeDetector<QuantileFilter<TowerSketch>>() {
+  QuantileFilter<TowerSketch>::Options o;
+  o.memory_bytes = 256 * 1024;
+  return QuantileFilter<TowerSketch>(o, TestCriteria());
+}
+template <>
+NaiveDualCsketchFilter MakeDetector<NaiveDualCsketchFilter>() {
+  NaiveDualCsketchFilter::Options o;
+  o.memory_bytes = 256 * 1024;
+  return NaiveDualCsketchFilter(o, TestCriteria());
+}
+template <>
+Squad MakeDetector<Squad>() {
+  Squad::Options o;
+  o.memory_bytes = 1 << 20;
+  return Squad(o, TestCriteria());
+}
+template <>
+SketchPolymer MakeDetector<SketchPolymer>() {
+  SketchPolymer::Options o;
+  o.memory_bytes = 1 << 20;
+  o.warmup = 0;  // isolate the contract from the cold-start stage
+  return SketchPolymer(o, TestCriteria());
+}
+template <>
+HistSketch MakeDetector<HistSketch>() {
+  return HistSketch(HistSketch::Options{}, TestCriteria());
+}
+template <>
+ExactDetector MakeDetector<ExactDetector>() {
+  return ExactDetector(TestCriteria());
+}
+
+template <typename T>
+class DetectorConceptTest : public ::testing::Test {};
+
+using DetectorTypes =
+    ::testing::Types<QuantileFilter<CountSketch<int16_t>>,
+                     QuantileFilter<CountMinSketch<int16_t>>,
+                     QuantileFilter<TowerSketch>, NaiveDualCsketchFilter,
+                     Squad, SketchPolymer, HistSketch, ExactDetector>;
+TYPED_TEST_SUITE(DetectorConceptTest, DetectorTypes);
+
+TYPED_TEST(DetectorConceptTest, HotLoneKeyEventuallyReported) {
+  TypeParam detector = MakeDetector<TypeParam>();
+  int reports = 0;
+  for (int i = 0; i < 500; ++i) reports += detector.Insert(1, 500.0);
+  EXPECT_GT(reports, 0);
+}
+
+TYPED_TEST(DetectorConceptTest, QuietLoneKeyNeverReported) {
+  TypeParam detector = MakeDetector<TypeParam>();
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(detector.Insert(1, 10.0)) << "item " << i;
+  }
+}
+
+TYPED_TEST(DetectorConceptTest, MemoryReportingIsSane) {
+  TypeParam detector = MakeDetector<TypeParam>();
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    detector.Insert(rng.NextBounded(200), rng.NextDouble() * 50.0);
+  }
+  size_t bytes = detector.MemoryBytes();
+  EXPECT_GT(bytes, 0u);
+  EXPECT_LT(bytes, 512u << 20);
+}
+
+TYPED_TEST(DetectorConceptTest, ResetRestartsDetection) {
+  TypeParam detector = MakeDetector<TypeParam>();
+  for (int i = 0; i < 3; ++i) detector.Insert(1, 500.0);
+  detector.Reset();
+  // After a reset the hot key must take a full cadence again, and still
+  // eventually fire.
+  int reports = 0;
+  for (int i = 0; i < 500; ++i) reports += detector.Insert(1, 500.0);
+  EXPECT_GT(reports, 0);
+}
+
+TYPED_TEST(DetectorConceptTest, MixedTrafficRespectsDeltaDirection) {
+  // 50% abnormal > (1 - 0.75): should fire. 5% abnormal: should not.
+  TypeParam hot = MakeDetector<TypeParam>();
+  Rng rng(2);
+  int hot_reports = 0;
+  for (int i = 0; i < 4000; ++i) {
+    hot_reports += hot.Insert(1, rng.Bernoulli(0.5) ? 500.0 : 10.0);
+  }
+  EXPECT_GT(hot_reports, 0);
+
+  TypeParam cold = MakeDetector<TypeParam>();
+  int cold_reports = 0;
+  for (int i = 0; i < 4000; ++i) {
+    cold_reports += cold.Insert(1, rng.Bernoulli(0.05) ? 500.0 : 10.0);
+  }
+  EXPECT_EQ(cold_reports, 0);
+}
+
+}  // namespace
+}  // namespace qf

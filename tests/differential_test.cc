@@ -1,0 +1,99 @@
+// Randomized differential testing: drive QuantileFilter and a reference
+// per-key model through identical random operation sequences (insert /
+// query / delete / reset) in a collision-free regime, and require exact
+// agreement. Catches state-machine bugs (wrong reset, stale candidate
+// entries, delete paths) that scenario tests can miss.
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/quantile_filter.h"
+
+namespace qf {
+namespace {
+
+// Reference model: exact integer Qweight per key with the same integer
+// threshold semantics as the filter. Valid only for integral positive
+// weights (no probabilistic rounding).
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(const Criteria& c) : criteria_(c) {
+    EXPECT_NEAR(c.positive_frac(), 0.0, 1e-12);
+  }
+
+  bool Insert(uint64_t key, double value) {
+    int64_t& qw = qweights_[key];
+    qw += criteria_.ValueIsAbnormal(value) ? criteria_.positive_floor() : -1;
+    if (qw >= criteria_.report_threshold()) {
+      qw = 0;
+      return true;
+    }
+    return false;
+  }
+
+  int64_t Query(uint64_t key) const {
+    auto it = qweights_.find(key);
+    return it == qweights_.end() ? 0 : it->second;
+  }
+
+  void Delete(uint64_t key) { qweights_.erase(key); }
+  void Reset() { qweights_.clear(); }
+
+ private:
+  Criteria criteria_;
+  std::unordered_map<uint64_t, int64_t> qweights_;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, RandomOpSequenceMatchesReferenceModel) {
+  const uint64_t seed = GetParam();
+  // Few keys + large memory: every key lives in the candidate part, so the
+  // filter is semantically exact and must match the model op for op.
+  Criteria c(5, 0.9, 100.0);  // weight +9, threshold 50
+  QuantileFilter<CountSketch<int32_t>>::Options o;
+  o.memory_bytes = 256 * 1024;
+  QuantileFilter<CountSketch<int32_t>> filter(o, c);
+  ReferenceModel model(c);
+
+  Rng rng(seed);
+  for (int op = 0; op < 30000; ++op) {
+    uint64_t key = 1 + rng.NextBounded(64);
+    uint64_t kind = rng.NextBounded(100);
+    if (kind < 80) {
+      double value = rng.Bernoulli(0.3) ? 500.0 : 10.0;
+      ASSERT_EQ(filter.Insert(key, value), model.Insert(key, value))
+          << "op " << op << " insert key " << key;
+    } else if (kind < 92) {
+      ASSERT_EQ(filter.QueryQweight(key), model.Query(key))
+          << "op " << op << " query key " << key;
+    } else if (kind < 99) {
+      filter.Delete(key);
+      model.Delete(key);
+    } else {
+      filter.Reset();
+      model.Reset();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(DifferentialTest, NegativeQweightsAlsoAgree) {
+  Criteria c(5, 0.9, 100.0);
+  QuantileFilter<CountSketch<int32_t>>::Options o;
+  o.memory_bytes = 256 * 1024;
+  QuantileFilter<CountSketch<int32_t>> filter(o, c);
+  ReferenceModel model(c);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t key = 1 + (i % 8);
+    ASSERT_EQ(filter.Insert(key, 10.0), model.Insert(key, 10.0));
+    ASSERT_EQ(filter.QueryQweight(key), model.Query(key));
+  }
+}
+
+}  // namespace
+}  // namespace qf

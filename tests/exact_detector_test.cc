@@ -1,0 +1,125 @@
+#include "baseline/exact_detector.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+// Brute-force Definition 4: keep the actual multiset, sort, index.
+class BruteForceOracle {
+ public:
+  explicit BruteForceOracle(const Criteria& c) : criteria_(c) {}
+
+  bool Insert(uint64_t key, double value) {
+    auto& values = sets_[key];
+    values.push_back(value);
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    double idx = std::floor(
+        criteria_.delta() * static_cast<double>(sorted.size()) -
+        criteria_.eps());
+    if (idx < 0) return false;
+    size_t i = static_cast<size_t>(idx);
+    if (i >= sorted.size()) i = sorted.size() - 1;
+    if (sorted[i] > criteria_.threshold()) {
+      values.clear();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  Criteria criteria_;
+  std::unordered_map<uint64_t, std::vector<double>> sets_;
+};
+
+TEST(ExactDetectorTest, MatchesBruteForceOnRandomStream) {
+  for (double delta : {0.5, 0.8, 0.95}) {
+    for (double eps : {0.0, 1.0, 3.0}) {
+      Criteria c(eps, delta, 100.0);
+      ExactDetector fast(c);
+      BruteForceOracle slow(c);
+      Rng rng(42);
+      for (int i = 0; i < 20000; ++i) {
+        uint64_t key = rng.NextBounded(50);
+        double value = rng.Bernoulli(0.3) ? 150.0 : 50.0;
+        EXPECT_EQ(fast.Insert(key, value), slow.Insert(key, value))
+            << "item " << i << " delta=" << delta << " eps=" << eps;
+      }
+    }
+  }
+}
+
+TEST(ExactDetectorTest, PaperFig1Timing) {
+  // Fig 1: delta=0.5, T=3. User A values 1, 5, 9 -> reported on the third.
+  Criteria c(0.0, 0.5, 3.0);
+  ExactDetector oracle(c);
+  EXPECT_FALSE(oracle.Insert('A', 1.0));
+  EXPECT_TRUE(oracle.Insert('A', 5.0));  // {1,5}: idx 1 -> 5 > 3
+  // (the figure reports at the third item because its order is 1,5,9 with
+  //  the middle value checked at n=3; with {1,5} the median index
+  //  floor(0.5*2)=1 already selects 5 — the definition reports early.)
+  EXPECT_FALSE(oracle.Insert('B', 1.0));
+  EXPECT_FALSE(oracle.Insert('B', 1.0));
+}
+
+TEST(ExactDetectorTest, ResetAfterReport) {
+  Criteria c(3, 0.75, 100);
+  ExactDetector oracle(c);
+  int reports = 0;
+  for (int i = 0; i < 40; ++i) reports += oracle.Insert(1, 500.0);
+  EXPECT_EQ(reports, 10);  // every 4 abnormal items (0 <= 0.75*4 - 3)
+}
+
+TEST(ExactDetectorTest, QweightAccessor) {
+  Criteria c(30, 0.95, 300);
+  ExactDetector oracle(c);
+  oracle.Insert(5, 500.0);
+  oracle.Insert(5, 100.0);
+  EXPECT_NEAR(oracle.Qweight(5), 18.0, 1e-9);
+  EXPECT_EQ(oracle.Qweight(12345), 0.0);
+}
+
+TEST(ExactDetectorTest, DeleteAndReset) {
+  Criteria c(30, 0.95, 300);
+  ExactDetector oracle(c);
+  oracle.Insert(5, 500.0);
+  oracle.Delete(5);
+  EXPECT_EQ(oracle.Qweight(5), 0.0);
+  oracle.Insert(6, 500.0);
+  oracle.Reset();
+  EXPECT_EQ(oracle.Qweight(6), 0.0);
+}
+
+TEST(ExactDetectorTest, TrueOutstandingKeysFindsPlantedKeys) {
+  Criteria c(5, 0.9, 100);
+  Rng rng(7);
+  Trace trace;
+  // 100 quiet keys, 3 planted hot keys.
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t k = 1 + rng.NextBounded(100);
+    trace.push_back({k, rng.Bernoulli(0.02) ? 150.0 : 50.0});
+    if (i % 10 == 0) {
+      uint64_t hot = 1000 + rng.NextBounded(3);
+      trace.push_back({hot, rng.Bernoulli(0.5) ? 150.0 : 50.0});
+    }
+  }
+  auto truth = TrueOutstandingKeys(trace, c);
+  EXPECT_TRUE(truth.count(1000));
+  EXPECT_TRUE(truth.count(1001));
+  EXPECT_TRUE(truth.count(1002));
+}
+
+TEST(ExactDetectorTest, PerItemCriteriaOverride) {
+  ExactDetector oracle(Criteria(1000, 0.95, 1e18));  // default never fires
+  Criteria firing(0.0, 0.5, 10.0);
+  EXPECT_TRUE(oracle.Insert(1, 100.0, firing));
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,143 @@
+// Adversarial and failure-injection tests: forced fingerprint collisions,
+// counter saturation, degenerate sizing, single-key floods.
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/quantile_filter.h"
+#include "core/candidate_part.h"
+#include "sketch/count_sketch.h"
+
+namespace qf {
+namespace {
+
+using Filter32 = QuantileFilter<CountSketch<int32_t>>;
+using Filter8 = QuantileFilter<CountSketch<int8_t>>;
+
+TEST(FailureInjectionTest, OneBitFingerprintsForceCollisions) {
+  // With 1-bit fingerprints every key aliases in the candidate part. The
+  // filter must stay functional (no crash, reports still fire) even though
+  // accuracy necessarily degrades.
+  Filter32::Options o;
+  o.memory_bytes = 32 * 1024;
+  o.fingerprint_bits = 1;
+  Filter32 filter(o, Criteria(5, 0.9, 100));
+  Rng rng(1);
+  int reports = 0;
+  for (int i = 0; i < 50000; ++i) {
+    reports += filter.Insert(rng.NextBounded(1000), 500.0);
+  }
+  EXPECT_GT(reports, 0);
+}
+
+TEST(FailureInjectionTest, Int8VagueCountersSaturateGracefully) {
+  // 8-bit vague counters clamp at +-127. A key whose Qweight far exceeds
+  // that must still be reportable once elected to the candidate part, and
+  // the filter must never report wildly negative estimates.
+  Filter8::Options o;
+  o.memory_bytes = 8 * 1024;
+  Filter8 filter(o, Criteria(2, 0.9, 100));  // threshold 20 fits in int8
+  Rng rng(2);
+  int reports = 0;
+  for (int i = 0; i < 100000; ++i) {
+    reports += filter.Insert(rng.NextBounded(5000), 500.0);
+  }
+  EXPECT_GT(reports, 0);
+}
+
+TEST(FailureInjectionTest, SingleKeyFloodNeverWedges) {
+  Filter32::Options o;
+  o.memory_bytes = 4096;
+  Filter32 filter(o, Criteria(30, 0.95, 300));
+  uint64_t reports = 0;
+  for (int i = 0; i < 1000000; ++i) reports += filter.Insert(42, 1000.0);
+  // 19 per item, threshold 600 -> one report per 32 items.
+  EXPECT_NEAR(static_cast<double>(reports), 1000000.0 / 32.0, 2.0);
+}
+
+TEST(FailureInjectionTest, AllNormalFloodNeverReports) {
+  Filter32::Options o;
+  o.memory_bytes = 4096;
+  Filter32 filter(o, Criteria(30, 0.95, 300));
+  Rng rng(3);
+  for (int i = 0; i < 200000; ++i) {
+    EXPECT_FALSE(filter.Insert(rng.NextBounded(100000), 5.0));
+  }
+}
+
+TEST(FailureInjectionTest, ZeroEpsilonReportsImmediately) {
+  Filter32::Options o;
+  o.memory_bytes = 4096;
+  Filter32 filter(o, Criteria(0, 0.95, 300));
+  EXPECT_TRUE(filter.Insert(1, 500.0));
+}
+
+TEST(FailureInjectionTest, ExtremeValuesAreHandled) {
+  Filter32::Options o;
+  o.memory_bytes = 4096;
+  Filter32 filter(o, Criteria(5, 0.9, 100));
+  filter.Insert(1, std::numeric_limits<double>::infinity());
+  filter.Insert(1, -std::numeric_limits<double>::infinity());
+  filter.Insert(1, std::numeric_limits<double>::max());
+  filter.Insert(1, std::numeric_limits<double>::lowest());
+  filter.Insert(1, 0.0);
+  SUCCEED();
+}
+
+TEST(FailureInjectionTest, BucketEntriesOneStillElects) {
+  Filter32::Options o;
+  o.memory_bytes = 16 * 1024;
+  o.bucket_entries = 1;
+  Filter32 filter(o, Criteria(5, 0.9, 100));
+  Rng rng(4);
+  int reports = 0;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t k = rng.NextBounded(10000);
+    reports += filter.Insert(k, rng.Bernoulli(0.4) ? 500.0 : 10.0);
+  }
+  EXPECT_GT(filter.stats().swaps, 0u);
+  EXPECT_GT(reports, 0);
+}
+
+TEST(FailureInjectionTest, DepthOneVagueWorks) {
+  Filter32::Options o;
+  o.memory_bytes = 16 * 1024;
+  o.vague_depth = 1;
+  Filter32 filter(o, Criteria(5, 0.9, 100));
+  int reports = 0;
+  for (int i = 0; i < 1000; ++i) reports += filter.Insert(1, 500.0);
+  EXPECT_GT(reports, 0);
+}
+
+TEST(FailureInjectionTest, CandidateCounterSaturatesAtInt32) {
+  // A criteria whose threshold exceeds int32 cannot fire from the candidate
+  // counter, but must not wrap to negative either.
+  Filter32::Options o;
+  o.memory_bytes = 16 * 1024;
+  Criteria huge(1e12, 0.999999, 100);  // report threshold ~1e18
+  Filter32 filter(o, huge);
+  for (int i = 0; i < 100000; ++i) filter.Insert(1, 500.0);
+  EXPECT_GE(filter.QueryQweight(1), 0);
+}
+
+TEST(FailureInjectionTest, ManyDistinctKeysNeverCorruptCandidatePart) {
+  Filter32::Options o;
+  o.memory_bytes = 8 * 1024;
+  Filter32 filter(o, Criteria(5, 0.9, 100));
+  Rng rng(5);
+  for (int i = 0; i < 300000; ++i) {
+    filter.Insert(rng.Next() | 1, rng.Bernoulli(0.05) ? 500.0 : 10.0);
+  }
+  // Occupancy must be a valid fraction and stats must add up.
+  double occ = filter.candidate_part().Occupancy();
+  EXPECT_GE(occ, 0.0);
+  EXPECT_LE(occ, 1.0);
+  const auto& s = filter.stats();
+  EXPECT_EQ(s.candidate_hits + s.admissions + s.vague_inserts, s.items);
+}
+
+}  // namespace
+}  // namespace qf

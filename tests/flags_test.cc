@@ -1,0 +1,82 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace qf {
+namespace {
+
+FlagParser Parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  auto flags = Parse({"--items=500", "--name=trace.qftr"});
+  EXPECT_EQ(flags.GetInt("items", 0), 500);
+  EXPECT_EQ(flags.GetString("name", ""), "trace.qftr");
+}
+
+TEST(FlagsTest, SpaceForm) {
+  auto flags = Parse({"--items", "500", "--delta", "0.95"});
+  EXPECT_EQ(flags.GetInt("items", 0), 500);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("delta", 0), 0.95);
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  auto flags = Parse({});
+  EXPECT_EQ(flags.GetInt("items", 42), 42);
+  EXPECT_EQ(flags.GetString("name", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 1.5), 1.5);
+  EXPECT_TRUE(flags.GetBool("b", true));
+  EXPECT_FALSE(flags.Has("anything"));
+}
+
+TEST(FlagsTest, MalformedNumbersFallBack) {
+  auto flags = Parse({"--items=abc", "--delta=zz"});
+  EXPECT_EQ(flags.GetInt("items", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("delta", 0.5), 0.5);
+}
+
+TEST(FlagsTest, BoolForms) {
+  auto flags = Parse({"--a", "--b=true", "--c=false", "--d=1", "--e=0"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_FALSE(flags.GetBool("c", true));
+  EXPECT_TRUE(flags.GetBool("d", false));
+  EXPECT_FALSE(flags.GetBool("e", true));
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  auto flags = Parse({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.GetInt("n", 0), 2);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  auto flags = Parse({"first", "--k=v", "second"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "first");
+  EXPECT_EQ(flags.positional()[1], "second");
+}
+
+TEST(FlagsTest, SpaceFormConsumesNonFlagOnly) {
+  auto flags = Parse({"--a", "--b=1"});
+  EXPECT_TRUE(flags.GetBool("a", false));  // --b was not eaten as a's value
+  EXPECT_EQ(flags.GetInt("b", 0), 1);
+}
+
+TEST(FlagsTest, UnqueriedFlagsDetectTypos) {
+  auto flags = Parse({"--good=1", "--typo=2"});
+  EXPECT_EQ(flags.GetInt("good", 0), 1);
+  auto unqueried = flags.UnqueriedFlags();
+  ASSERT_EQ(unqueried.size(), 1u);
+  EXPECT_EQ(unqueried[0], "typo");
+}
+
+TEST(FlagsTest, HexIntegers) {
+  auto flags = Parse({"--seed=0xff"});
+  EXPECT_EQ(flags.GetInt("seed", 0), 255);
+}
+
+}  // namespace
+}  // namespace qf

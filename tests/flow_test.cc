@@ -1,0 +1,80 @@
+#include "stream/flow.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace qf {
+namespace {
+
+TEST(FlowTest, FlowKeyIsDeterministic) {
+  FiveTuple t{0x0A000001, 0x0A000002, 443, 8080, 6};
+  EXPECT_EQ(FlowKey(t), FlowKey(t));
+  EXPECT_NE(FlowKey(t), 0u);
+}
+
+TEST(FlowTest, EveryFieldAffectsTheKey) {
+  FiveTuple base{0x0A000001, 0x0A000002, 443, 8080, 6};
+  uint64_t k = FlowKey(base);
+
+  FiveTuple t = base;
+  t.src_ip ^= 1;
+  EXPECT_NE(FlowKey(t), k);
+  t = base;
+  t.dst_ip ^= 1;
+  EXPECT_NE(FlowKey(t), k);
+  t = base;
+  t.src_port ^= 1;
+  EXPECT_NE(FlowKey(t), k);
+  t = base;
+  t.dst_port ^= 1;
+  EXPECT_NE(FlowKey(t), k);
+  t = base;
+  t.protocol ^= 1;
+  EXPECT_NE(FlowKey(t), k);
+}
+
+TEST(FlowTest, KeysAreWellDispersed) {
+  std::set<uint64_t> keys;
+  for (uint32_t i = 0; i < 10000; ++i) {
+    FiveTuple t{i, ~i, static_cast<uint16_t>(i), 80, 6};
+    keys.insert(FlowKey(t));
+  }
+  EXPECT_EQ(keys.size(), 10000u);
+}
+
+TEST(FlowTest, ParseIpv4RoundTrips) {
+  uint32_t ip = 0;
+  ASSERT_TRUE(ParseIpv4("10.1.2.3", &ip));
+  EXPECT_EQ(ip, 0x0A010203u);
+  EXPECT_EQ(FormatIpv4(ip), "10.1.2.3");
+  ASSERT_TRUE(ParseIpv4("255.255.255.255", &ip));
+  EXPECT_EQ(ip, 0xFFFFFFFFu);
+  ASSERT_TRUE(ParseIpv4("0.0.0.0", &ip));
+  EXPECT_EQ(ip, 0u);
+}
+
+TEST(FlowTest, ParseIpv4RejectsMalformed) {
+  uint32_t ip = 0;
+  EXPECT_FALSE(ParseIpv4("10.1.2", &ip));
+  EXPECT_FALSE(ParseIpv4("10.1.2.256", &ip));
+  EXPECT_FALSE(ParseIpv4("10.1.2.3.4", &ip));
+  EXPECT_FALSE(ParseIpv4("banana", &ip));
+  EXPECT_FALSE(ParseIpv4("", &ip));
+}
+
+TEST(FlowTest, FormatFlowIsReadable) {
+  FiveTuple t{0x0A000001, 0xC0A80101, 443, 8080, 6};
+  EXPECT_EQ(FormatFlow(t), "10.0.0.1:443->192.168.1.1:8080/6");
+}
+
+TEST(FlowTest, EqualityOperator) {
+  FiveTuple a{1, 2, 3, 4, 5};
+  FiveTuple b{1, 2, 3, 4, 5};
+  FiveTuple c{1, 2, 3, 4, 6};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace qf

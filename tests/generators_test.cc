@@ -1,0 +1,111 @@
+#include "stream/generators.h"
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_detector.h"
+
+namespace qf {
+namespace {
+
+TEST(GeneratorsTest, ZipfTraceShape) {
+  ZipfTraceOptions o;
+  o.num_items = 200000;
+  o.num_keys = 20000;
+  Trace trace = GenerateZipfTrace(o);
+  ASSERT_EQ(trace.size(), o.num_items);
+  size_t keys = DistinctKeys(trace);
+  EXPECT_GT(keys, 5000u);
+  EXPECT_LE(keys, o.num_keys);
+  for (const Item& item : trace) EXPECT_GT(item.value, -1000.0);
+}
+
+TEST(GeneratorsTest, ZipfTraceKeySkew) {
+  ZipfTraceOptions o;
+  o.num_items = 200000;
+  o.num_keys = 20000;
+  o.key_alpha = 1.2;
+  Trace trace = GenerateZipfTrace(o);
+  std::unordered_map<uint64_t, int> freq;
+  for (const Item& item : trace) ++freq[item.key];
+  int max_freq = 0;
+  for (const auto& [k, f] : freq) max_freq = std::max(max_freq, f);
+  // Zipf(1.2): the top key should hold a noticeable share of the stream.
+  EXPECT_GT(max_freq, static_cast<int>(o.num_items / 50));
+}
+
+TEST(GeneratorsTest, ZipfTraceIsDeterministicPerSeed) {
+  ZipfTraceOptions o;
+  o.num_items = 1000;
+  Trace a = GenerateZipfTrace(o);
+  Trace b = GenerateZipfTrace(o);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+  o.seed = 99;
+  Trace c = GenerateZipfTrace(o);
+  int diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff += (a[i].key != c[i].key);
+  EXPECT_GT(diff, 100);
+}
+
+TEST(GeneratorsTest, InternetTraceAbnormalFractionNearPaper) {
+  InternetTraceOptions o;
+  o.num_items = 300000;
+  o.num_keys = 30000;
+  Trace trace = GenerateInternetTrace(o);
+  // Paper: T=300 yields ~7.6% abnormal items on the Internet dataset.
+  double frac = AbnormalFraction(trace, 300.0);
+  EXPECT_GT(frac, 0.03);
+  EXPECT_LT(frac, 0.15);
+}
+
+TEST(GeneratorsTest, InternetTraceHasOutstandingKeys) {
+  InternetTraceOptions o;
+  o.num_items = 300000;
+  o.num_keys = 30000;
+  Trace trace = GenerateInternetTrace(o);
+  auto truth = TrueOutstandingKeys(trace, Criteria(30, 0.95, 300.0));
+  // The anomaly injection must produce a detectable positive class that is
+  // still a small minority of keys.
+  EXPECT_GT(truth.size(), 20u);
+  EXPECT_LT(truth.size(), DistinctKeys(trace) / 5);
+}
+
+TEST(GeneratorsTest, CloudTraceHighCardinality) {
+  CloudTraceOptions o;
+  o.num_items = 200000;
+  Trace trace = GenerateCloudTrace(o);
+  // Most keys appear a handful of times: distinct keys ~ a large fraction
+  // of the stream length.
+  size_t keys = DistinctKeys(trace);
+  EXPECT_GT(keys, trace.size() / 10);
+}
+
+TEST(GeneratorsTest, CloudTraceAbnormalFractionNearPaper) {
+  CloudTraceOptions o;
+  o.num_items = 200000;
+  Trace trace = GenerateCloudTrace(o);
+  // Paper: T=20s yields ~4.6% abnormal on the Cloud dataset.
+  double frac = AbnormalFraction(trace, 20000.0);
+  EXPECT_GT(frac, 0.01);
+  EXPECT_LT(frac, 0.12);
+}
+
+TEST(GeneratorsTest, AbnormalFractionEdgeCases) {
+  EXPECT_EQ(AbnormalFraction({}, 10.0), 0.0);
+  Trace t{{1, 5.0}, {2, 15.0}};
+  EXPECT_DOUBLE_EQ(AbnormalFraction(t, 10.0), 0.5);
+}
+
+TEST(GeneratorsTest, KeysAreNeverZero) {
+  ZipfTraceOptions o;
+  o.num_items = 10000;
+  for (const Item& item : GenerateZipfTrace(o)) EXPECT_NE(item.key, 0u);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,107 @@
+#include "quantile/gk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+// Rank of `value` within sorted `data` (number of elements <= value).
+uint64_t TrueRank(const std::vector<double>& data, double value) {
+  return static_cast<uint64_t>(
+      std::upper_bound(data.begin(), data.end(), value) - data.begin());
+}
+
+TEST(GkSummaryTest, EmptySummaryReturnsZero) {
+  GkSummary gk(0.01);
+  EXPECT_EQ(gk.count(), 0u);
+  EXPECT_EQ(gk.Quantile(0.5), 0.0);
+}
+
+TEST(GkSummaryTest, SingleValue) {
+  GkSummary gk(0.01);
+  gk.Insert(42.0);
+  EXPECT_EQ(gk.Quantile(0.0), 42.0);
+  EXPECT_EQ(gk.Quantile(0.5), 42.0);
+  EXPECT_EQ(gk.Quantile(1.0), 42.0);
+}
+
+TEST(GkSummaryTest, ExactOnSmallSortedInput) {
+  GkSummary gk(0.001);
+  for (int i = 1; i <= 100; ++i) gk.Insert(i);
+  // With eps = 0.1 ranks, answers should be within a couple of ranks.
+  EXPECT_NEAR(gk.Quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(gk.Quantile(0.95), 95.0, 2.0);
+  EXPECT_NEAR(gk.Quantile(0.0), 1.0, 2.0);
+}
+
+TEST(GkSummaryTest, RankErrorWithinBoundOnUniformData) {
+  const double eps = 0.01;
+  GkSummary gk(eps);
+  Rng rng(11);
+  std::vector<double> data;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextDouble() * 1000.0;
+    data.push_back(v);
+    gk.Insert(v);
+  }
+  std::sort(data.begin(), data.end());
+  for (double phi : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    double q = gk.Quantile(phi);
+    double rank_err =
+        std::abs(static_cast<double>(TrueRank(data, q)) - phi * n) / n;
+    EXPECT_LE(rank_err, 3.0 * eps) << "phi=" << phi;
+  }
+}
+
+TEST(GkSummaryTest, RankErrorOnAdversarialSortedInput) {
+  const double eps = 0.01;
+  GkSummary gk(eps);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) gk.Insert(i);  // ascending insertion order
+  for (double phi : {0.25, 0.5, 0.75, 0.95}) {
+    double q = gk.Quantile(phi);
+    EXPECT_NEAR(q / n, phi, 3.0 * eps) << "phi=" << phi;
+  }
+}
+
+TEST(GkSummaryTest, SummaryIsSublinear) {
+  GkSummary gk(0.01);
+  Rng rng(12);
+  for (int i = 0; i < 100000; ++i) gk.Insert(rng.NextDouble());
+  // A 1% summary of 100k items should hold far fewer than 5000 tuples.
+  EXPECT_LT(gk.summary_size(), 5000u);
+  EXPECT_GT(gk.summary_size(), 10u);
+}
+
+TEST(GkSummaryTest, ValueAtRankClampsOutOfRange) {
+  GkSummary gk(0.01);
+  for (int i = 1; i <= 10; ++i) gk.Insert(i);
+  EXPECT_NEAR(gk.ValueAtRank(1000), 10.0, 1.0);
+}
+
+TEST(GkSummaryTest, ClearResets) {
+  GkSummary gk(0.01);
+  for (int i = 0; i < 100; ++i) gk.Insert(i);
+  gk.Clear();
+  EXPECT_EQ(gk.count(), 0u);
+  EXPECT_EQ(gk.summary_size(), 0u);
+  gk.Insert(5.0);
+  EXPECT_EQ(gk.Quantile(0.5), 5.0);
+}
+
+TEST(GkSummaryTest, DuplicateValuesHandled) {
+  GkSummary gk(0.01);
+  for (int i = 0; i < 1000; ++i) gk.Insert(7.0);
+  EXPECT_EQ(gk.Quantile(0.5), 7.0);
+  EXPECT_EQ(gk.Quantile(0.99), 7.0);
+}
+
+}  // namespace
+}  // namespace qf

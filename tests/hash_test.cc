@@ -1,0 +1,148 @@
+#include "common/hash.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qf {
+namespace {
+
+TEST(Mix64Test, IsDeterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_EQ(Mix64(0), Mix64(0));
+}
+
+TEST(Mix64Test, DistinctInputsGiveDistinctOutputs) {
+  // Mix64 is bijective; sampled inputs must never collide.
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64Test, AvalanchesLowBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  const int trials = 256;
+  for (int t = 0; t < trials; ++t) {
+    uint64_t x = Mix64(t * 0x1234567ULL);
+    uint64_t y = x ^ 1;
+    total_flips += __builtin_popcountll(Mix64(x) ^ Mix64(y));
+  }
+  double avg = static_cast<double>(total_flips) / trials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashKeyTest, SeedChangesHash) {
+  EXPECT_NE(HashKey(123, 1), HashKey(123, 2));
+  EXPECT_EQ(HashKey(123, 7), HashKey(123, 7));
+}
+
+TEST(HashBytesTest, MatchesForSameInput) {
+  std::string s = "10.0.0.1:443->10.0.0.2:8080/tcp";
+  EXPECT_EQ(HashBytes(s, 9), HashBytes(s, 9));
+  EXPECT_NE(HashBytes(s, 9), HashBytes(s, 10));
+}
+
+TEST(HashBytesTest, SensitiveToEveryByte) {
+  std::string s(37, 'a');  // exercises both the block loop and the tail
+  uint64_t base = HashBytes(s, 1);
+  for (size_t i = 0; i < s.size(); ++i) {
+    std::string t = s;
+    t[i] = 'b';
+    EXPECT_NE(HashBytes(t, 1), base) << "byte " << i << " ignored";
+  }
+}
+
+TEST(HashBytesTest, EmptyInputIsValid) {
+  EXPECT_EQ(HashBytes("", 5), HashBytes("", 5));
+  EXPECT_NE(HashBytes("", 5), HashBytes("", 6));
+}
+
+TEST(HashFamilyTest, IndexStaysInRange) {
+  HashFamily family(4, 99);
+  for (uint64_t key = 0; key < 5000; ++key) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_LT(family.Index(key, i, 77), 77u);
+    }
+  }
+}
+
+TEST(HashFamilyTest, IndexIsRoughlyUniform) {
+  HashFamily family(1, 1234);
+  const uint32_t width = 64;
+  const int n = 64000;
+  std::vector<int> histogram(width, 0);
+  for (int key = 0; key < n; ++key) ++histogram[family.Index(key, 0, width)];
+  // Expected 1000 per cell; chi-square-ish loose bounds.
+  for (uint32_t c = 0; c < width; ++c) {
+    EXPECT_GT(histogram[c], 800) << "cell " << c;
+    EXPECT_LT(histogram[c], 1200) << "cell " << c;
+  }
+}
+
+TEST(HashFamilyTest, SignIsBalanced) {
+  HashFamily family(3, 777);
+  for (int row = 0; row < 3; ++row) {
+    int plus = 0;
+    const int n = 20000;
+    for (int key = 0; key < n; ++key) {
+      int s = family.Sign(key, row);
+      ASSERT_TRUE(s == 1 || s == -1);
+      plus += (s == 1);
+    }
+    EXPECT_GT(plus, n / 2 - 600);
+    EXPECT_LT(plus, n / 2 + 600);
+  }
+}
+
+TEST(HashFamilyTest, RowsAreDecorrelated) {
+  HashFamily family(2, 31337);
+  // Keys colliding in row 0 should not systematically collide in row 1.
+  const uint32_t width = 128;
+  int both = 0, first = 0;
+  for (uint64_t a = 0; a < 2000; ++a) {
+    uint64_t b = a + 50000;
+    bool c0 = family.Index(a, 0, width) == family.Index(b, 0, width);
+    bool c1 = family.Index(a, 1, width) == family.Index(b, 1, width);
+    first += c0;
+    both += (c0 && c1);
+  }
+  // P(collide row1 | collide row0) should be ~1/width, certainly << 1/4.
+  if (first > 0) {
+    EXPECT_LT(static_cast<double>(both) / first, 0.25);
+  }
+}
+
+TEST(FingerprintTest, NeverZeroAndWithinBits) {
+  for (uint64_t key = 0; key < 20000; ++key) {
+    uint32_t fp = Fingerprint(key, 11, 16);
+    EXPECT_NE(fp, 0u);
+    EXPECT_LT(fp, 1u << 16);
+  }
+}
+
+TEST(FingerprintTest, SmallWidthsStillWork) {
+  for (uint64_t key = 0; key < 100; ++key) {
+    uint32_t fp = Fingerprint(key, 3, 1);
+    EXPECT_EQ(fp, 1u);  // 1-bit fingerprints can only be 1 (0 is reserved)
+  }
+}
+
+TEST(FingerprintTest, CollisionRateMatchesWidth) {
+  // With 16-bit fingerprints, two random keys collide w.p. ~2^-16.
+  int collisions = 0;
+  const int pairs = 200000;
+  for (int i = 0; i < pairs; ++i) {
+    uint32_t a = Fingerprint(2 * i, 5, 16);
+    uint32_t b = Fingerprint(2 * i + 1, 5, 16);
+    collisions += (a == b);
+  }
+  EXPECT_LT(collisions, 30);  // expected ~3
+}
+
+}  // namespace
+}  // namespace qf

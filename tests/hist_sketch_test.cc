@@ -1,0 +1,86 @@
+#include "baseline/hist_sketch.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+HistSketch::Options DefaultOptions() {
+  HistSketch::Options o;
+  o.memory_bytes = 1 << 20;
+  return o;
+}
+
+TEST(HistSketchTest, ReportsPersistentlyAbnormalKey) {
+  HistSketch hs(DefaultOptions(), Criteria(5, 0.9, 100));
+  int reports = 0;
+  for (int i = 0; i < 1000; ++i) reports += hs.Insert(1, 500.0);
+  EXPECT_GT(reports, 0);
+}
+
+TEST(HistSketchTest, QuietKeyNotReported) {
+  HistSketch hs(DefaultOptions(), Criteria(5, 0.9, 100));
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(hs.Insert(1, 10.0));
+}
+
+TEST(HistSketchTest, ReportTimingMatchesDefinitionUpToBuckets) {
+  // With exact per-key histograms and values inside one bucket, timing is
+  // exactly Definition 4: eps=3, delta=0.75, all abnormal -> item 4.
+  Criteria c(3, 0.75, 100);
+  HistSketch hs(DefaultOptions(), c);
+  int reported_at = -1;
+  for (int i = 1; i <= 20; ++i) {
+    if (hs.Insert(42, 500.0)) {
+      reported_at = i;
+      break;
+    }
+  }
+  EXPECT_EQ(reported_at, 4);
+}
+
+TEST(HistSketchTest, MemoryGrowsWithKeyCardinality) {
+  // The structural flaw the paper highlights: per-key state means memory is
+  // proportional to distinct keys, regardless of the nominal budget.
+  HistSketch hs(DefaultOptions(), Criteria());
+  Rng rng(1);
+  size_t after_1k = 0;
+  for (int i = 0; i < 100000; ++i) {
+    hs.Insert(rng.Next(), 10.0);
+    if (i == 999) after_1k = hs.MemoryBytes();
+  }
+  EXPECT_GT(hs.MemoryBytes(), after_1k * 50);
+  EXPECT_EQ(hs.tracked_keys(), 100000u);
+}
+
+TEST(HistSketchTest, QuantileFromHistogram) {
+  HistSketch hs(DefaultOptions(), Criteria(0, 0.5, 1e18));
+  for (int i = 0; i < 100; ++i) hs.Insert(9, 700.0);  // bucket 9: [512,1024)
+  EXPECT_EQ(hs.QueryQuantile(9), 512.0);
+  EXPECT_EQ(hs.QueryQuantile(12345),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(HistSketchTest, ResetClears) {
+  HistSketch hs(DefaultOptions(), Criteria(3, 0.75, 100));
+  hs.Insert(1, 500.0);
+  hs.Reset();
+  EXPECT_EQ(hs.tracked_keys(), 0u);
+}
+
+TEST(HistSketchTest, BucketGranularityLimitsPrecision) {
+  // A value just above T but in the same log bucket as T is indistinguishable
+  // from one below it — the histogram's inherent quantization error.
+  Criteria c(0, 0.5, 600.0);  // T=600 inside bucket [512,1024)
+  HistSketch hs(DefaultOptions(), c);
+  int reports = 0;
+  for (int i = 0; i < 100; ++i) reports += hs.Insert(1, 700.0);  // abnormal
+  // Bucket lower edge 512 < 600, so HistSketch never sees these as above T.
+  EXPECT_EQ(reports, 0);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,143 @@
+// Second integration suite: Zipf / Cloud workloads, windowed and sharded
+// wrappers, and distributed merge, exercised end-to-end against ground
+// truth.
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_detector.h"
+#include "core/monitor.h"
+#include "core/quantile_filter.h"
+#include "core/sharded_filter.h"
+#include "core/windowed_filter.h"
+#include "eval/runner.h"
+#include "stream/generators.h"
+
+namespace qf {
+namespace {
+
+TEST(Integration2Test, ZipfTraceEndToEnd) {
+  ZipfTraceOptions o;
+  o.num_items = 150000;
+  o.num_keys = 20000;
+  Trace trace = GenerateZipfTrace(o);
+  Criteria c(30, 0.95, 300.0);
+  auto truth = TrueOutstandingKeys(trace, c);
+  ASSERT_GT(truth.size(), 0u);
+
+  DefaultQuantileFilter::Options fo;
+  fo.memory_bytes = 128 * 1024;
+  DefaultQuantileFilter filter(fo, c);
+  RunResult r = RunDetector(filter, trace, truth);
+  EXPECT_GT(r.accuracy.f1, 0.85);
+}
+
+TEST(Integration2Test, CloudTraceHighCardinalityEndToEnd) {
+  CloudTraceOptions o;
+  o.num_items = 150000;
+  Trace trace = GenerateCloudTrace(o);
+  Criteria c(30, 0.95, 20000.0);
+  auto truth = TrueOutstandingKeys(trace, c);
+
+  DefaultQuantileFilter::Options fo;
+  fo.memory_bytes = 64 * 1024;
+  DefaultQuantileFilter filter(fo, c);
+  RunResult r = RunDetector(filter, trace, truth);
+  // Hundreds of thousands of keys vs a 64KB filter: precision must hold.
+  EXPECT_GT(r.accuracy.precision, 0.8);
+  EXPECT_GT(r.accuracy.recall, 0.8);
+}
+
+TEST(Integration2Test, ShardedMatchesUnshardedAccuracy) {
+  InternetTraceOptions o;
+  o.num_items = 150000;
+  o.num_keys = 8000;
+  Trace trace = GenerateInternetTrace(o);
+  Criteria c(30, 0.95, 300.0);
+  auto truth = TrueOutstandingKeys(trace, c);
+
+  DefaultQuantileFilter::Options fo;
+  fo.memory_bytes = 256 * 1024;
+  DefaultQuantileFilter plain(fo, c);
+  RunResult plain_result = RunDetector(plain, trace, truth);
+
+  ShardedQuantileFilter<CountSketch<int16_t>> sharded(fo, c, 4);
+  RunResult sharded_result = RunDetector(sharded, trace, truth);
+  EXPECT_NEAR(sharded_result.accuracy.f1, plain_result.accuracy.f1, 0.1);
+}
+
+TEST(Integration2Test, WindowedFilterDetectsWithinWindowOnly) {
+  // An anomaly confined to the second half of the stream: the windowed
+  // filter (window = half the stream) must still catch it, and a stale
+  // first-window anomaly must not leak into window two's reports.
+  Criteria c(5, 0.9, 100.0);
+  WindowedQuantileFilter<CountSketch<int16_t>>::Filter::Options fo;
+  fo.memory_bytes = 64 * 1024;
+  WindowedQuantileFilter<CountSketch<int16_t>> filter(fo, c, 50000);
+
+  Rng rng(2);
+  int window1_reports_for_late_key = 0;
+  for (int i = 0; i < 50000; ++i) {
+    filter.Insert(1 + rng.NextBounded(1000), 50.0);
+  }
+  int window2_reports = 0;
+  for (int i = 0; i < 50000; ++i) {
+    filter.Insert(1 + rng.NextBounded(1000), 50.0);
+    if (i % 10 == 0) {
+      window2_reports += filter.Insert(99999, rng.Bernoulli(0.5) ? 300.0 : 50.0);
+    }
+  }
+  EXPECT_EQ(window1_reports_for_late_key, 0);
+  EXPECT_GT(window2_reports, 0);
+  EXPECT_GE(filter.windows_completed(), 1u);
+}
+
+TEST(Integration2Test, MonitorOnRealTraceRespectsCooldown) {
+  InternetTraceOptions o;
+  o.num_items = 150000;
+  o.num_keys = 8000;
+  Trace trace = GenerateInternetTrace(o);
+  Criteria c(30, 0.95, 300.0);
+
+  Monitor::Options mo;
+  mo.filter.memory_bytes = 256 * 1024;
+  mo.cooldown_items = 50000;
+  uint64_t alerts = 0;
+  Monitor monitor(mo, c, [&](const Monitor::Alert&) { ++alerts; });
+  for (const Item& item : trace) monitor.Observe(item.key, item.value);
+
+  EXPECT_GT(alerts, 0u);
+  // Raw reports (alerts + suppressed) must exceed cooled-down alerts for a
+  // trace where keys stay outstanding.
+  EXPECT_GT(monitor.alerts_suppressed(), 0u);
+  EXPECT_EQ(monitor.items_observed(), trace.size());
+}
+
+TEST(Integration2Test, MergedHalvesApproximateFullRunDetection) {
+  InternetTraceOptions o;
+  o.num_items = 100000;
+  o.num_keys = 5000;
+  Trace trace = GenerateInternetTrace(o);
+  Criteria c(1e12, 0.95, 300.0);  // query-only regime, no resets
+
+  DefaultQuantileFilter::Options fo;
+  fo.memory_bytes = 1 << 20;
+  DefaultQuantileFilter a(fo, c), b(fo, c), full(fo, c);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    (i < trace.size() / 2 ? a : b).Insert(trace[i].key, trace[i].value);
+    full.Insert(trace[i].key, trace[i].value);
+  }
+  ASSERT_TRUE(a.MergeFrom(b));
+
+  // Candidate-resident keys must agree exactly; sample a few hundred.
+  int checked = 0, agreed = 0;
+  for (size_t i = 0; i < trace.size() && checked < 500; i += 97) {
+    ++checked;
+    int64_t merged_q = a.QueryQweight(trace[i].key);
+    int64_t full_q = full.QueryQweight(trace[i].key);
+    agreed += (merged_q == full_q);
+  }
+  EXPECT_GT(agreed, checked * 9 / 10);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,169 @@
+// End-to-end accuracy integration tests: the full pipeline
+// (generator -> detector -> metrics) must reproduce the paper's qualitative
+// claims at test scale.
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_detector.h"
+#include "baseline/hist_sketch.h"
+#include "baseline/sketch_polymer.h"
+#include "baseline/squad.h"
+#include "core/naive_filter.h"
+#include "core/quantile_filter.h"
+#include "eval/runner.h"
+#include "stream/generators.h"
+
+namespace qf {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    InternetTraceOptions o;
+    o.num_items = 200000;
+    o.num_keys = 10000;
+    trace_ = new Trace(GenerateInternetTrace(o));
+    criteria_ = new Criteria(30, 0.95, 300.0);
+    truth_ = new std::unordered_set<uint64_t>(
+        TrueOutstandingKeys(*trace_, *criteria_));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete criteria_;
+    delete truth_;
+  }
+
+  static Trace* trace_;
+  static Criteria* criteria_;
+  static std::unordered_set<uint64_t>* truth_;
+};
+
+Trace* IntegrationFixture::trace_ = nullptr;
+Criteria* IntegrationFixture::criteria_ = nullptr;
+std::unordered_set<uint64_t>* IntegrationFixture::truth_ = nullptr;
+
+TEST_F(IntegrationFixture, GroundTruthIsNonTrivial) {
+  EXPECT_GT(truth_->size(), 10u);
+  EXPECT_LT(truth_->size(), 2000u);
+}
+
+TEST_F(IntegrationFixture, QuantileFilterHighF1AtModerateMemory) {
+  DefaultQuantileFilter::Options o;
+  o.memory_bytes = 512 * 1024;
+  DefaultQuantileFilter filter(o, *criteria_);
+  RunResult r = RunDetector(filter, *trace_, *truth_);
+  EXPECT_GT(r.accuracy.f1, 0.85) << "precision=" << r.accuracy.precision
+                                 << " recall=" << r.accuracy.recall;
+}
+
+TEST_F(IntegrationFixture, QuantileFilterPrecisionStaysHighWhenMemoryShrinks) {
+  // Paper: "our algorithm maintains a consistently high level of precision
+  // irrespective of the space constraints" (unilaterality).
+  for (size_t budget : {16u * 1024u, 64u * 1024u, 256u * 1024u}) {
+    DefaultQuantileFilter::Options o;
+    o.memory_bytes = budget;
+    DefaultQuantileFilter filter(o, *criteria_);
+    RunResult r = RunDetector(filter, *trace_, *truth_);
+    EXPECT_GT(r.accuracy.precision, 0.7) << "budget=" << budget;
+  }
+}
+
+TEST_F(IntegrationFixture, RecallImprovesWithMemory) {
+  auto recall_at = [&](size_t budget) {
+    DefaultQuantileFilter::Options o;
+    o.memory_bytes = budget;
+    DefaultQuantileFilter filter(o, *criteria_);
+    return RunDetector(filter, *trace_, *truth_).accuracy.recall;
+  };
+  double small = recall_at(8 * 1024);
+  double large = recall_at(1024 * 1024);
+  EXPECT_GT(large, 0.9);
+  EXPECT_GE(large, small);
+}
+
+TEST_F(IntegrationFixture, QuantileFilterBeatsNaiveAtSameMemory) {
+  const size_t budget = 64 * 1024;
+  DefaultQuantileFilter::Options o;
+  o.memory_bytes = budget;
+  DefaultQuantileFilter filter(o, *criteria_);
+  RunResult qf_result = RunDetector(filter, *trace_, *truth_);
+
+  NaiveDualCsketchFilter::Options no;
+  no.memory_bytes = budget;
+  NaiveDualCsketchFilter naive(no, *criteria_);
+  RunResult naive_result = RunDetector(naive, *trace_, *truth_);
+
+  EXPECT_GT(qf_result.accuracy.f1, naive_result.accuracy.f1);
+}
+
+TEST_F(IntegrationFixture, QuantileFilterBeatsSotaAtSmallMemory) {
+  // The headline space claim, at test scale: at a small budget QF's F1 far
+  // exceeds every SOTA baseline's.
+  const size_t budget = 64 * 1024;
+
+  DefaultQuantileFilter::Options o;
+  o.memory_bytes = budget;
+  DefaultQuantileFilter filter(o, *criteria_);
+  double qf_f1 = RunDetector(filter, *trace_, *truth_).accuracy.f1;
+
+  Squad::Options so;
+  so.memory_bytes = budget;
+  Squad squad(so, *criteria_);
+  double squad_f1 = RunDetector(squad, *trace_, *truth_).accuracy.f1;
+
+  SketchPolymer::Options po;
+  po.memory_bytes = budget;
+  SketchPolymer polymer(po, *criteria_);
+  double polymer_f1 = RunDetector(polymer, *trace_, *truth_).accuracy.f1;
+
+  EXPECT_GT(qf_f1, squad_f1);
+  EXPECT_GT(qf_f1, polymer_f1);
+  EXPECT_GT(qf_f1, 0.6);
+}
+
+TEST_F(IntegrationFixture, SquadConvergesWithAmpleMemory) {
+  Squad::Options so;
+  so.memory_bytes = 64 << 20;
+  Squad squad(so, *criteria_);
+  RunResult r = RunDetector(squad, *trace_, *truth_);
+  EXPECT_GT(r.accuracy.f1, 0.7);
+}
+
+TEST_F(IntegrationFixture, VariantsAllReachGoodF1) {
+  for (auto strategy :
+       {ElectionStrategy::kComparative, ElectionStrategy::kProbabilistic,
+        ElectionStrategy::kForceful}) {
+    DefaultQuantileFilter::Options o;
+    o.memory_bytes = 512 * 1024;
+    o.election = strategy;
+    DefaultQuantileFilter filter(o, *criteria_);
+    RunResult r = RunDetector(filter, *trace_, *truth_);
+    EXPECT_GT(r.accuracy.f1, 0.8) << "strategy "
+                                  << static_cast<int>(strategy);
+  }
+}
+
+TEST_F(IntegrationFixture, HistSketchMemoryBlowsUpOnHighCardinality) {
+  CloudTraceOptions co;
+  co.num_items = 100000;
+  Trace cloud = GenerateCloudTrace(co);
+  HistSketch::Options ho;
+  ho.memory_bytes = 64 * 1024;  // nominal budget is ignored by design
+  HistSketch hs(ho, Criteria(30, 0.95, 20000.0));
+  for (const Item& item : cloud) hs.Insert(item.key, item.value);
+  EXPECT_GT(hs.MemoryBytes(), 10u * ho.memory_bytes);
+}
+
+TEST_F(IntegrationFixture, ResetKeepsDetectorUsable) {
+  DefaultQuantileFilter::Options o;
+  o.memory_bytes = 256 * 1024;
+  DefaultQuantileFilter filter(o, *criteria_);
+  RunResult first = RunDetector(filter, *trace_, *truth_);
+  filter.Reset();
+  filter.ClearStats();
+  RunResult second = RunDetector(filter, *trace_, *truth_);
+  EXPECT_NEAR(second.accuracy.f1, first.accuracy.f1, 0.1);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,102 @@
+#include "quantile/kll.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+TEST(KllSketchTest, EmptySketch) {
+  KllSketch kll(64);
+  EXPECT_EQ(kll.count(), 0u);
+  EXPECT_EQ(kll.Quantile(0.5), 0.0);
+}
+
+TEST(KllSketchTest, ExactBelowCompactionThreshold) {
+  KllSketch kll(256);
+  for (int i = 1; i <= 50; ++i) kll.Insert(i);
+  EXPECT_EQ(kll.count(), 50u);
+  EXPECT_NEAR(kll.Quantile(0.5), 25.0, 1.0);
+  EXPECT_NEAR(kll.Quantile(0.0), 1.0, 0.5);
+}
+
+TEST(KllSketchTest, RankErrorOnUniformStream) {
+  KllSketch kll(200);
+  Rng rng(13);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) kll.Insert(rng.NextDouble());
+  for (double phi : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    // Uniform data: the phi-quantile is phi itself.
+    EXPECT_NEAR(kll.Quantile(phi), phi, 0.05) << "phi=" << phi;
+  }
+}
+
+TEST(KllSketchTest, LargerKIsMoreAccurate) {
+  auto max_err = [](int k) {
+    KllSketch kll(k, 99);
+    Rng rng(14);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) kll.Insert(rng.NextDouble());
+    double worst = 0;
+    for (double phi = 0.05; phi < 1.0; phi += 0.05) {
+      worst = std::max(worst, std::abs(kll.Quantile(phi) - phi));
+    }
+    return worst;
+  };
+  EXPECT_LT(max_err(400), max_err(16));
+}
+
+TEST(KllSketchTest, MemoryIsSublinearInStreamLength) {
+  KllSketch kll(128);
+  Rng rng(15);
+  for (int i = 0; i < 200000; ++i) kll.Insert(rng.NextDouble());
+  // 200k doubles raw = 1.6MB; the sketch must be a small fraction.
+  EXPECT_LT(kll.MemoryBytes(), 64u * 1024u);
+}
+
+TEST(KllSketchTest, RankIsMonotone) {
+  KllSketch kll(128);
+  Rng rng(16);
+  for (int i = 0; i < 20000; ++i) kll.Insert(rng.NextDouble() * 100);
+  uint64_t prev = 0;
+  for (double v = 0; v <= 100; v += 5) {
+    uint64_t r = kll.Rank(v);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_NEAR(static_cast<double>(kll.Rank(50.0)) / kll.count(), 0.5, 0.05);
+}
+
+TEST(KllSketchTest, ClearResets) {
+  KllSketch kll(64);
+  for (int i = 0; i < 1000; ++i) kll.Insert(i);
+  kll.Clear();
+  EXPECT_EQ(kll.count(), 0u);
+  kll.Insert(3.0);
+  EXPECT_EQ(kll.Quantile(0.5), 3.0);
+}
+
+TEST(KllSketchTest, SkewedDistributionTail) {
+  // Exponential-ish data: verify tail quantile ordering is preserved.
+  KllSketch kll(256);
+  Rng rng(17);
+  for (int i = 0; i < 50000; ++i) {
+    kll.Insert(-std::log(1.0 - rng.NextDouble()));
+  }
+  double q50 = kll.Quantile(0.5);
+  double q95 = kll.Quantile(0.95);
+  double q99 = kll.Quantile(0.99);
+  EXPECT_LT(q50, q95);
+  EXPECT_LT(q95, q99);
+  // Exponential(1): medians/quantiles are -ln(1-phi).
+  EXPECT_NEAR(q50, 0.693, 0.12);
+  EXPECT_NEAR(q95, 3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,38 @@
+#include "common/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace qf {
+namespace {
+
+TEST(ElemsForBudgetTest, DividesEvenly) {
+  EXPECT_EQ(ElemsForBudget(1024, 4), 256u);
+  EXPECT_EQ(ElemsForBudget(1024, 2), 512u);
+}
+
+TEST(ElemsForBudgetTest, EnforcesMinimum) {
+  EXPECT_EQ(ElemsForBudget(0, 4), 1u);
+  EXPECT_EQ(ElemsForBudget(3, 4), 1u);
+  EXPECT_EQ(ElemsForBudget(8, 4, 10), 10u);
+}
+
+TEST(ElemsForBudgetTest, ZeroElemBytesIsSafe) {
+  EXPECT_EQ(ElemsForBudget(1024, 0, 7), 7u);
+}
+
+TEST(ShareTest, SplitsProportionally) {
+  EXPECT_EQ(Share(100, 4, 1), 80u);
+  EXPECT_EQ(Share(100, 1, 4), 20u);
+  EXPECT_EQ(Share(100, 1, 1), 50u);
+}
+
+TEST(FloorPow2Test, RoundsDown) {
+  EXPECT_EQ(FloorPow2(1), 1u);
+  EXPECT_EQ(FloorPow2(2), 2u);
+  EXPECT_EQ(FloorPow2(3), 2u);
+  EXPECT_EQ(FloorPow2(1023), 512u);
+  EXPECT_EQ(FloorPow2(1024), 1024u);
+}
+
+}  // namespace
+}  // namespace qf

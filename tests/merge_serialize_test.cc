@@ -1,0 +1,177 @@
+// Merge (distributed collection) and checkpoint/restore tests for the
+// sketches and the full QuantileFilter.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/quantile_filter.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/count_sketch.h"
+#include "stream/generators.h"
+
+namespace qf {
+namespace {
+
+using Filter = QuantileFilter<CountSketch<int32_t>>;
+
+Filter::Options MediumOptions() {
+  Filter::Options o;
+  o.memory_bytes = 128 * 1024;
+  return o;
+}
+
+TEST(SketchMergeTest, CountSketchMergeEqualsUnionStream) {
+  CountSketch<int32_t> a(3, 2048, 5), b(3, 2048, 5), u(3, 2048, 5);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t key = rng.NextBounded(500);
+    int64_t w = rng.Bernoulli(0.5) ? 9 : -1;
+    (i % 2 == 0 ? a : b).Add(key, w);
+    u.Add(key, w);
+  }
+  ASSERT_TRUE(a.MergeFrom(b));
+  for (uint64_t k = 0; k < 500; ++k) {
+    EXPECT_EQ(a.Estimate(k), u.Estimate(k)) << "key " << k;
+  }
+}
+
+TEST(SketchMergeTest, MergeRejectsGeometryMismatch) {
+  CountSketch<int32_t> a(3, 2048, 5);
+  CountSketch<int32_t> b(3, 1024, 5);
+  CountSketch<int32_t> c(2, 2048, 5);
+  CountSketch<int32_t> d(3, 2048, 6);
+  EXPECT_FALSE(a.MergeFrom(b));
+  EXPECT_FALSE(a.MergeFrom(c));
+  EXPECT_FALSE(a.MergeFrom(d));
+}
+
+TEST(SketchMergeTest, CountMinMergeAccumulates) {
+  CountMinSketch<int32_t> a(2, 1024, 9), b(2, 1024, 9);
+  a.Add(7, 5);
+  b.Add(7, 11);
+  ASSERT_TRUE(a.MergeFrom(b));
+  EXPECT_EQ(a.Estimate(7), 16);
+}
+
+TEST(SketchSerializeTest, CountSketchRoundTrip) {
+  CountSketch<int16_t> a(3, 512, 17);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    a.Add(rng.NextBounded(300), rng.Bernoulli(0.5) ? 3 : -2);
+  }
+  std::vector<uint8_t> bytes;
+  a.AppendTo(&bytes);
+
+  CountSketch<int16_t> b(3, 512, 17);
+  ByteReader reader(bytes);
+  ASSERT_TRUE(b.ReadFrom(&reader));
+  for (uint64_t k = 0; k < 300; ++k) EXPECT_EQ(a.Estimate(k), b.Estimate(k));
+}
+
+TEST(SketchSerializeTest, RestoreRejectsWrongGeometry) {
+  CountSketch<int16_t> a(3, 512, 17);
+  std::vector<uint8_t> bytes;
+  a.AppendTo(&bytes);
+  CountSketch<int16_t> wrong(3, 256, 17);
+  ByteReader reader(bytes);
+  EXPECT_FALSE(wrong.ReadFrom(&reader));
+}
+
+TEST(SketchSerializeTest, TruncatedBufferFails) {
+  CountSketch<int16_t> a(3, 512, 17);
+  std::vector<uint8_t> bytes;
+  a.AppendTo(&bytes);
+  bytes.resize(bytes.size() / 2);
+  CountSketch<int16_t> b(3, 512, 17);
+  ByteReader reader(bytes);
+  EXPECT_FALSE(b.ReadFrom(&reader));
+}
+
+TEST(FilterMergeTest, TwoMonitorsEqualOneForQueries) {
+  // Split a stream across two monitors; after merging, every key's Qweight
+  // estimate must match a single filter that saw the whole stream.
+  // Unreachable threshold so no resets perturb either side.
+  Criteria c(1e15, 0.95, 300.0);
+  Filter monitor_a(MediumOptions(), c);
+  Filter monitor_b(MediumOptions(), c);
+  Filter combined(MediumOptions(), c);
+
+  Rng rng(3);
+  for (int i = 0; i < 40000; ++i) {
+    uint64_t key = rng.NextBounded(300);  // few keys: all in candidate part
+    double value = rng.Bernoulli(0.3) ? 500.0 : 50.0;
+    (i % 2 == 0 ? monitor_a : monitor_b).Insert(key, value);
+    combined.Insert(key, value);
+  }
+  ASSERT_TRUE(monitor_a.MergeFrom(monitor_b));
+  for (uint64_t k = 0; k < 300; ++k) {
+    EXPECT_EQ(monitor_a.QueryQweight(k), combined.QueryQweight(k))
+        << "key " << k;
+  }
+}
+
+TEST(FilterMergeTest, MergeRejectsDifferentOptions) {
+  Criteria c;
+  Filter a(MediumOptions(), c);
+  Filter::Options other = MediumOptions();
+  other.memory_bytes = 64 * 1024;
+  Filter b(other, c);
+  EXPECT_FALSE(a.MergeFrom(b));
+  Filter::Options reseeded = MediumOptions();
+  reseeded.seed = 999;
+  Filter d(reseeded, c);
+  EXPECT_FALSE(a.MergeFrom(d));
+}
+
+TEST(FilterMergeTest, MergedFilterKeepsDetecting) {
+  Criteria c(5, 0.9, 100);
+  Filter a(MediumOptions(), c);
+  Filter b(MediumOptions(), c);
+  // Key 42 is halfway to the threshold on each monitor (threshold 50,
+  // weight +9: 4 items each -> 36 per monitor).
+  for (int i = 0; i < 4; ++i) {
+    a.Insert(42, 500.0);
+    b.Insert(42, 500.0);
+  }
+  ASSERT_TRUE(a.MergeFrom(b));
+  EXPECT_EQ(a.QueryQweight(42), 72);
+  // The merged Qweight is above threshold; the next item reports.
+  EXPECT_TRUE(a.Insert(42, 500.0));
+}
+
+TEST(FilterSerializeTest, StateRoundTrip) {
+  Criteria c(30, 0.95, 300);
+  Filter a(MediumOptions(), c);
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i) {
+    a.Insert(rng.NextBounded(20000), rng.Bernoulli(0.1) ? 500.0 : 50.0);
+  }
+  std::vector<uint8_t> state = a.SerializeState();
+
+  Filter b(MediumOptions(), c);
+  ASSERT_TRUE(b.RestoreState(state));
+  for (uint64_t k = 0; k < 2000; ++k) {
+    EXPECT_EQ(a.QueryQweight(k), b.QueryQweight(k)) << "key " << k;
+  }
+}
+
+TEST(FilterSerializeTest, RestoreRejectsGarbage) {
+  Filter a(MediumOptions(), Criteria());
+  EXPECT_FALSE(a.RestoreState({}));
+  EXPECT_FALSE(a.RestoreState({1, 2, 3, 4, 5}));
+  std::vector<uint8_t> state = a.SerializeState();
+  state[0] ^= 0xFF;  // corrupt the magic
+  EXPECT_FALSE(a.RestoreState(state));
+}
+
+TEST(FilterSerializeTest, RestoreIntoDifferentGeometryFails) {
+  Filter a(MediumOptions(), Criteria());
+  std::vector<uint8_t> state = a.SerializeState();
+  Filter::Options small = MediumOptions();
+  small.memory_bytes = 32 * 1024;
+  Filter b(small, Criteria());
+  EXPECT_FALSE(b.RestoreState(state));
+}
+
+}  // namespace
+}  // namespace qf

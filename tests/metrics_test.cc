@@ -1,0 +1,60 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace qf {
+namespace {
+
+TEST(MetricsTest, PerfectMatch) {
+  std::unordered_set<uint64_t> truth{1, 2, 3};
+  Accuracy acc = ComputeAccuracy(truth, truth);
+  EXPECT_EQ(acc.tp, 3u);
+  EXPECT_EQ(acc.fp, 0u);
+  EXPECT_EQ(acc.fn, 0u);
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+  EXPECT_DOUBLE_EQ(acc.f1, 1.0);
+}
+
+TEST(MetricsTest, BothEmptyIsPerfect) {
+  Accuracy acc = ComputeAccuracy({}, {});
+  EXPECT_DOUBLE_EQ(acc.f1, 1.0);
+}
+
+TEST(MetricsTest, NoReportsZeroRecall) {
+  Accuracy acc = ComputeAccuracy({}, {1, 2});
+  EXPECT_EQ(acc.fn, 2u);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.0);
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);  // vacuous: no positive predictions
+  EXPECT_DOUBLE_EQ(acc.f1, 0.0);
+}
+
+TEST(MetricsTest, AllFalsePositives) {
+  Accuracy acc = ComputeAccuracy({5, 6}, {1, 2});
+  EXPECT_EQ(acc.tp, 0u);
+  EXPECT_EQ(acc.fp, 2u);
+  EXPECT_DOUBLE_EQ(acc.precision, 0.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.0);
+  EXPECT_DOUBLE_EQ(acc.f1, 0.0);
+}
+
+TEST(MetricsTest, PartialOverlap) {
+  Accuracy acc = ComputeAccuracy({1, 2, 9}, {1, 2, 3, 4});
+  EXPECT_EQ(acc.tp, 2u);
+  EXPECT_EQ(acc.fp, 1u);
+  EXPECT_EQ(acc.fn, 2u);
+  EXPECT_NEAR(acc.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(acc.recall, 0.5, 1e-12);
+  // F1 = 2 * (2/3) * (1/2) / (2/3 + 1/2) = 4/7.
+  EXPECT_NEAR(acc.f1, 4.0 / 7.0, 1e-12);
+}
+
+TEST(MetricsTest, F1IsHarmonicMean) {
+  Accuracy acc = ComputeAccuracy({1, 2, 3, 4}, {1, 2});
+  EXPECT_NEAR(acc.precision, 0.5, 1e-12);
+  EXPECT_NEAR(acc.recall, 1.0, 1e-12);
+  EXPECT_NEAR(acc.f1, 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,106 @@
+#include "core/monitor.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+Monitor::Options BaseOptions() {
+  Monitor::Options o;
+  o.filter.memory_bytes = 64 * 1024;
+  return o;
+}
+
+TEST(MonitorTest, CallbackReceivesAlerts) {
+  std::vector<Monitor::Alert> alerts;
+  Monitor monitor(BaseOptions(), Criteria(30, 0.95, 300),
+                  [&](const Monitor::Alert& a) { alerts.push_back(a); });
+  for (int i = 0; i < 40; ++i) monitor.Observe(7, 500.0);
+  ASSERT_EQ(alerts.size(), 1u);  // fires at item 32
+  EXPECT_EQ(alerts[0].key, 7u);
+  EXPECT_EQ(alerts[0].item_index, 31u);
+  EXPECT_EQ(alerts[0].suppressed, 0u);
+}
+
+TEST(MonitorTest, CooldownSuppressesRepeats) {
+  Monitor::Options o = BaseOptions();
+  o.cooldown_items = 1000;
+  int callbacks = 0;
+  Monitor monitor(o, Criteria(30, 0.95, 300),
+                  [&](const Monitor::Alert&) { ++callbacks; });
+  // 320 abnormal items would report 10 times; cooldown allows only 1.
+  for (int i = 0; i < 320; ++i) monitor.Observe(7, 500.0);
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(monitor.alerts_emitted(), 1u);
+  EXPECT_EQ(monitor.alerts_suppressed(), 9u);
+}
+
+TEST(MonitorTest, SuppressedCountReportedOnNextAlert) {
+  Monitor::Options o = BaseOptions();
+  o.cooldown_items = 100;
+  std::vector<Monitor::Alert> alerts;
+  Monitor monitor(o, Criteria(30, 0.95, 300),
+                  [&](const Monitor::Alert& a) { alerts.push_back(a); });
+  for (int i = 0; i < 200; ++i) monitor.Observe(7, 500.0);
+  // Reports land at indices 31, 63, 95, 127, 159: the alert at 31 starts
+  // the cooldown; 63/95/127 are within 100 items and suppressed; 159 is
+  // past the cooldown and alerts, carrying suppressed=3.
+  ASSERT_GE(alerts.size(), 2u);
+  EXPECT_EQ(alerts[1].item_index, 159u);
+  EXPECT_EQ(alerts[1].suppressed, 3u);
+}
+
+TEST(MonitorTest, PerKeyCooldownsAreIndependent) {
+  Monitor::Options o = BaseOptions();
+  o.cooldown_items = 100000;
+  int callbacks = 0;
+  Monitor monitor(o, Criteria(30, 0.95, 300),
+                  [&](const Monitor::Alert&) { ++callbacks; });
+  for (int i = 0; i < 64; ++i) {
+    monitor.Observe(1, 500.0);
+    monitor.Observe(2, 500.0);
+  }
+  EXPECT_EQ(callbacks, 2);  // one per key despite the global-scale cooldown
+}
+
+TEST(MonitorTest, PeriodicResetAgesState) {
+  Monitor::Options o = BaseOptions();
+  o.reset_items = 20;
+  int callbacks = 0;
+  Monitor monitor(o, Criteria(30, 0.95, 300),
+                  [&](const Monitor::Alert&) { ++callbacks; });
+  // Needs 32 consecutive abnormal items, but state dies every 20.
+  for (int i = 0; i < 2000; ++i) monitor.Observe(7, 500.0);
+  EXPECT_EQ(callbacks, 0);
+}
+
+TEST(MonitorTest, NoCallbackIsSafe) {
+  Monitor monitor(BaseOptions(), Criteria(30, 0.95, 300), nullptr);
+  for (int i = 0; i < 40; ++i) monitor.Observe(7, 500.0);
+  EXPECT_EQ(monitor.alerts_emitted(), 1u);
+}
+
+TEST(MonitorTest, QuietTrafficNeverAlerts) {
+  Rng rng(1);
+  Monitor monitor(BaseOptions(), Criteria(30, 0.95, 300),
+                  [](const Monitor::Alert&) { FAIL() << "unexpected alert"; });
+  for (int i = 0; i < 20000; ++i) {
+    monitor.Observe(rng.NextBounded(100), 50.0);
+  }
+  EXPECT_EQ(monitor.alerts_emitted(), 0u);
+  EXPECT_EQ(monitor.items_observed(), 20000u);
+}
+
+TEST(MonitorTest, PerItemCriteriaSupported) {
+  Monitor monitor(BaseOptions(), Criteria(1e9, 0.95, 1e12),
+                  nullptr);  // default never fires
+  Criteria tight(0, 0.5, 10.0);
+  EXPECT_TRUE(monitor.Observe(5, 100.0, tight));
+}
+
+}  // namespace
+}  // namespace qf

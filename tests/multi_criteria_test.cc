@@ -1,0 +1,78 @@
+#include "core/multi_criteria.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+using MultiFilter = MultiCriteriaFilter<CountSketch<int32_t>>;
+
+MultiFilter::Filter::Options MediumOptions() {
+  MultiFilter::Filter::Options o;
+  o.memory_bytes = 256 * 1024;
+  return o;
+}
+
+TEST(MultiCriteriaTest, ReportsUnderTheMatchingCriterionOnly) {
+  // Criterion 0 watches T=100; criterion 1 watches T=1000. Values of 500
+  // are abnormal only under criterion 0.
+  MultiFilter filter(MediumOptions(),
+                     {Criteria(2, 0.9, 100), Criteria(2, 0.9, 1000)});
+  uint64_t mask = 0;
+  for (int i = 0; i < 100; ++i) mask |= filter.Insert(1, 500.0);
+  EXPECT_EQ(mask, 0b01u);
+}
+
+TEST(MultiCriteriaTest, BothCriteriaCanFire) {
+  MultiFilter filter(MediumOptions(),
+                     {Criteria(2, 0.9, 100), Criteria(2, 0.9, 1000)});
+  uint64_t mask = 0;
+  for (int i = 0; i < 100; ++i) mask |= filter.Insert(1, 5000.0);
+  EXPECT_EQ(mask, 0b11u);
+}
+
+TEST(MultiCriteriaTest, DifferentDeltasDisagree) {
+  // 40% of values abnormal: the 0.95-quantile is above T (40% > 5%) but the
+  // median is not (40% < 50%), so only the delta=0.95 criterion fires.
+  MultiFilter filter(MediumOptions(),
+                     {Criteria(3, 0.5, 100), Criteria(3, 0.95, 100)});
+  Rng rng(1);
+  uint64_t mask = 0;
+  for (int i = 0; i < 2000; ++i) {
+    mask |= filter.Insert(1, rng.Bernoulli(0.4) ? 200.0 : 50.0);
+  }
+  EXPECT_EQ(mask, 0b10u);
+}
+
+TEST(MultiCriteriaTest, PerCriterionQueryAndDelete) {
+  MultiFilter filter(MediumOptions(),
+                     {Criteria(30, 0.95, 100), Criteria(30, 0.95, 1000)});
+  for (int i = 0; i < 5; ++i) filter.Insert(9, 500.0);
+  EXPECT_EQ(filter.QueryQweight(9, 0), 5 * 19);  // abnormal under crit 0
+  EXPECT_EQ(filter.QueryQweight(9, 1), -5);      // normal under crit 1
+  filter.Delete(9, 0);
+  EXPECT_EQ(filter.QueryQweight(9, 0), 0);
+  EXPECT_EQ(filter.QueryQweight(9, 1), -5);
+}
+
+TEST(MultiCriteriaTest, KeysDoNotInterfereAcrossCriteria) {
+  MultiFilter filter(MediumOptions(),
+                     {Criteria(30, 0.95, 100), Criteria(30, 0.95, 100)});
+  for (int i = 0; i < 10; ++i) filter.Insert(1, 500.0);
+  // Same criteria parameters, but independent derived keys: both track 190.
+  EXPECT_EQ(filter.QueryQweight(1, 0), 190);
+  EXPECT_EQ(filter.QueryQweight(1, 1), 190);
+  EXPECT_EQ(filter.QueryQweight(2, 0), 0);
+}
+
+TEST(MultiCriteriaTest, ResetClears) {
+  MultiFilter filter(MediumOptions(), {Criteria(30, 0.95, 100)});
+  for (int i = 0; i < 10; ++i) filter.Insert(1, 500.0);
+  filter.Reset();
+  EXPECT_EQ(filter.QueryQweight(1, 0), 0);
+}
+
+}  // namespace
+}  // namespace qf

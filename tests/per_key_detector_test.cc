@@ -1,0 +1,107 @@
+#include "baseline/per_key_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+TEST(PerKeyDetectorTest, GkEngineDetects) {
+  auto det = MakePerKeyGk(0.005, Criteria(3, 0.75, 100));
+  int reported_at = -1;
+  for (int i = 1; i <= 20; ++i) {
+    if (det.Insert(1, 500.0)) {
+      reported_at = i;
+      break;
+    }
+  }
+  EXPECT_EQ(reported_at, 4);  // exact for a tiny all-abnormal stream
+}
+
+TEST(PerKeyDetectorTest, KllEngineDetects) {
+  auto det = MakePerKeyKll(128, Criteria(3, 0.75, 100));
+  int reports = 0;
+  for (int i = 0; i < 100; ++i) reports += det.Insert(1, 500.0);
+  EXPECT_GT(reports, 10);
+}
+
+TEST(PerKeyDetectorTest, TDigestEngineDetects) {
+  auto det = MakePerKeyTDigest(100, Criteria(3, 0.75, 100));
+  int reports = 0;
+  for (int i = 0; i < 100; ++i) reports += det.Insert(1, 500.0);
+  EXPECT_GT(reports, 10);
+}
+
+TEST(PerKeyDetectorTest, DdSketchEngineDetects) {
+  auto det = MakePerKeyDdSketch(0.01, Criteria(3, 0.75, 100));
+  int reports = 0;
+  for (int i = 0; i < 100; ++i) reports += det.Insert(1, 500.0);
+  EXPECT_GT(reports, 10);
+}
+
+TEST(PerKeyDetectorTest, QDigestEngineDetects) {
+  auto det = MakePerKeyQDigest(128, 16, Criteria(3, 0.75, 100));
+  int reports = 0;
+  for (int i = 0; i < 100; ++i) reports += det.Insert(1, 500.0);
+  EXPECT_GT(reports, 10);
+}
+
+TEST(PerKeyDetectorTest, ReservoirEngineDetects) {
+  auto det = MakePerKeyReservoir(256, Criteria(3, 0.75, 100));
+  int reports = 0;
+  for (int i = 0; i < 100; ++i) reports += det.Insert(1, 500.0);
+  EXPECT_GT(reports, 10);
+}
+
+TEST(PerKeyDetectorTest, QuietKeysNeverReported) {
+  auto det = MakePerKeyGk(0.01, Criteria(3, 0.75, 100));
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_FALSE(det.Insert(rng.NextBounded(20), 50.0));
+  }
+}
+
+TEST(PerKeyDetectorTest, MemoryGrowsPerKey) {
+  // The holistic drawback: one sketch per key.
+  auto det = MakePerKeyKll(128, Criteria());
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) det.Insert(i, rng.NextDouble());
+  EXPECT_EQ(det.tracked_keys(), 2000u);
+  EXPECT_GT(det.MemoryBytes(), 2000u * 64u);
+}
+
+TEST(PerKeyDetectorTest, QueryQuantile) {
+  auto det = MakePerKeyGk(0.005, Criteria(0, 0.5, 1e18));
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) det.Insert(5, rng.NextDouble() * 100.0);
+  EXPECT_NEAR(det.QueryQuantile(5), 50.0, 5.0);
+  EXPECT_EQ(det.QueryQuantile(777),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(PerKeyDetectorTest, ResetClears) {
+  auto det = MakePerKeyGk(0.01, Criteria(3, 0.75, 100));
+  det.Insert(1, 500.0);
+  det.Reset();
+  EXPECT_EQ(det.tracked_keys(), 0u);
+}
+
+TEST(PerKeyDetectorTest, MixedTrafficQuantileSemantics) {
+  // 40% abnormal: delta=0.95 should fire, delta=0.5 should not.
+  Rng rng(4);
+  auto fires = [&](double delta) {
+    auto det = MakePerKeyGk(0.005, Criteria(3, delta, 100));
+    int reports = 0;
+    Rng local(4);
+    for (int i = 0; i < 3000; ++i) {
+      reports += det.Insert(1, local.Bernoulli(0.4) ? 200.0 : 50.0);
+    }
+    return reports > 0;
+  };
+  EXPECT_TRUE(fires(0.95));
+  EXPECT_FALSE(fires(0.5));
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,124 @@
+// Second property suite: behavioural laws of the full detector across
+// parameter grids.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/quantile_filter.h"
+
+namespace qf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: a lone key whose values exceed T with probability p is
+// (eventually) reported iff p is clearly above 1 - delta; clearly below it,
+// it never fires. Swept over (delta, margin).
+// ---------------------------------------------------------------------------
+
+class AbnormalRateLaw
+    : public ::testing::TestWithParam<std::tuple<double, bool>> {};
+
+TEST_P(AbnormalRateLaw, FiresExactlyWhenRateBeatsOneMinusDelta) {
+  const auto [delta, above] = GetParam();
+  // p is set 2x above or 2x below the critical rate 1 - delta.
+  const double critical = 1.0 - delta;
+  const double p = above ? std::min(0.95, 2.5 * critical) : 0.4 * critical;
+
+  Criteria c(10.0, delta, 100.0);
+  QuantileFilter<CountSketch<int32_t>>::Options o;
+  o.memory_bytes = 64 * 1024;
+  QuantileFilter<CountSketch<int32_t>> filter(o, c);
+
+  Rng rng(static_cast<uint64_t>(delta * 1e6) + above);
+  int reports = 0;
+  for (int i = 0; i < 30000; ++i) {
+    reports += filter.Insert(7, rng.Bernoulli(p) ? 500.0 : 10.0);
+  }
+  if (above) {
+    EXPECT_GT(reports, 0) << "delta=" << delta << " p=" << p;
+  } else {
+    EXPECT_EQ(reports, 0) << "delta=" << delta << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeltaGrid, AbnormalRateLaw,
+    ::testing::Combine(::testing::Values(0.5, 0.75, 0.9, 0.95, 0.99),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// Property: every election strategy preserves the fundamental guarantees —
+// quiet keys silent, hot lone keys reported — and stats stay consistent.
+// ---------------------------------------------------------------------------
+
+class ElectionLaw : public ::testing::TestWithParam<ElectionStrategy> {};
+
+TEST_P(ElectionLaw, CoreGuaranteesHoldUnderChurn) {
+  QuantileFilter<CountSketch<int16_t>>::Options o;
+  o.memory_bytes = 16 * 1024;  // small: election actually runs
+  o.election = GetParam();
+  Criteria c(5, 0.9, 100.0);
+  QuantileFilter<CountSketch<int16_t>> filter(o, c);
+
+  Rng rng(99);
+  int hot_reports = 0;
+  for (int i = 0; i < 100000; ++i) {
+    filter.Insert(rng.Next() | 1, rng.Bernoulli(0.05) ? 300.0 : 10.0);
+    if (i % 20 == 0) {
+      hot_reports += filter.Insert(1234567, rng.Bernoulli(0.7) ? 300.0 : 10.0);
+    }
+  }
+  EXPECT_GT(hot_reports, 0);
+  const auto& s = filter.stats();
+  EXPECT_EQ(s.candidate_hits + s.admissions + s.vague_inserts, s.items);
+  double occ = filter.candidate_part().Occupancy();
+  EXPECT_GE(occ, 0.0);
+  EXPECT_LE(occ, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ElectionLaw,
+                         ::testing::Values(ElectionStrategy::kComparative,
+                                           ElectionStrategy::kProbabilistic,
+                                           ElectionStrategy::kForceful,
+                                           ElectionStrategy::kDecay));
+
+// ---------------------------------------------------------------------------
+// Property: report cadence for a pure-abnormal lone key is exactly
+// ceil(ceil(eps/(1-delta)) / floor-weight) items, for every integral-weight
+// delta — the integer-threshold arithmetic in closed form.
+// ---------------------------------------------------------------------------
+
+class CadenceLaw
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CadenceLaw, PureAbnormalCadenceMatchesClosedForm) {
+  const auto [eps, delta] = GetParam();
+  Criteria c(eps, delta, 100.0);
+  ASSERT_NEAR(c.positive_frac(), 0.0, 1e-9) << "pick integral-weight deltas";
+
+  QuantileFilter<CountSketch<int32_t>>::Options o;
+  o.memory_bytes = 64 * 1024;
+  QuantileFilter<CountSketch<int32_t>> filter(o, c);
+
+  const int64_t weight = c.positive_floor();
+  const int64_t cadence =
+      std::max<int64_t>(1, (c.report_threshold() + weight - 1) / weight);
+  const int items = static_cast<int>(cadence) * 10;
+  int reports = 0;
+  for (int i = 0; i < items; ++i) reports += filter.Insert(1, 500.0);
+  EXPECT_EQ(reports, 10) << "eps=" << eps << " delta=" << delta
+                         << " cadence=" << cadence;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CriteriaGrid, CadenceLaw,
+    ::testing::Values(std::make_tuple(0.0, 0.5), std::make_tuple(4.0, 0.5),
+                      std::make_tuple(6.0, 0.75), std::make_tuple(5.0, 0.8),
+                      std::make_tuple(9.0, 0.9), std::make_tuple(30.0, 0.95),
+                      std::make_tuple(2.0, 0.9)));
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,144 @@
+// Parameterized property suites over the system's core invariants.
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/quantile_filter.h"
+#include "baseline/exact_detector.h"
+#include "sketch/count_sketch.h"
+
+namespace qf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: a lone key in ample memory is tracked exactly by the candidate
+// part, so QuantileFilter's report timing must equal the exact detector's —
+// for every criteria combination with integral positive weight.
+// ---------------------------------------------------------------------------
+
+class LoneKeyFidelity
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(LoneKeyFidelity, MatchesExactDetectorTiming) {
+  const auto [eps, delta, abnormal_prob] = GetParam();
+  Criteria c(eps, delta, 100.0);
+  // Only test integral weights: fractional weights are randomized by design
+  // and match in expectation, not per-item.
+  ASSERT_NEAR(c.positive_frac(), 0.0, 1e-9);
+
+  QuantileFilter<CountSketch<int32_t>>::Options o;
+  o.memory_bytes = 64 * 1024;
+  QuantileFilter<CountSketch<int32_t>> filter(o, c);
+  ExactDetector oracle(c);
+
+  Rng rng(static_cast<uint64_t>(eps * 100 + delta * 1000));
+  int mismatches = 0;
+  for (int i = 0; i < 4000; ++i) {
+    double value = rng.Bernoulli(abnormal_prob) ? 500.0 : 10.0;
+    bool a = filter.Insert(7, value);
+    bool b = oracle.Insert(7, value);
+    mismatches += (a != b);
+  }
+  // The exact detector applies floor() semantics; the filter's integer
+  // threshold is ceil(eps/(1-delta)), giving an off-by-one window at exact
+  // boundaries. Allow a tiny discrepancy budget, zero for most params.
+  EXPECT_LE(mismatches, 40) << "eps=" << eps << " delta=" << delta
+                            << " p=" << abnormal_prob;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CriteriaGrid, LoneKeyFidelity,
+    ::testing::Values(std::make_tuple(0.0, 0.5, 0.8),
+                      std::make_tuple(2.0, 0.5, 0.7),
+                      std::make_tuple(5.0, 0.9, 0.3),
+                      std::make_tuple(5.0, 0.9, 0.6),
+                      std::make_tuple(30.0, 0.95, 0.2),
+                      std::make_tuple(10.0, 0.8, 0.5),
+                      std::make_tuple(0.0, 0.75, 0.5)));
+
+// ---------------------------------------------------------------------------
+// Property: Count sketch estimates are unbiased for every depth/width combo.
+// ---------------------------------------------------------------------------
+
+class CountSketchUnbiased
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(CountSketchUnbiased, MeanErrorNearZero) {
+  const auto [depth, width] = GetParam();
+  double total_err = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    CountSketch<int32_t> sketch(depth, width, 9000 + t);
+    for (uint64_t k = 0; k < 1500; ++k) sketch.Add(k, 2);
+    total_err += static_cast<double>(sketch.Estimate(3)) - 2.0;
+  }
+  // Depth=2 uses the lower median (conservative bias); odd depths unbiased.
+  double bound = (depth % 2 == 0) ? 10.0 : 5.0;
+  EXPECT_LE(std::abs(total_err / trials), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, CountSketchUnbiased,
+    ::testing::Combine(::testing::Values(1, 3, 5),
+                       ::testing::Values(size_t{64}, size_t{256},
+                                         size_t{1024})));
+
+// ---------------------------------------------------------------------------
+// Property: report threshold respects eps across a sweep — a key with
+// exactly k abnormal items (nothing else) is reported iff
+// k * delta/(1-delta) >= eps/(1-delta), i.e. k >= eps/delta.
+// ---------------------------------------------------------------------------
+
+class EpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpsSweep, AllAbnormalStreamFiresAtTheRightCount) {
+  const double eps = GetParam();
+  Criteria c(eps, 0.95, 100.0);
+  QuantileFilter<CountSketch<int32_t>>::Options o;
+  o.memory_bytes = 64 * 1024;
+  QuantileFilter<CountSketch<int32_t>> filter(o, c);
+
+  int reported_at = -1;
+  for (int i = 1; i <= 2000; ++i) {
+    if (filter.Insert(1, 500.0)) {
+      reported_at = i;
+      break;
+    }
+  }
+  // Candidate-part counter: 19k >= ceil(eps/0.05) -> k = ceil(thr/19).
+  const int expected = std::max(
+      1, static_cast<int>(std::ceil(std::ceil(eps / 0.05) / 19.0)));
+  EXPECT_EQ(reported_at, expected) << "eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, EpsSweep,
+                         ::testing::Values(0.0, 1.0, 5.0, 10.0, 30.0, 60.0,
+                                           100.0));
+
+// ---------------------------------------------------------------------------
+// Property: the integer Qweight draw is unbiased for every delta.
+// ---------------------------------------------------------------------------
+
+class DeltaDrawSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeltaDrawSweep, DrawMeanMatchesExactWeight) {
+  const double delta = GetParam();
+  Criteria c(1.0, delta, 10.0);
+  Rng rng(777);
+  const int n = 100000;
+  int64_t total = 0;
+  for (int i = 0; i < n; ++i) total += DrawItemQweight(true, c, rng);
+  double mean = static_cast<double>(total) / n;
+  EXPECT_NEAR(mean, c.positive_weight(), 0.02 + 0.001 * c.positive_weight());
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaDrawSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9,
+                                           0.95, 0.99));
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,100 @@
+#include "quantile/qdigest.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+TEST(QDigestTest, EmptyDigest) {
+  QDigest qd(64, 16);
+  EXPECT_EQ(qd.count(), 0u);
+  EXPECT_EQ(qd.Quantile(0.5), 0u);
+}
+
+TEST(QDigestTest, SingleValue) {
+  QDigest qd(64, 16);
+  qd.Insert(uint64_t{123});
+  EXPECT_EQ(qd.Quantile(0.0), 123u);
+  EXPECT_EQ(qd.Quantile(1.0), 123u);
+}
+
+TEST(QDigestTest, ExactOnSmallInput) {
+  QDigest qd(512, 10);
+  for (uint64_t v = 0; v < 100; ++v) qd.Insert(v);
+  EXPECT_NEAR(static_cast<double>(qd.Quantile(0.5)), 49.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(qd.Quantile(0.95)), 94.0, 4.0);
+}
+
+TEST(QDigestTest, RankErrorOnUniformStream) {
+  QDigest qd(256, 16);
+  Rng rng(31);
+  const int n = 100000;
+  const uint64_t range = 1 << 16;
+  for (int i = 0; i < n; ++i) qd.Insert(rng.NextBounded(range));
+  for (double phi : {0.1, 0.5, 0.9, 0.99}) {
+    double expected = phi * static_cast<double>(range);
+    double got = static_cast<double>(qd.Quantile(phi));
+    // q-digest rank error is O(log(U)/k); allow a loose 5% of the range.
+    EXPECT_NEAR(got, expected, 0.05 * static_cast<double>(range))
+        << "phi=" << phi;
+  }
+}
+
+TEST(QDigestTest, SpaceIsCompressed) {
+  QDigest qd(64, 20);
+  Rng rng(32);
+  for (int i = 0; i < 200000; ++i) qd.Insert(rng.NextBounded(1 << 20));
+  // Without compression there would be up to 200k leaf nodes; q-digest
+  // keeps O(k log U) = O(64 * 20).
+  EXPECT_LT(qd.node_count(), 6000u);
+}
+
+TEST(QDigestTest, ValuesAboveUniverseAreClamped) {
+  QDigest qd(64, 8);  // universe 256
+  qd.Insert(uint64_t{1000000});
+  EXPECT_EQ(qd.Quantile(0.5), 255u);
+}
+
+TEST(QDigestTest, WeightedInsert) {
+  QDigest qd(64, 10);
+  qd.Insert(10, 99);
+  qd.Insert(500, 1);
+  EXPECT_EQ(qd.count(), 100u);
+  EXPECT_EQ(qd.Quantile(0.5), 10u);
+}
+
+TEST(QDigestTest, DoubleInterfaceClampsNegatives) {
+  QDigest qd(64, 10);
+  qd.Insert(-5.0);
+  qd.Insert(3.7);
+  EXPECT_EQ(qd.count(), 2u);
+  EXPECT_LE(qd.Quantile(0.0), 3u);
+}
+
+TEST(QDigestTest, ClearResets) {
+  QDigest qd(64, 10);
+  for (int i = 0; i < 1000; ++i) qd.Insert(uint64_t{5});
+  qd.Clear();
+  EXPECT_EQ(qd.count(), 0u);
+  EXPECT_EQ(qd.node_count(), 0u);
+}
+
+TEST(QDigestTest, QuantilesMonotone) {
+  QDigest qd(128, 14);
+  Rng rng(33);
+  for (int i = 0; i < 30000; ++i) qd.Insert(rng.NextBounded(10000));
+  uint64_t prev = 0;
+  for (double phi = 0.0; phi <= 1.0; phi += 0.1) {
+    uint64_t q = qd.Quantile(phi);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+}  // namespace
+}  // namespace qf

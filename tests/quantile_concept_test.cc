@@ -1,0 +1,131 @@
+// Typed test suite over every single-key quantile sketch: the shared
+// concept (Insert(double) / Quantile(phi) / count / Clear / MemoryBytes)
+// must satisfy the same behavioural laws, so the per-key baseline adapter
+// works identically across engines.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "quantile/ddsketch.h"
+#include "quantile/gk.h"
+#include "quantile/kll.h"
+#include "quantile/qdigest.h"
+#include "quantile/reservoir.h"
+#include "quantile/tdigest.h"
+
+namespace qf {
+namespace {
+
+template <typename T>
+T MakeSketch();
+template <>
+GkSummary MakeSketch<GkSummary>() {
+  return GkSummary(0.005);
+}
+template <>
+KllSketch MakeSketch<KllSketch>() {
+  return KllSketch(256);
+}
+template <>
+TDigest MakeSketch<TDigest>() {
+  return TDigest(200);
+}
+template <>
+DdSketch MakeSketch<DdSketch>() {
+  return DdSketch(0.01);
+}
+template <>
+QDigest MakeSketch<QDigest>() {
+  return QDigest(256, 12);  // domain [0, 4096)
+}
+template <>
+ReservoirSampler MakeSketch<ReservoirSampler>() {
+  return ReservoirSampler(4096);
+}
+
+template <typename T>
+class QuantileConceptTest : public ::testing::Test {};
+
+using QuantileEngines = ::testing::Types<GkSummary, KllSketch, TDigest,
+                                         DdSketch, QDigest, ReservoirSampler>;
+TYPED_TEST_SUITE(QuantileConceptTest, QuantileEngines);
+
+TYPED_TEST(QuantileConceptTest, EmptySketchCountsZero) {
+  TypeParam sketch = MakeSketch<TypeParam>();
+  EXPECT_EQ(sketch.count(), 0u);
+}
+
+TYPED_TEST(QuantileConceptTest, CountTracksInsertions) {
+  TypeParam sketch = MakeSketch<TypeParam>();
+  for (int i = 0; i < 500; ++i) sketch.Insert(static_cast<double>(i % 100));
+  EXPECT_EQ(sketch.count(), 500u);
+}
+
+TYPED_TEST(QuantileConceptTest, UniformQuantilesWithinTolerance) {
+  TypeParam sketch = MakeSketch<TypeParam>();
+  Rng rng(19);
+  const double range = 1000.0;
+  for (int i = 0; i < 50000; ++i) sketch.Insert(rng.NextDouble() * range);
+  for (double phi : {0.1, 0.5, 0.9}) {
+    double q = static_cast<double>(sketch.Quantile(phi));
+    EXPECT_NEAR(q, phi * range, 0.08 * range) << "phi=" << phi;
+  }
+}
+
+TYPED_TEST(QuantileConceptTest, QuantilesAreMonotone) {
+  TypeParam sketch = MakeSketch<TypeParam>();
+  Rng rng(20);
+  for (int i = 0; i < 20000; ++i) sketch.Insert(rng.NextDouble() * 500.0);
+  double prev = -1;
+  for (double phi = 0.05; phi <= 1.0; phi += 0.05) {
+    double q = static_cast<double>(sketch.Quantile(phi));
+    EXPECT_GE(q, prev - 1e-9) << "phi=" << phi;
+    prev = q;
+  }
+}
+
+TYPED_TEST(QuantileConceptTest, ConstantStreamCollapses) {
+  TypeParam sketch = MakeSketch<TypeParam>();
+  for (int i = 0; i < 2000; ++i) sketch.Insert(250.0);
+  double q = static_cast<double>(sketch.Quantile(0.5));
+  EXPECT_NEAR(q, 250.0, 250.0 * 0.05);
+}
+
+TYPED_TEST(QuantileConceptTest, ClearResetsForReuse) {
+  TypeParam sketch = MakeSketch<TypeParam>();
+  Rng rng(21);
+  for (int i = 0; i < 5000; ++i) sketch.Insert(900.0 + rng.NextDouble());
+  sketch.Clear();
+  EXPECT_EQ(sketch.count(), 0u);
+  for (int i = 0; i < 5000; ++i) sketch.Insert(100.0 + rng.NextDouble());
+  double q = static_cast<double>(sketch.Quantile(0.5));
+  // No residue of the pre-Clear 900s may remain.
+  EXPECT_NEAR(q, 100.5, 8.0);
+}
+
+TYPED_TEST(QuantileConceptTest, MemoryStaysSublinear) {
+  TypeParam sketch = MakeSketch<TypeParam>();
+  Rng rng(22);
+  for (int i = 0; i < 100000; ++i) sketch.Insert(rng.NextDouble() * 4000.0);
+  // 100k raw doubles would be 800 KB; every sketch must stay well below.
+  EXPECT_LT(sketch.MemoryBytes(), 200u * 1024u);
+}
+
+TYPED_TEST(QuantileConceptTest, SkewedStreamTailOrdering) {
+  TypeParam sketch = MakeSketch<TypeParam>();
+  Rng rng(23);
+  for (int i = 0; i < 30000; ++i) {
+    sketch.Insert(10.0 * (-std::log(1.0 - rng.NextDouble())));  // Exp tail
+  }
+  double q50 = static_cast<double>(sketch.Quantile(0.5));
+  double q95 = static_cast<double>(sketch.Quantile(0.95));
+  double q99 = static_cast<double>(sketch.Quantile(0.99));
+  EXPECT_LT(q50, q95);
+  EXPECT_LE(q95, q99);
+  EXPECT_NEAR(q50, 6.93, 1.5);
+}
+
+}  // namespace
+}  // namespace qf

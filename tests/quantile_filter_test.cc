@@ -1,0 +1,242 @@
+#include "core/quantile_filter.h"
+
+#include <cstdint>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/count_sketch.h"
+
+namespace qf {
+namespace {
+
+using Filter = QuantileFilter<CountSketch<int32_t>>;
+
+Filter::Options MediumOptions() {
+  Filter::Options o;
+  o.memory_bytes = 128 * 1024;
+  return o;
+}
+
+TEST(QuantileFilterTest, ReportsAfterEnoughAbnormalItems) {
+  // Criteria (30, 0.95, 300): weight +19 per abnormal item, threshold 600.
+  // A lone key needs ceil(600/19) = 32 purely-abnormal items to fire.
+  Filter filter(MediumOptions(), Criteria(30, 0.95, 300));
+  int reported_at = -1;
+  for (int i = 1; i <= 40; ++i) {
+    if (filter.Insert(1, 500.0)) {
+      reported_at = i;
+      break;
+    }
+  }
+  EXPECT_EQ(reported_at, 32);
+}
+
+TEST(QuantileFilterTest, ResetsAfterReportAndFiresAgain) {
+  Filter filter(MediumOptions(), Criteria(30, 0.95, 300));
+  int reports = 0;
+  for (int i = 0; i < 96; ++i) reports += filter.Insert(1, 500.0);
+  EXPECT_EQ(reports, 3);  // every 32 abnormal items
+}
+
+TEST(QuantileFilterTest, NormalItemsNeverTrigger) {
+  Filter filter(MediumOptions(), Criteria(30, 0.95, 300));
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(filter.Insert(7, 10.0));
+  }
+  EXPECT_LT(filter.QueryQweight(7), 0);
+}
+
+TEST(QuantileFilterTest, MixedTrafficRespectsQuantile) {
+  // 90% abnormal traffic at delta=0.95 still reports (quantile above T);
+  // 3% abnormal traffic must not.
+  Criteria c(5, 0.95, 100);
+  Rng rng(1);
+  Filter hot(MediumOptions(), c);
+  int hot_reports = 0;
+  for (int i = 0; i < 5000; ++i) {
+    hot_reports += hot.Insert(1, rng.Bernoulli(0.9) ? 200.0 : 50.0);
+  }
+  EXPECT_GT(hot_reports, 0);
+
+  Filter cold(MediumOptions(), c);
+  int cold_reports = 0;
+  for (int i = 0; i < 5000; ++i) {
+    cold_reports += cold.Insert(1, rng.Bernoulli(0.03) ? 200.0 : 50.0);
+  }
+  EXPECT_EQ(cold_reports, 0);
+}
+
+TEST(QuantileFilterTest, QueryQweightTracksCandidateExactly) {
+  Filter filter(MediumOptions(), Criteria(30, 0.95, 300));
+  filter.Insert(5, 500.0);   // +19
+  filter.Insert(5, 100.0);   // -1
+  filter.Insert(5, 500.0);   // +19
+  EXPECT_EQ(filter.QueryQweight(5), 37);
+}
+
+TEST(QuantileFilterTest, DeleteForgetsKey) {
+  Filter filter(MediumOptions(), Criteria(30, 0.95, 300));
+  for (int i = 0; i < 10; ++i) filter.Insert(5, 500.0);
+  EXPECT_GT(filter.QueryQweight(5), 0);
+  filter.Delete(5);
+  EXPECT_EQ(filter.QueryQweight(5), 0);
+}
+
+TEST(QuantileFilterTest, ResetClearsAllKeys) {
+  Filter filter(MediumOptions(), Criteria(30, 0.95, 300));
+  for (uint64_t k = 1; k <= 100; ++k) {
+    for (int i = 0; i < 5; ++i) filter.Insert(k, 500.0);
+  }
+  filter.Reset();
+  for (uint64_t k = 1; k <= 100; ++k) EXPECT_EQ(filter.QueryQweight(k), 0);
+}
+
+TEST(QuantileFilterTest, PerKeyCriteriaAreIndependent) {
+  // Two keys with different thresholds: the same value stream fires only
+  // for the tighter criteria.
+  Filter filter(MediumOptions(), Criteria(30, 0.95, 300));
+  Criteria tight(0, 0.5, 100);
+  Criteria loose(0, 0.5, 10000);
+  int tight_reports = 0, loose_reports = 0;
+  for (int i = 0; i < 100; ++i) {
+    tight_reports += filter.Insert(1, 500.0, tight);
+    loose_reports += filter.Insert(2, 500.0, loose);
+  }
+  EXPECT_GT(tight_reports, 0);
+  EXPECT_EQ(loose_reports, 0);
+}
+
+TEST(QuantileFilterTest, StatsAreConsistent) {
+  Filter filter(MediumOptions(), Criteria(30, 0.95, 300));
+  Rng rng(2);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    filter.Insert(rng.NextBounded(500), rng.Bernoulli(0.1) ? 400.0 : 50.0);
+  }
+  const auto& stats = filter.stats();
+  EXPECT_EQ(stats.items, static_cast<uint64_t>(n));
+  EXPECT_EQ(stats.candidate_hits + stats.admissions + stats.vague_inserts,
+            stats.items);
+  EXPECT_LE(stats.swaps, stats.vague_inserts);
+}
+
+TEST(QuantileFilterTest, FewKeysLiveEntirelyInCandidatePart) {
+  Filter filter(MediumOptions(), Criteria(30, 0.95, 300));
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    filter.Insert(rng.NextBounded(50), 50.0);
+  }
+  // 50 keys vs thousands of slots: after warm-up everything is a hit.
+  EXPECT_EQ(filter.stats().vague_inserts, 0u);
+  EXPECT_LE(filter.stats().admissions, 50u);
+}
+
+TEST(QuantileFilterTest, DetectsOutstandingKeyAmongBackgroundNoise) {
+  Criteria c(5, 0.9, 100);  // weight +9, threshold 50
+  Filter filter(MediumOptions(), c);
+  Rng rng(4);
+  std::unordered_set<uint64_t> reported;
+  const uint64_t kBad = 1234567;
+  for (int i = 0; i < 200000; ++i) {
+    // Background: 20k keys, 2% abnormal values.
+    uint64_t k = 1 + rng.NextBounded(20000);
+    if (filter.Insert(k, rng.Bernoulli(0.02) ? 150.0 : 50.0)) {
+      reported.insert(k);
+    }
+    // The bad key: 60% abnormal values, interleaved.
+    if (i % 20 == 0) {
+      if (filter.Insert(kBad, rng.Bernoulli(0.6) ? 150.0 : 50.0)) {
+        reported.insert(kBad);
+      }
+    }
+  }
+  EXPECT_TRUE(reported.count(kBad));
+  // Background false positives should be rare.
+  EXPECT_LT(reported.size(), 20u);
+}
+
+TEST(QuantileFilterTest, AllElectionStrategiesDetect) {
+  for (auto strategy :
+       {ElectionStrategy::kComparative, ElectionStrategy::kProbabilistic,
+        ElectionStrategy::kForceful}) {
+    Filter::Options o = MediumOptions();
+    o.election = strategy;
+    Filter filter(o, Criteria(5, 0.9, 100));
+    int reports = 0;
+    for (int i = 0; i < 1000; ++i) reports += filter.Insert(1, 500.0);
+    EXPECT_GT(reports, 0) << "strategy " << static_cast<int>(strategy);
+  }
+}
+
+TEST(QuantileFilterTest, CountMinVagueVariantWorks) {
+  QuantileFilter<CountMinSketch<int32_t>>::Options o;
+  o.memory_bytes = 128 * 1024;
+  QuantileFilter<CountMinSketch<int32_t>> filter(o, Criteria(5, 0.9, 100));
+  int reports = 0;
+  for (int i = 0; i < 1000; ++i) reports += filter.Insert(1, 500.0);
+  EXPECT_GT(reports, 0);
+}
+
+TEST(QuantileFilterTest, MemoryStaysWithinBudget) {
+  for (size_t budget : {4096u, 65536u, 1048576u}) {
+    Filter::Options o;
+    o.memory_bytes = budget;
+    Filter filter(o, Criteria());
+    // Allow tiny slack for the floor-of-64-bytes vague minimum.
+    EXPECT_LE(filter.MemoryBytes(), budget + 128);
+  }
+}
+
+TEST(QuantileFilterTest, TinyMemoryDoesNotCrash) {
+  Filter::Options o;
+  o.memory_bytes = 256;
+  Filter filter(o, Criteria(5, 0.9, 100));
+  Rng rng(5);
+  int reports = 0;
+  for (int i = 0; i < 50000; ++i) {
+    reports += filter.Insert(rng.NextBounded(1000), 500.0);
+  }
+  EXPECT_GT(reports, 0);  // everything is abnormal; something must fire
+}
+
+TEST(QuantileFilterTest, HottestCandidatesRanksByQweight) {
+  Filter filter(MediumOptions(), Criteria(1e9, 0.95, 300));  // never reports
+  for (int i = 0; i < 10; ++i) filter.Insert(1, 500.0);  // qweight 190
+  for (int i = 0; i < 5; ++i) filter.Insert(2, 500.0);   // qweight 95
+  for (int i = 0; i < 3; ++i) filter.Insert(3, 100.0);   // qweight -3
+
+  auto hottest = filter.HottestCandidates(2);
+  ASSERT_EQ(hottest.size(), 2u);
+  EXPECT_EQ(hottest[0].qweight, 190);
+  EXPECT_EQ(hottest[1].qweight, 95);
+
+  auto all = filter.HottestCandidates(100);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[2].qweight, -3);
+}
+
+TEST(QuantileFilterTest, HottestCandidatesEmptyFilter) {
+  Filter filter(MediumOptions(), Criteria());
+  EXPECT_TRUE(filter.HottestCandidates(10).empty());
+}
+
+TEST(QuantileFilterTest, DeterministicForFixedSeed) {
+  auto run = [] {
+    Filter filter(MediumOptions(), Criteria(5, 0.9, 100));
+    Rng rng(6);
+    uint64_t report_mask = 0;
+    for (int i = 0; i < 5000; ++i) {
+      bool r = filter.Insert(rng.NextBounded(100),
+                             rng.Bernoulli(0.3) ? 200.0 : 50.0);
+      report_mask = report_mask * 31 + r;
+    }
+    return report_mask;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace qf

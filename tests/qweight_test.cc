@@ -1,0 +1,154 @@
+#include "core/qweight.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/criteria.h"
+
+namespace qf {
+namespace {
+
+// Reference implementation of Definitions 2-4: materialize the value
+// multiset, sort it, index it.
+bool OutstandingByDefinition(uint64_t n_below, uint64_t n_above,
+                             const Criteria& c) {
+  std::vector<double> values;
+  for (uint64_t i = 0; i < n_below; ++i) values.push_back(c.threshold());
+  for (uint64_t i = 0; i < n_above; ++i) values.push_back(c.threshold() + 1);
+  if (values.empty()) return false;
+  std::sort(values.begin(), values.end());
+  double idx = std::floor(c.delta() * static_cast<double>(values.size()) -
+                          c.eps());
+  if (idx < 0) return false;  // quantile is -infinity
+  size_t i = static_cast<size_t>(idx);
+  if (i >= values.size()) i = values.size() - 1;
+  return values[i] > c.threshold();
+}
+
+TEST(QweightTest, ItemWeights) {
+  Criteria c(30, 0.95, 300);
+  EXPECT_DOUBLE_EQ(ExactItemQweight(false, c), -1.0);
+  EXPECT_NEAR(ExactItemQweight(true, c), 19.0, 1e-9);
+}
+
+TEST(QweightTest, DrawIsExactForIntegerWeights) {
+  Criteria c(30, 0.95, 300);  // weight 19, integral
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(DrawItemQweight(true, c, rng), 19);
+    EXPECT_EQ(DrawItemQweight(false, c, rng), -1);
+  }
+}
+
+TEST(QweightTest, DrawIsUnbiasedForFractionalWeights) {
+  Criteria c(1, 0.6, 10);  // weight 1.5
+  Rng rng(2);
+  int64_t total = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) total += DrawItemQweight(true, c, rng);
+  double mean = static_cast<double>(total) / n;
+  EXPECT_NEAR(mean, 1.5, 0.01);
+}
+
+TEST(QweightTest, DrawVarianceBelowQuarter) {
+  Criteria c(1, 0.6, 10);  // weight 1.5, frac 0.5 -> variance 0.25
+  Rng rng(3);
+  const int n = 100000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double w = static_cast<double>(DrawItemQweight(true, c, rng));
+    sum += w;
+    sum_sq += w * w;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_LE(var, 0.2501);
+  EXPECT_GT(var, 0.20);  // frac = 0.5 gives the maximum 0.25
+}
+
+TEST(QweightTest, ExactQweightFormula) {
+  Criteria c(30, 0.95, 300);
+  EXPECT_NEAR(ExactQweight(0, 0, c), 0.0, 1e-9);
+  EXPECT_NEAR(ExactQweight(19, 1, c), 0.0, 1e-9);  // balanced at delta
+  EXPECT_NEAR(ExactQweight(0, 2, c), 38.0, 1e-9);
+  EXPECT_NEAR(ExactQweight(5, 0, c), -5.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: the paper's central claim. For every (n_below, n_above,
+// eps, delta) combination, q_{eps,delta} > T (by sorted-multiset definition)
+// must coincide with Qweight >= eps/(1-delta).
+// ---------------------------------------------------------------------------
+
+class QweightEquivalence
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(QweightEquivalence, MatchesSortedDefinitionEverywhere) {
+  const auto [eps, delta] = GetParam();
+  Criteria c(eps, delta, 100.0);
+  for (uint64_t below = 0; below <= 60; ++below) {
+    for (uint64_t above = 0; above <= 60; ++above) {
+      if (below + above == 0) continue;
+      const bool by_definition = OutstandingByDefinition(below, above, c);
+      const bool by_counts = QuantileOutstanding(below, above, c);
+      const bool by_qweight =
+          ExactQweight(below, above, c) >= c.report_threshold_real() - 1e-9;
+      EXPECT_EQ(by_counts, by_definition)
+          << "counts mismatch at b=" << below << " a=" << above
+          << " eps=" << eps << " delta=" << delta;
+      EXPECT_EQ(by_qweight, by_definition)
+          << "qweight mismatch at b=" << below << " a=" << above
+          << " eps=" << eps << " delta=" << delta;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsDeltaGrid, QweightEquivalence,
+    ::testing::Values(std::make_tuple(0.0, 0.5), std::make_tuple(0.0, 0.8),
+                      std::make_tuple(0.0, 0.95), std::make_tuple(1.0, 0.5),
+                      std::make_tuple(1.0, 0.8), std::make_tuple(2.0, 0.9),
+                      std::make_tuple(3.0, 0.95), std::make_tuple(5.0, 0.75),
+                      std::make_tuple(10.0, 0.99),
+                      std::make_tuple(0.5, 0.6)));
+
+TEST(QweightTest, PaperWorkedExample) {
+  // Sec II-A worked example: delta = 0.8, eps = 1, T = 70 dB.
+  Criteria c(1.0, 0.8, 70.0);
+  auto outstanding = [&](std::vector<double> values) {
+    uint64_t below = 0, above = 0;
+    for (double v : values) (v > 70.0 ? above : below) += 1;
+    return QuantileOutstanding(below, above, c);
+  };
+  // Neighborhood A: 3 of 8 readings exceed 70 -> reported.
+  EXPECT_TRUE(outstanding({65, 67, 72, 69, 74, 66, 68, 75}));
+  // Neighborhood B: 2 exceed -> not reported.
+  EXPECT_FALSE(outstanding({60, 62, 64, 61, 63, 75, 80, 62}));
+  // Neighborhood C: 1 spike -> not reported.
+  EXPECT_FALSE(outstanding({55, 57, 59, 58, 76, 57, 56, 55}));
+}
+
+TEST(QweightTest, Figure1Example) {
+  // Fig 1: delta = 0.5, T = 3 (eps = 0). User A's set {1, 5, 9}: the
+  // 0.5-quantile is 5 > 3 -> outstanding. User B's {1, 1}: not.
+  Criteria c(0.0, 0.5, 3.0);
+  EXPECT_TRUE(QuantileOutstanding(/*n_below=*/1, /*n_above=*/2, c));
+  EXPECT_FALSE(QuantileOutstanding(/*n_below=*/2, /*n_above=*/0, c));
+}
+
+TEST(QweightTest, EpsSuppressesFirstAbnormalItem) {
+  // "Avoiding Premature Reporting": one abnormal item must not trigger a
+  // report when eps >= 1.
+  Criteria with_eps(1.0, 0.95, 100.0);
+  EXPECT_FALSE(QuantileOutstanding(0, 1, with_eps));
+  Criteria no_eps(0.0, 0.95, 100.0);
+  EXPECT_TRUE(QuantileOutstanding(0, 1, no_eps));
+}
+
+}  // namespace
+}  // namespace qf

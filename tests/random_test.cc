@@ -1,0 +1,104 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qf {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(5);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBoundedIsUniform) {
+  Rng rng(21);
+  const uint64_t bound = 10;
+  std::vector<int> histogram(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++histogram[rng.NextBounded(bound)];
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(histogram[b], n / 10, 600) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(99);
+  for (double p : {0.05, 0.25, 0.5, 0.9}) {
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) hits += rng.Bernoulli(p);
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(77);
+  const int n = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianTailProbability) {
+  Rng rng(123);
+  const int n = 200000;
+  int beyond_two_sigma = 0;
+  for (int i = 0; i < n; ++i) {
+    beyond_two_sigma += std::abs(rng.NextGaussian()) > 2.0;
+  }
+  // P(|Z| > 2) ~ 4.55%.
+  EXPECT_NEAR(static_cast<double>(beyond_two_sigma) / n, 0.0455, 0.006);
+}
+
+}  // namespace
+}  // namespace qf

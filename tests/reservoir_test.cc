@@ -1,0 +1,71 @@
+#include "quantile/reservoir.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+TEST(ReservoirTest, EmptySampler) {
+  ReservoirSampler rs(100);
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.Quantile(0.5), 0.0);
+}
+
+TEST(ReservoirTest, ExactBelowCapacity) {
+  ReservoirSampler rs(100);
+  for (int i = 1; i <= 50; ++i) rs.Insert(i);
+  EXPECT_EQ(rs.sample_size(), 50u);
+  EXPECT_NEAR(rs.Quantile(0.5), 25.0, 1.0);
+  EXPECT_EQ(rs.Quantile(0.0), 1.0);
+  EXPECT_EQ(rs.Quantile(1.0), 50.0);
+}
+
+TEST(ReservoirTest, CapacityIsRespected) {
+  ReservoirSampler rs(64);
+  Rng rng(41);
+  for (int i = 0; i < 100000; ++i) rs.Insert(rng.NextDouble());
+  EXPECT_EQ(rs.sample_size(), 64u);
+  EXPECT_EQ(rs.count(), 100000u);
+}
+
+TEST(ReservoirTest, QuantileApproximatesDistribution) {
+  ReservoirSampler rs(2048);
+  Rng rng(42);
+  for (int i = 0; i < 200000; ++i) rs.Insert(rng.NextDouble());
+  EXPECT_NEAR(rs.Quantile(0.5), 0.5, 0.05);
+  EXPECT_NEAR(rs.Quantile(0.9), 0.9, 0.05);
+}
+
+TEST(ReservoirTest, SamplingIsUniformOverStream) {
+  // Insert 0..9999; the retained sample's mean should approximate the
+  // stream mean (Algorithm R keeps each item w.p. cap/n).
+  ReservoirSampler rs(1000);
+  for (int i = 0; i < 10000; ++i) rs.Insert(i);
+  double mean = 0;
+  for (double phi = 0.05; phi < 1.0; phi += 0.1) mean += rs.Quantile(phi);
+  mean /= 10.0;
+  EXPECT_NEAR(mean, 5000.0, 600.0);
+}
+
+TEST(ReservoirTest, InsertAfterQueryKeepsWorking) {
+  // Quantile() sorts the sample in place; later inserts must still be
+  // uniform (regression guard for the sorted flag handling).
+  ReservoirSampler rs(100);
+  for (int i = 0; i < 100; ++i) rs.Insert(i);
+  EXPECT_GT(rs.Quantile(0.99), 90.0);
+  for (int i = 1000; i < 1100; ++i) rs.Insert(i);
+  EXPECT_GE(rs.Quantile(1.0), 99.0);
+}
+
+TEST(ReservoirTest, ClearResets) {
+  ReservoirSampler rs(10);
+  rs.Insert(5.0);
+  rs.Clear();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.sample_size(), 0u);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,97 @@
+#include "core/rotating_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/windowed_filter.h"
+
+namespace qf {
+namespace {
+
+using Rotating = RotatingQuantileFilter<CountSketch<int32_t>>;
+
+Rotating::Filter::Options MediumOptions() {
+  Rotating::Filter::Options o;
+  o.memory_bytes = 128 * 1024;
+  return o;
+}
+
+TEST(RotatingFilterTest, DetectsLikePlainFilterInsideOneWindow) {
+  Rotating filter(MediumOptions(), Criteria(30, 0.95, 300), 1000000);
+  int reported_at = -1;
+  for (int i = 1; i <= 40; ++i) {
+    if (filter.Insert(1, 500.0)) {
+      reported_at = i;
+      break;
+    }
+  }
+  EXPECT_EQ(reported_at, 32);
+}
+
+TEST(RotatingFilterTest, BoundaryStraddlingAnomalySurvivesRotation) {
+  // Criteria needs 32 consecutive abnormal items. Place them across a
+  // half-window boundary: a hard-reset windowed filter with the same
+  // window loses them; the rotating filter does not (the warmup filter
+  // carries the overlap history forward).
+  const uint64_t kWindow = 100;
+  Criteria c(30, 0.95, 300);
+
+  WindowedQuantileFilter<CountSketch<int32_t>> hard(MediumOptions(), c,
+                                                    kWindow / 2);
+  Rotating smooth(MediumOptions(), c, kWindow);
+
+  int hard_reports = 0, smooth_reports = 0;
+  // 34 quiet filler items on an unrelated key, then 32 abnormal items for
+  // key 7 beginning at item 35 — straddling the item-50 boundary.
+  auto feed = [&](auto& filter, int& reports) {
+    for (int i = 0; i < 34; ++i) filter.Insert(999, 10.0);
+    for (int i = 0; i < 32; ++i) reports += filter.Insert(7, 500.0);
+  };
+  feed(hard, hard_reports);
+  feed(smooth, smooth_reports);
+
+  EXPECT_EQ(hard_reports, 0);    // evidence split by the hard reset
+  EXPECT_GT(smooth_reports, 0);  // overlap preserves it
+}
+
+TEST(RotatingFilterTest, StaleStateForgottenAfterFullWindow) {
+  Rotating filter(MediumOptions(), Criteria(5, 0.9, 100), 100);
+  for (int i = 0; i < 5; ++i) filter.Insert(7, 500.0);  // Qweight 45 < 50
+  // A full window of unrelated traffic ages key 7 out completely.
+  for (int i = 0; i < 200; ++i) filter.Insert(999, 10.0);
+  EXPECT_EQ(filter.QueryQweight(7), 0);
+  // 5 more abnormal items must not fire (old 45 is gone: 45 < 50).
+  int reports = 0;
+  for (int i = 0; i < 5; ++i) reports += filter.Insert(7, 500.0);
+  EXPECT_EQ(reports, 0);
+}
+
+TEST(RotatingFilterTest, NoTotalAmnesiaInstant) {
+  // Unlike the hard-reset wrapper, a persistently hot key keeps reporting
+  // across many rotations (it always has >= half a window of history).
+  Rotating filter(MediumOptions(), Criteria(5, 0.9, 100), 200);
+  int reports = 0;
+  for (int i = 0; i < 5000; ++i) reports += filter.Insert(1, 500.0);
+  // Plain-filter cadence is ceil(50/9)=6 -> ~833 reports; rotation may eat
+  // a report here and there but must not collapse the cadence.
+  EXPECT_GT(reports, 600);
+  EXPECT_GT(filter.rotations(), 10u);
+}
+
+TEST(RotatingFilterTest, MemoryStaysWithinBudget) {
+  Rotating filter(MediumOptions(), Criteria(), 1000);
+  EXPECT_LE(filter.MemoryBytes(), 128u * 1024u + 256u);
+}
+
+TEST(RotatingFilterTest, DeleteAndResetCoverBothHalves) {
+  Rotating filter(MediumOptions(), Criteria(5, 0.9, 100), 1000);
+  for (int i = 0; i < 3; ++i) filter.Insert(7, 500.0);
+  filter.Delete(7);
+  EXPECT_EQ(filter.QueryQweight(7), 0);
+  for (int i = 0; i < 3; ++i) filter.Insert(8, 500.0);
+  filter.Reset();
+  EXPECT_EQ(filter.QueryQweight(8), 0);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,67 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_detector.h"
+#include "core/quantile_filter.h"
+#include "stream/generators.h"
+
+namespace qf {
+namespace {
+
+TEST(RunnerTest, ExactDetectorScoresPerfectly) {
+  ZipfTraceOptions o;
+  o.num_items = 50000;
+  o.num_keys = 2000;
+  Trace trace = GenerateZipfTrace(o);
+  Criteria c(5, 0.9, 400.0);
+  auto truth = TrueOutstandingKeys(trace, c);
+
+  ExactDetector oracle(c);
+  RunResult result = RunDetector(oracle, trace, truth);
+  EXPECT_DOUBLE_EQ(result.accuracy.f1, 1.0);
+  EXPECT_EQ(result.reported_keys, truth.size());
+  EXPECT_GT(result.mops, 0.0);
+  EXPECT_GT(result.memory_bytes, 0u);
+}
+
+TEST(RunnerTest, ReportEventsAtLeastReportedKeys) {
+  ZipfTraceOptions o;
+  o.num_items = 50000;
+  o.num_keys = 500;
+  Trace trace = GenerateZipfTrace(o);
+  Criteria c(5, 0.9, 350.0);
+  auto truth = TrueOutstandingKeys(trace, c);
+  ExactDetector oracle(c);
+  RunResult result = RunDetector(oracle, trace, truth);
+  EXPECT_GE(result.report_events, result.reported_keys);
+}
+
+TEST(RunnerTest, QuantileFilterBeatsZeroOnRealTrace) {
+  InternetTraceOptions o;
+  o.num_items = 100000;
+  o.num_keys = 5000;
+  Trace trace = GenerateInternetTrace(o);
+  Criteria c(30, 0.95, 300.0);
+  auto truth = TrueOutstandingKeys(trace, c);
+  ASSERT_GT(truth.size(), 0u);
+
+  DefaultQuantileFilter::Options fo;
+  fo.memory_bytes = 256 * 1024;
+  DefaultQuantileFilter filter(fo, c);
+  RunResult result = RunDetector(filter, trace, truth);
+  EXPECT_GT(result.accuracy.f1, 0.5);
+}
+
+TEST(RunnerTest, MeasureMopsIsPositive) {
+  ZipfTraceOptions o;
+  o.num_items = 20000;
+  Trace trace = GenerateZipfTrace(o);
+  DefaultQuantileFilter::Options fo;
+  fo.memory_bytes = 64 * 1024;
+  DefaultQuantileFilter filter(fo, Criteria());
+  EXPECT_GT(MeasureMops(filter, trace), 0.0);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,84 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace qf {
+namespace {
+
+TEST(SerializeTest, PodRoundTrip) {
+  std::vector<uint8_t> buf;
+  AppendPod(uint32_t{0xDEADBEEF}, &buf);
+  AppendPod(int64_t{-42}, &buf);
+  AppendPod(3.25, &buf);
+
+  ByteReader reader(buf);
+  uint32_t a = 0;
+  int64_t b = 0;
+  double c = 0;
+  EXPECT_TRUE(reader.Read(&a));
+  EXPECT_TRUE(reader.Read(&b));
+  EXPECT_TRUE(reader.Read(&c));
+  EXPECT_EQ(a, 0xDEADBEEFu);
+  EXPECT_EQ(b, -42);
+  EXPECT_DOUBLE_EQ(c, 3.25);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(SerializeTest, VectorRoundTrip) {
+  std::vector<uint8_t> buf;
+  std::vector<int16_t> values{1, -2, 300, -400};
+  AppendVector(values, &buf);
+
+  ByteReader reader(buf);
+  std::vector<int16_t> out;
+  EXPECT_TRUE(reader.ReadVector(&out));
+  EXPECT_EQ(out, values);
+}
+
+TEST(SerializeTest, EmptyVectorRoundTrip) {
+  std::vector<uint8_t> buf;
+  AppendVector(std::vector<double>{}, &buf);
+  ByteReader reader(buf);
+  std::vector<double> out{1.0};
+  EXPECT_TRUE(reader.ReadVector(&out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SerializeTest, UnderflowFailsAndSticks) {
+  std::vector<uint8_t> buf;
+  AppendPod(uint16_t{7}, &buf);
+  ByteReader reader(buf);
+  uint64_t big = 0;
+  EXPECT_FALSE(reader.Read(&big));
+  EXPECT_FALSE(reader.ok());
+  uint8_t small = 0;
+  EXPECT_FALSE(reader.Read(&small));  // stays failed
+}
+
+TEST(SerializeTest, OversizedVectorCountFails) {
+  std::vector<uint8_t> buf;
+  AppendPod(uint64_t{1000000}, &buf);  // claims 1M elements, provides none
+  ByteReader reader(buf);
+  std::vector<int32_t> out;
+  EXPECT_FALSE(reader.ReadVector(&out));
+}
+
+TEST(SerializeTest, SequentialMixedContent) {
+  std::vector<uint8_t> buf;
+  AppendPod(uint8_t{1}, &buf);
+  AppendVector(std::vector<int8_t>{5, 6}, &buf);
+  AppendPod(uint8_t{2}, &buf);
+
+  ByteReader reader(buf);
+  uint8_t first = 0, last = 0;
+  std::vector<int8_t> mid;
+  EXPECT_TRUE(reader.Read(&first));
+  EXPECT_TRUE(reader.ReadVector(&mid));
+  EXPECT_TRUE(reader.Read(&last));
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(last, 2);
+  ASSERT_EQ(mid.size(), 2u);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,132 @@
+#include "core/sharded_filter.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stream/item.h"
+
+namespace qf {
+namespace {
+
+using Sharded = ShardedQuantileFilter<CountSketch<int32_t>>;
+
+Sharded::Filter::Options MediumOptions() {
+  Sharded::Filter::Options o;
+  o.memory_bytes = 256 * 1024;
+  return o;
+}
+
+TEST(ShardedFilterTest, ShardAssignmentIsStableAndInRange) {
+  Sharded sharded(MediumOptions(), Criteria(), 4);
+  for (uint64_t key = 0; key < 10000; ++key) {
+    int s = sharded.ShardFor(key);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 4);
+    EXPECT_EQ(s, sharded.ShardFor(key));
+  }
+}
+
+TEST(ShardedFilterTest, ShardsAreBalanced) {
+  Sharded sharded(MediumOptions(), Criteria(), 8);
+  std::vector<int> counts(8, 0);
+  for (uint64_t key = 0; key < 80000; ++key) ++counts[sharded.ShardFor(key)];
+  for (int c : counts) {
+    EXPECT_GT(c, 8500);
+    EXPECT_LT(c, 11500);
+  }
+}
+
+TEST(ShardedFilterTest, DetectionMatchesSingleFilterSemantics) {
+  Sharded sharded(MediumOptions(), Criteria(30, 0.95, 300), 4);
+  int reported_at = -1;
+  for (int i = 1; i <= 40; ++i) {
+    if (sharded.Insert(1, 500.0)) {
+      reported_at = i;
+      break;
+    }
+  }
+  EXPECT_EQ(reported_at, 32);  // same timing as the unsharded filter
+}
+
+TEST(ShardedFilterTest, MemorySplitsAcrossShards) {
+  Sharded sharded(MediumOptions(), Criteria(), 4);
+  EXPECT_LE(sharded.MemoryBytes(), 256u * 1024u + 512u);
+  // Each shard got ~1/4.
+  EXPECT_LE(sharded.shard(0).MemoryBytes(), 64u * 1024u + 128u);
+}
+
+TEST(ShardedFilterTest, AggregateStatsSumShards) {
+  Sharded sharded(MediumOptions(), Criteria(5, 0.9, 100), 4);
+  Rng rng(1);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sharded.Insert(rng.NextBounded(1000), rng.Bernoulli(0.3) ? 500.0 : 10.0);
+  }
+  auto stats = sharded.AggregateStats();
+  EXPECT_EQ(stats.items, static_cast<uint64_t>(n));
+  EXPECT_EQ(stats.candidate_hits + stats.admissions + stats.vague_inserts,
+            stats.items);
+}
+
+TEST(ShardedFilterTest, QueryAndDeleteRouteToOwningShard) {
+  Sharded sharded(MediumOptions(), Criteria(30, 0.95, 300), 4);
+  for (int i = 0; i < 5; ++i) sharded.Insert(42, 500.0);
+  EXPECT_EQ(sharded.QueryQweight(42), 95);
+  sharded.Delete(42);
+  EXPECT_EQ(sharded.QueryQweight(42), 0);
+}
+
+TEST(ShardedFilterTest, ConcurrentShardsProduceSameReportsAsSerial) {
+  // Pre-partition a stream per shard, drive shards from distinct threads,
+  // and compare total report counts against the serial run: disjoint key
+  // partitions make the results deterministic and thread-safe by design.
+  const int kShards = 4;
+  Criteria c(5, 0.9, 100);
+  Rng rng(2);
+  std::vector<std::vector<Item>> per_shard(kShards);
+  Sharded serial(MediumOptions(), c, kShards);
+  uint64_t serial_reports = 0;
+  for (int i = 0; i < 50000; ++i) {
+    Item item{1 + rng.NextBounded(2000), rng.Bernoulli(0.3) ? 500.0 : 10.0};
+    per_shard[serial.ShardFor(item.key)].push_back(item);
+    serial_reports += serial.Insert(item.key, item.value);
+  }
+
+  Sharded parallel(MediumOptions(), c, kShards);
+  std::vector<uint64_t> shard_reports(kShards, 0);
+  {
+    std::vector<std::thread> threads;
+    for (int s = 0; s < kShards; ++s) {
+      threads.emplace_back([&, s] {
+        for (const Item& item : per_shard[s]) {
+          shard_reports[s] += parallel.shard(s).Insert(item.key, item.value);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  uint64_t parallel_reports = 0;
+  for (uint64_t r : shard_reports) parallel_reports += r;
+  EXPECT_EQ(parallel_reports, serial_reports);
+}
+
+TEST(ShardedFilterTest, SingleShardDegeneratesToPlainFilter) {
+  Sharded sharded(MediumOptions(), Criteria(30, 0.95, 300), 1);
+  EXPECT_EQ(sharded.num_shards(), 1);
+  int reports = 0;
+  for (int i = 0; i < 96; ++i) reports += sharded.Insert(1, 500.0);
+  EXPECT_EQ(reports, 3);
+}
+
+TEST(ShardedFilterTest, ResetClearsAllShards) {
+  Sharded sharded(MediumOptions(), Criteria(30, 0.95, 300), 4);
+  for (uint64_t k = 0; k < 100; ++k) sharded.Insert(k, 500.0);
+  sharded.Reset();
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_EQ(sharded.QueryQweight(k), 0);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,143 @@
+// Typed test suite over every vague-engine sketch type: the shared concept
+// (Add / Estimate / Subtract / Clear / FromBytes / MergeFrom / AppendTo /
+// ReadFrom) must satisfy the same invariants regardless of engine, so
+// QuantileFilter<SketchT> stays correct for any engine choice.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/count_sketch.h"
+#include "sketch/tower_sketch.h"
+
+namespace qf {
+namespace {
+
+template <typename SketchT>
+class SketchConceptTest : public ::testing::Test {
+ public:
+  static SketchT Make(uint64_t seed = 42) {
+    return SketchT::FromBytes(32 * 1024, 3, seed);
+  }
+};
+
+using EngineTypes =
+    ::testing::Types<CountSketch<int8_t>, CountSketch<int16_t>,
+                     CountSketch<int32_t>, CountSketch<float>,
+                     CountMinSketch<int16_t>, CountMinSketch<int32_t>,
+                     TowerSketch>;
+TYPED_TEST_SUITE(SketchConceptTest, EngineTypes);
+
+TYPED_TEST(SketchConceptTest, FreshSketchEstimatesZero) {
+  TypeParam sketch = TestFixture::Make();
+  for (uint64_t k = 1; k <= 100; ++k) EXPECT_EQ(sketch.Estimate(k), 0);
+}
+
+TYPED_TEST(SketchConceptTest, LoneKeyRoundTrips) {
+  TypeParam sketch = TestFixture::Make();
+  sketch.Add(7, 19);
+  sketch.Add(7, 19);
+  sketch.Add(7, -1);
+  EXPECT_EQ(sketch.Estimate(7), 37);
+}
+
+TYPED_TEST(SketchConceptTest, SubtractUndoesAdd) {
+  TypeParam sketch = TestFixture::Make();
+  sketch.Add(11, 123);
+  sketch.Subtract(11, 123);
+  EXPECT_EQ(sketch.Estimate(11), 0);
+}
+
+TYPED_TEST(SketchConceptTest, NegativeTotalsSupported) {
+  TypeParam sketch = TestFixture::Make();
+  for (int i = 0; i < 50; ++i) sketch.Add(3, -1);
+  EXPECT_EQ(sketch.Estimate(3), -50);
+}
+
+TYPED_TEST(SketchConceptTest, ClearZeroesState) {
+  TypeParam sketch = TestFixture::Make();
+  for (uint64_t k = 1; k <= 200; ++k) sketch.Add(k, 5);
+  sketch.Clear();
+  for (uint64_t k = 1; k <= 200; ++k) EXPECT_EQ(sketch.Estimate(k), 0);
+}
+
+TYPED_TEST(SketchConceptTest, FromBytesStaysWithinBudget) {
+  TypeParam sketch = TestFixture::Make();
+  EXPECT_LE(sketch.MemoryBytes(), 32u * 1024u);
+  EXPECT_GT(sketch.MemoryBytes(), 16u * 1024u);
+  EXPECT_EQ(sketch.depth(), 3);
+}
+
+TYPED_TEST(SketchConceptTest, MergeEqualsUnion) {
+  TypeParam a = TestFixture::Make();
+  TypeParam b = TestFixture::Make();
+  TypeParam u = TestFixture::Make();
+  Rng rng(9);
+  // Weights kept small enough that even int8 cells never saturate (merge
+  // of partial sums equals the union only below the clamp).
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t key = 1 + rng.NextBounded(200);
+    int64_t w = rng.Bernoulli(0.5) ? 3 : -1;
+    (i % 2 == 0 ? a : b).Add(key, w);
+    u.Add(key, w);
+  }
+  ASSERT_TRUE(a.MergeFrom(b));
+  for (uint64_t k = 1; k <= 200; ++k) {
+    EXPECT_EQ(a.Estimate(k), u.Estimate(k)) << "key " << k;
+  }
+}
+
+TYPED_TEST(SketchConceptTest, MergeRejectsDifferentSeeds) {
+  TypeParam a = TestFixture::Make(1);
+  TypeParam b = TestFixture::Make(2);
+  EXPECT_FALSE(a.MergeFrom(b));
+}
+
+TYPED_TEST(SketchConceptTest, SerializationRoundTrip) {
+  TypeParam a = TestFixture::Make();
+  Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    a.Add(rng.NextBounded(500), rng.Bernoulli(0.3) ? 19 : -1);
+  }
+  std::vector<uint8_t> bytes;
+  a.AppendTo(&bytes);
+
+  TypeParam b = TestFixture::Make();
+  ByteReader reader(bytes);
+  ASSERT_TRUE(b.ReadFrom(&reader));
+  for (uint64_t k = 0; k < 500; ++k) {
+    EXPECT_EQ(a.Estimate(k), b.Estimate(k)) << "key " << k;
+  }
+}
+
+TYPED_TEST(SketchConceptTest, SerializationRejectsTruncation) {
+  TypeParam a = TestFixture::Make();
+  std::vector<uint8_t> bytes;
+  a.AppendTo(&bytes);
+  bytes.resize(bytes.size() - 7);
+  TypeParam b = TestFixture::Make();
+  ByteReader reader(bytes);
+  EXPECT_FALSE(b.ReadFrom(&reader));
+}
+
+TYPED_TEST(SketchConceptTest, DeterministicForFixedSeed) {
+  TypeParam a = TestFixture::Make(77);
+  TypeParam b = TestFixture::Make(77);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t key = rng.Next();
+    a.Add(key, 3);
+    b.Add(key, 3);
+  }
+  Rng probe(5);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t key = probe.Next();
+    EXPECT_EQ(a.Estimate(key), b.Estimate(key));
+  }
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,95 @@
+#include "baseline/sketch_polymer.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+SketchPolymer::Options BigOptions() {
+  SketchPolymer::Options o;
+  o.memory_bytes = 4 << 20;
+  return o;
+}
+
+TEST(SketchPolymerTest, ReportsPersistentlyAbnormalKey) {
+  SketchPolymer sp(BigOptions(), Criteria(5, 0.9, 100));
+  int reports = 0;
+  for (int i = 0; i < 1000; ++i) reports += sp.Insert(1, 500.0);
+  EXPECT_GT(reports, 0);
+}
+
+TEST(SketchPolymerTest, QuietKeyNotReported) {
+  SketchPolymer sp(BigOptions(), Criteria(5, 0.9, 100));
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(sp.Insert(1, 10.0));
+}
+
+TEST(SketchPolymerTest, WarmupDiscardsEarliestValues) {
+  // The cold-start stage consumes the first `warmup` items of every key;
+  // the quantile state must not see them.
+  SketchPolymer::Options o = BigOptions();
+  o.warmup = 8;
+  // Unreachable threshold so a report cannot reset the recorded state.
+  SketchPolymer sp(o, Criteria(0, 0.5, 1e18));
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(sp.Insert(1, 500.0));
+  EXPECT_EQ(sp.QueryQuantile(1),
+            -std::numeric_limits<double>::infinity());
+  // Items after warm-up are recorded.
+  sp.Insert(1, 500.0);
+  EXPECT_GT(sp.QueryQuantile(1), 100.0);
+}
+
+TEST(SketchPolymerTest, QuantileLandsInRightLogBucket) {
+  SketchPolymer::Options o = BigOptions();
+  o.warmup = 0;
+  SketchPolymer sp(o, Criteria(0, 0.5, 1e18));
+  for (int i = 0; i < 1000; ++i) sp.Insert(3, 700.0);  // level 9 (512..1024)
+  double q = sp.QueryQuantile(3);
+  EXPECT_EQ(q, 512.0);
+}
+
+TEST(SketchPolymerTest, TinyMemoryOverReports) {
+  // The regime the paper shows in Figs 4-5: too-small sketches inflate
+  // per-key high-bucket counts via collisions -> keys broadly misreported.
+  SketchPolymer::Options tiny;
+  tiny.memory_bytes = 2048;
+  tiny.warmup = 0;
+  SketchPolymer sp(tiny, Criteria(5, 0.9, 100));
+  Rng rng(1);
+  int reports = 0;
+  for (int i = 0; i < 100000; ++i) {
+    // 10% abnormal traffic across many keys.
+    reports += sp.Insert(rng.NextBounded(20000),
+                         rng.Bernoulli(0.10) ? 500.0 : 10.0);
+  }
+  SketchPolymer::Options big = BigOptions();
+  big.warmup = 0;
+  SketchPolymer sp_big(big, Criteria(5, 0.9, 100));
+  Rng rng2(1);
+  int reports_big = 0;
+  for (int i = 0; i < 100000; ++i) {
+    reports_big += sp_big.Insert(rng2.NextBounded(20000),
+                                 rng2.Bernoulli(0.10) ? 500.0 : 10.0);
+  }
+  EXPECT_GT(reports, reports_big * 2);  // tiny memory misfires far more
+}
+
+TEST(SketchPolymerTest, MemoryWithinBudget) {
+  SketchPolymer sp(BigOptions(), Criteria());
+  EXPECT_LE(sp.MemoryBytes(), (4u << 20) + 4096u);
+}
+
+TEST(SketchPolymerTest, ResetClears) {
+  SketchPolymer::Options o = BigOptions();
+  o.warmup = 0;
+  SketchPolymer sp(o, Criteria(3, 0.75, 100));
+  for (int i = 0; i < 3; ++i) sp.Insert(1, 500.0);
+  sp.Reset();
+  EXPECT_EQ(sp.QueryQuantile(1), -std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,95 @@
+#include "baseline/sliding_exact_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_detector.h"
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+TEST(SlidingExactTest, ZeroWindowMatchesPlainExactDetector) {
+  Criteria c(5, 0.9, 100.0);
+  SlidingExactDetector sliding(c, 0);
+  ExactDetector plain(c);
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = rng.NextBounded(40);
+    double value = rng.Bernoulli(0.3) ? 500.0 : 10.0;
+    ASSERT_EQ(sliding.Insert(key, value), plain.Insert(key, value)) << i;
+  }
+}
+
+TEST(SlidingExactTest, OldValuesExpire) {
+  // Criteria (30, 0.95): 32 abnormal items to fire. 20 abnormal items for
+  // key 7, then a full window of other traffic, then 20 more: the first 20
+  // have expired, so no report; a plain detector would fire at the 32nd.
+  Criteria c(30, 0.95, 300.0);
+  SlidingExactDetector sliding(c, 1000);
+  int reports = 0;
+  for (int i = 0; i < 20; ++i) reports += sliding.Insert(7, 500.0);
+  for (int i = 0; i < 1500; ++i) sliding.Insert(999, 10.0);
+  for (int i = 0; i < 20; ++i) reports += sliding.Insert(7, 500.0);
+  EXPECT_EQ(reports, 0);
+
+  ExactDetector plain(c);
+  int plain_reports = 0;
+  for (int i = 0; i < 20; ++i) plain_reports += plain.Insert(7, 500.0);
+  for (int i = 0; i < 1500; ++i) plain.Insert(999, 10.0);
+  for (int i = 0; i < 20; ++i) plain_reports += plain.Insert(7, 500.0);
+  EXPECT_EQ(plain_reports, 1);
+}
+
+TEST(SlidingExactTest, BurstInsideWindowStillFires) {
+  Criteria c(30, 0.95, 300.0);
+  SlidingExactDetector sliding(c, 1000);
+  for (int i = 0; i < 500; ++i) sliding.Insert(999, 10.0);
+  int reports = 0;
+  for (int i = 0; i < 32; ++i) reports += sliding.Insert(7, 500.0);
+  EXPECT_EQ(reports, 1);
+}
+
+TEST(SlidingExactTest, ReportClearsTheKeyWindow) {
+  Criteria c(3, 0.75, 100.0);  // fires every 4 abnormal items
+  SlidingExactDetector sliding(c, 1000000);
+  int reports = 0;
+  for (int i = 0; i < 40; ++i) reports += sliding.Insert(1, 500.0);
+  EXPECT_EQ(reports, 10);
+}
+
+TEST(SlidingExactTest, QweightReflectsOnlyLiveValues) {
+  Criteria c(1e9, 0.95, 300.0);  // never fires; weight +19 / -1
+  SlidingExactDetector sliding(c, 100);
+  for (int i = 0; i < 5; ++i) sliding.Insert(7, 500.0);
+  EXPECT_NEAR(sliding.Qweight(7), 5 * 19.0, 1e-9);
+  // Push the old values out of the window with other-key traffic.
+  for (int i = 0; i < 200; ++i) sliding.Insert(999, 10.0);
+  EXPECT_NEAR(sliding.Qweight(7), 0.0, 1e-9);
+}
+
+TEST(SlidingExactTest, MemoryTracksLiveWindow) {
+  Criteria c(1e9, 0.95, 300.0);
+  SlidingExactDetector sliding(c, 1000);
+  Rng rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    sliding.Insert(rng.NextBounded(100), 10.0);
+  }
+  // Live events are pruned on each key's next insertion, so total retained
+  // events stay near the window size, not the stream size.
+  EXPECT_LT(sliding.MemoryBytes(), 200u * 1024u);
+}
+
+TEST(SlidingExactTest, DeleteAndReset) {
+  Criteria c(3, 0.75, 100.0);
+  SlidingExactDetector sliding(c, 100);
+  sliding.Insert(1, 500.0);
+  sliding.Delete(1);
+  EXPECT_EQ(sliding.Qweight(1), 0.0);
+  sliding.Insert(2, 500.0);
+  sliding.Reset();
+  EXPECT_EQ(sliding.items_seen(), 0u);
+  EXPECT_EQ(sliding.Qweight(2), 0.0);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,116 @@
+#include "sketch/space_saving.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace qf {
+namespace {
+
+TEST(SpaceSavingTest, TracksKeysBelowCapacityExactly) {
+  SpaceSaving ss(10);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (uint64_t k = 1; k <= 8; ++k) EXPECT_EQ(ss.Add(k), 0u);
+  }
+  for (uint64_t k = 1; k <= 8; ++k) {
+    SpaceSaving::Entry e;
+    ASSERT_TRUE(ss.Lookup(k, &e));
+    EXPECT_EQ(e.count, 5u);
+    EXPECT_EQ(e.error, 0u);
+  }
+}
+
+TEST(SpaceSavingTest, EvictsMinimumWhenFull) {
+  SpaceSaving ss(2);
+  ss.Add(1);
+  ss.Add(1);
+  ss.Add(2);
+  // Key 3 arrives at a full table; key 2 (count 1) must be evicted.
+  uint64_t evicted = ss.Add(3);
+  EXPECT_EQ(evicted, 2u);
+  SpaceSaving::Entry e;
+  ASSERT_TRUE(ss.Lookup(3, &e));
+  EXPECT_EQ(e.count, 2u);  // inherits the evicted count + 1
+  EXPECT_EQ(e.error, 1u);
+  EXPECT_FALSE(ss.Lookup(2, nullptr));
+}
+
+TEST(SpaceSavingTest, EstimateUpperBoundsTrueCount) {
+  // SpaceSaving guarantee: estimate >= true count for every key.
+  SpaceSaving ss(64);
+  Rng rng(5);
+  ZipfSampler zipf(1000, 1.2);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t k = zipf.Sample(rng);
+    ++truth[k];
+    ss.Add(k);
+  }
+  for (const auto& [k, c] : truth) {
+    EXPECT_GE(ss.Estimate(k), c) << "key " << k;
+  }
+}
+
+TEST(SpaceSavingTest, HeavyHittersSurvive) {
+  // The top keys of a skewed stream must remain tracked with small error.
+  SpaceSaving ss(128);
+  Rng rng(6);
+  ZipfSampler zipf(100000, 1.1);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 200000; ++i) {
+    uint64_t k = zipf.Sample(rng);
+    ++truth[k];
+    ss.Add(k);
+  }
+  for (uint64_t k = 1; k <= 10; ++k) {
+    SpaceSaving::Entry e;
+    ASSERT_TRUE(ss.Lookup(k, &e)) << "heavy key " << k << " lost";
+    EXPECT_LE(e.count - e.error, truth[k]);
+    EXPECT_GE(e.count, truth[k]);
+  }
+}
+
+TEST(SpaceSavingTest, SizeNeverExceedsCapacity) {
+  SpaceSaving ss(16);
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    ss.Add(rng.Next());
+    EXPECT_LE(ss.size(), 16u);
+  }
+}
+
+TEST(SpaceSavingTest, WeightedIncrements) {
+  SpaceSaving ss(4);
+  ss.Add(1, 10);
+  ss.Add(1, 5);
+  SpaceSaving::Entry e;
+  ASSERT_TRUE(ss.Lookup(1, &e));
+  EXPECT_EQ(e.count, 15u);
+}
+
+TEST(SpaceSavingTest, ClearEmptiesTable) {
+  SpaceSaving ss(4);
+  ss.Add(1);
+  ss.Add(2);
+  ss.Clear();
+  EXPECT_EQ(ss.size(), 0u);
+  EXPECT_FALSE(ss.Lookup(1, nullptr));
+  EXPECT_EQ(ss.Estimate(1), 0u);
+}
+
+TEST(SpaceSavingTest, HeapInvariantHoldsUnderChurn) {
+  SpaceSaving ss(32);
+  Rng rng(8);
+  for (int i = 0; i < 30000; ++i) ss.Add(rng.NextBounded(500));
+  // Every tracked entry's count must be >= the root's count minus nothing:
+  // root is the minimum.
+  uint64_t root_count = ss.entries()[0].count;
+  for (const auto& e : ss.entries()) EXPECT_GE(e.count, root_count);
+}
+
+}  // namespace
+}  // namespace qf

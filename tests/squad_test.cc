@@ -1,0 +1,150 @@
+#include "baseline/squad.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+Squad::Options BigOptions() {
+  Squad::Options o;
+  o.memory_bytes = 4 << 20;
+  return o;
+}
+
+TEST(SquadTest, ReportsPersistentlyAbnormalKey) {
+  Squad squad(BigOptions(), Criteria(5, 0.9, 100));
+  int reports = 0;
+  for (int i = 0; i < 1000; ++i) reports += squad.Insert(1, 500.0);
+  EXPECT_GT(reports, 0);
+}
+
+TEST(SquadTest, QuietKeyNotReported) {
+  Squad squad(BigOptions(), Criteria(5, 0.9, 100));
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(squad.Insert(1, 10.0));
+}
+
+TEST(SquadTest, ReportTimingMatchesDefinitionForLoneKey) {
+  // All-abnormal stream, eps=3, delta=0.75: Definition 4 fires at item 4.
+  Criteria c(3, 0.75, 100);
+  Squad squad(BigOptions(), c);
+  int reported_at = -1;
+  for (int i = 1; i <= 20; ++i) {
+    if (squad.Insert(42, 500.0)) {
+      reported_at = i;
+      break;
+    }
+  }
+  EXPECT_EQ(reported_at, 4);
+}
+
+TEST(SquadTest, QueryQuantileApproximatesTruth) {
+  Squad squad(BigOptions(), Criteria(0, 0.5, 1e18));
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) squad.Insert(7, rng.NextDouble() * 100.0);
+  // Median of U[0,100] is ~50.
+  EXPECT_NEAR(squad.QueryQuantile(7), 50.0, 8.0);
+}
+
+TEST(SquadTest, CapacityBoundsTrackedKeys) {
+  Squad::Options o;
+  o.memory_bytes = 64 * 1024;
+  o.bytes_per_key = 1024;
+  Squad squad(o, Criteria());
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) squad.Insert(rng.Next(), 100.0);
+  EXPECT_LE(squad.tracked_keys(), 64u);
+}
+
+TEST(SquadTest, EvictedKeysLoseTheirQuantileState) {
+  // Tiny capacity + many cycling keys: a key's GK summary is destroyed when
+  // SpaceSaving evicts it, so no key accumulates the >= 4 consecutive
+  // tracked values needed to fire under eps=2 — recall collapses at small
+  // memory, the Figs 4-5 low-budget regime.
+  Squad::Options o;
+  o.memory_bytes = 8 * 1024;
+  o.bytes_per_key = 1024;  // capacity = 8 tracked keys
+  Squad squad(o, Criteria(2, 0.5, 100));
+  Rng rng(3);
+  int reports = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    // Round-robin over 1000 keys: each re-occurrence finds the key evicted.
+    reports += squad.Insert(1 + (i % 1000), 500.0);
+  }
+  EXPECT_LT(reports, n / 100);
+}
+
+TEST(SquadTest, HeavyAbnormalKeySurvivesNoise) {
+  Squad squad(BigOptions(), Criteria(5, 0.9, 100));
+  Rng rng(4);
+  int hot_reports = 0;
+  for (int i = 0; i < 100000; ++i) {
+    squad.Insert(rng.NextBounded(5000), 10.0);
+    if (i % 10 == 0) {
+      hot_reports += squad.Insert(999999, rng.Bernoulli(0.6) ? 150.0 : 50.0);
+    }
+  }
+  EXPECT_GT(hot_reports, 0);
+}
+
+TEST(SquadTest, UntrackedKeysFallBackToBackgroundReservoir) {
+  // Tiny capacity: churn evicts most keys, but the shared background
+  // reservoirs still yield a coarse (cross-key) quantile for them.
+  Squad::Options o;
+  o.memory_bytes = 8 * 1024;
+  o.bytes_per_key = 1024;
+  Squad squad(o, Criteria(0, 0.5, 1e18));
+  Rng rng(9);
+  for (int i = 0; i < 30000; ++i) {
+    squad.Insert(rng.NextBounded(5000), 100.0 + rng.NextDouble());
+  }
+  // Pick a key that is almost surely evicted: its quantile must come from
+  // the background (all values ~100), not be -inf.
+  double q = squad.QueryQuantile(4242);
+  EXPECT_GT(q, 99.0);
+  EXPECT_LT(q, 102.0);
+}
+
+TEST(SquadTest, BackgroundClearsOnReset) {
+  Squad::Options o;
+  o.memory_bytes = 8 * 1024;
+  o.bytes_per_key = 1024;
+  Squad squad(o, Criteria(0, 0.5, 1e18));
+  for (int i = 0; i < 1000; ++i) squad.Insert(i, 100.0);
+  squad.Reset();
+  EXPECT_EQ(squad.QueryQuantile(999999),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(SquadTest, ResetClears) {
+  Squad squad(BigOptions(), Criteria(3, 0.75, 100));
+  for (int i = 0; i < 3; ++i) squad.Insert(1, 500.0);
+  squad.Reset();
+  EXPECT_EQ(squad.tracked_keys(), 0u);
+  int reported_at = -1;
+  for (int i = 1; i <= 10; ++i) {
+    if (squad.Insert(1, 500.0)) {
+      reported_at = i;
+      break;
+    }
+  }
+  EXPECT_EQ(reported_at, 4);
+}
+
+TEST(SquadTest, MemoryGrowsWithTrackedState) {
+  Squad squad(BigOptions(), Criteria());
+  size_t before = squad.MemoryBytes();
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    squad.Insert(rng.NextBounded(500), rng.NextDouble() * 1000);
+  }
+  EXPECT_GT(squad.MemoryBytes(), before);
+}
+
+}  // namespace
+}  // namespace qf

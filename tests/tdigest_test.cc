@@ -1,0 +1,92 @@
+#include "quantile/tdigest.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+TEST(TDigestTest, EmptyDigest) {
+  TDigest digest(100);
+  EXPECT_EQ(digest.count(), 0u);
+  EXPECT_EQ(digest.Quantile(0.5), 0.0);
+}
+
+TEST(TDigestTest, SingleValue) {
+  TDigest digest(100);
+  digest.Insert(42.0);
+  EXPECT_EQ(digest.Quantile(0.0), 42.0);
+  EXPECT_EQ(digest.Quantile(1.0), 42.0);
+}
+
+TEST(TDigestTest, MedianOfUniformStream) {
+  TDigest digest(100);
+  Rng rng(18);
+  for (int i = 0; i < 100000; ++i) digest.Insert(rng.NextDouble());
+  EXPECT_NEAR(digest.Quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(digest.Quantile(0.25), 0.25, 0.02);
+  EXPECT_NEAR(digest.Quantile(0.75), 0.75, 0.02);
+}
+
+TEST(TDigestTest, TailQuantilesAreSharp) {
+  // The k1 scale function gives extra resolution at the tails.
+  TDigest digest(200);
+  Rng rng(19);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) digest.Insert(rng.NextDouble());
+  EXPECT_NEAR(digest.Quantile(0.99), 0.99, 0.005);
+  EXPECT_NEAR(digest.Quantile(0.999), 0.999, 0.002);
+  EXPECT_NEAR(digest.Quantile(0.001), 0.001, 0.002);
+}
+
+TEST(TDigestTest, CentroidCountIsBounded) {
+  TDigest digest(100);
+  Rng rng(20);
+  for (int i = 0; i < 500000; ++i) digest.Insert(rng.NextDouble());
+  // Compression 100 should keep the centroid count within a small multiple.
+  EXPECT_LT(digest.centroid_count(), 400u);
+}
+
+TEST(TDigestTest, QuantilesAreMonotone) {
+  TDigest digest(100);
+  Rng rng(21);
+  for (int i = 0; i < 50000; ++i) digest.Insert(rng.NextGaussian());
+  double prev = digest.Quantile(0.0);
+  for (double phi = 0.05; phi <= 1.0; phi += 0.05) {
+    double q = digest.Quantile(phi);
+    EXPECT_GE(q, prev - 1e-9) << "phi=" << phi;
+    prev = q;
+  }
+}
+
+TEST(TDigestTest, GaussianQuantilesMatchTheory) {
+  TDigest digest(200);
+  Rng rng(22);
+  for (int i = 0; i < 200000; ++i) digest.Insert(rng.NextGaussian());
+  EXPECT_NEAR(digest.Quantile(0.5), 0.0, 0.03);
+  EXPECT_NEAR(digest.Quantile(0.8413), 1.0, 0.06);   // +1 sigma
+  EXPECT_NEAR(digest.Quantile(0.9772), 2.0, 0.10);   // +2 sigma
+}
+
+TEST(TDigestTest, WeightedInsert) {
+  TDigest digest(100);
+  digest.Insert(1.0, 99);
+  digest.Insert(100.0, 1);
+  EXPECT_EQ(digest.count(), 100u);
+  EXPECT_NEAR(digest.Quantile(0.5), 1.0, 1.0);
+}
+
+TEST(TDigestTest, ClearResets) {
+  TDigest digest(100);
+  for (int i = 0; i < 1000; ++i) digest.Insert(i);
+  digest.Clear();
+  EXPECT_EQ(digest.count(), 0u);
+  digest.Insert(9.0);
+  EXPECT_EQ(digest.Quantile(0.5), 9.0);
+}
+
+}  // namespace
+}  // namespace qf

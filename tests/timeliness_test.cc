@@ -1,0 +1,72 @@
+#include "eval/timeliness.h"
+
+#include <gtest/gtest.h>
+
+#include "core/quantile_filter.h"
+#include "stream/generators.h"
+
+namespace qf {
+namespace {
+
+TEST(TimelinessTest, OracleAgainstItselfHasZeroDelay) {
+  InternetTraceOptions o;
+  o.num_items = 50000;
+  o.num_keys = 2000;
+  Trace trace = GenerateInternetTrace(o);
+  Criteria c(30, 0.95, 300);
+
+  ExactDetector oracle(c);
+  TimelinessResult r = MeasureTimeliness(oracle, trace, c);
+  EXPECT_GT(r.truth_keys, 0u);
+  EXPECT_EQ(r.detected, r.truth_keys);
+  EXPECT_EQ(r.missed, 0u);
+  EXPECT_EQ(r.early, 0u);
+  EXPECT_EQ(r.mean_delay_items, 0.0);
+  EXPECT_EQ(r.max_delay_items, 0.0);
+}
+
+TEST(TimelinessTest, OracleFirstReportsAreEarliest) {
+  Trace trace{{1, 500.0}, {2, 10.0}, {1, 500.0}, {1, 500.0}};
+  Criteria c(0, 0.5, 100);  // every abnormal item fires for its key
+  auto first = OracleFirstReports(trace, c);
+  ASSERT_TRUE(first.count(1));
+  EXPECT_EQ(first[1], 0u);  // the first item already reports key 1
+  EXPECT_FALSE(first.count(2));
+}
+
+TEST(TimelinessTest, QuantileFilterDelayIsSmallWithAmpleMemory) {
+  InternetTraceOptions o;
+  o.num_items = 100000;
+  o.num_keys = 5000;
+  Trace trace = GenerateInternetTrace(o);
+  Criteria c(30, 0.95, 300);
+
+  DefaultQuantileFilter::Options fo;
+  fo.memory_bytes = 512 * 1024;
+  DefaultQuantileFilter filter(fo, c);
+  TimelinessResult r = MeasureTimeliness(filter, trace, c);
+  ASSERT_GT(r.truth_keys, 0u);
+  // With ample memory the candidate part tracks truth keys exactly, so
+  // first reports land at (nearly) the oracle's moment.
+  EXPECT_GE(static_cast<double>(r.detected),
+            0.9 * static_cast<double>(r.truth_keys));
+  EXPECT_LT(r.median_delay_items, 1000.0);
+}
+
+TEST(TimelinessTest, MissedKeysAreCounted) {
+  Trace trace;
+  for (int i = 0; i < 100; ++i) trace.push_back({1, 500.0});
+  Criteria c(3, 0.75, 100);
+
+  // A detector that never reports anything.
+  struct NeverDetector {
+    bool Insert(uint64_t, double) { return false; }
+  } never;
+  TimelinessResult r = MeasureTimeliness(never, trace, c);
+  EXPECT_GT(r.truth_keys, 0u);
+  EXPECT_EQ(r.detected, 0u);
+  EXPECT_EQ(r.missed, r.truth_keys);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,101 @@
+#include "sketch/tower_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/quantile_filter.h"
+
+namespace qf {
+namespace {
+
+TEST(TowerSketchTest, SingleKeyExact) {
+  TowerSketch sketch(3, 16 * 1024, 5);
+  sketch.Add(7, 10);
+  sketch.Add(7, -3);
+  EXPECT_EQ(sketch.Estimate(7), 7);
+}
+
+TEST(TowerSketchTest, NegativeWeights) {
+  TowerSketch sketch(3, 16 * 1024, 5);
+  sketch.Add(9, -100);
+  EXPECT_EQ(sketch.Estimate(9), -100);
+}
+
+TEST(TowerSketchTest, RowWidthsGrowForNarrowCounters) {
+  // Same byte budget per row: the 8-bit row must hold 4x the counters of
+  // the 32-bit row.
+  TowerSketch sketch(3, 4096, 7);
+  EXPECT_EQ(sketch.width(), 4096u);  // row 0: 8-bit counters
+  EXPECT_LE(sketch.MemoryBytes(), 3u * 4096u);
+}
+
+TEST(TowerSketchTest, NarrowRowsSaturateWideRowsAbsorb) {
+  // A key with Qweight 1000 saturates the 8-bit row (127) but the 16/32-bit
+  // rows hold it; the median over 3 rows still reflects the large value.
+  TowerSketch sketch(3, 4096, 11);
+  sketch.Add(5, 1000);
+  int64_t est = sketch.Estimate(5);
+  EXPECT_GE(est, 127);
+  EXPECT_LE(est, 1000);
+}
+
+TEST(TowerSketchTest, SubtractResets) {
+  TowerSketch sketch(3, 8192, 13);
+  sketch.Add(11, 50);
+  int64_t est = sketch.Estimate(11);
+  sketch.Subtract(11, est);
+  EXPECT_EQ(sketch.Estimate(11), 0);
+}
+
+TEST(TowerSketchTest, ClearZeroes) {
+  TowerSketch sketch(3, 1024, 3);
+  for (uint64_t k = 0; k < 500; ++k) sketch.Add(k, 7);
+  sketch.Clear();
+  for (uint64_t k = 0; k < 500; ++k) EXPECT_EQ(sketch.Estimate(k), 0);
+}
+
+TEST(TowerSketchTest, FromBytesRespectsBudget) {
+  TowerSketch sketch = TowerSketch::FromBytes(48 * 1024, 3, 9);
+  EXPECT_LE(sketch.MemoryBytes(), 48u * 1024u);
+  EXPECT_GT(sketch.MemoryBytes(), 40u * 1024u);
+}
+
+TEST(TowerSketchTest, MergeCombinesStreams) {
+  TowerSketch a(3, 8192, 21), b(3, 8192, 21);
+  a.Add(1, 30);
+  b.Add(1, 12);
+  ASSERT_TRUE(a.MergeFrom(b));
+  EXPECT_EQ(a.Estimate(1), 42);
+}
+
+TEST(TowerSketchTest, MergeRejectsMismatchedSeed) {
+  TowerSketch a(3, 8192, 21), b(3, 8192, 22);
+  EXPECT_FALSE(a.MergeFrom(b));
+}
+
+TEST(TowerSketchTest, SerializationRoundTrip) {
+  TowerSketch a(3, 4096, 31);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    a.Add(rng.NextBounded(100), rng.Bernoulli(0.5) ? 9 : -1);
+  }
+  std::vector<uint8_t> bytes;
+  a.AppendTo(&bytes);
+
+  TowerSketch b(3, 4096, 31);
+  ByteReader reader(bytes);
+  ASSERT_TRUE(b.ReadFrom(&reader));
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_EQ(a.Estimate(k), b.Estimate(k));
+}
+
+TEST(TowerSketchTest, WorksAsVagueEngineInQuantileFilter) {
+  QuantileFilter<TowerSketch>::Options o;
+  o.memory_bytes = 64 * 1024;
+  QuantileFilter<TowerSketch> filter(o, Criteria(5, 0.9, 100));
+  int reports = 0;
+  for (int i = 0; i < 1000; ++i) reports += filter.Insert(1, 500.0);
+  EXPECT_GT(reports, 0);
+}
+
+}  // namespace
+}  // namespace qf

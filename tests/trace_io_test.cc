@@ -1,0 +1,141 @@
+#include "stream/trace_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "stream/generators.h"
+
+namespace qf {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Trace SmallTrace() {
+  ZipfTraceOptions o;
+  o.num_items = 5000;
+  o.num_keys = 500;
+  return GenerateZipfTrace(o);
+}
+
+TEST(TraceIoTest, BinaryRoundTrip) {
+  Trace original = SmallTrace();
+  std::string path = TempPath("roundtrip.qftr");
+  ASSERT_TRUE(WriteTrace(original, path));
+
+  Trace loaded;
+  ASSERT_TRUE(ReadTrace(path, &loaded));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].key, original[i].key);
+    EXPECT_EQ(loaded[i].value, original[i].value);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  std::string path = TempPath("empty.qftr");
+  ASSERT_TRUE(WriteTrace({}, path));
+  Trace loaded{{1, 2.0}};  // pre-populated to prove it gets cleared
+  ASSERT_TRUE(ReadTrace(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileFails) {
+  Trace loaded;
+  EXPECT_FALSE(ReadTrace(TempPath("does_not_exist.qftr"), &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceIoTest, BadMagicFails) {
+  std::string path = TempPath("badmagic.qftr");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOPE", 1, 4, f);
+  std::fclose(f);
+  Trace loaded;
+  EXPECT_FALSE(ReadTrace(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, CorruptionIsDetectedByChecksum) {
+  Trace original = SmallTrace();
+  std::string path = TempPath("corrupt.qftr");
+  ASSERT_TRUE(WriteTrace(original, path));
+
+  // Flip one payload byte in the middle of the file.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 4 + 4 + 8 + 1000, SEEK_SET);
+  int c = std::fgetc(f);
+  std::fseek(f, -1, SEEK_CUR);
+  std::fputc(c ^ 0xFF, f);
+  std::fclose(f);
+
+  Trace loaded;
+  EXPECT_FALSE(ReadTrace(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, TruncationFails) {
+  Trace original = SmallTrace();
+  std::string path = TempPath("trunc.qftr");
+  ASSERT_TRUE(WriteTrace(original, path));
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  // Rewrite only the first 100 bytes.
+  Trace loaded;
+  std::FILE* in = nullptr;
+  {
+    std::string full = TempPath("trunc_full.qftr");
+    ASSERT_TRUE(WriteTrace(original, full));
+    in = std::fopen(full.c_str(), "rb");
+    ASSERT_NE(in, nullptr);
+    char buf[100];
+    ASSERT_EQ(std::fread(buf, 1, 100, in), 100u);
+    std::fclose(in);
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(buf, 1, 100, out);
+    std::fclose(out);
+    std::remove(full.c_str());
+  }
+  EXPECT_FALSE(ReadTrace(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, CsvRoundTrip) {
+  Trace original = SmallTrace();
+  std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteTraceCsv(original, path));
+
+  Trace loaded;
+  ASSERT_TRUE(ReadTraceCsv(path, &loaded));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].key, original[i].key);
+    EXPECT_DOUBLE_EQ(loaded[i].value, original[i].value);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, CsvSkipsHeaderAndJunk) {
+  std::string path = TempPath("junk.csv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "key,value\nnot a row\n00000000000000ff,2.5\n");
+  std::fclose(f);
+  Trace loaded;
+  ASSERT_TRUE(ReadTraceCsv(path, &loaded));
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].key, 0xFFu);
+  EXPECT_DOUBLE_EQ(loaded[0].value, 2.5);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,61 @@
+// Compile-level check that the umbrella header is self-contained and every
+// advertised public type is usable through it alone.
+
+#include "qf.h"
+
+#include <gtest/gtest.h>
+
+namespace qf {
+namespace {
+
+TEST(UmbrellaTest, AllPublicTypesAreReachable) {
+  Criteria criteria(5, 0.9, 100.0);
+  DefaultQuantileFilter::Options options;
+  options.memory_bytes = 8 * 1024;
+  DefaultQuantileFilter filter(options, criteria);
+  EXPECT_FALSE(filter.Insert(1, 10.0));
+
+  NaiveDualCsketchFilter naive({}, criteria);
+  ExactDetector oracle(criteria);
+  Squad squad({}, criteria);
+  SketchPolymer polymer({}, criteria);
+  HistSketch hist({}, criteria);
+  auto per_key = MakePerKeyGk(0.01, criteria);
+
+  CountSketch<int16_t> cs(3, 64, 1);
+  CountMinSketch<int16_t> cms(3, 64, 1);
+  TowerSketch tower(3, 1024, 1);
+  SpaceSaving ss(8);
+
+  GkSummary gk(0.01);
+  KllSketch kll(64);
+  TDigest td(50);
+  DdSketch dd(0.01);
+  QDigest qd(64, 10);
+  ReservoirSampler rs(16);
+
+  FiveTuple tuple{1, 2, 3, 4, 5};
+  EXPECT_NE(FlowKey(tuple), 0u);
+
+  EXPECT_GE(kVersionMajor, 1);
+  EXPECT_GE(kVersionMinor, 0);
+}
+
+TEST(UmbrellaTest, EndToEndThroughUmbrellaOnly) {
+  ZipfTraceOptions gen;
+  gen.num_items = 20000;
+  gen.num_keys = 500;
+  Trace trace = GenerateZipfTrace(gen);
+  Criteria criteria(5, 0.9, 400.0);
+  auto truth = TrueOutstandingKeys(trace, criteria);
+
+  DefaultQuantileFilter::Options options;
+  options.memory_bytes = 64 * 1024;
+  DefaultQuantileFilter filter(options, criteria);
+  RunResult result = RunDetector(filter, trace, truth);
+  EXPECT_GE(result.accuracy.f1, 0.0);
+  EXPECT_LE(result.accuracy.f1, 1.0);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,79 @@
+#include "core/windowed_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+using Windowed = WindowedQuantileFilter<CountSketch<int32_t>>;
+
+Windowed::Filter::Options MediumOptions() {
+  Windowed::Filter::Options o;
+  o.memory_bytes = 64 * 1024;
+  return o;
+}
+
+TEST(WindowedFilterTest, ResetsAtWindowBoundary) {
+  // Criteria (30, 0.95): needs 32 consecutive abnormal items to report.
+  // With a window of 20 items, the Qweight never survives long enough.
+  Windowed filter(MediumOptions(), Criteria(30, 0.95, 300), 20);
+  int reports = 0;
+  for (int i = 0; i < 2000; ++i) reports += filter.Insert(1, 500.0);
+  EXPECT_EQ(reports, 0);
+  EXPECT_EQ(filter.windows_completed(), 99u);  // 2000/20 - 1 rolls
+}
+
+TEST(WindowedFilterTest, WideWindowBehavesLikePlainFilter) {
+  Windowed filter(MediumOptions(), Criteria(30, 0.95, 300), 1000000);
+  int reports = 0;
+  for (int i = 0; i < 96; ++i) reports += filter.Insert(1, 500.0);
+  EXPECT_EQ(reports, 3);  // one per 32 abnormal items, as unwindowed
+}
+
+TEST(WindowedFilterTest, ZeroWindowDisablesResets) {
+  Windowed filter(MediumOptions(), Criteria(30, 0.95, 300), 0);
+  for (int i = 0; i < 10000; ++i) filter.Insert(1, 100.0);
+  EXPECT_EQ(filter.windows_completed(), 0u);
+  EXPECT_LT(filter.QueryQweight(1), 0);
+}
+
+TEST(WindowedFilterTest, StaleKeysForgottenAcrossWindows) {
+  Windowed filter(MediumOptions(), Criteria(5, 0.9, 100), 100);
+  for (int i = 0; i < 100; ++i) filter.Insert(7, 10.0);  // builds -100
+  // Next insert rolls the window; the stale -100 must be gone.
+  filter.Insert(7, 10.0);
+  EXPECT_EQ(filter.QueryQweight(7), -1);
+}
+
+TEST(WindowedFilterTest, ResizeAppliesAtBoundary) {
+  Windowed filter(MediumOptions(), Criteria(5, 0.9, 100), 50);
+  size_t before = filter.MemoryBytes();
+  filter.Resize(256 * 1024);
+  EXPECT_EQ(filter.MemoryBytes(), before);  // not yet applied
+  for (int i = 0; i < 51; ++i) filter.Insert(1, 10.0);
+  EXPECT_GT(filter.MemoryBytes(), before);  // applied at the roll
+}
+
+TEST(WindowedFilterTest, ForceResetClearsNow) {
+  Windowed filter(MediumOptions(), Criteria(5, 0.9, 100), 0);
+  for (int i = 0; i < 3; ++i) filter.Insert(1, 500.0);
+  EXPECT_GT(filter.QueryQweight(1), 0);
+  filter.ForceReset();
+  EXPECT_EQ(filter.QueryQweight(1), 0);
+  EXPECT_EQ(filter.windows_completed(), 1u);
+}
+
+TEST(WindowedFilterTest, DetectionStillWorksInsideWindows) {
+  Windowed filter(MediumOptions(), Criteria(5, 0.9, 100), 10000);
+  Rng rng(1);
+  int reports = 0;
+  for (int i = 0; i < 50000; ++i) {
+    reports += filter.Insert(42, rng.Bernoulli(0.5) ? 500.0 : 10.0);
+  }
+  EXPECT_GT(reports, 0);
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,92 @@
+#include "common/zipf.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+TEST(ZipfSamplerTest, SamplesStayInSupport) {
+  Rng rng(1);
+  for (double alpha : {0.0, 0.5, 1.0, 1.5, 2.5}) {
+    ZipfSampler sampler(1000, alpha);
+    for (int i = 0; i < 5000; ++i) {
+      uint64_t s = sampler.Sample(rng);
+      EXPECT_GE(s, 1u);
+      EXPECT_LE(s, 1000u);
+    }
+  }
+}
+
+TEST(ZipfSamplerTest, SingletonSupport) {
+  Rng rng(2);
+  ZipfSampler sampler(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 1u);
+}
+
+TEST(ZipfSamplerTest, AlphaZeroIsUniform) {
+  Rng rng(3);
+  ZipfSampler sampler(10, 0.0);
+  std::vector<int> histogram(11, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++histogram[sampler.Sample(rng)];
+  for (int k = 1; k <= 10; ++k) EXPECT_NEAR(histogram[k], n / 10, 700);
+}
+
+TEST(ZipfSamplerTest, FrequenciesFollowPowerLaw) {
+  Rng rng(4);
+  const double alpha = 1.0;
+  ZipfSampler sampler(100000, alpha);
+  std::map<uint64_t, int> histogram;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++histogram[sampler.Sample(rng)];
+  // P(k) / P(2k) should be ~2^alpha for small k.
+  double r12 = static_cast<double>(histogram[1]) / histogram[2];
+  double r24 = static_cast<double>(histogram[2]) / histogram[4];
+  EXPECT_NEAR(r12, std::pow(2.0, alpha), 0.35);
+  EXPECT_NEAR(r24, std::pow(2.0, alpha), 0.35);
+  // Rank 1 must dominate: ~ 1/H_n of the mass, far above uniform.
+  EXPECT_GT(histogram[1], n / 100);
+}
+
+TEST(ZipfSamplerTest, HigherAlphaConcentratesMass) {
+  Rng rng(5);
+  auto top1_share = [&](double alpha) {
+    ZipfSampler sampler(10000, alpha);
+    int top = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) top += sampler.Sample(rng) == 1;
+    return static_cast<double>(top) / n;
+  };
+  double share_half = top1_share(0.5);
+  double share_one = top1_share(1.0);
+  double share_two = top1_share(2.0);
+  EXPECT_LT(share_half, share_one);
+  EXPECT_LT(share_one, share_two);
+  EXPECT_GT(share_two, 0.5);  // alpha=2: P(1) = 1/zeta(2) ~ 0.61
+}
+
+TEST(ZipfSamplerTest, AlphaNearOneIsHandled) {
+  // The alpha == 1 branch uses logarithms; make sure values just around it
+  // do not blow up or bias the support.
+  Rng rng(6);
+  for (double alpha : {0.999999, 1.0, 1.000001}) {
+    ZipfSampler sampler(5000, alpha);
+    uint64_t max_seen = 0;
+    for (int i = 0; i < 20000; ++i) {
+      uint64_t s = sampler.Sample(rng);
+      ASSERT_GE(s, 1u);
+      ASSERT_LE(s, 5000u);
+      max_seen = std::max(max_seen, s);
+    }
+    EXPECT_GT(max_seen, 100u);  // tail is actually sampled
+  }
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,213 @@
+// qfilter: command-line outstanding-key detector.
+//
+// Reads a key-value trace (binary .qftr or CSV; or generates a synthetic
+// one), streams it through a chosen detector, and prints reports and
+// summary statistics. The artifact a downstream user runs against their own
+// data before embedding the library.
+//
+// Usage examples:
+//   qfilter --gen=internet --items=1000000 --out=trace.qftr
+//   qfilter --trace=trace.qftr --eps=30 --delta=0.95 --threshold=300
+//   qfilter --trace=trace.csv --detector=squad --memory=1048576
+//   qfilter --gen=zipf --items=500000 --eps=5 --delta=0.9 --threshold=300
+//           --print-reports=20 --ground-truth
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/exact_detector.h"
+#include "baseline/hist_sketch.h"
+#include "baseline/sketch_polymer.h"
+#include "baseline/squad.h"
+#include "common/flags.h"
+#include "core/naive_filter.h"
+#include "core/quantile_filter.h"
+#include "eval/runner.h"
+#include "stream/generators.h"
+#include "stream/trace_io.h"
+
+namespace qf {
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "qfilter: online detection of quantile-outstanding keys\n\n"
+      "input (one of):\n"
+      "  --trace=PATH          read a .qftr binary or .csv trace\n"
+      "  --gen=internet|cloud|zipf  generate a synthetic trace\n"
+      "  --items=N             items for --gen (default 1000000)\n"
+      "  --seed=N              generator seed\n"
+      "  --out=PATH            also write the trace (.qftr or .csv)\n\n"
+      "criteria:\n"
+      "  --eps=X --delta=X --threshold=X   (default 30 / 0.95 / 300)\n\n"
+      "detector:\n"
+      "  --detector=qf|naive|squad|polymer|hist|exact  (default qf)\n"
+      "  --memory=BYTES        byte budget (default 262144)\n\n"
+      "output:\n"
+      "  --print-reports=N     echo the first N report events (default 10)\n"
+      "  --ground-truth        also run the exact oracle and print P/R/F1\n");
+}
+
+Trace LoadOrGenerate(const FlagParser& flags, bool* ok) {
+  *ok = true;
+  std::string path = flags.GetString("trace", "");
+  size_t items = static_cast<size_t>(flags.GetInt("items", 1'000'000));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  if (!path.empty()) {
+    Trace trace;
+    bool loaded = path.size() > 4 && path.substr(path.size() - 4) == ".csv"
+                      ? ReadTraceCsv(path, &trace)
+                      : ReadTrace(path, &trace);
+    if (!loaded) {
+      std::fprintf(stderr, "error: cannot read trace '%s'\n", path.c_str());
+      *ok = false;
+    }
+    return trace;
+  }
+
+  std::string gen = flags.GetString("gen", "internet");
+  if (gen == "internet") {
+    InternetTraceOptions o;
+    o.num_items = items;
+    o.num_keys = items / 40 < 1000 ? 1000 : items / 40;
+    o.seed = seed;
+    return GenerateInternetTrace(o);
+  }
+  if (gen == "cloud") {
+    CloudTraceOptions o;
+    o.num_items = items;
+    o.seed = seed;
+    return GenerateCloudTrace(o);
+  }
+  if (gen == "zipf") {
+    ZipfTraceOptions o;
+    o.num_items = items;
+    o.num_keys = items / 8 < 1000 ? 1000 : items / 8;
+    o.seed = seed;
+    return GenerateZipfTrace(o);
+  }
+  std::fprintf(stderr, "error: unknown generator '%s'\n", gen.c_str());
+  *ok = false;
+  return {};
+}
+
+template <typename DetectorT>
+int Stream(DetectorT& detector, const Trace& trace, const FlagParser& flags,
+           const Criteria& criteria) {
+  const int64_t print_reports = flags.GetInt("print-reports", 10);
+  std::unordered_set<uint64_t> reported;
+  uint64_t events = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (detector.Insert(trace[i].key, trace[i].value)) {
+      ++events;
+      reported.insert(trace[i].key);
+      if (static_cast<int64_t>(events) <= print_reports) {
+        std::printf("REPORT item=%zu key=%016llx\n", i,
+                    static_cast<unsigned long long>(trace[i].key));
+      }
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  double seconds = std::chrono::duration<double>(stop - start).count();
+
+  std::printf("\nprocessed %zu items in %.3fs (%.2f M items/s)\n",
+              trace.size(), seconds,
+              seconds > 0 ? static_cast<double>(trace.size()) / seconds / 1e6
+                          : 0.0);
+  std::printf("report events: %llu over %zu distinct keys\n",
+              static_cast<unsigned long long>(events), reported.size());
+  std::printf("detector memory: %zu bytes\n", detector.MemoryBytes());
+
+  if (flags.GetBool("ground-truth", false)) {
+    auto truth = TrueOutstandingKeys(trace, criteria);
+    Accuracy acc = ComputeAccuracy(reported, truth);
+    std::printf("ground truth: %zu keys  P=%.4f R=%.4f F1=%.4f\n",
+                truth.size(), acc.precision, acc.recall, acc.f1);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    PrintUsage();
+    return 0;
+  }
+
+  bool ok = true;
+  Trace trace = LoadOrGenerate(flags, &ok);
+  if (!ok) return 1;
+  if (trace.empty()) {
+    std::fprintf(stderr, "error: empty trace\n");
+    return 1;
+  }
+
+  std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    bool wrote = out.size() > 4 && out.substr(out.size() - 4) == ".csv"
+                     ? WriteTraceCsv(trace, out)
+                     : WriteTrace(trace, out);
+    if (!wrote) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu items to %s\n", trace.size(), out.c_str());
+  }
+
+  Criteria criteria(flags.GetDouble("eps", 30.0),
+                    flags.GetDouble("delta", 0.95),
+                    flags.GetDouble("threshold", 300.0));
+  const size_t memory =
+      static_cast<size_t>(flags.GetInt("memory", 256 * 1024));
+  std::printf("criteria: eps=%.2f delta=%.3f T=%.2f  |  %zu items, "
+              "%.2f%% abnormal\n\n",
+              criteria.eps(), criteria.delta(), criteria.threshold(),
+              trace.size(),
+              100.0 * AbnormalFraction(trace, criteria.threshold()));
+
+  std::string detector = flags.GetString("detector", "qf");
+  if (detector == "qf") {
+    DefaultQuantileFilter::Options o;
+    o.memory_bytes = memory;
+    DefaultQuantileFilter filter(o, criteria);
+    return Stream(filter, trace, flags, criteria);
+  }
+  if (detector == "naive") {
+    NaiveDualCsketchFilter::Options o;
+    o.memory_bytes = memory;
+    NaiveDualCsketchFilter filter(o, criteria);
+    return Stream(filter, trace, flags, criteria);
+  }
+  if (detector == "squad") {
+    Squad::Options o;
+    o.memory_bytes = memory;
+    Squad filter(o, criteria);
+    return Stream(filter, trace, flags, criteria);
+  }
+  if (detector == "polymer") {
+    SketchPolymer::Options o;
+    o.memory_bytes = memory;
+    SketchPolymer filter(o, criteria);
+    return Stream(filter, trace, flags, criteria);
+  }
+  if (detector == "hist") {
+    HistSketch::Options o;
+    o.memory_bytes = memory;
+    HistSketch filter(o, criteria);
+    return Stream(filter, trace, flags, criteria);
+  }
+  if (detector == "exact") {
+    ExactDetector filter(criteria);
+    return Stream(filter, trace, flags, criteria);
+  }
+  std::fprintf(stderr, "error: unknown detector '%s'\n", detector.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace qf
+
+int main(int argc, char** argv) { return qf::Main(argc, argv); }

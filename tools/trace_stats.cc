@@ -1,0 +1,152 @@
+// trace_stats: workload characterization for key-value traces.
+//
+// Answers the questions a user asks before configuring QuantileFilter:
+// key cardinality and skew (top heavy hitters via SpaceSaving), the value
+// distribution (via our own KLL sketch), and the abnormal-item fraction for
+// a sweep of candidate thresholds T.
+//
+// Usage:
+//   trace_stats --trace=trace.qftr
+//   trace_stats --gen=cloud --items=500000
+//   trace_stats --trace=trace.csv --thresholds=100,300,1000
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flags.h"
+#include "quantile/kll.h"
+#include "sketch/space_saving.h"
+#include "stream/generators.h"
+#include "stream/trace_io.h"
+
+namespace qf {
+namespace {
+
+std::vector<double> ParseThresholds(const std::string& csv) {
+  std::vector<double> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    out.push_back(std::atof(csv.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf("trace_stats --trace=PATH | --gen=internet|cloud|zipf "
+                "[--items=N] [--seed=N] [--thresholds=a,b,c] [--top=N]\n");
+    return 0;
+  }
+
+  Trace trace;
+  std::string path = flags.GetString("trace", "");
+  if (!path.empty()) {
+    bool loaded = path.size() > 4 && path.substr(path.size() - 4) == ".csv"
+                      ? ReadTraceCsv(path, &trace)
+                      : ReadTrace(path, &trace);
+    if (!loaded) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
+      return 1;
+    }
+  } else {
+    size_t items = static_cast<size_t>(flags.GetInt("items", 500'000));
+    uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+    std::string gen = flags.GetString("gen", "internet");
+    if (gen == "internet") {
+      InternetTraceOptions o;
+      o.num_items = items;
+      o.num_keys = items / 40 < 1000 ? 1000 : items / 40;
+      o.seed = seed;
+      trace = GenerateInternetTrace(o);
+    } else if (gen == "cloud") {
+      CloudTraceOptions o;
+      o.num_items = items;
+      o.seed = seed;
+      trace = GenerateCloudTrace(o);
+    } else if (gen == "zipf") {
+      ZipfTraceOptions o;
+      o.num_items = items;
+      o.seed = seed;
+      trace = GenerateZipfTrace(o);
+    } else {
+      std::fprintf(stderr, "error: unknown generator '%s'\n", gen.c_str());
+      return 1;
+    }
+  }
+  if (trace.empty()) {
+    std::fprintf(stderr, "error: empty trace\n");
+    return 1;
+  }
+
+  // One streaming pass: value sketch, heavy hitters, exact key counts.
+  KllSketch values(400);
+  SpaceSaving heavy(1024);
+  std::unordered_map<uint64_t, uint64_t> key_counts;
+  key_counts.reserve(trace.size() / 2);
+  for (const Item& item : trace) {
+    values.Insert(item.value);
+    heavy.Add(item.key);
+    ++key_counts[item.key];
+  }
+
+  std::printf("items:          %zu\n", trace.size());
+  std::printf("distinct keys:  %zu\n", key_counts.size());
+
+  // Key-frequency profile.
+  uint64_t singletons = 0, max_freq = 0;
+  for (const auto& [key, count] : key_counts) {
+    singletons += (count == 1);
+    max_freq = std::max(max_freq, count);
+  }
+  std::printf("singleton keys: %" PRIu64 " (%.1f%%)\n", singletons,
+              100.0 * static_cast<double>(singletons) /
+                  static_cast<double>(key_counts.size()));
+  std::printf("max key freq:   %" PRIu64 "\n\n", max_freq);
+
+  std::printf("value quantiles (KLL sketch):\n");
+  for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999}) {
+    std::printf("  p%-5.1f %12.2f\n", 100.0 * phi, values.Quantile(phi));
+  }
+
+  std::printf("\nabnormal fraction vs threshold T:\n");
+  std::vector<double> thresholds =
+      ParseThresholds(flags.GetString("thresholds", ""));
+  if (thresholds.empty()) {
+    for (double phi : {0.80, 0.90, 0.95, 0.99}) {
+      thresholds.push_back(values.Quantile(phi));
+    }
+  }
+  for (double t : thresholds) {
+    std::printf("  T=%12.2f -> %6.2f%% abnormal\n", t,
+                100.0 * AbnormalFraction(trace, t));
+  }
+
+  const int top = static_cast<int>(flags.GetInt("top", 10));
+  std::printf("\ntop %d heavy keys (SpaceSaving estimates):\n", top);
+  std::vector<SpaceSaving::Entry> entries = heavy.entries();
+  std::sort(entries.begin(), entries.end(),
+            [](const SpaceSaving::Entry& a, const SpaceSaving::Entry& b) {
+              return a.count > b.count;
+            });
+  for (int i = 0; i < top && i < static_cast<int>(entries.size()); ++i) {
+    std::printf("  %016" PRIx64 "  ~%" PRIu64 " items (err <= %" PRIu64
+                ", exact %" PRIu64 ")\n",
+                entries[i].key, entries[i].count, entries[i].error,
+                key_counts[entries[i].key]);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace qf
+
+int main(int argc, char** argv) { return qf::Main(argc, argv); }
