@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rotating_window.dir/ext_rotating_window.cc.o"
+  "CMakeFiles/ext_rotating_window.dir/ext_rotating_window.cc.o.d"
+  "ext_rotating_window"
+  "ext_rotating_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rotating_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

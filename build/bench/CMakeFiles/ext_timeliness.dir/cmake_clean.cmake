@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_timeliness.dir/ext_timeliness.cc.o"
+  "CMakeFiles/ext_timeliness.dir/ext_timeliness.cc.o.d"
+  "ext_timeliness"
+  "ext_timeliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_timeliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

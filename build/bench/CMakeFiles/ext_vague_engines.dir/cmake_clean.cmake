@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_vague_engines.dir/ext_vague_engines.cc.o"
+  "CMakeFiles/ext_vague_engines.dir/ext_vague_engines.cc.o.d"
+  "ext_vague_engines"
+  "ext_vague_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_vague_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_memory_proportion.dir/fig11_memory_proportion.cc.o"
+  "CMakeFiles/fig11_memory_proportion.dir/fig11_memory_proportion.cc.o.d"
+  "fig11_memory_proportion"
+  "fig11_memory_proportion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_memory_proportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

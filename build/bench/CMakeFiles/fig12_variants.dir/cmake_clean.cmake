@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_variants.dir/fig12_variants.cc.o"
+  "CMakeFiles/fig12_variants.dir/fig12_variants.cc.o.d"
+  "fig12_variants"
+  "fig12_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_15_dynamic_criteria.dir/fig13_15_dynamic_criteria.cc.o"
+  "CMakeFiles/fig13_15_dynamic_criteria.dir/fig13_15_dynamic_criteria.cc.o.d"
+  "fig13_15_dynamic_criteria"
+  "fig13_15_dynamic_criteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_15_dynamic_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_accuracy_internet.dir/fig4_accuracy_internet.cc.o"
+  "CMakeFiles/fig4_accuracy_internet.dir/fig4_accuracy_internet.cc.o.d"
+  "fig4_accuracy_internet"
+  "fig4_accuracy_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_accuracy_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_accuracy_cloud_zipf.cc" "bench/CMakeFiles/fig5_accuracy_cloud_zipf.dir/fig5_accuracy_cloud_zipf.cc.o" "gcc" "bench/CMakeFiles/fig5_accuracy_cloud_zipf.dir/fig5_accuracy_cloud_zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/qf_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/qf_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/qf_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/qf_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantile/CMakeFiles/qf_quantile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_accuracy_cloud_zipf.dir/fig5_accuracy_cloud_zipf.cc.o"
+  "CMakeFiles/fig5_accuracy_cloud_zipf.dir/fig5_accuracy_cloud_zipf.cc.o.d"
+  "fig5_accuracy_cloud_zipf"
+  "fig5_accuracy_cloud_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_accuracy_cloud_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_accuracy_cloud_zipf.
+# This may be replaced when dependencies are built.

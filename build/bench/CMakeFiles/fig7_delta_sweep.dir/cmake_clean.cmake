@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_delta_sweep.dir/fig7_delta_sweep.cc.o"
+  "CMakeFiles/fig7_delta_sweep.dir/fig7_delta_sweep.cc.o.d"
+  "fig7_delta_sweep"
+  "fig7_delta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_delta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_collector.dir/distributed_collector.cpp.o"
+  "CMakeFiles/distributed_collector.dir/distributed_collector.cpp.o.d"
+  "distributed_collector"
+  "distributed_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_criteria.dir/multi_criteria.cpp.o"
+  "CMakeFiles/multi_criteria.dir/multi_criteria.cpp.o.d"
+  "multi_criteria"
+  "multi_criteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_monitor.dir/noise_monitor.cpp.o"
+  "CMakeFiles/noise_monitor.dir/noise_monitor.cpp.o.d"
+  "noise_monitor"
+  "noise_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

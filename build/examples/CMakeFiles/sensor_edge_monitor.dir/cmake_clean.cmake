@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_edge_monitor.dir/sensor_edge_monitor.cpp.o"
+  "CMakeFiles/sensor_edge_monitor.dir/sensor_edge_monitor.cpp.o.d"
+  "sensor_edge_monitor"
+  "sensor_edge_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_edge_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/exact_detector.cc" "src/baseline/CMakeFiles/qf_baseline.dir/exact_detector.cc.o" "gcc" "src/baseline/CMakeFiles/qf_baseline.dir/exact_detector.cc.o.d"
+  "/root/repo/src/baseline/hist_sketch.cc" "src/baseline/CMakeFiles/qf_baseline.dir/hist_sketch.cc.o" "gcc" "src/baseline/CMakeFiles/qf_baseline.dir/hist_sketch.cc.o.d"
+  "/root/repo/src/baseline/sketch_polymer.cc" "src/baseline/CMakeFiles/qf_baseline.dir/sketch_polymer.cc.o" "gcc" "src/baseline/CMakeFiles/qf_baseline.dir/sketch_polymer.cc.o.d"
+  "/root/repo/src/baseline/squad.cc" "src/baseline/CMakeFiles/qf_baseline.dir/squad.cc.o" "gcc" "src/baseline/CMakeFiles/qf_baseline.dir/squad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/qf_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantile/CMakeFiles/qf_quantile.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/qf_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qf_baseline.dir/exact_detector.cc.o"
+  "CMakeFiles/qf_baseline.dir/exact_detector.cc.o.d"
+  "CMakeFiles/qf_baseline.dir/hist_sketch.cc.o"
+  "CMakeFiles/qf_baseline.dir/hist_sketch.cc.o.d"
+  "CMakeFiles/qf_baseline.dir/sketch_polymer.cc.o"
+  "CMakeFiles/qf_baseline.dir/sketch_polymer.cc.o.d"
+  "CMakeFiles/qf_baseline.dir/squad.cc.o"
+  "CMakeFiles/qf_baseline.dir/squad.cc.o.d"
+  "libqf_baseline.a"
+  "libqf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

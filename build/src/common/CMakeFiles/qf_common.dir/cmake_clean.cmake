@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qf_common.dir/flags.cc.o"
+  "CMakeFiles/qf_common.dir/flags.cc.o.d"
+  "CMakeFiles/qf_common.dir/hash.cc.o"
+  "CMakeFiles/qf_common.dir/hash.cc.o.d"
+  "CMakeFiles/qf_common.dir/zipf.cc.o"
+  "CMakeFiles/qf_common.dir/zipf.cc.o.d"
+  "libqf_common.a"
+  "libqf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

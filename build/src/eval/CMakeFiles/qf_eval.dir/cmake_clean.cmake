@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qf_eval.dir/metrics.cc.o"
+  "CMakeFiles/qf_eval.dir/metrics.cc.o.d"
+  "libqf_eval.a"
+  "libqf_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qf_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

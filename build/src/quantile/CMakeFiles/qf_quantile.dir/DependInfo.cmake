@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quantile/ddsketch.cc" "src/quantile/CMakeFiles/qf_quantile.dir/ddsketch.cc.o" "gcc" "src/quantile/CMakeFiles/qf_quantile.dir/ddsketch.cc.o.d"
+  "/root/repo/src/quantile/gk.cc" "src/quantile/CMakeFiles/qf_quantile.dir/gk.cc.o" "gcc" "src/quantile/CMakeFiles/qf_quantile.dir/gk.cc.o.d"
+  "/root/repo/src/quantile/kll.cc" "src/quantile/CMakeFiles/qf_quantile.dir/kll.cc.o" "gcc" "src/quantile/CMakeFiles/qf_quantile.dir/kll.cc.o.d"
+  "/root/repo/src/quantile/qdigest.cc" "src/quantile/CMakeFiles/qf_quantile.dir/qdigest.cc.o" "gcc" "src/quantile/CMakeFiles/qf_quantile.dir/qdigest.cc.o.d"
+  "/root/repo/src/quantile/tdigest.cc" "src/quantile/CMakeFiles/qf_quantile.dir/tdigest.cc.o" "gcc" "src/quantile/CMakeFiles/qf_quantile.dir/tdigest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qf_quantile.dir/ddsketch.cc.o"
+  "CMakeFiles/qf_quantile.dir/ddsketch.cc.o.d"
+  "CMakeFiles/qf_quantile.dir/gk.cc.o"
+  "CMakeFiles/qf_quantile.dir/gk.cc.o.d"
+  "CMakeFiles/qf_quantile.dir/kll.cc.o"
+  "CMakeFiles/qf_quantile.dir/kll.cc.o.d"
+  "CMakeFiles/qf_quantile.dir/qdigest.cc.o"
+  "CMakeFiles/qf_quantile.dir/qdigest.cc.o.d"
+  "CMakeFiles/qf_quantile.dir/tdigest.cc.o"
+  "CMakeFiles/qf_quantile.dir/tdigest.cc.o.d"
+  "libqf_quantile.a"
+  "libqf_quantile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qf_quantile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qf_sketch.dir/count_sketch.cc.o"
+  "CMakeFiles/qf_sketch.dir/count_sketch.cc.o.d"
+  "CMakeFiles/qf_sketch.dir/space_saving.cc.o"
+  "CMakeFiles/qf_sketch.dir/space_saving.cc.o.d"
+  "libqf_sketch.a"
+  "libqf_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qf_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/flow.cc" "src/stream/CMakeFiles/qf_stream.dir/flow.cc.o" "gcc" "src/stream/CMakeFiles/qf_stream.dir/flow.cc.o.d"
+  "/root/repo/src/stream/flow_trace.cc" "src/stream/CMakeFiles/qf_stream.dir/flow_trace.cc.o" "gcc" "src/stream/CMakeFiles/qf_stream.dir/flow_trace.cc.o.d"
+  "/root/repo/src/stream/generators.cc" "src/stream/CMakeFiles/qf_stream.dir/generators.cc.o" "gcc" "src/stream/CMakeFiles/qf_stream.dir/generators.cc.o.d"
+  "/root/repo/src/stream/trace_io.cc" "src/stream/CMakeFiles/qf_stream.dir/trace_io.cc.o" "gcc" "src/stream/CMakeFiles/qf_stream.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qf_stream.dir/flow.cc.o"
+  "CMakeFiles/qf_stream.dir/flow.cc.o.d"
+  "CMakeFiles/qf_stream.dir/flow_trace.cc.o"
+  "CMakeFiles/qf_stream.dir/flow_trace.cc.o.d"
+  "CMakeFiles/qf_stream.dir/generators.cc.o"
+  "CMakeFiles/qf_stream.dir/generators.cc.o.d"
+  "CMakeFiles/qf_stream.dir/trace_io.cc.o"
+  "CMakeFiles/qf_stream.dir/trace_io.cc.o.d"
+  "libqf_stream.a"
+  "libqf_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qf_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/candidate_part_test.cc" "tests/CMakeFiles/qf_tests.dir/candidate_part_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/candidate_part_test.cc.o.d"
+  "/root/repo/tests/count_min_sketch_test.cc" "tests/CMakeFiles/qf_tests.dir/count_min_sketch_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/count_min_sketch_test.cc.o.d"
+  "/root/repo/tests/count_sketch_test.cc" "tests/CMakeFiles/qf_tests.dir/count_sketch_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/count_sketch_test.cc.o.d"
+  "/root/repo/tests/counters_test.cc" "tests/CMakeFiles/qf_tests.dir/counters_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/counters_test.cc.o.d"
+  "/root/repo/tests/criteria_test.cc" "tests/CMakeFiles/qf_tests.dir/criteria_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/criteria_test.cc.o.d"
+  "/root/repo/tests/ddsketch_test.cc" "tests/CMakeFiles/qf_tests.dir/ddsketch_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/ddsketch_test.cc.o.d"
+  "/root/repo/tests/detector_concept_test.cc" "tests/CMakeFiles/qf_tests.dir/detector_concept_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/detector_concept_test.cc.o.d"
+  "/root/repo/tests/differential_test.cc" "tests/CMakeFiles/qf_tests.dir/differential_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/differential_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/qf_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/exact_detector_test.cc" "tests/CMakeFiles/qf_tests.dir/exact_detector_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/exact_detector_test.cc.o.d"
+  "/root/repo/tests/failure_injection_test.cc" "tests/CMakeFiles/qf_tests.dir/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/failure_injection_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/qf_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/float_counters_test.cc" "tests/CMakeFiles/qf_tests.dir/float_counters_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/float_counters_test.cc.o.d"
+  "/root/repo/tests/flow_test.cc" "tests/CMakeFiles/qf_tests.dir/flow_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/flow_test.cc.o.d"
+  "/root/repo/tests/flow_trace_test.cc" "tests/CMakeFiles/qf_tests.dir/flow_trace_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/flow_trace_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/qf_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/generators_test.cc.o.d"
+  "/root/repo/tests/gk_test.cc" "tests/CMakeFiles/qf_tests.dir/gk_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/gk_test.cc.o.d"
+  "/root/repo/tests/hash_test.cc" "tests/CMakeFiles/qf_tests.dir/hash_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/hash_test.cc.o.d"
+  "/root/repo/tests/hist_sketch_test.cc" "tests/CMakeFiles/qf_tests.dir/hist_sketch_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/hist_sketch_test.cc.o.d"
+  "/root/repo/tests/integration2_test.cc" "tests/CMakeFiles/qf_tests.dir/integration2_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/integration2_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/qf_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kll_test.cc" "tests/CMakeFiles/qf_tests.dir/kll_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/kll_test.cc.o.d"
+  "/root/repo/tests/memory_test.cc" "tests/CMakeFiles/qf_tests.dir/memory_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/memory_test.cc.o.d"
+  "/root/repo/tests/merge_serialize_test.cc" "tests/CMakeFiles/qf_tests.dir/merge_serialize_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/merge_serialize_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/qf_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/monitor_test.cc" "tests/CMakeFiles/qf_tests.dir/monitor_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/monitor_test.cc.o.d"
+  "/root/repo/tests/multi_criteria_test.cc" "tests/CMakeFiles/qf_tests.dir/multi_criteria_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/multi_criteria_test.cc.o.d"
+  "/root/repo/tests/naive_filter_test.cc" "tests/CMakeFiles/qf_tests.dir/naive_filter_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/naive_filter_test.cc.o.d"
+  "/root/repo/tests/per_key_detector_test.cc" "tests/CMakeFiles/qf_tests.dir/per_key_detector_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/per_key_detector_test.cc.o.d"
+  "/root/repo/tests/property2_test.cc" "tests/CMakeFiles/qf_tests.dir/property2_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/property2_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/qf_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/qdigest_test.cc" "tests/CMakeFiles/qf_tests.dir/qdigest_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/qdigest_test.cc.o.d"
+  "/root/repo/tests/quantile_concept_test.cc" "tests/CMakeFiles/qf_tests.dir/quantile_concept_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/quantile_concept_test.cc.o.d"
+  "/root/repo/tests/quantile_filter_test.cc" "tests/CMakeFiles/qf_tests.dir/quantile_filter_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/quantile_filter_test.cc.o.d"
+  "/root/repo/tests/qweight_test.cc" "tests/CMakeFiles/qf_tests.dir/qweight_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/qweight_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/qf_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/reservoir_test.cc" "tests/CMakeFiles/qf_tests.dir/reservoir_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/reservoir_test.cc.o.d"
+  "/root/repo/tests/rotating_filter_test.cc" "tests/CMakeFiles/qf_tests.dir/rotating_filter_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/rotating_filter_test.cc.o.d"
+  "/root/repo/tests/runner_test.cc" "tests/CMakeFiles/qf_tests.dir/runner_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/runner_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/qf_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/sharded_filter_test.cc" "tests/CMakeFiles/qf_tests.dir/sharded_filter_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/sharded_filter_test.cc.o.d"
+  "/root/repo/tests/sketch_concept_test.cc" "tests/CMakeFiles/qf_tests.dir/sketch_concept_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/sketch_concept_test.cc.o.d"
+  "/root/repo/tests/sketch_polymer_test.cc" "tests/CMakeFiles/qf_tests.dir/sketch_polymer_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/sketch_polymer_test.cc.o.d"
+  "/root/repo/tests/sliding_exact_detector_test.cc" "tests/CMakeFiles/qf_tests.dir/sliding_exact_detector_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/sliding_exact_detector_test.cc.o.d"
+  "/root/repo/tests/space_saving_test.cc" "tests/CMakeFiles/qf_tests.dir/space_saving_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/space_saving_test.cc.o.d"
+  "/root/repo/tests/squad_test.cc" "tests/CMakeFiles/qf_tests.dir/squad_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/squad_test.cc.o.d"
+  "/root/repo/tests/tdigest_test.cc" "tests/CMakeFiles/qf_tests.dir/tdigest_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/tdigest_test.cc.o.d"
+  "/root/repo/tests/timeliness_test.cc" "tests/CMakeFiles/qf_tests.dir/timeliness_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/timeliness_test.cc.o.d"
+  "/root/repo/tests/tower_sketch_test.cc" "tests/CMakeFiles/qf_tests.dir/tower_sketch_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/tower_sketch_test.cc.o.d"
+  "/root/repo/tests/trace_io_test.cc" "tests/CMakeFiles/qf_tests.dir/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/trace_io_test.cc.o.d"
+  "/root/repo/tests/umbrella_test.cc" "tests/CMakeFiles/qf_tests.dir/umbrella_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/umbrella_test.cc.o.d"
+  "/root/repo/tests/vague_part_test.cc" "tests/CMakeFiles/qf_tests.dir/vague_part_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/vague_part_test.cc.o.d"
+  "/root/repo/tests/windowed_filter_test.cc" "tests/CMakeFiles/qf_tests.dir/windowed_filter_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/windowed_filter_test.cc.o.d"
+  "/root/repo/tests/zipf_test.cc" "tests/CMakeFiles/qf_tests.dir/zipf_test.cc.o" "gcc" "tests/CMakeFiles/qf_tests.dir/zipf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/qf_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/qf_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/qf_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantile/CMakeFiles/qf_quantile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/qf_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

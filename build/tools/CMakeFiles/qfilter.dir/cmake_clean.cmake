@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfilter.dir/qfilter.cc.o"
+  "CMakeFiles/qfilter.dir/qfilter.cc.o.d"
+  "qfilter"
+  "qfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

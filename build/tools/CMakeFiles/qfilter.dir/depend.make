@@ -1,0 +1,2 @@
+# Empty dependencies file for qfilter.
+# This may be replaced when dependencies are built.
