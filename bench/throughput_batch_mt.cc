@@ -1,0 +1,171 @@
+// Batched and multi-threaded insert throughput (extension bench).
+//
+// Compares, on the Zipf and Cloud traces:
+//   * scalar    — one QuantileFilter, Insert() per item;
+//   * batch     — the same filter driven through InsertBatch's pre-hash +
+//                 prefetch window (identical output, see
+//                 tests/insert_batch_test.cc);
+//   * pipeline-N — N-shard ShardedQuantileFilter behind the SPSC ingest
+//                 pipeline (parallel/pipeline.h): 1 dispatcher + N workers.
+//
+// Prints MOPS and speedup vs scalar, and emits machine-readable JSON to
+// bench_results/throughput_batch_mt.json (override with QF_BENCH_JSON) so
+// later PRs can track the perf trajectory. Pipeline numbers depend on real
+// core count; `hardware_threads` is recorded in the JSON for context.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/simd.h"
+#include "core/sharded_filter.h"
+#include "parallel/pipeline.h"
+
+#include <thread>
+
+namespace qf::bench {
+namespace {
+
+struct Measurement {
+  std::string trace;
+  size_t budget = 0;
+  std::string config;
+  double mops = 0.0;
+  double speedup = 1.0;
+  uint64_t reports = 0;
+};
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point stop) {
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+double Mops(size_t items, double seconds) {
+  return seconds <= 0.0 ? 0.0
+                        : static_cast<double>(items) / seconds / 1e6;
+}
+
+Measurement RunScalar(const Trace& trace, size_t budget,
+                      const Criteria& criteria) {
+  DefaultQuantileFilter filter = MakeQf(budget, criteria);
+  uint64_t reports = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (const Item& item : trace) {
+    reports += filter.Insert(item.key, item.value);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return {"", budget, "scalar", Mops(trace.size(), Seconds(start, stop)), 1.0,
+          reports};
+}
+
+Measurement RunBatch(const Trace& trace, size_t budget,
+                     const Criteria& criteria) {
+  DefaultQuantileFilter filter = MakeQf(budget, criteria);
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t reports =
+      filter.InsertBatch(std::span<const Item>(trace), criteria);
+  const auto stop = std::chrono::steady_clock::now();
+  return {"", budget, "batch", Mops(trace.size(), Seconds(start, stop)), 1.0,
+          reports};
+}
+
+Measurement RunPipeline(const Trace& trace, size_t budget,
+                        const Criteria& criteria, int shards) {
+  DefaultQuantileFilter::Options options;
+  options.memory_bytes = budget;
+  ShardedQuantileFilter<CountSketch<int16_t>> filter(options, criteria,
+                                                     shards);
+  IngestPipeline<CountSketch<int16_t>> pipeline(filter);
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t reports = pipeline.RunTrace(std::span<const Item>(trace));
+  const auto stop = std::chrono::steady_clock::now();
+  return {"", budget, "pipeline-" + std::to_string(shards),
+          Mops(trace.size(), Seconds(start, stop)), 1.0, reports};
+}
+
+void Print(const Measurement& m) {
+  std::printf("%-12s mem=%9zuB  %8.2f MOPS  %5.2fx  reports=%llu\n",
+              m.config.c_str(), m.budget, m.mops, m.speedup,
+              static_cast<unsigned long long>(m.reports));
+}
+
+void Sweep(const char* name, const Trace& trace, const Criteria& criteria,
+           std::vector<Measurement>* all) {
+  PrintHeader(name, trace, criteria);
+  for (size_t budget : {size_t{256} << 10, size_t{16} << 20}) {
+    // Warm-up pass (page in the trace, stabilize clocks).
+    RunScalar(trace, budget, criteria);
+
+    Measurement scalar = RunScalar(trace, budget, criteria);
+    Measurement batch = RunBatch(trace, budget, criteria);
+    std::vector<Measurement> rows{scalar, batch};
+    for (int shards : {1, 2, 4, 8}) {
+      rows.push_back(RunPipeline(trace, budget, criteria, shards));
+    }
+    for (Measurement& m : rows) {
+      m.trace = name;
+      m.speedup = scalar.mops > 0 ? m.mops / scalar.mops : 0.0;
+      Print(m);
+      all->push_back(m);
+    }
+    if (batch.reports != scalar.reports) {
+      std::printf("!! batch/scalar report mismatch (%llu vs %llu)\n",
+                  static_cast<unsigned long long>(batch.reports),
+                  static_cast<unsigned long long>(scalar.reports));
+    }
+    std::printf("\n");
+  }
+}
+
+void WriteJson(const std::vector<Measurement>& all, size_t items) {
+  const char* path = std::getenv("QF_BENCH_JSON");
+  if (path == nullptr) path = "bench_results/throughput_batch_mt.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("(json output skipped: cannot open %s)\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"items\": %zu,\n  \"simd\": \"%s\",\n", items,
+               QF_SIMD_NAME);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < all.size(); ++i) {
+    const Measurement& m = all[i];
+    std::fprintf(f,
+                 "    {\"trace\": \"%s\", \"budget_bytes\": %zu, "
+                 "\"config\": \"%s\", \"mops\": %.3f, "
+                 "\"speedup_vs_scalar\": %.3f, \"reports\": %llu}%s\n",
+                 m.trace.c_str(), m.budget, m.config.c_str(), m.mops,
+                 m.speedup, static_cast<unsigned long long>(m.reports),
+                 i + 1 == all.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("json written to %s\n", path);
+}
+
+void Main() {
+  const size_t items = ItemsFromEnv(2'000'000);
+  std::vector<Measurement> all;
+
+  const Trace zipf = MakeZipfTrace(items, items / 8);
+  Sweep("zipf", zipf, InternetCriteria(300.0), &all);
+
+  const Trace cloud = MakeCloudTrace(items);
+  Sweep("cloud", cloud, CloudCriteria(20000.0), &all);
+
+  WriteJson(all, items);
+}
+
+}  // namespace
+}  // namespace qf::bench
+
+int main() {
+  qf::bench::Main();
+  return 0;
+}

@@ -32,6 +32,17 @@ constexpr uint64_t HashKey(uint64_t key, uint64_t seed) {
   return Mix64(key ^ Mix64(seed));
 }
 
+/// Lemire's fast-range reduction: maps a uniform 64-bit hash to [0, n) with
+/// one widening multiply instead of a hardware division. Bias is at most
+/// n / 2^64 per value — negligible for any realistic table size. Unlike
+/// `h % n` the mapping is order-preserving in the high hash bits, which is
+/// irrelevant for sketches but means the low bits do not need to be good.
+constexpr uint64_t FastRange64(uint64_t hash, uint64_t n) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(hash) * static_cast<unsigned __int128>(n)) >>
+      64);
+}
+
 /// MurmurHash3-style hash of an arbitrary byte string (for string keys such
 /// as 5-tuples serialized to bytes).
 uint64_t HashBytes(const void* data, size_t len, uint64_t seed);

@@ -1,0 +1,117 @@
+// Portable SIMD primitives for the hot insert path.
+//
+// Two things live here:
+//   1. Prefetch / PrefetchWrite — cache-line prefetch wrappers used by the
+//      batched insert window (core/quantile_filter.h) and the sketch
+//      row-prefetch hooks.
+//   2. FindU32 — "find first equal 32-bit lane" over a short array, the
+//      F14/cuckoo-filter-style bucket probe. One vector compare covers a
+//      whole 6-entry candidate bucket on AVX2 (two on SSE2); the scalar
+//      fallback is bit-identical, so results never depend on the ISA.
+//
+// Dispatch is compile-time via feature macros: QF_SIMD_AVX2 when the TU is
+// built with -mavx2/-march=native, QF_SIMD_SSE2 on any x86-64 target (SSE2
+// is part of the base ABI), scalar otherwise (e.g. aarch64 without a NEON
+// port yet). QF_SIMD_NAME names the active tier for diagnostics.
+
+#ifndef QUANTILEFILTER_COMMON_SIMD_H_
+#define QUANTILEFILTER_COMMON_SIMD_H_
+
+#include <bit>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#define QF_SIMD_AVX2 1
+#endif
+#if defined(__SSE2__) || defined(_M_X64)
+#define QF_SIMD_SSE2 1
+#endif
+
+#if defined(QF_SIMD_AVX2) || defined(QF_SIMD_SSE2)
+#include <immintrin.h>
+#endif
+
+namespace qf {
+
+#if defined(QF_SIMD_AVX2)
+inline constexpr const char* QF_SIMD_NAME = "avx2";
+#elif defined(QF_SIMD_SSE2)
+inline constexpr const char* QF_SIMD_NAME = "sse2";
+#else
+inline constexpr const char* QF_SIMD_NAME = "scalar";
+#endif
+
+/// Number of uint32_t lanes a single FindU32 probe may read past `n`.
+/// Storage probed with FindU32 must keep this many readable (zero-filled)
+/// elements after the last real one.
+inline constexpr int kFindU32Pad = 8;
+
+/// Hints the cache hierarchy to load the line holding `addr` for reading.
+inline void Prefetch(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#elif defined(QF_SIMD_SSE2)
+  _mm_prefetch(static_cast<const char*>(addr), _MM_HINT_T0);
+#else
+  (void)addr;
+#endif
+}
+
+/// Same, but with intent to write (avoids a later read-for-ownership).
+inline void PrefetchWrite(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/1, /*locality=*/3);
+#else
+  Prefetch(addr);
+#endif
+}
+
+/// Index of the first element of `data[0, n)` equal to `target`, or -1.
+/// REQUIRES: data[0, n + kFindU32Pad) must be readable — callers pad their
+/// arrays; lanes beyond `n` are masked out, so padding contents are
+/// irrelevant to the result.
+inline int FindU32(const uint32_t* data, int n, uint32_t target) {
+#if defined(QF_SIMD_AVX2)
+  const __m256i t = _mm256_set1_epi32(static_cast<int32_t>(target));
+  for (int i = 0; i < n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    uint32_t mask = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, t))));
+    const int remaining = n - i;
+    if (remaining < 8) mask &= (1u << remaining) - 1u;
+    if (mask) return i + std::countr_zero(mask);
+  }
+  return -1;
+#elif defined(QF_SIMD_SSE2)
+  const __m128i t = _mm_set1_epi32(static_cast<int32_t>(target));
+  for (int i = 0; i < n; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    uint32_t mask = static_cast<uint32_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, t))));
+    const int remaining = n - i;
+    if (remaining < 4) mask &= (1u << remaining) - 1u;
+    if (mask) return i + std::countr_zero(mask);
+  }
+  return -1;
+#else
+  for (int i = 0; i < n; ++i) {
+    if (data[i] == target) return i;
+  }
+  return -1;
+#endif
+}
+
+/// Reference implementation of FindU32 (used by tests to pin down the SIMD
+/// paths; also the scalar tier above).
+inline int FindU32Scalar(const uint32_t* data, int n, uint32_t target) {
+  for (int i = 0; i < n; ++i) {
+    if (data[i] == target) return i;
+  }
+  return -1;
+}
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_COMMON_SIMD_H_

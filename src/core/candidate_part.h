@@ -5,6 +5,13 @@
 // strategy considers likely-outstanding live here and get exact (per-entry)
 // Qweight tracking, which removes hash-collision noise for precisely the
 // keys that matter for reporting.
+//
+// Storage is struct-of-arrays (F14 / cuckoo-filter style): a bucket's
+// fingerprints are contiguous, so Find probes all b entries with a single
+// vector compare (common/simd.h) instead of a scalar scan, and the Qweight
+// counters live in a parallel array touched only on a hit. Bucket indexing
+// uses Lemire's multiply-shift fast range (no hardware division). Slots are
+// addressed by index; `kNone` marks "not found".
 
 #ifndef QUANTILEFILTER_CORE_CANDIDATE_PART_H_
 #define QUANTILEFILTER_CORE_CANDIDATE_PART_H_
@@ -16,6 +23,7 @@
 #include "common/hash.h"
 #include "common/memory.h"
 #include "common/serialize.h"
+#include "common/simd.h"
 
 namespace qf {
 
@@ -28,7 +36,8 @@ class CandidatePart {
     uint64_t seed = 0x5EEDCA4D;
   };
 
-  /// One slot. fingerprint == 0 marks an empty slot (Fingerprint() never
+  /// Interleaved view of one slot, used for serialization, merging and
+  /// inspection. fingerprint == 0 marks an empty slot (Fingerprint() never
   /// returns 0 for a real key).
   struct Entry {
     uint32_t fingerprint = 0;
@@ -36,6 +45,9 @@ class CandidatePart {
 
     bool empty() const { return fingerprint == 0; }
   };
+
+  /// "No such slot" result of Find / FindEmpty.
+  static constexpr int64_t kNone = -1;
 
   explicit CandidatePart(const Options& options)
       : bucket_entries_(options.bucket_entries < 1 ? 1
@@ -48,16 +60,19 @@ class CandidatePart {
         seed_(options.seed),
         num_buckets_(ElemsForBudget(options.memory_bytes,
                                     sizeof(Entry) * bucket_entries_, 1)),
-        slots_(num_buckets_ * bucket_entries_) {}
+        num_slots_(num_buckets_ * bucket_entries_),
+        fps_(num_slots_ + kFindU32Pad, 0u),
+        qweights_(num_slots_, 0) {}
 
   size_t num_buckets() const { return num_buckets_; }
   int bucket_entries() const { return bucket_entries_; }
   int fingerprint_bits() const { return fingerprint_bits_; }
-  size_t MemoryBytes() const { return slots_.size() * sizeof(Entry); }
+  size_t num_slots() const { return num_slots_; }
+  size_t MemoryBytes() const { return num_slots_ * sizeof(Entry); }
 
   uint32_t BucketOf(uint64_t key) const {
-    uint64_t h = HashKey(key, seed_);
-    return static_cast<uint32_t>(h % num_buckets_);
+    return static_cast<uint32_t>(
+        FastRange64(HashKey(key, seed_), num_buckets_));
   }
 
   uint32_t FingerprintOf(uint64_t key) const {
@@ -72,56 +87,79 @@ class CandidatePart {
            static_cast<uint64_t>(fp);
   }
 
-  /// Slot holding `fp` in `bucket`, or nullptr.
-  Entry* Find(uint32_t bucket, uint32_t fp) {
-    Entry* base = BucketBase(bucket);
-    for (int i = 0; i < bucket_entries_; ++i) {
-      if (base[i].fingerprint == fp) return &base[i];
-    }
-    return nullptr;
-  }
-  const Entry* Find(uint32_t bucket, uint32_t fp) const {
-    return const_cast<CandidatePart*>(this)->Find(bucket, fp);
+  /// Index of the first slot of `bucket`.
+  size_t SlotBase(uint32_t bucket) const {
+    return static_cast<size_t>(bucket) * bucket_entries_;
   }
 
-  /// First empty slot in `bucket`, or nullptr if the bucket is full.
-  Entry* FindEmpty(uint32_t bucket) {
-    Entry* base = BucketBase(bucket);
-    for (int i = 0; i < bucket_entries_; ++i) {
-      if (base[i].empty()) return &base[i];
-    }
-    return nullptr;
+  /// Slot index holding `fp` in `bucket`, or kNone. One vector compare.
+  int64_t Find(uint32_t bucket, uint32_t fp) const {
+    const size_t base = SlotBase(bucket);
+    const int i = FindU32(fps_.data() + base, bucket_entries_, fp);
+    return i < 0 ? kNone : static_cast<int64_t>(base) + i;
   }
 
-  /// Entry with the smallest Qweight in a full `bucket` (the eviction
-  /// victim for candidate election).
-  Entry* MinEntry(uint32_t bucket) {
-    Entry* base = BucketBase(bucket);
-    Entry* best = &base[0];
+  /// First empty slot in `bucket`, or kNone if the bucket is full.
+  int64_t FindEmpty(uint32_t bucket) const { return Find(bucket, 0u); }
+
+  /// Slot with the smallest Qweight in a full `bucket` (the eviction
+  /// victim for candidate election). First minimum wins on ties.
+  int64_t MinSlot(uint32_t bucket) const {
+    const size_t base = SlotBase(bucket);
+    size_t best = base;
     for (int i = 1; i < bucket_entries_; ++i) {
-      if (base[i].qweight < best->qweight) best = &base[i];
+      if (qweights_[base + i] < qweights_[best]) best = base + i;
     }
-    return best;
+    return static_cast<int64_t>(best);
   }
 
-  /// All slots (for inspection in tests and stats).
-  const std::vector<Entry>& slots() const { return slots_; }
+  uint32_t fingerprint(int64_t slot) const {
+    return fps_[static_cast<size_t>(slot)];
+  }
+  int32_t qweight(int64_t slot) const {
+    return qweights_[static_cast<size_t>(slot)];
+  }
+  void set_qweight(int64_t slot, int32_t v) {
+    qweights_[static_cast<size_t>(slot)] = v;
+  }
+  void SetSlot(int64_t slot, uint32_t fp, int32_t qw) {
+    fps_[static_cast<size_t>(slot)] = fp;
+    qweights_[static_cast<size_t>(slot)] = qw;
+  }
+  Entry GetEntry(int64_t slot) const {
+    return Entry{fps_[static_cast<size_t>(slot)],
+                 qweights_[static_cast<size_t>(slot)]};
+  }
+
+  /// Pulls `bucket`'s fingerprint row and counter row toward the cache
+  /// (used by the batched insert window ahead of the actual probe).
+  void PrefetchBucket(uint32_t bucket) const {
+    const size_t base = SlotBase(bucket);
+    Prefetch(fps_.data() + base);
+    Prefetch(qweights_.data() + base);
+  }
+
+  /// Interleaved snapshot of all slots (for inspection in tests and stats).
+  std::vector<Entry> slots() const {
+    std::vector<Entry> out(num_slots_);
+    for (size_t i = 0; i < num_slots_; ++i) {
+      out[i] = Entry{fps_[i], qweights_[i]};
+    }
+    return out;
+  }
 
   /// Fraction of slots currently occupied.
   double Occupancy() const {
     size_t used = 0;
-    for (const Entry& e : slots_) used += e.empty() ? 0 : 1;
-    return slots_.empty() ? 0.0
-                          : static_cast<double>(used) /
-                                static_cast<double>(slots_.size());
+    for (size_t i = 0; i < num_slots_; ++i) used += fps_[i] == 0 ? 0 : 1;
+    return num_slots_ == 0 ? 0.0
+                           : static_cast<double>(used) /
+                                 static_cast<double>(num_slots_);
   }
 
-  void Clear() { slots_.assign(slots_.size(), Entry{}); }
-
-  /// Mutable view of a bucket's `bucket_entries()` slots (for merging).
-  Entry* MutableBucket(uint32_t bucket) { return BucketBase(bucket); }
-  const Entry* Bucket(uint32_t bucket) const {
-    return const_cast<CandidatePart*>(this)->BucketBase(bucket);
+  void Clear() {
+    fps_.assign(fps_.size(), 0u);
+    qweights_.assign(qweights_.size(), 0);
   }
 
   /// True iff `other` was built with identical structure and hashing, so
@@ -133,11 +171,13 @@ class CandidatePart {
            seed_ == other.seed_;
   }
 
-  /// Checkpointing of the slot array.
+  /// Checkpointing of the slot array. The byte format is the interleaved
+  /// Entry layout (unchanged from the array-of-structs implementation), so
+  /// checkpoints are layout-independent.
   void AppendTo(std::vector<uint8_t>* out) const {
     AppendPod(static_cast<uint64_t>(num_buckets_), out);
     AppendPod(static_cast<uint32_t>(bucket_entries_), out);
-    AppendVector(slots_, out);
+    AppendVector(slots(), out);
   }
   bool ReadFrom(ByteReader* reader) {
     uint64_t buckets = 0;
@@ -149,23 +189,26 @@ class CandidatePart {
     }
     if (buckets != num_buckets_ ||
         static_cast<int>(entries) != bucket_entries_ ||
-        slots.size() != slots_.size()) {
+        slots.size() != num_slots_) {
       return false;
     }
-    slots_ = std::move(slots);
+    for (size_t i = 0; i < num_slots_; ++i) {
+      fps_[i] = slots[i].fingerprint;
+      qweights_[i] = slots[i].qweight;
+    }
     return true;
   }
 
  private:
-  Entry* BucketBase(uint32_t bucket) {
-    return &slots_[static_cast<size_t>(bucket) * bucket_entries_];
-  }
-
   int bucket_entries_;
   int fingerprint_bits_;
   uint64_t seed_;
   size_t num_buckets_;
-  std::vector<Entry> slots_;
+  size_t num_slots_;
+  // Parallel slot arrays; fps_ carries kFindU32Pad zeroed lanes of overread
+  // padding for the vectorized probe.
+  std::vector<uint32_t> fps_;
+  std::vector<int32_t> qweights_;
 };
 
 }  // namespace qf

@@ -15,6 +15,15 @@
 // Per-item cost is O(b + d) with b = bucket entries and d = sketch rows —
 // a small constant; there is no separate query phase, which is the paper's
 // [R1] fast-online-computation requirement.
+//
+// Two insertion interfaces exist:
+//   * Insert(key, value)       — one item at a time;
+//   * InsertBatch(items, cb)   — a span of items, processed through a
+//     ~32-item pre-hash window that issues cache prefetches for every
+//     item's candidate bucket and vague-part rows before draining the
+//     window in stream order. The drained path is the same code as
+//     Insert, so reports, statistics, RNG consumption and serialized
+//     state are bit-identical between the two interfaces.
 
 #ifndef QUANTILEFILTER_CORE_QUANTILE_FILTER_H_
 #define QUANTILEFILTER_CORE_QUANTILE_FILTER_H_
@@ -22,6 +31,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/counters.h"
@@ -30,6 +40,7 @@
 #include "core/candidate_part.h"
 #include "core/criteria.h"
 #include "core/vague_part.h"
+#include "stream/item.h"
 
 namespace qf {
 
@@ -70,6 +81,11 @@ class QuantileFilter {
     uint64_t swaps = 0;           // candidate-election swaps
   };
 
+  /// Items pre-hashed per InsertBatch prefetch window. Sized so the window's
+  /// outstanding prefetches stay within a typical L1 miss-queue depth while
+  /// amortizing the per-window loop overhead.
+  static constexpr size_t kBatchWindow = 32;
+
   QuantileFilter(const Options& options, const Criteria& default_criteria)
       : options_(options),
         default_criteria_(default_criteria),
@@ -98,58 +114,66 @@ class QuantileFilter {
   /// Processes one item under caller-supplied criteria (Sec III-C: distinct
   /// criteria per key, supplied alongside each item).
   bool Insert(uint64_t key, double value, const Criteria& criteria) {
-    ++stats_.items;
-    const bool abnormal = criteria.ValueIsAbnormal(value);
-    const uint32_t fp = candidate_.FingerprintOf(key);
-    const uint32_t bucket = candidate_.BucketOf(key);
+    return InsertHashed(candidate_.FingerprintOf(key),
+                        candidate_.BucketOf(key),
+                        criteria.ValueIsAbnormal(value), criteria);
+  }
 
-    // Case 1: fingerprint already resident -> exact per-entry tracking.
-    if (CandidatePart::Entry* entry = candidate_.Find(bucket, fp)) {
-      ++stats_.candidate_hits;
-      entry->qweight = SaturatingAdd(
-          entry->qweight, DrawItemQweight(abnormal, criteria, rng_));
-      if (entry->qweight >= criteria.report_threshold()) {
-        entry->qweight = 0;
-        ++stats_.reports;
-        return true;
+  /// Batched insertion: processes `items` in stream order through a
+  /// kBatchWindow-item pre-hash + prefetch window. For every reported item,
+  /// `on_report(index, item)` is invoked with the item's position within
+  /// `items` (reports fire in stream order). Returns the number of reports.
+  ///
+  /// Equivalence guarantee: the drain stage runs the identical per-item
+  /// logic (and RNG draw order) as Insert, so a filter fed through
+  /// InsertBatch ends bit-identical — same reports, stats and serialized
+  /// state — to one fed the same items through Insert.
+  template <typename ReportFn>
+  size_t InsertBatch(std::span<const Item> items, const Criteria& criteria,
+                     ReportFn&& on_report) {
+    struct Prehashed {
+      uint32_t fp;
+      uint32_t bucket;
+      bool abnormal;
+    };
+    Prehashed window[kBatchWindow];
+    size_t reports = 0;
+    size_t pos = 0;
+    while (pos < items.size()) {
+      const size_t n = std::min(kBatchWindow, items.size() - pos);
+      // Stage 1: hash the window and issue prefetches. The candidate bucket
+      // is touched by every item; the vague rows only by bucket-full items,
+      // but prefetching them unconditionally costs little and hides the
+      // d random-row misses that dominate large-budget configurations.
+      for (size_t i = 0; i < n; ++i) {
+        const Item& item = items[pos + i];
+        Prehashed& p = window[i];
+        p.fp = candidate_.FingerprintOf(item.key);
+        p.bucket = candidate_.BucketOf(item.key);
+        p.abnormal = criteria.ValueIsAbnormal(item.value);
+        candidate_.PrefetchBucket(p.bucket);
+        vague_.Prefetch(candidate_.VagueKey(p.bucket, p.fp));
       }
-      return false;
-    }
-
-    // Case 2: room in the bucket -> admit directly.
-    if (CandidatePart::Entry* empty = candidate_.FindEmpty(bucket)) {
-      ++stats_.admissions;
-      const int64_t w = DrawItemQweight(abnormal, criteria, rng_);
-      *empty = CandidatePart::Entry{fp, ClampToI32(w)};
-      if (empty->qweight >= criteria.report_threshold()) {
-        empty->qweight = 0;
-        ++stats_.reports;
-        return true;
+      // Stage 2: drain in stream order through the scalar path.
+      for (size_t i = 0; i < n; ++i) {
+        if (InsertHashed(window[i].fp, window[i].bucket, window[i].abnormal,
+                         criteria)) {
+          ++reports;
+          on_report(pos + i, items[pos + i]);
+        }
       }
-      return false;
+      pos += n;
     }
+    return reports;
+  }
 
-    // Case 3: bucket full -> vague part, then candidate election.
-    ++stats_.vague_inserts;
-    const uint64_t vkey = candidate_.VagueKey(bucket, fp);
-    const int64_t estimate = vague_.Insert(vkey, abnormal, criteria, rng_);
-    if (estimate >= criteria.report_threshold()) {
-      vague_.Subtract(vkey, estimate);
-      ++stats_.reports;
-      return true;
-    }
-
-    CandidatePart::Entry* weakest = candidate_.MinEntry(bucket);
-    if (ShouldSwap(estimate, weakest)) {
-      ++stats_.swaps;
-      // Demote the weakest candidate's Qweight into the vague part...
-      vague_.Add(candidate_.VagueKey(bucket, weakest->fingerprint),
-                 weakest->qweight);
-      // ...and promote the newcomer, moving its mass out of the sketch.
-      vague_.Subtract(vkey, estimate);
-      *weakest = CandidatePart::Entry{fp, ClampToI32(estimate)};
-    }
-    return false;
+  /// InsertBatch overloads that drop the per-report callback / use the
+  /// default criteria. Return the number of reports.
+  size_t InsertBatch(std::span<const Item> items, const Criteria& criteria) {
+    return InsertBatch(items, criteria, [](size_t, const Item&) {});
+  }
+  size_t InsertBatch(std::span<const Item> items) {
+    return InsertBatch(items, default_criteria_);
   }
 
   /// Current Qweight estimate for `key`: exact if resident in the candidate
@@ -158,8 +182,9 @@ class QuantileFilter {
   int64_t QueryQweight(uint64_t key) const {
     const uint32_t fp = candidate_.FingerprintOf(key);
     const uint32_t bucket = candidate_.BucketOf(key);
-    if (const CandidatePart::Entry* entry = candidate_.Find(bucket, fp)) {
-      return entry->qweight;
+    if (const int64_t slot = candidate_.Find(bucket, fp);
+        slot != CandidatePart::kNone) {
+      return candidate_.qweight(slot);
     }
     return vague_.Estimate(candidate_.VagueKey(bucket, fp));
   }
@@ -169,8 +194,9 @@ class QuantileFilter {
   void Delete(uint64_t key) {
     const uint32_t fp = candidate_.FingerprintOf(key);
     const uint32_t bucket = candidate_.BucketOf(key);
-    if (CandidatePart::Entry* entry = candidate_.Find(bucket, fp)) {
-      entry->qweight = 0;
+    if (const int64_t slot = candidate_.Find(bucket, fp);
+        slot != CandidatePart::kNone) {
+      candidate_.set_qweight(slot, 0);
       return;
     }
     const uint64_t vkey = candidate_.VagueKey(bucket, fp);
@@ -191,14 +217,15 @@ class QuantileFilter {
   /// to (or freshly past) a report, for monitoring dashboards.
   std::vector<CandidateView> HottestCandidates(size_t k) const {
     std::vector<CandidateView> views;
-    const auto& slots = candidate_.slots();
     const int entries = candidate_.bucket_entries();
-    views.reserve(slots.size());
-    for (size_t i = 0; i < slots.size(); ++i) {
-      if (slots[i].empty()) continue;
+    views.reserve(candidate_.num_slots());
+    for (size_t i = 0; i < candidate_.num_slots(); ++i) {
+      const CandidatePart::Entry e =
+          candidate_.GetEntry(static_cast<int64_t>(i));
+      if (e.empty()) continue;
       views.push_back(CandidateView{
           static_cast<uint32_t>(i / static_cast<size_t>(entries)),
-          slots[i].fingerprint, slots[i].qweight});
+          e.fingerprint, e.qweight});
     }
     std::sort(views.begin(), views.end(),
               [](const CandidateView& a, const CandidateView& b) {
@@ -233,10 +260,12 @@ class QuantileFilter {
     vague_.MergeFrom(other.vague_);
     const int entries = candidate_.bucket_entries();
     for (uint32_t b = 0; b < candidate_.num_buckets(); ++b) {
-      const CandidatePart::Entry* theirs = other.candidate_.Bucket(b);
+      const size_t base = other.candidate_.SlotBase(b);
       for (int i = 0; i < entries; ++i) {
-        if (theirs[i].empty()) continue;
-        MergeCandidateEntry(b, theirs[i]);
+        const CandidatePart::Entry theirs =
+            other.candidate_.GetEntry(static_cast<int64_t>(base) + i);
+        if (theirs.empty()) continue;
+        MergeCandidateEntry(b, theirs);
       }
     }
     return true;
@@ -269,24 +298,85 @@ class QuantileFilter {
  private:
   static constexpr uint32_t kStateMagic = 0x51465354;  // "QFST"
 
+  /// The per-item state machine (Algorithm 1 + candidate election), shared
+  /// verbatim by Insert and the InsertBatch drain stage.
+  bool InsertHashed(uint32_t fp, uint32_t bucket, bool abnormal,
+                    const Criteria& criteria) {
+    ++stats_.items;
+
+    // Case 1: fingerprint already resident -> exact per-entry tracking.
+    if (const int64_t slot = candidate_.Find(bucket, fp);
+        slot != CandidatePart::kNone) {
+      ++stats_.candidate_hits;
+      const int32_t qw = SaturatingAdd(
+          candidate_.qweight(slot), DrawItemQweight(abnormal, criteria, rng_));
+      if (qw >= criteria.report_threshold()) {
+        candidate_.set_qweight(slot, 0);
+        ++stats_.reports;
+        return true;
+      }
+      candidate_.set_qweight(slot, qw);
+      return false;
+    }
+
+    // Case 2: room in the bucket -> admit directly.
+    if (const int64_t slot = candidate_.FindEmpty(bucket);
+        slot != CandidatePart::kNone) {
+      ++stats_.admissions;
+      const int32_t w =
+          ClampToI32(DrawItemQweight(abnormal, criteria, rng_));
+      if (w >= criteria.report_threshold()) {
+        candidate_.SetSlot(slot, fp, 0);
+        ++stats_.reports;
+        return true;
+      }
+      candidate_.SetSlot(slot, fp, w);
+      return false;
+    }
+
+    // Case 3: bucket full -> vague part, then candidate election.
+    ++stats_.vague_inserts;
+    const uint64_t vkey = candidate_.VagueKey(bucket, fp);
+    const int64_t estimate = vague_.Insert(vkey, abnormal, criteria, rng_);
+    if (estimate >= criteria.report_threshold()) {
+      vague_.Subtract(vkey, estimate);
+      ++stats_.reports;
+      return true;
+    }
+
+    const int64_t weakest = candidate_.MinSlot(bucket);
+    if (ShouldSwap(estimate, weakest)) {
+      ++stats_.swaps;
+      // Demote the weakest candidate's Qweight into the vague part...
+      vague_.Add(candidate_.VagueKey(bucket, candidate_.fingerprint(weakest)),
+                 candidate_.qweight(weakest));
+      // ...and promote the newcomer, moving its mass out of the sketch.
+      vague_.Subtract(vkey, estimate);
+      candidate_.SetSlot(weakest, fp, ClampToI32(estimate));
+    }
+    return false;
+  }
+
   /// Inserts one foreign candidate entry into bucket `b`, following the
   /// same priority rules as candidate election.
   void MergeCandidateEntry(uint32_t b, const CandidatePart::Entry& entry) {
-    if (CandidatePart::Entry* mine =
-            candidate_.Find(b, entry.fingerprint)) {
-      mine->qweight = SaturatingAdd(mine->qweight,
-                                    static_cast<int64_t>(entry.qweight));
+    if (const int64_t slot = candidate_.Find(b, entry.fingerprint);
+        slot != CandidatePart::kNone) {
+      candidate_.set_qweight(
+          slot, SaturatingAdd(candidate_.qweight(slot),
+                              static_cast<int64_t>(entry.qweight)));
       return;
     }
-    if (CandidatePart::Entry* empty = candidate_.FindEmpty(b)) {
-      *empty = entry;
+    if (const int64_t slot = candidate_.FindEmpty(b);
+        slot != CandidatePart::kNone) {
+      candidate_.SetSlot(slot, entry.fingerprint, entry.qweight);
       return;
     }
-    CandidatePart::Entry* weakest = candidate_.MinEntry(b);
-    if (entry.qweight > weakest->qweight) {
-      vague_.Add(candidate_.VagueKey(b, weakest->fingerprint),
-                 weakest->qweight);
-      *weakest = entry;
+    const int64_t weakest = candidate_.MinSlot(b);
+    if (entry.qweight > candidate_.qweight(weakest)) {
+      vague_.Add(candidate_.VagueKey(b, candidate_.fingerprint(weakest)),
+                 candidate_.qweight(weakest));
+      candidate_.SetSlot(weakest, entry.fingerprint, entry.qweight);
     } else {
       vague_.Add(candidate_.VagueKey(b, entry.fingerprint), entry.qweight);
     }
@@ -315,15 +405,15 @@ class QuantileFilter {
     return static_cast<int32_t>(v);
   }
 
-  bool ShouldSwap(int64_t estimate, CandidatePart::Entry* weakest) {
+  bool ShouldSwap(int64_t estimate, int64_t weakest) {
     switch (options_.election) {
       case ElectionStrategy::kComparative:
-        return estimate > weakest->qweight;
+        return estimate > candidate_.qweight(weakest);
       case ElectionStrategy::kForceful:
         return true;
       case ElectionStrategy::kProbabilistic: {
         // p = max(est / (est + min), 0), guarding the degenerate denominator.
-        const int64_t denom = estimate + weakest->qweight;
+        const int64_t denom = estimate + candidate_.qweight(weakest);
         if (denom == 0) return estimate > 0;
         const double p =
             static_cast<double>(estimate) / static_cast<double>(denom);
@@ -336,9 +426,11 @@ class QuantileFilter {
         // contender, then compare: residents survive only on sustained
         // Qweight (HeavyKeeper-flavored eviction).
         if (rng_.Bernoulli(0.5)) {
-          weakest->qweight = SaturatingAdd(weakest->qweight, int64_t{-1});
+          candidate_.set_qweight(
+              weakest,
+              SaturatingAdd(candidate_.qweight(weakest), int64_t{-1}));
         }
-        return estimate > weakest->qweight;
+        return estimate > candidate_.qweight(weakest);
     }
     return false;
   }

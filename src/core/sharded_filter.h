@@ -44,10 +44,12 @@ class ShardedQuantileFilter {
 
   int num_shards() const { return num_shards_; }
 
-  /// The shard index that owns `key`.
+  /// The shard index that owns `key`. Fast-range reduction of a dedicated
+  /// hash: pure, lock-free and division-free, so dispatchers can call it
+  /// per item.
   int ShardFor(uint64_t key) const {
-    return static_cast<int>(HashKey(key, 0x5A4DULL) %
-                            static_cast<uint64_t>(num_shards_));
+    return static_cast<int>(FastRange64(
+        HashKey(key, 0x5A4DULL), static_cast<uint64_t>(num_shards_)));
   }
 
   /// Direct access to one shard (to drive it from its worker thread).

@@ -49,6 +49,11 @@ class VaguePart {
   /// into the vague part during election).
   void Add(uint64_t vkey, int64_t qweight) { sketch_.Add(vkey, qweight); }
 
+  /// Prefetches the d counter cells `vkey` maps to, ahead of a possible
+  /// Insert/Estimate (the batched insert window issues this for every item
+  /// while earlier items are still draining).
+  void Prefetch(uint64_t vkey) const { sketch_.Prefetch(vkey); }
+
   int64_t Estimate(uint64_t vkey) const { return sketch_.Estimate(vkey); }
 
   /// Removes `amount` of estimated Qweight from `vkey`'s counters — the

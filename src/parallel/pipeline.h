@@ -1,0 +1,259 @@
+// Multi-threaded ingest pipeline over a ShardedQuantileFilter.
+//
+// Topology (cf. OctoSketch-style sketch pipelines and the ROADMAP's
+// sharding/batching/async north star):
+//
+//   dispatcher ──SPSC ring──▶ worker 0 ──▶ shard 0 (QuantileFilter)
+//       │       ──SPSC ring──▶ worker 1 ──▶ shard 1
+//       └──...  ──SPSC ring──▶ worker N-1 ─▶ shard N-1
+//
+// One dispatcher thread fast-hashes each key to its owning shard
+// (ShardedQuantileFilter::ShardFor, division-free), stages items into
+// per-shard batches and pushes full batches into that shard's SPSC ring.
+// One worker thread per shard pops batches and drives its shard's
+// InsertBatch (prefetching batched fast path). This honors the sharded
+// filter's thread-safety contract exactly: every shard has a single writer,
+// shards share no mutable state, and the SPSC rings are the only
+// cross-thread channels.
+//
+// Because the dispatcher preserves per-key order (a key always maps to the
+// same shard and ring, and rings are FIFO), every shard observes the same
+// per-shard subsequence it would observe under single-threaded insertion —
+// so per-shard reports, statistics and serialized state are bit-identical
+// to a sequential run over the same trace (pipeline_test.cc asserts this).
+//
+// Shutdown: Stop() flushes partial batches, raises `done` (release), and
+// workers drain their rings to empty before exiting — no items are lost.
+
+#ifndef QUANTILEFILTER_PARALLEL_PIPELINE_H_
+#define QUANTILEFILTER_PARALLEL_PIPELINE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_filter.h"
+#include "parallel/spsc_ring.h"
+#include "stream/item.h"
+
+namespace qf {
+
+template <typename SketchT = CountSketch<int16_t>>
+class IngestPipeline {
+ public:
+  using Sharded = ShardedQuantileFilter<SketchT>;
+
+  /// Upper bound on items per dispatched batch.
+  static constexpr size_t kMaxBatch = 64;
+
+  struct Options {
+    /// Items staged per shard before the batch is shipped (≤ kMaxBatch).
+    size_t batch_size = 32;
+    /// Ring capacity per shard, in batches (rounded down to a power of 2).
+    size_t ring_batches = 256;
+    /// Record the keys of reported items per shard (for tests/alerting).
+    bool collect_reported_keys = false;
+  };
+
+  /// Aggregate pipeline counters; stable once Stop() has returned.
+  struct Totals {
+    uint64_t items_dispatched = 0;  // items accepted by Push
+    uint64_t items_processed = 0;   // items drained by workers
+    uint64_t batches = 0;           // batches shipped through the rings
+    uint64_t reports = 0;           // outstanding-key reports across shards
+    uint64_t ring_full_waits = 0;   // dispatcher backpressure yields
+  };
+
+  IngestPipeline(Sharded& filter, const Options& options = Options{})
+      : filter_(&filter),
+        batch_size_(options.batch_size < 1
+                        ? 1
+                        : (options.batch_size > kMaxBatch
+                               ? kMaxBatch
+                               : options.batch_size)),
+        collect_reported_keys_(options.collect_reported_keys),
+        staging_(static_cast<size_t>(filter.num_shards())),
+        workers_(static_cast<size_t>(filter.num_shards())) {
+    rings_.reserve(workers_.size());
+    for (size_t s = 0; s < workers_.size(); ++s) {
+      rings_.push_back(
+          std::make_unique<SpscRing<ItemBatch>>(options.ring_batches));
+    }
+  }
+
+  ~IngestPipeline() { Stop(); }
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  int num_shards() const { return filter_->num_shards(); }
+
+  /// Spawns one worker thread per shard. Idempotent.
+  void Start() {
+    if (running_) return;
+    done_.store(false, std::memory_order_relaxed);
+    threads_.reserve(workers_.size());
+    for (size_t s = 0; s < workers_.size(); ++s) {
+      threads_.emplace_back([this, s] { WorkerLoop(static_cast<int>(s)); });
+    }
+    running_ = true;
+  }
+
+  /// Dispatches one item to its shard's staging batch. Single-producer:
+  /// call from exactly one thread (the dispatcher).
+  void Push(uint64_t key, double value) {
+    const int s = filter_->ShardFor(key);
+    ItemBatch& batch = staging_[static_cast<size_t>(s)];
+    batch.items[batch.count++] = Item{key, value};
+    ++items_dispatched_;
+    if (batch.count >= batch_size_) ShipBatch(s);
+  }
+  void Push(const Item& item) { Push(item.key, item.value); }
+
+  /// Ships all partially-filled staging batches (call-side flush; Stop()
+  /// does this automatically).
+  void Flush() {
+    for (size_t s = 0; s < staging_.size(); ++s) {
+      ShipBatch(static_cast<int>(s));
+    }
+  }
+
+  /// Flushes, signals shutdown and joins all workers. After Stop() the
+  /// underlying sharded filter and all counters are safe to read from the
+  /// calling thread. Idempotent.
+  void Stop() {
+    if (!running_) return;
+    Flush();
+    done_.store(true, std::memory_order_release);
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+    running_ = false;
+  }
+
+  /// Convenience harness: Start(), feed `items` from a dedicated dispatcher
+  /// thread, then Stop(). Returns the total number of reports.
+  uint64_t RunTrace(std::span<const Item> items) {
+    Start();
+    std::thread dispatcher([this, items] {
+      for (const Item& item : items) Push(item);
+    });
+    dispatcher.join();
+    Stop();
+    return totals().reports;
+  }
+
+  /// Aggregate counters; call after Stop() (workers joined) for exact
+  /// values.
+  Totals totals() const {
+    Totals t;
+    t.items_dispatched = items_dispatched_;
+    t.ring_full_waits = ring_full_waits_;
+    for (const WorkerState& w : workers_) {
+      t.items_processed += w.items;
+      t.batches += w.batches;
+      t.reports += w.reports;
+    }
+    return t;
+  }
+
+  /// Reports emitted by shard `s`'s worker (after Stop()).
+  uint64_t shard_reports(int s) const {
+    return workers_[static_cast<size_t>(s)].reports;
+  }
+
+  /// Keys reported by shard `s`, in processing order. Only populated when
+  /// Options::collect_reported_keys is set.
+  const std::vector<uint64_t>& reported_keys(int s) const {
+    return workers_[static_cast<size_t>(s)].reported_keys;
+  }
+
+ private:
+  struct ItemBatch {
+    std::array<Item, kMaxBatch> items;
+    uint32_t count = 0;
+  };
+
+  /// Per-worker state, cache-line padded: each worker mutates only its own
+  /// entry while running; the dispatcher/caller reads after join.
+  struct alignas(64) WorkerState {
+    uint64_t items = 0;
+    uint64_t batches = 0;
+    uint64_t reports = 0;
+    std::vector<uint64_t> reported_keys;
+  };
+
+  void ShipBatch(int s) {
+    ItemBatch& batch = staging_[static_cast<size_t>(s)];
+    if (batch.count == 0) return;
+    SpscRing<ItemBatch>& ring = *rings_[static_cast<size_t>(s)];
+    while (!ring.TryPush(batch)) {
+      ++ring_full_waits_;
+      std::this_thread::yield();  // backpressure: the shard is saturated
+    }
+    batch.count = 0;
+  }
+
+  void WorkerLoop(int s) {
+    auto& shard = filter_->shard(s);
+    SpscRing<ItemBatch>& ring = *rings_[static_cast<size_t>(s)];
+    WorkerState& state = workers_[static_cast<size_t>(s)];
+    ItemBatch batch;
+    for (;;) {
+      if (ring.TryPop(&batch)) {
+        ProcessBatch(shard, state, batch);
+        continue;
+      }
+      if (done_.load(std::memory_order_acquire)) {
+        // The release store in Stop() ordered all prior pushes before
+        // `done`; one more drain pass and an empty ring means truly done.
+        if (ring.TryPop(&batch)) {
+          ProcessBatch(shard, state, batch);
+          continue;
+        }
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  template <typename Filter>
+  void ProcessBatch(Filter& shard, WorkerState& state,
+                    const ItemBatch& batch) {
+    const std::span<const Item> items(batch.items.data(), batch.count);
+    state.items += batch.count;
+    ++state.batches;
+    if (collect_reported_keys_) {
+      state.reports += shard.InsertBatch(
+          items, shard.default_criteria(),
+          [&state](size_t, const Item& item) {
+            state.reported_keys.push_back(item.key);
+          });
+    } else {
+      state.reports += shard.InsertBatch(items);
+    }
+  }
+
+  Sharded* filter_;
+  const size_t batch_size_;
+  const bool collect_reported_keys_;
+
+  // Dispatcher-owned.
+  std::vector<ItemBatch> staging_;
+  uint64_t items_dispatched_ = 0;
+  uint64_t ring_full_waits_ = 0;
+
+  // Shared channels and worker state.
+  std::vector<std::unique_ptr<SpscRing<ItemBatch>>> rings_;
+  std::vector<WorkerState> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> done_{false};
+  bool running_ = false;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_PARALLEL_PIPELINE_H_

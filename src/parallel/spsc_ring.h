@@ -1,0 +1,100 @@
+// Lock-free single-producer / single-consumer ring buffer.
+//
+// The ingest pipeline (parallel/pipeline.h) connects its dispatcher thread
+// to each shard worker with one of these: exactly one thread pushes and
+// exactly one thread pops, which lets every operation complete with one
+// acquire load, one release store and no CAS. Head and tail live on their
+// own cache lines to avoid false sharing, and each side keeps a cached copy
+// of the opposite index so the common case touches no shared line at all
+// (the "cached index" optimization from Rigtorp's SPSCQueue / LMAX
+// Disruptor lineage).
+//
+// Correctness contract:
+//   * TryPush may be called by one thread at a time (the producer);
+//   * TryPop may be called by one thread at a time (the consumer);
+//   * producer and consumer may run concurrently with no other
+//     synchronization — release/acquire pairs on the indices order the
+//     element payloads.
+
+#ifndef QUANTILEFILTER_PARALLEL_SPSC_RING_H_
+#define QUANTILEFILTER_PARALLEL_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/memory.h"
+
+namespace qf {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded down to a power of two (minimum 2) so index
+  /// wrapping is a mask, not a modulo.
+  explicit SpscRing(size_t min_capacity)
+      : capacity_(FloorPow2(min_capacity < 2 ? 2 : min_capacity)),
+        mask_(capacity_ - 1),
+        buffer_(capacity_) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Producer side. Returns false (and leaves `value` unmoved-from
+  /// observable state aside) if the ring is full.
+  bool TryPush(T&& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity_) return false;
+    }
+    buffer_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+  bool TryPush(const T& value) {
+    T copy = value;
+    return TryPush(std::move(copy));
+  }
+
+  /// Consumer side. Returns false if the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    *out = std::move(buffer_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy; exact only from the calling side's perspective.
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+
+ private:
+  static constexpr size_t kCacheLine = 64;
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::vector<T> buffer_;
+
+  // Producer-owned: tail_ plus its cached view of head_.
+  alignas(kCacheLine) std::atomic<uint64_t> tail_{0};
+  uint64_t cached_head_ = 0;
+  // Consumer-owned: head_ plus its cached view of tail_.
+  alignas(kCacheLine) std::atomic<uint64_t> head_{0};
+  uint64_t cached_tail_ = 0;
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_PARALLEL_SPSC_RING_H_

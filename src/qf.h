@@ -18,6 +18,10 @@
 #include "core/sharded_filter.h"
 #include "core/windowed_filter.h"
 
+// Multi-threaded ingestion.
+#include "parallel/pipeline.h"
+#include "parallel/spsc_ring.h"
+
 // Sketch substrates.
 #include "sketch/count_min_sketch.h"
 #include "sketch/count_sketch.h"

@@ -21,6 +21,7 @@ TEST(CandidatePartTest, SizingFromBudget) {
   CandidatePart part(SmallOptions());
   EXPECT_EQ(part.num_buckets(), 16u);
   EXPECT_EQ(part.bucket_entries(), 4);
+  EXPECT_EQ(part.num_slots(), 64u);
   EXPECT_LE(part.MemoryBytes(), SmallOptions().memory_bytes);
 }
 
@@ -35,39 +36,57 @@ TEST(CandidatePartTest, FindAfterInsert) {
   uint64_t key = 42;
   uint32_t bucket = part.BucketOf(key);
   uint32_t fp = part.FingerprintOf(key);
-  CandidatePart::Entry* slot = part.FindEmpty(bucket);
-  ASSERT_NE(slot, nullptr);
-  *slot = CandidatePart::Entry{fp, 17};
+  int64_t slot = part.FindEmpty(bucket);
+  ASSERT_NE(slot, CandidatePart::kNone);
+  part.SetSlot(slot, fp, 17);
 
-  CandidatePart::Entry* found = part.Find(bucket, fp);
-  ASSERT_NE(found, nullptr);
-  EXPECT_EQ(found->qweight, 17);
-  EXPECT_EQ(part.Find(bucket, fp ^ 1), nullptr);
+  int64_t found = part.Find(bucket, fp);
+  ASSERT_NE(found, CandidatePart::kNone);
+  EXPECT_EQ(found, slot);
+  EXPECT_EQ(part.qweight(found), 17);
+  EXPECT_EQ(part.fingerprint(found), fp);
+  EXPECT_EQ(part.Find(bucket, fp ^ 1), CandidatePart::kNone);
 }
 
-TEST(CandidatePartTest, FindEmptyReturnsNullWhenFull) {
+TEST(CandidatePartTest, FindEmptyReturnsNoneWhenFull) {
   CandidatePart part(SmallOptions());
   uint32_t bucket = 3;
   for (int i = 0; i < 4; ++i) {
-    CandidatePart::Entry* slot = part.FindEmpty(bucket);
-    ASSERT_NE(slot, nullptr);
-    *slot = CandidatePart::Entry{static_cast<uint32_t>(i + 1), i};
+    int64_t slot = part.FindEmpty(bucket);
+    ASSERT_NE(slot, CandidatePart::kNone);
+    part.SetSlot(slot, static_cast<uint32_t>(i + 1), i);
   }
-  EXPECT_EQ(part.FindEmpty(bucket), nullptr);
+  EXPECT_EQ(part.FindEmpty(bucket), CandidatePart::kNone);
 }
 
-TEST(CandidatePartTest, MinEntryFindsSmallestQweight) {
+TEST(CandidatePartTest, FindReturnsFirstMatchingSlot) {
+  // The SIMD probe must preserve scalar first-match semantics even with
+  // duplicated fingerprints in one bucket.
+  CandidatePart part(SmallOptions());
+  uint32_t bucket = 7;
+  const size_t base = part.SlotBase(bucket);
+  part.SetSlot(static_cast<int64_t>(base) + 0, 5, 10);
+  part.SetSlot(static_cast<int64_t>(base) + 2, 9, 20);
+  part.SetSlot(static_cast<int64_t>(base) + 3, 9, 30);
+  int64_t found = part.Find(bucket, 9);
+  ASSERT_NE(found, CandidatePart::kNone);
+  EXPECT_EQ(found, static_cast<int64_t>(base) + 2);
+  // First empty slot is index 1.
+  EXPECT_EQ(part.FindEmpty(bucket), static_cast<int64_t>(base) + 1);
+}
+
+TEST(CandidatePartTest, MinSlotFindsSmallestQweight) {
   CandidatePart part(SmallOptions());
   uint32_t bucket = 5;
   int32_t weights[] = {10, -3, 7, 0};
   for (int i = 0; i < 4; ++i) {
-    *part.FindEmpty(bucket) =
-        CandidatePart::Entry{static_cast<uint32_t>(i + 1), weights[i]};
+    part.SetSlot(part.FindEmpty(bucket), static_cast<uint32_t>(i + 1),
+                 weights[i]);
   }
-  CandidatePart::Entry* min_entry = part.MinEntry(bucket);
-  ASSERT_NE(min_entry, nullptr);
-  EXPECT_EQ(min_entry->qweight, -3);
-  EXPECT_EQ(min_entry->fingerprint, 2u);
+  int64_t min_slot = part.MinSlot(bucket);
+  ASSERT_NE(min_slot, CandidatePart::kNone);
+  EXPECT_EQ(part.qweight(min_slot), -3);
+  EXPECT_EQ(part.fingerprint(min_slot), 2u);
 }
 
 TEST(CandidatePartTest, BucketAndFingerprintAreDeterministic) {
@@ -79,6 +98,14 @@ TEST(CandidatePartTest, BucketAndFingerprintAreDeterministic) {
     EXPECT_LT(a.BucketOf(key), a.num_buckets());
     EXPECT_NE(a.FingerprintOf(key), 0u);
   }
+}
+
+TEST(CandidatePartTest, BucketsCoverTheWholeRange) {
+  // Fast-range reduction must still spread keys across every bucket.
+  CandidatePart part(SmallOptions());
+  std::set<uint32_t> seen;
+  for (uint64_t key = 0; key < 4096; ++key) seen.insert(part.BucketOf(key));
+  EXPECT_EQ(seen.size(), part.num_buckets());
 }
 
 TEST(CandidatePartTest, VagueKeyIsInjectivePerBucketFp) {
@@ -94,15 +121,15 @@ TEST(CandidatePartTest, VagueKeyIsInjectivePerBucketFp) {
 
 TEST(CandidatePartTest, OccupancyTracksFills) {
   CandidatePart part(SmallOptions());
-  *part.FindEmpty(0) = CandidatePart::Entry{1, 0};
-  *part.FindEmpty(1) = CandidatePart::Entry{2, 0};
+  part.SetSlot(part.FindEmpty(0), 1, 0);
+  part.SetSlot(part.FindEmpty(1), 2, 0);
   EXPECT_NEAR(part.Occupancy(), 2.0 / 64.0, 1e-12);
 }
 
 TEST(CandidatePartTest, ClearEmptiesEverything) {
   CandidatePart part(SmallOptions());
   for (uint32_t bucket = 0; bucket < 16; ++bucket) {
-    *part.FindEmpty(bucket) = CandidatePart::Entry{9, 9};
+    part.SetSlot(part.FindEmpty(bucket), 9, 9);
   }
   part.Clear();
   EXPECT_EQ(part.Occupancy(), 0.0);
@@ -126,6 +153,22 @@ TEST(CandidatePartTest, FingerprintBitsClamped) {
   o.fingerprint_bits = -1;
   CandidatePart part2(o);
   EXPECT_EQ(part2.fingerprint_bits(), 1);
+}
+
+TEST(CandidatePartTest, SerializeRoundTripsAcrossLayouts) {
+  CandidatePart part(SmallOptions());
+  part.SetSlot(part.FindEmpty(2), 11, 100);
+  part.SetSlot(part.FindEmpty(9), 22, -5);
+  std::vector<uint8_t> bytes;
+  part.AppendTo(&bytes);
+
+  CandidatePart restored(SmallOptions());
+  ByteReader reader(bytes);
+  ASSERT_TRUE(restored.ReadFrom(&reader));
+  EXPECT_NEAR(restored.Occupancy(), part.Occupancy(), 1e-12);
+  int64_t found = restored.Find(2, 11);
+  ASSERT_NE(found, CandidatePart::kNone);
+  EXPECT_EQ(restored.qweight(found), 100);
 }
 
 }  // namespace

@@ -1,0 +1,150 @@
+// InsertBatch / Insert equivalence: the batched fast path must be an
+// observationally identical drop-in for one-at-a-time insertion — same
+// report sequence, same statistics, same RNG consumption, same serialized
+// state — across election strategies and batch framings.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/quantile_filter.h"
+#include "sketch/count_min_sketch.h"
+#include "stream/generators.h"
+
+namespace qf {
+namespace {
+
+using Filter = QuantileFilter<CountSketch<int16_t>>;
+
+Filter::Options SmallOptions(ElectionStrategy election) {
+  Filter::Options o;
+  // Deliberately tight so buckets fill and the vague/election paths run.
+  o.memory_bytes = 32 * 1024;
+  o.election = election;
+  return o;
+}
+
+Trace MakeTrace(size_t items) {
+  ZipfTraceOptions o;
+  o.num_items = items;
+  o.num_keys = items / 8 < 1000 ? 1000 : items / 8;
+  o.seed = 77;
+  return GenerateZipfTrace(o);
+}
+
+void ExpectStatsEqual(const Filter::Stats& a, const Filter::Stats& b) {
+  EXPECT_EQ(a.items, b.items);
+  EXPECT_EQ(a.reports, b.reports);
+  EXPECT_EQ(a.candidate_hits, b.candidate_hits);
+  EXPECT_EQ(a.admissions, b.admissions);
+  EXPECT_EQ(a.vague_inserts, b.vague_inserts);
+  EXPECT_EQ(a.swaps, b.swaps);
+}
+
+/// Drives one filter sequentially and one through InsertBatch over the same
+/// trace and asserts bit-identical observable behavior.
+void CheckEquivalence(ElectionStrategy election, const Trace& trace,
+                      const Criteria& criteria, size_t chunk) {
+  Filter sequential(SmallOptions(election), criteria);
+  Filter batched(SmallOptions(election), criteria);
+
+  std::vector<size_t> sequential_reports;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (sequential.Insert(trace[i].key, trace[i].value)) {
+      sequential_reports.push_back(i);
+    }
+  }
+
+  std::vector<size_t> batched_reports;
+  size_t returned = 0;
+  for (size_t pos = 0; pos < trace.size(); pos += chunk) {
+    const size_t n = std::min(chunk, trace.size() - pos);
+    returned += batched.InsertBatch(
+        std::span<const Item>(trace.data() + pos, n), criteria,
+        [&](size_t index, const Item& item) {
+          batched_reports.push_back(pos + index);
+          EXPECT_EQ(item.key, trace[pos + index].key);
+        });
+  }
+
+  EXPECT_EQ(returned, batched_reports.size());
+  EXPECT_EQ(sequential_reports, batched_reports);
+  ExpectStatsEqual(sequential.stats(), batched.stats());
+  EXPECT_EQ(sequential.SerializeState(), batched.SerializeState());
+}
+
+class InsertBatchEquivalence
+    : public ::testing::TestWithParam<ElectionStrategy> {};
+
+TEST_P(InsertBatchEquivalence, MillionItemZipfStream) {
+  // Criteria with a fractional positive weight (0.93/(1-0.93) ≈ 13.29) so
+  // probabilistic rounding draws happen and RNG order is exercised.
+  CheckEquivalence(GetParam(), MakeTrace(1'000'000), Criteria(30, 0.93, 300),
+                   1 << 20);
+}
+
+TEST_P(InsertBatchEquivalence, OddChunkFraming) {
+  // Chunk size 997 exercises partial-window tails on every chunk.
+  CheckEquivalence(GetParam(), MakeTrace(100'000), Criteria(30, 0.95, 300),
+                   997);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Elections, InsertBatchEquivalence,
+    ::testing::Values(ElectionStrategy::kComparative,
+                      ElectionStrategy::kProbabilistic,
+                      ElectionStrategy::kForceful, ElectionStrategy::kDecay),
+    [](const ::testing::TestParamInfo<ElectionStrategy>& info) {
+      switch (info.param) {
+        case ElectionStrategy::kComparative: return "Comparative";
+        case ElectionStrategy::kProbabilistic: return "Probabilistic";
+        case ElectionStrategy::kForceful: return "Forceful";
+        case ElectionStrategy::kDecay: return "Decay";
+      }
+      return "Unknown";
+    });
+
+TEST(InsertBatchTest, EmptySpanIsANoOp) {
+  Filter filter(SmallOptions(ElectionStrategy::kComparative));
+  EXPECT_EQ(filter.InsertBatch(std::span<const Item>{}), 0u);
+  EXPECT_EQ(filter.stats().items, 0u);
+}
+
+TEST(InsertBatchTest, SingleItemBatchesMatchInsert) {
+  const Trace trace = MakeTrace(20'000);
+  const Criteria criteria(30, 0.95, 300);
+  CheckEquivalence(ElectionStrategy::kComparative, trace, criteria, 1);
+}
+
+TEST(InsertBatchTest, ReturnsReportCount) {
+  // 32 purely-abnormal items of one key fire exactly one report under the
+  // default criteria's +19/threshold-600 arithmetic.
+  Filter filter(SmallOptions(ElectionStrategy::kComparative),
+                Criteria(30, 0.95, 300));
+  Trace trace(96, Item{1, 500.0});
+  EXPECT_EQ(filter.InsertBatch(std::span<const Item>(trace)), 3u);
+}
+
+TEST(InsertBatchTest, CountMinVagueEngineAlsoEquivalent) {
+  using CmFilter = QuantileFilter<CountMinSketch<int16_t>>;
+  CmFilter::Options o;
+  o.memory_bytes = 32 * 1024;
+  const Criteria criteria(30, 0.95, 300);
+  const Trace trace = MakeTrace(100'000);
+
+  CmFilter sequential(o, criteria);
+  CmFilter batched(o, criteria);
+  size_t seq_reports = 0;
+  for (const Item& item : trace) {
+    seq_reports += sequential.Insert(item.key, item.value);
+  }
+  const size_t batch_reports =
+      batched.InsertBatch(std::span<const Item>(trace));
+  EXPECT_EQ(seq_reports, batch_reports);
+  EXPECT_EQ(sequential.SerializeState(), batched.SerializeState());
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,169 @@
+// IngestPipeline end-to-end: a 4-shard pipeline under concurrent load must
+// produce, per shard, exactly the reports and state of a single-threaded
+// oracle run over the same trace — the disjoint-shard contract makes the
+// parallel execution deterministic at shard granularity.
+
+#include "parallel/pipeline.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sharded_filter.h"
+#include "stream/generators.h"
+
+namespace qf {
+namespace {
+
+using Sharded = ShardedQuantileFilter<CountSketch<int16_t>>;
+using Pipeline = IngestPipeline<CountSketch<int16_t>>;
+
+Sharded::Filter::Options FilterOptions() {
+  Sharded::Filter::Options o;
+  o.memory_bytes = 128 * 1024;  // split across shards; tight enough to
+                                // exercise the vague/election paths
+  return o;
+}
+
+Trace MakeTrace(size_t items) {
+  ZipfTraceOptions o;
+  o.num_items = items;
+  o.num_keys = 20'000;
+  o.seed = 99;
+  return GenerateZipfTrace(o);
+}
+
+void ExpectStatsEqual(const Sharded::Filter::Stats& a,
+                      const Sharded::Filter::Stats& b) {
+  EXPECT_EQ(a.items, b.items);
+  EXPECT_EQ(a.reports, b.reports);
+  EXPECT_EQ(a.candidate_hits, b.candidate_hits);
+  EXPECT_EQ(a.admissions, b.admissions);
+  EXPECT_EQ(a.vague_inserts, b.vague_inserts);
+  EXPECT_EQ(a.swaps, b.swaps);
+}
+
+TEST(PipelineTest, FourShardsMatchSequentialOracleExactly) {
+  const Criteria criteria(30, 0.95, 300);
+  const Trace trace = MakeTrace(400'000);
+  const int kShards = 4;
+
+  // Oracle: same sharded filter driven one item at a time on one thread.
+  Sharded oracle(FilterOptions(), criteria, kShards);
+  std::vector<std::vector<uint64_t>> oracle_reports(kShards);
+  for (const Item& item : trace) {
+    const int s = oracle.ShardFor(item.key);
+    if (oracle.Insert(item.key, item.value)) {
+      oracle_reports[static_cast<size_t>(s)].push_back(item.key);
+    }
+  }
+
+  // Pipeline: dispatcher thread + 4 worker threads.
+  Sharded parallel(FilterOptions(), criteria, kShards);
+  Pipeline::Options po;
+  po.collect_reported_keys = true;
+  Pipeline pipeline(parallel, po);
+  const uint64_t total_reports = pipeline.RunTrace(std::span<const Item>(trace));
+
+  const Pipeline::Totals totals = pipeline.totals();
+  EXPECT_EQ(totals.items_dispatched, trace.size());
+  EXPECT_EQ(totals.items_processed, trace.size());
+  EXPECT_EQ(totals.reports, total_reports);
+
+  uint64_t oracle_total = 0;
+  for (int s = 0; s < kShards; ++s) {
+    oracle_total += oracle_reports[static_cast<size_t>(s)].size();
+    // Same reported keys, in the same per-shard order.
+    EXPECT_EQ(pipeline.reported_keys(s), oracle_reports[static_cast<size_t>(s)])
+        << "shard " << s;
+    EXPECT_EQ(pipeline.shard_reports(s),
+              oracle_reports[static_cast<size_t>(s)].size());
+    // Identical per-shard statistics and serialized state.
+    ExpectStatsEqual(parallel.shard(s).stats(), oracle.shard(s).stats());
+    EXPECT_EQ(parallel.shard(s).SerializeState(),
+              oracle.shard(s).SerializeState())
+        << "shard " << s;
+  }
+  EXPECT_EQ(total_reports, oracle_total);
+  ExpectStatsEqual(parallel.AggregateStats(), oracle.AggregateStats());
+}
+
+TEST(PipelineTest, GracefulShutdownLosesNothing) {
+  Sharded filter(FilterOptions(), Criteria(30, 0.95, 300), 3);
+  Pipeline::Options po;
+  po.batch_size = 32;
+  Pipeline pipeline(filter, po);
+  pipeline.Start();
+  // 1000 items is not a multiple of batch_size * shards: Stop must flush
+  // the partial staging batches.
+  for (uint64_t i = 0; i < 1000; ++i) {
+    pipeline.Push(i, 500.0);
+  }
+  pipeline.Stop();
+  EXPECT_EQ(pipeline.totals().items_dispatched, 1000u);
+  EXPECT_EQ(pipeline.totals().items_processed, 1000u);
+  EXPECT_EQ(filter.AggregateStats().items, 1000u);
+}
+
+TEST(PipelineTest, BackpressureOnTinyRingsStillDeliversAll) {
+  Sharded filter(FilterOptions(), Criteria(30, 0.95, 300), 2);
+  Pipeline::Options po;
+  po.batch_size = 1;    // one item per batch
+  po.ring_batches = 2;  // tiny rings force dispatcher waits
+  Pipeline pipeline(filter, po);
+  pipeline.Start();
+  for (uint64_t i = 0; i < 50'000; ++i) {
+    pipeline.Push(i, i % 2 ? 500.0 : 10.0);
+  }
+  pipeline.Stop();
+  EXPECT_EQ(pipeline.totals().items_processed, 50'000u);
+  EXPECT_EQ(filter.AggregateStats().items, 50'000u);
+}
+
+TEST(PipelineTest, StopIsIdempotentAndRestartable) {
+  Sharded filter(FilterOptions(), Criteria(30, 0.95, 300), 2);
+  Pipeline pipeline(filter);
+  pipeline.Start();
+  for (uint64_t i = 0; i < 100; ++i) pipeline.Push(i, 500.0);
+  pipeline.Stop();
+  pipeline.Stop();  // no-op
+  pipeline.Start();
+  for (uint64_t i = 0; i < 100; ++i) pipeline.Push(i, 500.0);
+  pipeline.Stop();
+  EXPECT_EQ(pipeline.totals().items_processed, 200u);
+  EXPECT_EQ(filter.AggregateStats().items, 200u);
+}
+
+TEST(PipelineTest, DestructorStopsRunningPipeline) {
+  Sharded filter(FilterOptions(), Criteria(30, 0.95, 300), 2);
+  {
+    Pipeline pipeline(filter);
+    pipeline.Start();
+    for (uint64_t i = 0; i < 500; ++i) pipeline.Push(i, 500.0);
+    // No explicit Stop: the destructor must flush and join.
+  }
+  EXPECT_EQ(filter.AggregateStats().items, 500u);
+}
+
+TEST(PipelineTest, SingleShardPipelineMatchesPlainFilter) {
+  const Criteria criteria(30, 0.95, 300);
+  const Trace trace = MakeTrace(50'000);
+
+  Sharded serial(FilterOptions(), criteria, 1);
+  uint64_t serial_reports = 0;
+  for (const Item& item : trace) {
+    serial_reports += serial.Insert(item.key, item.value);
+  }
+
+  Sharded piped(FilterOptions(), criteria, 1);
+  Pipeline pipeline(piped);
+  const uint64_t reports = pipeline.RunTrace(std::span<const Item>(trace));
+
+  EXPECT_EQ(reports, serial_reports);
+  EXPECT_EQ(piped.shard(0).SerializeState(), serial.shard(0).SerializeState());
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,91 @@
+#include "common/simd.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace qf {
+namespace {
+
+TEST(SimdTest, FindU32MatchesScalarOnRandomArrays) {
+  Rng rng(42);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBounded(24));
+    // Padded buffer, as CandidatePart guarantees; padding lanes hold a
+    // value that would match the probe if masking were broken.
+    std::vector<uint32_t> data(static_cast<size_t>(n) + kFindU32Pad, 7u);
+    // Small value range forces frequent matches and duplicates.
+    for (int i = 0; i < n; ++i) {
+      data[static_cast<size_t>(i)] = static_cast<uint32_t>(rng.NextBounded(8));
+    }
+    const uint32_t target = static_cast<uint32_t>(rng.NextBounded(8));
+    EXPECT_EQ(FindU32(data.data(), n, target),
+              FindU32Scalar(data.data(), n, target))
+        << "n=" << n << " target=" << target;
+  }
+}
+
+TEST(SimdTest, FindU32FirstMatchWins) {
+  std::vector<uint32_t> data(16 + kFindU32Pad, 0u);
+  data[3] = 5;
+  data[9] = 5;
+  EXPECT_EQ(FindU32(data.data(), 16, 5u), 3);
+  EXPECT_EQ(FindU32(data.data(), 16, 6u), -1);
+  EXPECT_EQ(FindU32(data.data(), 16, 0u), 0);
+}
+
+TEST(SimdTest, FindU32RespectsLength) {
+  // A match just past `n` must be invisible.
+  std::vector<uint32_t> data(8 + kFindU32Pad, 0u);
+  data[6] = 9;
+  EXPECT_EQ(FindU32(data.data(), 6, 9u), -1);
+  EXPECT_EQ(FindU32(data.data(), 7, 9u), 6);
+}
+
+TEST(SimdTest, PrefetchIsSafeOnArbitraryAddresses) {
+  int x = 0;
+  Prefetch(&x);
+  PrefetchWrite(&x);
+  Prefetch(nullptr);  // prefetch never faults
+  SUCCEED();
+}
+
+TEST(FastRangeTest, StaysInRange) {
+  Rng rng(7);
+  for (uint64_t n : {1ull, 2ull, 3ull, 16ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(FastRange64(rng.Next(), n), n);
+    }
+  }
+  EXPECT_EQ(FastRange64(12345, 1), 0u);
+}
+
+TEST(FastRangeTest, CoversAllBucketsUnderUniformHashes) {
+  const uint64_t n = 64;
+  std::set<uint64_t> seen;
+  for (uint64_t k = 0; k < 100000; ++k) {
+    seen.insert(FastRange64(Mix64(k), n));
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(FastRangeTest, RoughlyUniform) {
+  const uint64_t n = 16;
+  std::vector<int> counts(n, 0);
+  const int kDraws = 160000;
+  for (int k = 0; k < kDraws; ++k) {
+    ++counts[FastRange64(Mix64(static_cast<uint64_t>(k)), n)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / static_cast<int>(n) * 9 / 10);
+    EXPECT_LT(c, kDraws / static_cast<int>(n) * 11 / 10);
+  }
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,92 @@
+#include "parallel/spsc_ring.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qf {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsDownToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(100).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 2u);
+}
+
+TEST(SpscRingTest, FifoOrderSingleThread) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    int v = -1;
+    ASSERT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  int v;
+  EXPECT_FALSE(ring.TryPop(&v));  // empty
+}
+
+TEST(SpscRingTest, WrapsAroundManyTimes) {
+  SpscRing<uint64_t> ring(4);
+  uint64_t next_pop = 0;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));
+    if (i % 3 == 0) {
+      uint64_t v;
+      ASSERT_TRUE(ring.TryPop(&v));
+      EXPECT_EQ(v, next_pop++);
+    }
+    // Drain fully every few pushes to exercise empty/full boundaries.
+    if (ring.SizeApprox() == ring.capacity()) {
+      uint64_t v;
+      while (ring.TryPop(&v)) EXPECT_EQ(v, next_pop++);
+    }
+  }
+}
+
+TEST(SpscRingTest, MovesValuesThrough) {
+  SpscRing<std::vector<int>> ring(4);
+  std::vector<int> payload{1, 2, 3};
+  ASSERT_TRUE(ring.TryPush(std::move(payload)));
+  std::vector<int> out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SpscRingTest, ProducerConsumerTransfersEverythingInOrder) {
+  SpscRing<uint64_t> ring(256);
+  constexpr uint64_t kCount = 1'000'000;
+
+  std::thread producer([&ring] {
+    for (uint64_t i = 0; i < kCount; ++i) {
+      while (!ring.TryPush(i)) std::this_thread::yield();
+    }
+  });
+
+  uint64_t sum = 0;
+  uint64_t expected_next = 0;
+  bool in_order = true;
+  for (uint64_t received = 0; received < kCount;) {
+    uint64_t v;
+    if (ring.TryPop(&v)) {
+      in_order = in_order && (v == expected_next);
+      ++expected_next;
+      sum += v;
+      ++received;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+  uint64_t leftover;
+  EXPECT_FALSE(ring.TryPop(&leftover));
+}
+
+}  // namespace
+}  // namespace qf
