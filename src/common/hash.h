@@ -43,6 +43,17 @@ constexpr uint64_t FastRange64(uint64_t hash, uint64_t n) {
       64);
 }
 
+/// Version stamp of the key->slot mapping used by structures that place
+/// keys by hash (CandidatePart::BucketOf, ShardedQuantileFilter::ShardFor).
+/// Serialized state embeds this tag: a checkpoint written under a different
+/// mapping would place every resident key in the wrong bucket/shard on
+/// load (silently wrong queries), so readers reject on mismatch. History:
+///   1 = `hash % n` modulo reduction (pre-SIMD seed code, no tag written)
+///   2 = Lemire FastRange64 multiply-shift reduction
+/// Bump this whenever the mapping of an existing key to its bucket or
+/// shard changes.
+inline constexpr uint32_t kKeyMappingScheme = 2;
+
 /// MurmurHash3-style hash of an arbitrary byte string (for string keys such
 /// as 5-tuples serialized to bytes).
 uint64_t HashBytes(const void* data, size_t len, uint64_t seed);

@@ -171,23 +171,30 @@ class CandidatePart {
            seed_ == other.seed_;
   }
 
-  /// Checkpointing of the slot array. The byte format is the interleaved
-  /// Entry layout (unchanged from the array-of-structs implementation), so
-  /// checkpoints are layout-independent.
+  /// Checkpointing of the slot array. The payload is the interleaved Entry
+  /// layout (layout-independent of the in-memory SoA form), prefixed by
+  /// the key->bucket mapping scheme under which the slots were populated:
+  /// a slot's bucket index is derived from the key hash, so state written
+  /// under a different BucketOf reduction would leave every resident entry
+  /// unreachable (and its VagueKey mass misaddressed) after load. ReadFrom
+  /// rejects such streams instead of restoring them silently; migration is
+  /// impossible because only fingerprints, not keys, are stored.
   void AppendTo(std::vector<uint8_t>* out) const {
+    AppendPod(kKeyMappingScheme, out);
     AppendPod(static_cast<uint64_t>(num_buckets_), out);
     AppendPod(static_cast<uint32_t>(bucket_entries_), out);
     AppendVector(slots(), out);
   }
   bool ReadFrom(ByteReader* reader) {
+    uint32_t scheme = 0;
     uint64_t buckets = 0;
     uint32_t entries = 0;
     std::vector<Entry> slots;
-    if (!reader->Read(&buckets) || !reader->Read(&entries) ||
-        !reader->ReadVector(&slots)) {
+    if (!reader->Read(&scheme) || !reader->Read(&buckets) ||
+        !reader->Read(&entries) || !reader->ReadVector(&slots)) {
       return false;
     }
-    if (buckets != num_buckets_ ||
+    if (scheme != kKeyMappingScheme || buckets != num_buckets_ ||
         static_cast<int>(entries) != bucket_entries_ ||
         slots.size() != num_slots_) {
       return false;

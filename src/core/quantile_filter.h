@@ -282,7 +282,10 @@ class QuantileFilter {
 
   /// Restores state saved by SerializeState into a filter constructed with
   /// the same options. Returns false (state unchanged or cleared) on
-  /// malformed input or geometry mismatch.
+  /// malformed input, geometry mismatch, or a checkpoint written under an
+  /// incompatible format/hash scheme — including v1 "QFST" checkpoints
+  /// from the modulo-era BucketOf, whose entries cannot be relocated to
+  /// their fast-range buckets because only fingerprints are stored.
   bool RestoreState(const std::vector<uint8_t>& bytes) {
     ByteReader reader(bytes);
     uint32_t magic = 0;
@@ -296,7 +299,11 @@ class QuantileFilter {
   }
 
  private:
-  static constexpr uint32_t kStateMagic = 0x51465354;  // "QFST"
+  // Checkpoint format id. v2 ("QFS2") added the key-mapping scheme tag to
+  // the candidate payload when BucketOf moved from `%` to FastRange64; the
+  // v1 magic 0x51465354 ("QFST") identifies modulo-era checkpoints, which
+  // RestoreState rejects.
+  static constexpr uint32_t kStateMagic = 0x51465332;  // "QFS2"
 
   /// The per-item state machine (Algorithm 1 + candidate election), shared
   /// verbatim by Insert and the InsertBatch drain stage.

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/serialize.h"
 #include "core/quantile_filter.h"
 
 namespace qf {
@@ -46,7 +47,8 @@ class ShardedQuantileFilter {
 
   /// The shard index that owns `key`. Fast-range reduction of a dedicated
   /// hash: pure, lock-free and division-free, so dispatchers can call it
-  /// per item.
+  /// per item. The mapping is stamped by kKeyMappingScheme in serialized
+  /// state — changing it invalidates persisted per-shard partitions.
   int ShardFor(uint64_t key) const {
     return static_cast<int>(FastRange64(
         HashKey(key, 0x5A4DULL), static_cast<uint64_t>(num_shards_)));
@@ -78,6 +80,46 @@ class ShardedQuantileFilter {
     return bytes;
   }
 
+  /// Checkpoints all shards. The header records the key->shard mapping
+  /// scheme (kKeyMappingScheme) and the shard count, because the per-shard
+  /// payloads are only meaningful under the exact ShardFor partition that
+  /// produced them: restored into a different mapping, every key would be
+  /// looked up in the wrong shard.
+  std::vector<uint8_t> SerializeState() const {
+    std::vector<uint8_t> out;
+    AppendPod(kShardedMagic, &out);
+    AppendPod(kKeyMappingScheme, &out);
+    AppendPod(static_cast<uint32_t>(num_shards_), &out);
+    for (const auto& shard : shards_) {
+      AppendVector(shard->SerializeState(), &out);
+    }
+    return out;
+  }
+
+  /// Restores state saved by SerializeState into a sharded filter built
+  /// with the same options and shard count. Returns false on malformed
+  /// input or a mapping-scheme/shard-count mismatch; a failure mid-restore
+  /// resets all shards so no half-restored partition survives.
+  bool RestoreState(const std::vector<uint8_t>& bytes) {
+    ByteReader reader(bytes);
+    uint32_t magic = 0, scheme = 0, shards = 0;
+    if (!reader.Read(&magic) || magic != kShardedMagic) return false;
+    if (!reader.Read(&scheme) || scheme != kKeyMappingScheme) return false;
+    if (!reader.Read(&shards) ||
+        static_cast<int>(shards) != num_shards_) {
+      return false;
+    }
+    for (int s = 0; s < num_shards_; ++s) {
+      std::vector<uint8_t> shard_bytes;
+      if (!reader.ReadVector(&shard_bytes) ||
+          !shards_[s]->RestoreState(shard_bytes)) {
+        Reset();  // earlier shards may already hold restored state
+        return false;
+      }
+    }
+    return true;
+  }
+
   /// Sum of per-shard statistics.
   typename Filter::Stats AggregateStats() const {
     typename Filter::Stats total;
@@ -94,6 +136,8 @@ class ShardedQuantileFilter {
   }
 
  private:
+  static constexpr uint32_t kShardedMagic = 0x51534832;  // "QSH2"
+
   int num_shards_;
   std::vector<std::unique_ptr<Filter>> shards_;
 };

@@ -24,12 +24,22 @@
 //
 // Shutdown: Stop() flushes partial batches, raises `done` (release), and
 // workers drain their rings to empty before exiting — no items are lost.
+//
+// Threading contract (enforced with assert() in debug builds):
+//   - Push/Flush may be called only between Start() and Stop(), and only
+//     from one dispatcher thread at a time. The first Push claims
+//     dispatcher ownership; Flush() releases it after shipping.
+//   - Stop() flushes internally, so it must run either on the dispatcher
+//     thread, or on another thread only after the dispatcher thread has
+//     called Flush() and been joined (RunTrace follows this protocol).
+//     Anything else makes the caller a second producer on the SPSC rings.
 
 #ifndef QUANTILEFILTER_PARALLEL_PIPELINE_H_
 #define QUANTILEFILTER_PARALLEL_PIPELINE_H_
 
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -94,18 +104,23 @@ class IngestPipeline {
 
   /// Spawns one worker thread per shard. Idempotent.
   void Start() {
-    if (running_) return;
+    if (running_.load(std::memory_order_relaxed)) return;
     done_.store(false, std::memory_order_relaxed);
     threads_.reserve(workers_.size());
     for (size_t s = 0; s < workers_.size(); ++s) {
       threads_.emplace_back([this, s] { WorkerLoop(static_cast<int>(s)); });
     }
-    running_ = true;
+    running_.store(true, std::memory_order_release);
   }
 
   /// Dispatches one item to its shard's staging batch. Single-producer:
-  /// call from exactly one thread (the dispatcher).
+  /// call from exactly one thread (the dispatcher), and only while the
+  /// pipeline is running — otherwise no worker drains the rings and a full
+  /// ring would spin the producer forever.
   void Push(uint64_t key, double value) {
+    assert(running_.load(std::memory_order_relaxed) &&
+           "IngestPipeline::Push outside Start()/Stop()");
+    ClaimDispatcher();
     const int s = filter_->ShardFor(key);
     ItemBatch& batch = staging_[static_cast<size_t>(s)];
     batch.items[batch.count++] = Item{key, value};
@@ -114,32 +129,44 @@ class IngestPipeline {
   }
   void Push(const Item& item) { Push(item.key, item.value); }
 
-  /// Ships all partially-filled staging batches (call-side flush; Stop()
-  /// does this automatically).
+  /// Ships all partially-filled staging batches and releases dispatcher
+  /// ownership, so a dispatcher thread that is done pushing should call
+  /// Flush() before handing the pipeline to another thread (which may then
+  /// Push or Stop). Must run while the pipeline is running.
   void Flush() {
+    assert(running_.load(std::memory_order_relaxed) &&
+           "IngestPipeline::Flush outside Start()/Stop()");
+    ClaimDispatcher();
     for (size_t s = 0; s < staging_.size(); ++s) {
       ShipBatch(static_cast<int>(s));
     }
+    ReleaseDispatcher();
   }
 
-  /// Flushes, signals shutdown and joins all workers. After Stop() the
+  /// Flushes, signals shutdown and joins all workers. Because of the
+  /// internal Flush, Stop() must run on the dispatcher thread, or on
+  /// another thread only after the dispatcher has called Flush() and been
+  /// joined (see the threading contract above). After Stop() the
   /// underlying sharded filter and all counters are safe to read from the
   /// calling thread. Idempotent.
   void Stop() {
-    if (!running_) return;
+    if (!running_.load(std::memory_order_relaxed)) return;
     Flush();
     done_.store(true, std::memory_order_release);
     for (std::thread& t : threads_) t.join();
     threads_.clear();
-    running_ = false;
+    running_.store(false, std::memory_order_relaxed);
   }
 
   /// Convenience harness: Start(), feed `items` from a dedicated dispatcher
-  /// thread, then Stop(). Returns the total number of reports.
+  /// thread, then Stop(). Returns the total number of reports. The
+  /// dispatcher flushes and is joined before Stop() runs on this thread,
+  /// satisfying the threading contract.
   uint64_t RunTrace(std::span<const Item> items) {
     Start();
     std::thread dispatcher([this, items] {
       for (const Item& item : items) Push(item);
+      Flush();  // ship partial batches and release dispatcher ownership
     });
     dispatcher.join();
     Stop();
@@ -185,6 +212,27 @@ class IngestPipeline {
     uint64_t reports = 0;
     std::vector<uint64_t> reported_keys;
   };
+
+  /// Claims dispatcher ownership for the calling thread, or asserts that
+  /// this thread already holds it. The CAS/store pair also publishes the
+  /// claimer's prior writes to staging_ to the next claimer (handoff
+  /// across Flush()).
+  void ClaimDispatcher() {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (!dispatcher_.compare_exchange_strong(expected, self,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+      assert(expected == self &&
+             "IngestPipeline: Push/Flush/Stop from a second thread while "
+             "another dispatcher owns the pipeline (single-producer "
+             "violation); the owner must Flush() first");
+      (void)expected;
+    }
+  }
+  void ReleaseDispatcher() {
+    dispatcher_.store(std::thread::id{}, std::memory_order_release);
+  }
 
   void ShipBatch(int s) {
     ItemBatch& batch = staging_[static_cast<size_t>(s)];
@@ -251,7 +299,10 @@ class IngestPipeline {
   std::vector<WorkerState> workers_;
   std::vector<std::thread> threads_;
   std::atomic<bool> done_{false};
-  bool running_ = false;
+  std::atomic<bool> running_{false};
+  // Id of the thread currently holding the dispatcher role (empty id when
+  // unclaimed); used to assert the single-producer contract.
+  std::atomic<std::thread::id> dispatcher_{};
 };
 
 }  // namespace qf

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/random.h"
 #include "core/quantile_filter.h"
+#include "core/sharded_filter.h"
 #include "sketch/count_min_sketch.h"
 #include "sketch/count_sketch.h"
 #include "stream/generators.h"
@@ -171,6 +174,78 @@ TEST(FilterSerializeTest, RestoreIntoDifferentGeometryFails) {
   small.memory_bytes = 32 * 1024;
   Filter b(small, Criteria());
   EXPECT_FALSE(b.RestoreState(state));
+}
+
+TEST(FilterSerializeTest, RestoreRejectsV1ModuloEraMagic) {
+  // Checkpoints written before the FastRange64 bucket mapping carry the v1
+  // "QFST" magic; their entries sit in modulo-derived buckets that the
+  // current BucketOf would never probe, so loading them silently would
+  // corrupt queries. They must be rejected at the header.
+  Filter a(MediumOptions(), Criteria());
+  a.Insert(42, 500.0);
+  const int64_t before = a.QueryQweight(42);
+  std::vector<uint8_t> state = a.SerializeState();
+  const uint32_t v1_magic = 0x51465354;  // "QFST"
+  std::memcpy(state.data(), &v1_magic, sizeof(v1_magic));
+  EXPECT_FALSE(a.RestoreState(state));
+  EXPECT_EQ(a.QueryQweight(42), before);  // untouched by the failed load
+}
+
+TEST(FilterSerializeTest, RestoreRejectsWrongKeyMappingScheme) {
+  // The candidate payload leads with kKeyMappingScheme; a stream stamped
+  // with a different key->bucket scheme must not restore.
+  Filter a(MediumOptions(), Criteria());
+  std::vector<uint8_t> state = a.SerializeState();
+  const uint32_t modulo_scheme = 1;
+  std::memcpy(state.data() + sizeof(uint32_t), &modulo_scheme,
+              sizeof(modulo_scheme));
+  EXPECT_FALSE(a.RestoreState(state));
+}
+
+using Sharded = ShardedQuantileFilter<CountSketch<int32_t>>;
+
+TEST(ShardedSerializeTest, StateRoundTrip) {
+  Criteria c(30, 0.95, 300);
+  Sharded a(MediumOptions(), c, 4);
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    a.Insert(rng.NextBounded(20000), rng.Bernoulli(0.1) ? 500.0 : 50.0);
+  }
+  std::vector<uint8_t> state = a.SerializeState();
+
+  Sharded b(MediumOptions(), c, 4);
+  ASSERT_TRUE(b.RestoreState(state));
+  for (uint64_t k = 0; k < 2000; ++k) {
+    EXPECT_EQ(a.QueryQweight(k), b.QueryQweight(k)) << "key " << k;
+  }
+}
+
+TEST(ShardedSerializeTest, RestoreRejectsShardCountMismatch) {
+  // A different shard count means a different key->shard partition; the
+  // persisted per-shard payloads would be resharded incorrectly.
+  Criteria c;
+  Sharded a(MediumOptions(), c, 4);
+  std::vector<uint8_t> state = a.SerializeState();
+  Sharded b(MediumOptions(), c, 8);
+  EXPECT_FALSE(b.RestoreState(state));
+}
+
+TEST(ShardedSerializeTest, RestoreRejectsWrongKeyMappingScheme) {
+  // Header layout: magic u32, scheme u32, shard count u32. A checkpoint
+  // stamped with the old modulo ShardFor scheme must be rejected.
+  Criteria c;
+  Sharded a(MediumOptions(), c, 4);
+  std::vector<uint8_t> state = a.SerializeState();
+  const uint32_t modulo_scheme = 1;
+  std::memcpy(state.data() + sizeof(uint32_t), &modulo_scheme,
+              sizeof(modulo_scheme));
+  EXPECT_FALSE(a.RestoreState(state));
+}
+
+TEST(ShardedSerializeTest, RestoreRejectsGarbage) {
+  Sharded a(MediumOptions(), Criteria(), 2);
+  EXPECT_FALSE(a.RestoreState({}));
+  EXPECT_FALSE(a.RestoreState({1, 2, 3, 4, 5, 6, 7, 8}));
 }
 
 }  // namespace
