@@ -1,0 +1,161 @@
+#include "testing/differential_harness.h"
+
+namespace qf::testing {
+namespace {
+
+constexpr const char* kFaultNames[kNumFaults] = {
+    "none",
+    "drop-batch-item",
+    "reorder-batch-splits",
+    "no-tag-reject",
+};
+
+/// The configuration matrix. Exact-regime configs keep the key universe
+/// small and memory generous enough that every key is candidate-resident
+/// and all criteria have integral positive weights, so the filter is
+/// semantically exact and the per-key oracles apply. Approx configs shrink
+/// memory and widen the universe so the vague part, candidate election and
+/// probabilistic rounding all run hot; there only bit-equivalence between
+/// the scalar, batch and pipeline drivers is asserted.
+std::vector<FuzzConfig> BuildConfigs() {
+  std::vector<FuzzConfig> configs;
+
+  configs.push_back(FuzzConfig{
+      /*name=*/"exact-fixed",
+      /*sketch=*/SketchKind::kCountSketch32,
+      /*memory_bytes=*/16 * 1024,
+      /*num_shards=*/2,
+      /*election=*/ElectionStrategy::kComparative,
+      /*key_universe=*/48,
+      /*exact_regime=*/true,
+      /*use_exact_detector=*/true,
+      /*allow_merge=*/false,
+      // weight +9, report threshold 50 — integral, so count-domain
+      // (ExactDetector) and weight-domain (filter) tests coincide.
+      /*criteria=*/{Criteria(5.0, 0.9, 100.0)},
+      /*value_levels=*/{10.0, 90.0, 150.0, 600.0},
+  });
+
+  configs.push_back(FuzzConfig{
+      /*name=*/"exact-multicriteria",
+      /*sketch=*/SketchKind::kCountSketch32,
+      /*memory_bytes=*/16 * 1024,
+      /*num_shards=*/3,
+      /*election=*/ElectionStrategy::kComparative,
+      /*key_universe=*/40,
+      /*exact_regime=*/true,
+      /*use_exact_detector=*/false,  // mixed criteria: integer model only
+      /*allow_merge=*/false,
+      // all integral: +9/50, +19/600, +9/100
+      /*criteria=*/
+      {Criteria(5.0, 0.9, 100.0), Criteria(30.0, 0.95, 300.0),
+       Criteria(10.0, 0.9, 50.0)},
+      /*value_levels=*/{10.0, 60.0, 150.0, 400.0},
+  });
+
+  configs.push_back(FuzzConfig{
+      /*name=*/"approx-frac-rounding",
+      /*sketch=*/SketchKind::kCountSketch16,
+      /*memory_bytes=*/8 * 1024,
+      /*num_shards=*/2,
+      /*election=*/ElectionStrategy::kComparative,
+      /*key_universe=*/4096,
+      /*exact_regime=*/false,
+      /*use_exact_detector=*/false,
+      /*allow_merge=*/true,
+      // fractional positive weights: the probabilistic-rounding RNG path
+      // runs on every abnormal item, so batch/scalar RNG lockstep is tested.
+      /*criteria=*/{Criteria(2.0, 0.7, 100.0), Criteria(4.0, 0.65, 200.0)},
+      /*value_levels=*/{10.0, 150.0, 250.0, 600.0},
+  });
+
+  configs.push_back(FuzzConfig{
+      /*name=*/"approx-probabilistic",
+      /*sketch=*/SketchKind::kCountSketch32,
+      /*memory_bytes=*/4 * 1024,
+      /*num_shards=*/4,
+      /*election=*/ElectionStrategy::kProbabilistic,
+      /*key_universe=*/8192,
+      /*exact_regime=*/false,
+      /*use_exact_detector=*/false,
+      /*allow_merge=*/true,
+      /*criteria=*/{Criteria(30.0, 0.95, 300.0)},
+      /*value_levels=*/{10.0, 200.0, 350.0, 900.0},
+  });
+
+  configs.push_back(FuzzConfig{
+      /*name=*/"approx-decay-countmin",
+      /*sketch=*/SketchKind::kCountMin16,
+      /*memory_bytes=*/8 * 1024,
+      /*num_shards=*/3,
+      /*election=*/ElectionStrategy::kDecay,
+      /*key_universe=*/2048,
+      /*exact_regime=*/false,
+      /*use_exact_detector=*/false,
+      /*allow_merge=*/true,
+      /*criteria=*/{Criteria(5.0, 0.9, 100.0), Criteria(2.0, 0.7, 50.0)},
+      /*value_levels=*/{10.0, 80.0, 150.0, 500.0},
+  });
+
+  configs.push_back(FuzzConfig{
+      /*name=*/"approx-forceful-tiny",
+      /*sketch=*/SketchKind::kCountSketch16,
+      /*memory_bytes=*/2 * 1024,
+      /*num_shards=*/2,
+      /*election=*/ElectionStrategy::kForceful,
+      /*key_universe=*/65535,
+      /*exact_regime=*/false,
+      /*use_exact_detector=*/false,
+      /*allow_merge=*/true,
+      /*criteria=*/{Criteria(30.0, 0.95, 300.0)},
+      /*value_levels=*/{10.0, 250.0, 400.0, 800.0},
+  });
+
+  return configs;
+}
+
+}  // namespace
+
+const char* FaultName(Fault fault) {
+  const uint32_t i = static_cast<uint32_t>(fault);
+  return i < kNumFaults ? kFaultNames[i] : "?";
+}
+
+bool ParseFault(std::string_view name, Fault* out) {
+  for (uint32_t i = 0; i < kNumFaults; ++i) {
+    if (name == kFaultNames[i]) {
+      *out = static_cast<Fault>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<FuzzConfig>& FuzzConfigs() {
+  static const std::vector<FuzzConfig> configs = BuildConfigs();
+  return configs;
+}
+
+FuzzResult RunFuzzCase(const FuzzConfig& config, Fault fault,
+                       uint64_t harness_seed, const std::vector<Op>& ops) {
+  switch (config.sketch) {
+    case SketchKind::kCountSketch32:
+      return internal::DifferentialHarness<CountSketch<int32_t>>(
+                 config, fault, harness_seed)
+          .Run(ops);
+    case SketchKind::kCountSketch16:
+      return internal::DifferentialHarness<CountSketch<int16_t>>(
+                 config, fault, harness_seed)
+          .Run(ops);
+    case SketchKind::kCountMin16:
+      return internal::DifferentialHarness<CountMinSketch<int16_t>>(
+                 config, fault, harness_seed)
+          .Run(ops);
+  }
+  FuzzResult result;
+  result.failed = true;
+  result.message = "unknown sketch kind in FuzzConfig";
+  return result;
+}
+
+}  // namespace qf::testing

@@ -1,0 +1,76 @@
+#include "testing/minimizer.h"
+
+#include <algorithm>
+
+namespace qf::testing {
+
+std::vector<Op> MinimizeOps(
+    const std::vector<Op>& ops,
+    const std::function<bool(const std::vector<Op>&)>& still_fails,
+    size_t max_evals, MinimizeStats* stats) {
+  MinimizeStats local;
+  local.initial_ops = ops.size();
+  std::vector<Op> current = ops;
+
+  const auto fails = [&](const std::vector<Op>& candidate) {
+    ++local.predicate_evals;
+    return still_fails(candidate);
+  };
+
+  // Fast head-truncation first: the harness reports the failing op index as
+  // part of its result, but even without it, binary-searching the shortest
+  // failing prefix discards the tail in O(log n) evals before ddmin runs.
+  {
+    size_t lo = 1, hi = current.size();
+    while (lo < hi && local.predicate_evals < max_evals) {
+      const size_t mid = lo + (hi - lo) / 2;
+      std::vector<Op> prefix(current.begin(),
+                             current.begin() + static_cast<ptrdiff_t>(mid));
+      if (fails(prefix)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    if (hi < current.size()) {
+      current.resize(hi);
+    }
+  }
+
+  // Classic ddmin: remove chunks of size ~n/granularity; on success stay at
+  // the same granularity, otherwise refine until chunks are single ops.
+  size_t granularity = 2;
+  while (current.size() >= 2 && local.predicate_evals < max_evals) {
+    const size_t chunk =
+        std::max<size_t>(1, (current.size() + granularity - 1) / granularity);
+    bool reduced = false;
+    size_t start = 0;
+    while (start < current.size() && local.predicate_evals < max_evals) {
+      std::vector<Op> candidate;
+      candidate.reserve(current.size());
+      candidate.insert(candidate.end(), current.begin(),
+                       current.begin() + static_cast<ptrdiff_t>(start));
+      const size_t end = std::min(start + chunk, current.size());
+      candidate.insert(candidate.end(),
+                       current.begin() + static_cast<ptrdiff_t>(end),
+                       current.end());
+      if (!candidate.empty() && fails(candidate)) {
+        current = std::move(candidate);
+        reduced = true;
+        // The next untried chunk now begins at `start`; do not advance.
+      } else {
+        start += chunk;
+      }
+    }
+    if (!reduced) {
+      if (chunk == 1) break;  // 1-minimal
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+
+  local.final_ops = current.size();
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+}  // namespace qf::testing

@@ -1,0 +1,38 @@
+// Delta-debugging op-stream minimization (ddmin, Zeller & Hildebrandt).
+//
+// Given a failing op sequence and a predicate "does this subsequence still
+// fail?", repeatedly removes chunks of shrinking size while the failure
+// persists. The predicate must be deterministic — the harness guarantees
+// this because all auxiliary randomness derives from the harness seed, not
+// from the ops — so the returned sequence is 1-minimal up to the eval
+// budget: within budget, removing any single remaining op makes the failure
+// disappear.
+
+#ifndef QUANTILEFILTER_TESTING_MINIMIZER_H_
+#define QUANTILEFILTER_TESTING_MINIMIZER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "testing/op_stream.h"
+
+namespace qf::testing {
+
+struct MinimizeStats {
+  size_t predicate_evals = 0;
+  size_t initial_ops = 0;
+  size_t final_ops = 0;
+};
+
+/// Shrinks `ops` (which must satisfy `still_fails`) to a smaller failing
+/// subsequence. `max_evals` caps predicate invocations so minimization of
+/// very long schedules stays bounded; the result always still fails.
+std::vector<Op> MinimizeOps(
+    const std::vector<Op>& ops,
+    const std::function<bool(const std::vector<Op>&)>& still_fails,
+    size_t max_evals = 800, MinimizeStats* stats = nullptr);
+
+}  // namespace qf::testing
+
+#endif  // QUANTILEFILTER_TESTING_MINIMIZER_H_

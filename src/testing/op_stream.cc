@@ -1,0 +1,191 @@
+#include "testing/op_stream.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace qf::testing {
+namespace {
+
+// Selector-byte partition of [0, 256). Insert dominates so streams look like
+// real ingest; structural ops (reset, checkpoint) stay rare enough that
+// checkpoint work does not swamp the run. Kept in one table so the decoder,
+// the canonical re-encoder and the documentation cannot drift apart.
+struct KindRange {
+  OpKind kind;
+  uint8_t first;  // inclusive
+  uint8_t last;   // inclusive
+};
+
+constexpr KindRange kKindTable[] = {
+    {OpKind::kInsert, 0, 169},           // 170/256
+    {OpKind::kFlush, 170, 184},          // 15/256
+    {OpKind::kQuery, 185, 209},          // 25/256
+    {OpKind::kDelete, 210, 221},         // 12/256
+    {OpKind::kCriteriaChange, 222, 231}, // 10/256
+    {OpKind::kMerge, 232, 241},          // 10/256
+    {OpKind::kReset, 242, 244},          // 3/256
+    {OpKind::kCheckpoint, 245, 255},     // 11/256
+};
+
+OpKind KindOfSelector(uint8_t sel) {
+  for (const KindRange& r : kKindTable) {
+    if (sel >= r.first && sel <= r.last) return r.kind;
+  }
+  return OpKind::kInsert;  // unreachable: the table covers [0, 255]
+}
+
+uint8_t CanonicalSelector(OpKind kind) {
+  for (const KindRange& r : kKindTable) {
+    if (r.kind == kind) return r.first;
+  }
+  return 0;
+}
+
+constexpr const char* kOpKindNames[kNumOpKinds] = {
+    "insert", "flush", "query",  "delete",
+    "criteria", "merge", "reset", "checkpoint",
+};
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  const int i = static_cast<int>(kind);
+  return (i >= 0 && i < kNumOpKinds) ? kOpKindNames[i] : "?";
+}
+
+bool ParseOpKind(const std::string& name, OpKind* out) {
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    if (name == kOpKindNames[i]) {
+      *out = static_cast<OpKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Op> DecodeOps(const uint8_t* data, size_t size) {
+  std::vector<Op> ops;
+  ops.reserve(size / kOpWireBytes);
+  for (size_t pos = 0; pos + kOpWireBytes <= size; pos += kOpWireBytes) {
+    Op op;
+    op.kind = KindOfSelector(data[pos]);
+    op.key = static_cast<uint16_t>(data[pos + 1] |
+                                   (static_cast<uint16_t>(data[pos + 2]) << 8));
+    op.value_sel = data[pos + 3];
+    op.aux = data[pos + 4];
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+std::vector<Op> DecodeOps(const std::vector<uint8_t>& bytes) {
+  return DecodeOps(bytes.data(), bytes.size());
+}
+
+std::vector<uint8_t> EncodeOps(const std::vector<Op>& ops) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(ops.size() * kOpWireBytes);
+  for (const Op& op : ops) {
+    bytes.push_back(CanonicalSelector(op.kind));
+    bytes.push_back(static_cast<uint8_t>(op.key & 0xFF));
+    bytes.push_back(static_cast<uint8_t>(op.key >> 8));
+    bytes.push_back(op.value_sel);
+    bytes.push_back(op.aux);
+  }
+  return bytes;
+}
+
+std::vector<uint8_t> GenerateOpBytes(uint64_t seed, size_t num_ops) {
+  Rng rng(Mix64(seed ^ 0x0F5EC0DEULL));
+  std::vector<uint8_t> bytes;
+  bytes.reserve(num_ops * kOpWireBytes);
+  for (size_t i = 0; i < num_ops; ++i) {
+    uint64_t word = rng.Next();
+    for (size_t b = 0; b < kOpWireBytes; ++b) {
+      bytes.push_back(static_cast<uint8_t>(word & 0xFF));
+      word >>= 8;
+    }
+  }
+  return bytes;
+}
+
+uint64_t ScheduleHash(const std::vector<uint8_t>& bytes) {
+  return HashBytes(bytes.data(), bytes.size(), 0x0F5EEDULL);
+}
+
+std::string FormatCorpus(const CorpusCase& c) {
+  std::ostringstream out;
+  out << "# qf_fuzz corpus v1\n";
+  out << "config " << c.config << "\n";
+  out << "fault " << c.fault << "\n";
+  char seed[32];
+  std::snprintf(seed, sizeof(seed), "%016llx",
+                static_cast<unsigned long long>(c.harness_seed));
+  out << "harness_seed " << seed << "\n";
+  for (const Op& op : c.ops) {
+    out << "op " << OpKindName(op.kind) << " " << op.key << " "
+        << static_cast<unsigned>(op.value_sel) << " "
+        << static_cast<unsigned>(op.aux) << "\n";
+  }
+  return out.str();
+}
+
+bool ParseCorpus(const std::string& text, CorpusCase* out) {
+  CorpusCase c;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "config") {
+      fields >> c.config;
+      saw_header = true;
+    } else if (tag == "fault") {
+      fields >> c.fault;
+    } else if (tag == "harness_seed") {
+      std::string hex;
+      fields >> hex;
+      c.harness_seed = std::strtoull(hex.c_str(), nullptr, 16);
+    } else if (tag == "op") {
+      std::string kind;
+      unsigned key = 0, value_sel = 0, aux = 0;
+      fields >> kind >> key >> value_sel >> aux;
+      Op op;
+      if (!ParseOpKind(kind, &op.kind)) return false;
+      op.key = static_cast<uint16_t>(key);
+      op.value_sel = static_cast<uint8_t>(value_sel);
+      op.aux = static_cast<uint8_t>(aux);
+      c.ops.push_back(op);
+    } else {
+      return false;
+    }
+  }
+  if (!saw_header) return false;
+  *out = c;
+  return true;
+}
+
+bool WriteCorpusFile(const std::string& path, const CorpusCase& c) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << FormatCorpus(c);
+  return static_cast<bool>(out);
+}
+
+bool ReadCorpusFile(const std::string& path, CorpusCase* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseCorpus(text.str(), out);
+}
+
+}  // namespace qf::testing

@@ -1,0 +1,93 @@
+// Operation-stream model for the differential fuzzing harness.
+//
+// A fuzz case is a flat byte string decoded into a sequence of detector
+// operations (insert / flush-with-splits / query / delete / criteria change /
+// merge / reset / checkpoint). The decoder is total: EVERY byte string decodes
+// to a valid op sequence, which lets one decoder serve both front ends:
+//
+//   * seeded mode  — GenerateOpBytes(seed, n) emits n*kOpWireBytes uniform
+//     PRNG bytes; DecodeOps turns them into ops. A (seed, n) pair therefore
+//     fully determines the schedule, and ScheduleHash over the bytes is the
+//     integrity stamp carried in replay tokens.
+//   * libFuzzer    — LLVMFuzzerTestOneInput hands its raw input to the same
+//     DecodeOps, so corpus entries and seeded replays share one format.
+//
+// Op kinds are drawn from a fixed 256-way selector table (weights chosen so
+// insert dominates, structural ops are rare), so the *distribution* of ops is
+// a property of the decoder, not of the generator.
+
+#ifndef QUANTILEFILTER_TESTING_OP_STREAM_H_
+#define QUANTILEFILTER_TESTING_OP_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qf::testing {
+
+enum class OpKind : uint8_t {
+  kInsert = 0,          // insert (key, value) under the current criteria
+  kFlush,               // drain the batch buffer through InsertBatch splits
+  kQuery,               // compare QueryQweight across all tracks
+  kDelete,              // delete a key on every track that supports it
+  kCriteriaChange,      // switch the current criteria index (flushes first)
+  kMerge,               // MergeFrom a freshly built compatible donor filter
+  kReset,               // reset all tracks
+  kCheckpoint,          // compare reports/stats/serialized state; aux = depth
+};
+inline constexpr int kNumOpKinds = 8;
+
+const char* OpKindName(OpKind kind);
+bool ParseOpKind(const std::string& name, OpKind* out);
+
+struct Op {
+  OpKind kind = OpKind::kInsert;
+  uint16_t key = 0;      // reduced into the config's key universe at run time
+  uint8_t value_sel = 0; // selects a value level from the config's table
+  uint8_t aux = 0;       // splits / criteria index / checkpoint depth
+
+  friend bool operator==(const Op& a, const Op& b) {
+    return a.kind == b.kind && a.key == b.key && a.value_sel == b.value_sel &&
+           a.aux == b.aux;
+  }
+};
+
+/// Bytes per op on the wire: [kind selector, key lo, key hi, value_sel, aux].
+inline constexpr size_t kOpWireBytes = 5;
+
+/// Decodes a byte string into ops (any trailing partial record is dropped).
+/// Total: never fails, any input is a valid schedule.
+std::vector<Op> DecodeOps(const uint8_t* data, size_t size);
+std::vector<Op> DecodeOps(const std::vector<uint8_t>& bytes);
+
+/// Re-encodes ops using one canonical selector per kind. Decoding the result
+/// yields the same op sequence (DecodeOps(EncodeOps(ops)) == ops).
+std::vector<uint8_t> EncodeOps(const std::vector<Op>& ops);
+
+/// Deterministic schedule bytes for seeded fuzzing: `num_ops` wire records
+/// drawn from a PRNG seeded with `seed`.
+std::vector<uint8_t> GenerateOpBytes(uint64_t seed, size_t num_ops);
+
+/// Stable 64-bit hash of a schedule's wire bytes (the op-schedule hash
+/// embedded in replay tokens).
+uint64_t ScheduleHash(const std::vector<uint8_t>& bytes);
+
+/// Human-readable corpus files: a small header (config / fault / harness
+/// seed) followed by one op per line. Minimized reproducers are written in
+/// this form to tests/corpus/ so failures replay from source control.
+struct CorpusCase {
+  uint32_t config = 0;
+  uint32_t fault = 0;
+  uint64_t harness_seed = 0;
+  std::vector<Op> ops;
+};
+
+std::string FormatCorpus(const CorpusCase& c);
+bool ParseCorpus(const std::string& text, CorpusCase* out);
+bool WriteCorpusFile(const std::string& path, const CorpusCase& c);
+bool ReadCorpusFile(const std::string& path, CorpusCase* out);
+
+}  // namespace qf::testing
+
+#endif  // QUANTILEFILTER_TESTING_OP_STREAM_H_

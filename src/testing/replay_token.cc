@@ -1,0 +1,44 @@
+#include "testing/replay_token.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace qf::testing {
+
+std::string FormatToken(const ReplayToken& token) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "QF1:c%" PRIu32 ":f%" PRIu32 ":s%016" PRIx64 ":n%" PRIu64
+                ":h%016" PRIx64,
+                token.config, token.fault, token.seed, token.num_ops,
+                token.schedule_hash);
+  return buf;
+}
+
+bool ParseToken(std::string_view text, ReplayToken* out) {
+  ReplayToken token;
+  // Null-terminate for sscanf; tokens are short.
+  char buf[128];
+  if (text.size() >= sizeof(buf)) return false;
+  text.copy(buf, text.size());
+  buf[text.size()] = '\0';
+  int consumed = 0;
+  const int fields = std::sscanf(
+      buf, "QF1:c%" SCNu32 ":f%" SCNu32 ":s%" SCNx64 ":n%" SCNu64 ":h%" SCNx64
+      "%n",
+      &token.config, &token.fault, &token.seed, &token.num_ops,
+      &token.schedule_hash, &consumed);
+  if (fields != 5 || static_cast<size_t>(consumed) != text.size()) {
+    return false;
+  }
+  *out = token;
+  return true;
+}
+
+uint64_t HarnessSeedFor(uint64_t seed) {
+  return Mix64(seed ^ 0xA6E55EEDULL);
+}
+
+}  // namespace qf::testing

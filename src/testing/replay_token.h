@@ -1,0 +1,48 @@
+// Replay tokens: the single line a failing fuzz run prints, sufficient to
+// reproduce the failure bit-identically.
+//
+// A token names the config, injected fault, PRNG seed and op count that
+// regenerate the schedule, plus the op-schedule hash as an integrity stamp:
+// replay regenerates the bytes from the seed, and a hash mismatch means the
+// generator or decoder changed since the token was minted (the token is then
+// refused instead of silently replaying a different schedule).
+//
+// Format (all fields fixed-order, ':'-separated):
+//   QF1:c<config>:f<fault>:s<seed hex>:n<num_ops>:h<schedule hash hex>
+
+#ifndef QUANTILEFILTER_TESTING_REPLAY_TOKEN_H_
+#define QUANTILEFILTER_TESTING_REPLAY_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qf::testing {
+
+struct ReplayToken {
+  uint32_t config = 0;
+  uint32_t fault = 0;
+  uint64_t seed = 0;
+  uint64_t num_ops = 0;
+  uint64_t schedule_hash = 0;
+
+  friend bool operator==(const ReplayToken& a, const ReplayToken& b) {
+    return a.config == b.config && a.fault == b.fault && a.seed == b.seed &&
+           a.num_ops == b.num_ops && a.schedule_hash == b.schedule_hash;
+  }
+};
+
+std::string FormatToken(const ReplayToken& token);
+
+/// Parses a token string; returns false on any malformation.
+bool ParseToken(std::string_view text, ReplayToken* out);
+
+/// The harness seed a token implies (fixed derivation from the PRNG seed so
+/// that replays reproduce batch splits, donor streams and pipeline
+/// geometry; deliberately independent of the op bytes so minimized
+/// subsequences keep the same auxiliary randomness).
+uint64_t HarnessSeedFor(uint64_t seed);
+
+}  // namespace qf::testing
+
+#endif  // QUANTILEFILTER_TESTING_REPLAY_TOKEN_H_

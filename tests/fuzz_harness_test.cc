@@ -1,0 +1,274 @@
+// Unit tests for the differential fuzzing subsystem itself: replay-token
+// and corpus round-trips, decoder totality/determinism, ddmin minimization,
+// clean runs across the whole config matrix, and — the critical property —
+// that each injected fault is caught, shrinks to a small reproducer, and
+// replays identically from the corpus representation.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing/differential_harness.h"
+#include "testing/minimizer.h"
+#include "testing/op_stream.h"
+#include "testing/replay_token.h"
+
+namespace qf::testing {
+namespace {
+
+TEST(ReplayTokenTest, FormatParseRoundTrip) {
+  ReplayToken token;
+  token.config = 3;
+  token.fault = 1;
+  token.seed = 0xDEADBEEFCAFE1234ULL;
+  token.num_ops = 100000;
+  token.schedule_hash = 0x0123456789ABCDEFULL;
+  const std::string text = FormatToken(token);
+  EXPECT_EQ(text, "QF1:c3:f1:sdeadbeefcafe1234:n100000:h0123456789abcdef");
+  ReplayToken parsed;
+  ASSERT_TRUE(ParseToken(text, &parsed));
+  EXPECT_EQ(parsed, token);
+}
+
+TEST(ReplayTokenTest, RejectsMalformedTokens) {
+  ReplayToken out;
+  EXPECT_FALSE(ParseToken("", &out));
+  EXPECT_FALSE(ParseToken("QF1", &out));
+  EXPECT_FALSE(ParseToken("QF2:c0:f0:s0:n1:h0", &out));  // wrong version
+  EXPECT_FALSE(ParseToken("QF1:c0:f0:s0:n1", &out));     // missing hash
+  EXPECT_FALSE(ParseToken("QF1:c0:f0:sZZ:n1:h0", &out)); // bad hex
+  EXPECT_FALSE(
+      ParseToken("QF1:c0:f0:s0:n1:h0trailing-garbage", &out));
+}
+
+TEST(ReplayTokenTest, HarnessSeedIsIndependentOfOps) {
+  // The harness seed derives only from the PRNG seed — that independence is
+  // what keeps auxiliary randomness stable while the minimizer removes ops.
+  EXPECT_EQ(HarnessSeedFor(42), HarnessSeedFor(42));
+  EXPECT_NE(HarnessSeedFor(42), HarnessSeedFor(43));
+  EXPECT_NE(HarnessSeedFor(42), 42u);  // actually mixed
+}
+
+TEST(OpStreamTest, GenerationIsDeterministic) {
+  const auto a = GenerateOpBytes(7, 1000);
+  const auto b = GenerateOpBytes(7, 1000);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 1000 * kOpWireBytes);
+  EXPECT_EQ(ScheduleHash(a), ScheduleHash(b));
+  EXPECT_NE(GenerateOpBytes(8, 1000), a);
+}
+
+TEST(OpStreamTest, DecoderIsTotalAndDropsPartialTail) {
+  // Every byte string decodes; a trailing partial record is ignored.
+  std::vector<uint8_t> bytes(kOpWireBytes * 10 + 3);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  const std::vector<Op> ops = DecodeOps(bytes);
+  EXPECT_EQ(ops.size(), 10u);
+  EXPECT_EQ(DecodeOps(std::vector<uint8_t>{}).size(), 0u);
+}
+
+TEST(OpStreamTest, EveryKindIsReachableFromSomeSelector) {
+  std::vector<int> seen(kNumOpKinds, 0);
+  for (int selector = 0; selector < 256; ++selector) {
+    const std::vector<uint8_t> bytes = {static_cast<uint8_t>(selector), 1, 0,
+                                        0, 0};
+    const std::vector<Op> ops = DecodeOps(bytes);
+    ASSERT_EQ(ops.size(), 1u);
+    ++seen[static_cast<size_t>(ops[0].kind)];
+  }
+  for (int kind = 0; kind < kNumOpKinds; ++kind) {
+    EXPECT_GT(seen[kind], 0) << "selector table never yields kind " << kind;
+  }
+  // Inserts must dominate the distribution for the streams to be useful.
+  EXPECT_GT(seen[static_cast<size_t>(OpKind::kInsert)], 128);
+}
+
+TEST(OpStreamTest, EncodeDecodeRoundTrip) {
+  const std::vector<Op> ops = DecodeOps(GenerateOpBytes(99, 500));
+  ASSERT_EQ(ops.size(), 500u);
+  const std::vector<uint8_t> encoded = EncodeOps(ops);
+  EXPECT_EQ(DecodeOps(encoded), ops);
+}
+
+TEST(OpStreamTest, CorpusTextRoundTrip) {
+  CorpusCase original;
+  original.config = 2;
+  original.fault = 3;
+  original.harness_seed = 0xABCDEF0123456789ULL;
+  original.ops = DecodeOps(GenerateOpBytes(5, 40));
+  const std::string text = FormatCorpus(original);
+  CorpusCase parsed;
+  ASSERT_TRUE(ParseCorpus(text, &parsed));
+  EXPECT_EQ(parsed.config, original.config);
+  EXPECT_EQ(parsed.fault, original.fault);
+  EXPECT_EQ(parsed.harness_seed, original.harness_seed);
+  EXPECT_EQ(parsed.ops, original.ops);
+
+  CorpusCase bad;
+  EXPECT_FALSE(ParseCorpus("not a corpus file", &bad));
+  EXPECT_FALSE(ParseCorpus("", &bad));
+}
+
+TEST(OpStreamTest, CorpusFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qf_corpus_rt.qfops")
+          .string();
+  CorpusCase original;
+  original.config = 1;
+  original.harness_seed = 77;
+  original.ops = DecodeOps(GenerateOpBytes(6, 25));
+  ASSERT_TRUE(WriteCorpusFile(path, original));
+  CorpusCase loaded;
+  ASSERT_TRUE(ReadCorpusFile(path, &loaded));
+  EXPECT_EQ(loaded.ops, original.ops);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadCorpusFile(path, &loaded));
+}
+
+TEST(MinimizerTest, ShrinksToThePlantedCore) {
+  // Predicate: fails iff the sequence contains BOTH planted ops, in order.
+  const Op needle_a{OpKind::kInsert, 111, 0, 0};
+  const Op needle_b{OpKind::kReset, 222, 0, 0};
+  std::vector<Op> ops = DecodeOps(GenerateOpBytes(11, 400));
+  ops[37] = needle_a;
+  ops[290] = needle_b;
+  const auto fails = [&](const std::vector<Op>& seq) {
+    size_t i = 0;
+    for (const Op& op : seq) {
+      if (i == 0 && op == needle_a) i = 1;
+      else if (i == 1 && op == needle_b) i = 2;
+    }
+    return i == 2;
+  };
+  ASSERT_TRUE(fails(ops));
+  MinimizeStats stats;
+  const std::vector<Op> minimal = MinimizeOps(ops, fails, 2000, &stats);
+  EXPECT_EQ(minimal, (std::vector<Op>{needle_a, needle_b}));
+  EXPECT_EQ(stats.initial_ops, 400u);
+  EXPECT_EQ(stats.final_ops, 2u);
+}
+
+TEST(MinimizerTest, RespectsEvalBudgetAndStillFails) {
+  const Op needle{OpKind::kDelete, 7, 7, 7};
+  std::vector<Op> ops = DecodeOps(GenerateOpBytes(12, 600));
+  ops[555] = needle;
+  const auto fails = [&](const std::vector<Op>& seq) {
+    for (const Op& op : seq) {
+      if (op == needle) return true;
+    }
+    return false;
+  };
+  MinimizeStats stats;
+  const std::vector<Op> minimal = MinimizeOps(ops, fails, 10, &stats);
+  EXPECT_LE(stats.predicate_evals, 10u);
+  EXPECT_TRUE(fails(minimal));  // a budget cut never loses the failure
+}
+
+class FuzzConfigMatrix : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FuzzConfigMatrix, CleanRunAcrossSeeds) {
+  const FuzzConfig& config = FuzzConfigs()[GetParam()];
+  for (uint64_t seed = 100; seed < 103; ++seed) {
+    const std::vector<Op> ops = DecodeOps(GenerateOpBytes(seed, 3000));
+    const FuzzResult result =
+        RunFuzzCase(config, Fault::kNone, HarnessSeedFor(seed), ops);
+    EXPECT_FALSE(result.failed)
+        << config.name << " seed " << seed << ": op " << result.failing_op
+        << ": " << result.message;
+  }
+}
+
+TEST_P(FuzzConfigMatrix, RunIsDeterministic) {
+  const FuzzConfig& config = FuzzConfigs()[GetParam()];
+  const std::vector<Op> ops = DecodeOps(GenerateOpBytes(55, 2000));
+  const FuzzResult a =
+      RunFuzzCase(config, Fault::kNone, HarnessSeedFor(55), ops);
+  const FuzzResult b =
+      RunFuzzCase(config, Fault::kNone, HarnessSeedFor(55), ops);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.failing_op, b.failing_op);
+  EXPECT_EQ(a.message, b.message);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, FuzzConfigMatrix,
+                         ::testing::Range(size_t{0}, FuzzConfigs().size()),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return std::to_string(info.param);
+                         });
+
+/// End-to-end fault pipeline: inject -> detect -> minimize -> corpus
+/// round-trip -> replay still fails -> fault off -> same schedule is clean.
+void CheckFaultCaughtAndReplayable(size_t config_idx, Fault fault,
+                                   uint64_t seed) {
+  const FuzzConfig& config = FuzzConfigs()[config_idx];
+  const uint64_t harness_seed = HarnessSeedFor(seed);
+  const std::vector<Op> ops = DecodeOps(GenerateOpBytes(seed, 5000));
+
+  const FuzzResult broken = RunFuzzCase(config, fault, harness_seed, ops);
+  ASSERT_TRUE(broken.failed)
+      << FaultName(fault) << " was not detected on " << config.name;
+
+  MinimizeStats stats;
+  const std::vector<Op> minimal = MinimizeOps(
+      ops,
+      [&](const std::vector<Op>& seq) {
+        return RunFuzzCase(config, fault, harness_seed, seq).failed;
+      },
+      400, &stats);
+  EXPECT_LT(minimal.size(), ops.size() / 10)
+      << FaultName(fault) << " barely shrank: " << minimal.size();
+
+  // The minimal reproducer survives the corpus text representation.
+  CorpusCase corpus;
+  corpus.config = static_cast<uint32_t>(config_idx);
+  corpus.fault = static_cast<uint32_t>(fault);
+  corpus.harness_seed = harness_seed;
+  corpus.ops = minimal;
+  CorpusCase reloaded;
+  ASSERT_TRUE(ParseCorpus(FormatCorpus(corpus), &reloaded));
+  const FuzzResult replayed =
+      RunFuzzCase(FuzzConfigs()[reloaded.config],
+                  static_cast<Fault>(reloaded.fault), reloaded.harness_seed,
+                  reloaded.ops);
+  EXPECT_TRUE(replayed.failed) << "minimized reproducer no longer fails";
+
+  // Same schedule without the fault: clean (the harness blames the fault,
+  // not the schedule).
+  const FuzzResult clean =
+      RunFuzzCase(config, Fault::kNone, harness_seed, reloaded.ops);
+  EXPECT_FALSE(clean.failed)
+      << "op " << clean.failing_op << ": " << clean.message;
+}
+
+TEST(FaultInjectionTest, DroppedBatchItemIsCaught) {
+  CheckFaultCaughtAndReplayable(0, Fault::kDropBatchItem, 1);
+}
+
+TEST(FaultInjectionTest, ReorderedBatchSplitsAreCaught) {
+  CheckFaultCaughtAndReplayable(1, Fault::kReorderBatchSplits, 1);
+}
+
+TEST(FaultInjectionTest, RevertedSchemeTagGuardIsCaught) {
+  // Simulates reverting the QFS2 key-mapping-scheme rejection (the PR 1
+  // hardening): the "stale tag must be rejected" property must fire.
+  CheckFaultCaughtAndReplayable(0, Fault::kNoTagReject, 1);
+}
+
+TEST(FaultInjectionTest, FaultNamesRoundTrip) {
+  for (uint32_t f = 0; f < kNumFaults; ++f) {
+    const Fault fault = static_cast<Fault>(f);
+    Fault parsed;
+    ASSERT_TRUE(ParseFault(FaultName(fault), &parsed));
+    EXPECT_EQ(parsed, fault);
+  }
+  Fault out;
+  EXPECT_FALSE(ParseFault("no-such-fault", &out));
+}
+
+}  // namespace
+}  // namespace qf::testing

@@ -112,6 +112,42 @@ TEST(InsertBatchTest, EmptySpanIsANoOp) {
   EXPECT_EQ(filter.stats().items, 0u);
 }
 
+TEST(InsertBatchTest, EmptySpanBetweenBatchesLeavesStateUntouched) {
+  // Empty calls interleaved with real ones must not consume RNG state, touch
+  // stats, or perturb the serialized image relative to a run without them.
+  const Trace trace = MakeTrace(50'000);
+  const Criteria criteria(30, 0.93, 300);  // fractional weight: RNG is hot
+  Filter plain(SmallOptions(ElectionStrategy::kProbabilistic), criteria);
+  Filter interleaved(SmallOptions(ElectionStrategy::kProbabilistic), criteria);
+
+  const size_t chunk = 513;
+  for (size_t pos = 0; pos < trace.size(); pos += chunk) {
+    const size_t n = std::min(chunk, trace.size() - pos);
+    const std::span<const Item> span(trace.data() + pos, n);
+    plain.InsertBatch(span, criteria);
+    interleaved.InsertBatch(std::span<const Item>{}, criteria);
+    interleaved.InsertBatch(span, criteria);
+    interleaved.InsertBatch(std::span<const Item>{}, criteria);
+  }
+  ExpectStatsEqual(plain.stats(), interleaved.stats());
+  EXPECT_EQ(plain.SerializeState(), interleaved.SerializeState());
+}
+
+TEST(InsertBatchTest, SpansShorterThanPrefetchWindowMatchInsert) {
+  // Every span length from 1 up to past the 32-item prefetch window
+  // (kBatchWindow) must be bit-identical to scalar insertion — the
+  // sub-window lengths exercise the partial pre-hash tail exclusively.
+  static_assert(Filter::kBatchWindow == 32);
+  const Trace trace = MakeTrace(40'000);
+  const Criteria criteria(30, 0.93, 300);
+  for (const size_t len : {size_t{1}, size_t{2}, size_t{7}, size_t{31},
+                           size_t{32}, size_t{33}, size_t{40}}) {
+    SCOPED_TRACE(testing::Message() << "span length " << len);
+    CheckEquivalence(ElectionStrategy::kComparative, trace, criteria, len);
+    CheckEquivalence(ElectionStrategy::kProbabilistic, trace, criteria, len);
+  }
+}
+
 TEST(InsertBatchTest, SingleItemBatchesMatchInsert) {
   const Trace trace = MakeTrace(20'000);
   const Criteria criteria(30, 0.95, 300);

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 
+#include "common/hash.h"
 #include "common/random.h"
 #include "core/quantile_filter.h"
 #include "core/sharded_filter.h"
@@ -247,6 +249,77 @@ TEST(ShardedSerializeTest, RestoreRejectsGarbage) {
   EXPECT_FALSE(a.RestoreState({}));
   EXPECT_FALSE(a.RestoreState({1, 2, 3, 4, 5, 6, 7, 8}));
 }
+
+/// Property suite over randomized sharded payloads: for every shard count,
+/// a serialized state (a) round-trips into a matching receiver as a
+/// serialize->restore->serialize fixed point, (b) is rejected by receivers
+/// whose shard count or key-mapping scheme tag disagrees, and (c) a failed
+/// restore leaves the receiver's own state byte-identical.
+class ShardedRestoreProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedRestoreProperty, RandomizedPayloadsRoundTripOrReject) {
+  const int shards = GetParam();
+  const Criteria c(5, 0.9, 100);
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE(testing::Message()
+                 << "shards " << shards << ", payload seed " << seed);
+    Sharded source(MediumOptions(), c, shards);
+    Rng rng(seed);
+    const int items = 1000 + static_cast<int>(rng.NextBounded(9000));
+    for (int i = 0; i < items; ++i) {
+      source.Insert(rng.NextBounded(1 + rng.NextBounded(30000)),
+                    rng.Bernoulli(0.2) ? 500.0 : 50.0);
+    }
+    const std::vector<uint8_t> state = source.SerializeState();
+
+    // Round trip into a matching receiver is a serialization fixed point.
+    Sharded match(MediumOptions(), c, shards);
+    ASSERT_TRUE(match.RestoreState(state));
+    EXPECT_EQ(match.SerializeState(), state);
+
+    // Mismatched shard count: rejected, receiver state untouched.
+    Sharded more_shards(MediumOptions(), c, shards + 1);
+    const std::vector<uint8_t> before = more_shards.SerializeState();
+    EXPECT_FALSE(more_shards.RestoreState(state));
+    EXPECT_EQ(more_shards.SerializeState(), before);
+
+    // Forged shard-count header field: rejected even when the receiver's
+    // count matches the forged value (the payload vector disagrees).
+    std::vector<uint8_t> forged_count = state;
+    const uint32_t bogus = static_cast<uint32_t>(shards) + 1;
+    std::memcpy(forged_count.data() + 2 * sizeof(uint32_t), &bogus,
+                sizeof(bogus));
+    Sharded count_victim(MediumOptions(), c, shards + 1);
+    EXPECT_FALSE(count_victim.RestoreState(forged_count));
+
+    // Stale key-mapping scheme tag: rejected, receiver state untouched.
+    std::vector<uint8_t> forged_scheme = state;
+    const uint32_t stale = kKeyMappingScheme - 1;
+    std::memcpy(forged_scheme.data() + sizeof(uint32_t), &stale,
+                sizeof(stale));
+    const std::vector<uint8_t> match_before = match.SerializeState();
+    EXPECT_FALSE(match.RestoreState(forged_scheme));
+    EXPECT_EQ(match.SerializeState(), match_before);
+
+    // Truncations anywhere in the stream must fail, not crash.
+    for (const size_t keep :
+         {size_t{0}, sizeof(uint32_t), 3 * sizeof(uint32_t),
+          state.size() / 2, state.size() - 1}) {
+      std::vector<uint8_t> truncated(state.begin(),
+                                     state.begin() + static_cast<ptrdiff_t>(
+                                                         keep));
+      Sharded t(MediumOptions(), c, shards);
+      EXPECT_FALSE(t.RestoreState(truncated)) << "kept " << keep << " bytes";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedRestoreProperty,
+                         ::testing::Values(1, 2, 3, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Shards" +
+                                  std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace qf

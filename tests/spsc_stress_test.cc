@@ -1,0 +1,172 @@
+// SpscRing wraparound stress: the 64-bit head/tail indices are masked into
+// the storage array, so the interesting boundaries are exact-capacity fill,
+// the first index wrap, and sustained producer/consumer churn that crosses
+// the mask boundary thousands of times. The threaded tests are the primary
+// TSan target for the ring's release/acquire protocol (ctest label
+// `sanitizer`); the single-threaded ones pin down the boundary arithmetic
+// deterministically.
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/spsc_ring.h"
+
+namespace qf {
+namespace {
+
+TEST(SpscRingStressTest, CapacityRoundsDownToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(4).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(255).capacity(), 128u);
+  EXPECT_EQ(SpscRing<int>(256).capacity(), 256u);
+}
+
+TEST(SpscRingStressTest, FillToExactCapacityThenDrain) {
+  for (const size_t capacity : {size_t{2}, size_t{4}, size_t{8}, size_t{64}}) {
+    SCOPED_TRACE(testing::Message() << "capacity " << capacity);
+    SpscRing<uint64_t> ring(capacity);
+    for (uint64_t v = 0; v < capacity; ++v) {
+      EXPECT_TRUE(ring.TryPush(v));
+    }
+    // Exactly full: the next push must fail without clobbering anything.
+    EXPECT_FALSE(ring.TryPush(uint64_t{999}));
+    EXPECT_EQ(ring.SizeApprox(), capacity);
+    uint64_t out = 0;
+    for (uint64_t v = 0; v < capacity; ++v) {
+      ASSERT_TRUE(ring.TryPop(&out));
+      EXPECT_EQ(out, v);
+    }
+    EXPECT_FALSE(ring.TryPop(&out));
+    EXPECT_EQ(ring.SizeApprox(), 0u);
+  }
+}
+
+TEST(SpscRingStressTest, SingleThreadedWrapAtEveryOffset) {
+  // Keep the ring full, popping one and pushing one, so the head/tail pair
+  // crosses the mask boundary at every possible offset several times.
+  constexpr size_t kCapacity = 8;
+  SpscRing<uint64_t> ring(kCapacity);
+  uint64_t next = 0, expect = 0;
+  while (next < kCapacity) ASSERT_TRUE(ring.TryPush(next++));
+  for (int step = 0; step < 1000; ++step) {
+    uint64_t out = 0;
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, expect++);
+    ASSERT_TRUE(ring.TryPush(next++));
+    EXPECT_FALSE(ring.TryPush(uint64_t{999}));  // still exactly full
+  }
+}
+
+/// Two threads churn `total` items through a tiny ring; every item wraps the
+/// mask many times. Run under TSan this validates that the release store on
+/// one index paired with the acquire load on the other is the only
+/// synchronization the payload needs. Failed attempts yield: on a single
+/// hardware thread a raw spin burns its whole scheduler slice before the
+/// peer can make progress.
+void ProducerConsumerChurn(size_t min_capacity, uint64_t total) {
+  SpscRing<uint64_t> ring(min_capacity);
+  std::vector<uint64_t> received;
+  received.reserve(total);
+
+  std::thread consumer([&] {
+    uint64_t out = 0;
+    while (received.size() < total) {
+      if (ring.TryPop(&out)) {
+        received.push_back(out);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (uint64_t v = 0; v < total;) {
+    if (ring.TryPush(v)) {
+      ++v;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+
+  ASSERT_EQ(received.size(), total);
+  for (uint64_t v = 0; v < total; ++v) {
+    ASSERT_EQ(received[v], v) << "reordered or corrupted at index " << v;
+  }
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+}
+
+TEST(SpscRingStressTest, ThreadedChurnMinimumCapacity) {
+  // Capacity 2: nearly every push/pop pair races across the full/empty
+  // boundaries, the worst case for the cached-index fast path.
+  ProducerConsumerChurn(2, 100'000);
+}
+
+TEST(SpscRingStressTest, ThreadedChurnSmallCapacities) {
+  for (const size_t capacity : {size_t{4}, size_t{8}, size_t{16}}) {
+    SCOPED_TRACE(testing::Message() << "capacity " << capacity);
+    ProducerConsumerChurn(capacity, 50'000);
+  }
+}
+
+TEST(SpscRingStressTest, ThreadedBurstsAcrossEmptyAndFull) {
+  // The producer sends items in bursts with gaps, so the consumer repeatedly
+  // observes empty -> burst -> empty transitions instead of steady churn.
+  constexpr uint64_t kBursts = 512;
+  constexpr uint64_t kBurstLen = 64;  // 4x the ring: every burst fills it
+  SpscRing<uint64_t> ring(16);
+  std::vector<uint64_t> received;
+  received.reserve(kBursts * kBurstLen);
+
+  std::thread consumer([&] {
+    uint64_t out = 0;
+    while (received.size() < kBursts * kBurstLen) {
+      if (ring.TryPop(&out)) {
+        received.push_back(out);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  uint64_t v = 0;
+  for (uint64_t burst = 0; burst < kBursts; ++burst) {
+    for (uint64_t k = 0; k < kBurstLen;) {
+      if (ring.TryPush(v)) {
+        ++v;
+        ++k;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    // Let the consumer fully drain between bursts.
+    while (ring.SizeApprox() != 0) std::this_thread::yield();
+  }
+  consumer.join();
+
+  ASSERT_EQ(received.size(), kBursts * kBurstLen);
+  for (uint64_t i = 0; i < received.size(); ++i) {
+    ASSERT_EQ(received[i], i);
+  }
+}
+
+TEST(SpscRingStressTest, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<uint64_t>> ring(4);
+  for (uint64_t v = 0; v < 4; ++v) {
+    ASSERT_TRUE(ring.TryPush(std::make_unique<uint64_t>(v)));
+  }
+  EXPECT_FALSE(ring.TryPush(std::make_unique<uint64_t>(99)));
+  std::unique_ptr<uint64_t> out;
+  for (uint64_t v = 0; v < 4; ++v) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, v);
+  }
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,285 @@
+// qf_fuzz — differential fuzzing driver with deterministic replay.
+//
+// Modes:
+//   qf_fuzz [--seeds=N] [--seed-base=S] [--ops=N] [--config=I] [--fault=F]
+//       Run a seed matrix. Each seed regenerates a deterministic op schedule
+//       and drives the full differential ensemble (scalar / batch / sharded
+//       pipeline / oracles). On failure: prints a replay token, delta-debugs
+//       the schedule to a minimal reproducer, and writes it as a corpus file
+//       under --corpus-out. Exit code 1 iff any seed failed.
+//   qf_fuzz --replay=TOKEN
+//       Re-runs exactly the schedule a failure printed (validates the
+//       op-schedule hash before running).
+//   qf_fuzz --replay-file=PATH
+//       Re-runs a corpus file (a minimized reproducer).
+//   qf_fuzz --corpus=DIR
+//       Replays every *.qfops file in DIR (regression mode for checked-in
+//       reproducers; succeeds when the directory has none).
+//
+// Config selection: --config=I pins one config; otherwise config = seed %
+// #configs so a seed matrix covers the whole table. --list-configs prints it.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "testing/differential_harness.h"
+#include "testing/minimizer.h"
+#include "testing/op_stream.h"
+#include "testing/replay_token.h"
+
+namespace qf::testing {
+namespace {
+
+struct MatrixOptions {
+  uint64_t seed_base = 0;
+  uint64_t seeds = 8;
+  uint64_t num_ops = 100000;
+  int64_t config = -1;  // -1: derive from seed
+  Fault fault = Fault::kNone;
+  std::string corpus_out;
+  size_t minimize_evals = 800;
+};
+
+const FuzzConfig& ConfigFor(const MatrixOptions& options, uint64_t seed) {
+  const auto& configs = FuzzConfigs();
+  const size_t idx = options.config >= 0
+                         ? static_cast<size_t>(options.config)
+                         : static_cast<size_t>(seed % configs.size());
+  return configs[idx % configs.size()];
+}
+
+size_t ConfigIndex(const FuzzConfig& config) {
+  const auto& configs = FuzzConfigs();
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (&configs[i] == &config) return i;
+  }
+  return 0;
+}
+
+void PrintResult(const ReplayToken& token, const FuzzConfig& config,
+                 const FuzzResult& result) {
+  std::printf("FAIL %s\n", FormatToken(token).c_str());
+  std::printf("  config %zu (%s), fault %s\n", ConfigIndex(config),
+              config.name, FaultName(static_cast<Fault>(token.fault)));
+  std::printf("  op %zu: %s\n", result.failing_op, result.message.c_str());
+  std::printf("  replay: qf_fuzz --replay=%s\n", FormatToken(token).c_str());
+}
+
+/// Minimizes a failing schedule and writes the reproducer. Returns the
+/// corpus path (empty if writing was skipped/failed).
+std::string MinimizeAndSave(const MatrixOptions& options,
+                            const ReplayToken& token,
+                            const FuzzConfig& config,
+                            const std::vector<Op>& ops) {
+  const uint64_t harness_seed = HarnessSeedFor(token.seed);
+  const Fault fault = static_cast<Fault>(token.fault);
+  MinimizeStats stats;
+  const std::vector<Op> minimal = MinimizeOps(
+      ops,
+      [&](const std::vector<Op>& candidate) {
+        return RunFuzzCase(config, fault, harness_seed, candidate).failed;
+      },
+      options.minimize_evals, &stats);
+  std::printf("  minimized %zu -> %zu ops (%zu predicate evals)\n",
+              stats.initial_ops, stats.final_ops, stats.predicate_evals);
+  const FuzzResult minimal_result =
+      RunFuzzCase(config, fault, harness_seed, minimal);
+  std::printf("  minimal failure: op %zu: %s\n", minimal_result.failing_op,
+              minimal_result.message.c_str());
+
+  if (options.corpus_out.empty()) return {};
+  std::error_code ec;
+  std::filesystem::create_directories(options.corpus_out, ec);
+  CorpusCase corpus;
+  corpus.config = token.config;
+  corpus.fault = token.fault;
+  corpus.harness_seed = harness_seed;
+  corpus.ops = minimal;
+  char name[64];
+  std::snprintf(name, sizeof(name), "min_s%016" PRIx64 "_h%016" PRIx64
+                ".qfops", token.seed, token.schedule_hash);
+  const std::string path =
+      (std::filesystem::path(options.corpus_out) / name).string();
+  if (!WriteCorpusFile(path, corpus)) {
+    std::printf("  (failed to write corpus file %s)\n", path.c_str());
+    return {};
+  }
+  std::printf("  reproducer written: %s (replay with --replay-file)\n",
+              path.c_str());
+  return path;
+}
+
+int RunMatrix(const MatrixOptions& options) {
+  int failures = 0;
+  for (uint64_t s = 0; s < options.seeds; ++s) {
+    const uint64_t seed = options.seed_base + s;
+    const FuzzConfig& config = ConfigFor(options, seed);
+    const std::vector<uint8_t> bytes = GenerateOpBytes(seed, options.num_ops);
+    const std::vector<Op> ops = DecodeOps(bytes);
+    ReplayToken token;
+    token.config = static_cast<uint32_t>(ConfigIndex(config));
+    token.fault = static_cast<uint32_t>(options.fault);
+    token.seed = seed;
+    token.num_ops = options.num_ops;
+    token.schedule_hash = ScheduleHash(bytes);
+    const FuzzResult result =
+        RunFuzzCase(config, options.fault, HarnessSeedFor(seed), ops);
+    if (!result.failed) {
+      std::printf("ok   %s (config %u %s, %" PRIu64 " ops)\n",
+                  FormatToken(token).c_str(), token.config, config.name,
+                  options.num_ops);
+      continue;
+    }
+    ++failures;
+    PrintResult(token, config, result);
+    MinimizeAndSave(options, token, config, ops);
+  }
+  if (failures > 0) {
+    std::printf("%d of %" PRIu64 " seeds FAILED\n", failures, options.seeds);
+    return 1;
+  }
+  std::printf("all %" PRIu64 " seeds clean\n", options.seeds);
+  return 0;
+}
+
+int ReplayTokenMode(const std::string& text, Fault fault_override,
+                    bool has_fault_override) {
+  ReplayToken token;
+  if (!ParseToken(text, &token)) {
+    std::fprintf(stderr, "malformed replay token: %s\n", text.c_str());
+    return 2;
+  }
+  const auto& configs = FuzzConfigs();
+  if (token.config >= configs.size() || token.fault >= kNumFaults) {
+    std::fprintf(stderr, "token names an unknown config or fault\n");
+    return 2;
+  }
+  const std::vector<uint8_t> bytes =
+      GenerateOpBytes(token.seed, token.num_ops);
+  if (ScheduleHash(bytes) != token.schedule_hash) {
+    std::fprintf(stderr,
+                 "op-schedule hash mismatch: the generator/decoder changed "
+                 "since this token was minted; refusing to replay a "
+                 "different schedule\n");
+    return 2;
+  }
+  const Fault fault = has_fault_override ? fault_override
+                                         : static_cast<Fault>(token.fault);
+  const FuzzConfig& config = configs[token.config];
+  const FuzzResult result = RunFuzzCase(config, fault, HarnessSeedFor(token.seed),
+                                        DecodeOps(bytes));
+  if (result.failed) {
+    PrintResult(token, config, result);
+    return 1;
+  }
+  std::printf("replay clean: %s\n", FormatToken(token).c_str());
+  return 0;
+}
+
+int ReplayFile(const std::string& path) {
+  CorpusCase corpus;
+  if (!ReadCorpusFile(path, &corpus)) {
+    std::fprintf(stderr, "cannot read corpus file: %s\n", path.c_str());
+    return 2;
+  }
+  const auto& configs = FuzzConfigs();
+  if (corpus.config >= configs.size() || corpus.fault >= kNumFaults) {
+    std::fprintf(stderr, "corpus file names an unknown config or fault: %s\n",
+                 path.c_str());
+    return 2;
+  }
+  const FuzzResult result =
+      RunFuzzCase(configs[corpus.config], static_cast<Fault>(corpus.fault),
+                  corpus.harness_seed, corpus.ops);
+  if (result.failed) {
+    std::printf("FAIL %s\n  op %zu: %s\n", path.c_str(), result.failing_op,
+                result.message.c_str());
+    return 1;
+  }
+  std::printf("clean %s (%zu ops)\n", path.c_str(), corpus.ops.size());
+  return 0;
+}
+
+int ReplayCorpusDir(const std::string& dir) {
+  if (!std::filesystem::is_directory(dir)) {
+    std::printf("corpus directory %s does not exist; nothing to replay\n",
+                dir.c_str());
+    return 0;
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".qfops") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  int failures = 0;
+  for (const std::string& file : files) {
+    if (ReplayFile(file) != 0) ++failures;
+  }
+  std::printf("%zu corpus file(s), %d failure(s)\n", files.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.GetBool("list-configs", false)) {
+    const auto& configs = FuzzConfigs();
+    for (size_t i = 0; i < configs.size(); ++i) {
+      std::printf("%zu: %s (%zu bytes, %d shards, universe %u%s%s)\n", i,
+                  configs[i].name, configs[i].memory_bytes,
+                  configs[i].num_shards, configs[i].key_universe,
+                  configs[i].exact_regime ? ", exact" : "",
+                  configs[i].use_exact_detector ? "+oracle" : "");
+    }
+    return 0;
+  }
+
+  MatrixOptions options;
+  options.seed_base =
+      static_cast<uint64_t>(flags.GetInt("seed-base", 0));
+  options.seeds = static_cast<uint64_t>(flags.GetInt("seeds", 8));
+  options.num_ops = static_cast<uint64_t>(flags.GetInt("ops", 100000));
+  options.config = flags.GetInt("config", -1);
+  options.corpus_out = flags.GetString("corpus-out", "corpus");
+  options.minimize_evals =
+      static_cast<size_t>(flags.GetInt("minimize-evals", 800));
+  const std::string fault_name = flags.GetString("fault", "none");
+  bool has_fault = flags.Has("fault");
+  if (!ParseFault(fault_name, &options.fault)) {
+    std::fprintf(stderr,
+                 "unknown --fault=%s (none, drop-batch-item, "
+                 "reorder-batch-splits, no-tag-reject)\n",
+                 fault_name.c_str());
+    return 2;
+  }
+
+  const std::string replay = flags.GetString("replay", "");
+  const std::string replay_file = flags.GetString("replay-file", "");
+  const std::string corpus = flags.GetString("corpus", "");
+
+  const auto unknown = flags.UnqueriedFlags();
+  if (!unknown.empty()) {
+    for (const std::string& f : unknown) {
+      std::fprintf(stderr, "unknown flag: --%s\n", f.c_str());
+    }
+    return 2;
+  }
+
+  if (!replay.empty()) {
+    return ReplayTokenMode(replay, options.fault, has_fault);
+  }
+  if (!replay_file.empty()) return ReplayFile(replay_file);
+  if (!corpus.empty()) return ReplayCorpusDir(corpus);
+  return RunMatrix(options);
+}
+
+}  // namespace
+}  // namespace qf::testing
+
+int main(int argc, char** argv) { return qf::testing::Main(argc, argv); }

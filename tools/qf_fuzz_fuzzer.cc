@@ -1,0 +1,46 @@
+// libFuzzer entry point sharing the qf_fuzz op decoder.
+//
+// Built only with -DQF_FUZZER=ON under Clang (libFuzzer ships with Clang's
+// compiler-rt; GCC has no -fsanitize=fuzzer). The byte decoder is total, so
+// any libFuzzer-mutated input maps to a valid op schedule:
+//
+//   data[0] % #configs  -> differential config
+//   data[1..]           -> op stream (5-byte records, see op_stream.h)
+//
+// The harness seed is a constant: coverage-guided mutation explores the op
+// space, while replay determinism comes from the input bytes alone. A crash
+// artifact can be converted to a corpus reproducer by decoding it the same
+// way (the unit tests cover decoder/encoder round-trips).
+//
+// Usage:
+//   cmake --preset default -DQF_FUZZER=ON -DCMAKE_CXX_COMPILER=clang++
+//   ./build/tools/qf_fuzz_fuzzer -max_len=4096 tests/corpus/
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "testing/differential_harness.h"
+#include "testing/op_stream.h"
+
+namespace {
+// Arbitrary fixed seed; must stay stable so artifacts replay bit-identically.
+constexpr uint64_t kFuzzerHarnessSeed = 0xF0552EEDCAFEULL;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const auto& configs = qf::testing::FuzzConfigs();
+  const qf::testing::FuzzConfig& config = configs[data[0] % configs.size()];
+  const std::vector<qf::testing::Op> ops =
+      qf::testing::DecodeOps(data + 1, size - 1);
+  const qf::testing::FuzzResult result = qf::testing::RunFuzzCase(
+      config, qf::testing::Fault::kNone, kFuzzerHarnessSeed, ops);
+  if (result.failed) {
+    std::fprintf(stderr, "qf_fuzz_fuzzer: op %zu: %s\n", result.failing_op,
+                 result.message.c_str());
+    __builtin_trap();
+  }
+  return 0;
+}
