@@ -11,6 +11,7 @@
 #include "common/zipf.h"
 #include "core/naive_filter.h"
 #include "core/quantile_filter.h"
+#include "obs/instrument.h"
 #include "quantile/ddsketch.h"
 #include "quantile/gk.h"
 #include "quantile/kll.h"
@@ -59,6 +60,26 @@ void BM_QuantileFilterInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_QuantileFilterInsert)->Arg(1 << 16)->Arg(1 << 20);
+
+// QF_METRICS overhead gate: tools/check_metrics_overhead.sh builds this
+// benchmark twice (metrics ON and OFF), runs this fixture in both binaries
+// and asserts the per-insert delta stays under the 3% budget. The
+// `qf_metrics` counter lets the script verify each binary's actual mode
+// instead of trusting its own build flags.
+void BM_QuantileFilterInsertMetricsGate(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  DefaultQuantileFilter::Options o;
+  o.memory_bytes = 1 << 18;
+  DefaultQuantileFilter filter(o, Criteria(30, 0.95, 300));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Insert(w.keys[i], w.values[i]));
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["qf_metrics"] = QF_METRICS;
+}
+BENCHMARK(BM_QuantileFilterInsertMetricsGate);
 
 void BM_QuantileFilterQuery(benchmark::State& state) {
   const Workload& w = SharedWorkload();

@@ -12,6 +12,15 @@
 // bench_results/throughput_batch_mt.json (override with QF_BENCH_JSON) so
 // later PRs can track the perf trajectory. Pipeline numbers depend on real
 // core count; `hardware_threads` is recorded in the JSON for context.
+//
+// Observability flags (all optional; see DESIGN.md §10):
+//   --metrics-json=PATH        append one metrics snapshot per second as a
+//                              JSON line (tail with tools/qf_top --file=PATH)
+//   --metrics-prom=PATH        atomically rewrite Prometheus text exposition
+//   --metrics-interval-ms=N    sink poll interval (default 1000)
+//   --trace-json=PATH          record pipeline stage timing into the trace
+//                              ring and dump chrome://tracing JSON at exit
+// With QF_METRICS=OFF the sink still runs but sees an empty registry.
 
 #include <chrono>
 #include <cstdio>
@@ -21,8 +30,11 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/flags.h"
 #include "common/simd.h"
 #include "core/sharded_filter.h"
+#include "obs/sink.h"
+#include "obs/trace_ring.h"
 #include "parallel/pipeline.h"
 
 #include <thread>
@@ -149,7 +161,26 @@ void WriteJson(const std::vector<Measurement>& all, size_t items) {
   std::printf("json written to %s\n", path);
 }
 
-void Main() {
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const std::string metrics_json = flags.GetString("metrics-json", "");
+  const std::string metrics_prom = flags.GetString("metrics-prom", "");
+  const std::string trace_json = flags.GetString("trace-json", "");
+  const int interval_ms =
+      static_cast<int>(flags.GetInt("metrics-interval-ms", 1000));
+  const auto unknown = flags.UnqueriedFlags();
+  if (!unknown.empty()) {
+    for (const std::string& f : unknown) {
+      std::fprintf(stderr, "unknown flag: --%s\n", f.c_str());
+    }
+    return 2;
+  }
+
+  obs::MetricsSink sink(obs::MetricsRegistry::Global(),
+                        {metrics_json, metrics_prom, interval_ms});
+  if (!metrics_json.empty() || !metrics_prom.empty()) sink.Start();
+  if (!trace_json.empty()) obs::TraceRing::Global().Enable();
+
   const size_t items = ItemsFromEnv(2'000'000);
   std::vector<Measurement> all;
 
@@ -160,12 +191,24 @@ void Main() {
   Sweep("cloud", cloud, CloudCriteria(20000.0), &all);
 
   WriteJson(all, items);
+
+  sink.Stop();  // writes one final snapshot covering the whole run
+  if (!trace_json.empty()) {
+    obs::TraceRing& ring = obs::TraceRing::Global();
+    ring.Disable();  // pipelines are stopped: dump at quiescence
+    if (ring.DumpChromeJson(trace_json)) {
+      std::printf("trace written to %s (%zu events kept of %llu emitted)\n",
+                  trace_json.c_str(), ring.CountEntries(),
+                  static_cast<unsigned long long>(ring.TotalEmitted()));
+    } else {
+      std::printf("(trace output skipped: cannot write %s)\n",
+                  trace_json.c_str());
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace qf::bench
 
-int main() {
-  qf::bench::Main();
-  return 0;
-}
+int main(int argc, char** argv) { return qf::bench::Main(argc, argv); }

@@ -1,0 +1,30 @@
+// Cache-line padding utilities.
+//
+// Per-thread metric cells (obs/registry.h), SPSC ring indices and the
+// pipeline's worker state all rely on keeping hot words on private cache
+// lines so that independent writers never false-share. The constant and the
+// wrapper live here so every layer pads the same way.
+
+#ifndef QUANTILEFILTER_COMMON_PADDING_H_
+#define QUANTILEFILTER_COMMON_PADDING_H_
+
+#include <cstddef>
+
+namespace qf {
+
+/// Destructive-interference distance. 64 bytes covers x86-64 and most
+/// AArch64 parts; std::hardware_destructive_interference_size is not used
+/// because libstdc++ warns that its value is ABI-unstable.
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// Value wrapper that owns a full cache line. An array of Padded<T> gives
+/// each element its own line, so concurrent writers to distinct elements
+/// never contend.
+template <typename T>
+struct alignas(kCacheLineBytes) Padded {
+  T value{};
+};
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_COMMON_PADDING_H_

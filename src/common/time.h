@@ -1,0 +1,37 @@
+// Monotonic timestamping for the observability subsystem.
+//
+// Latency histograms and the trace ring need a cheap, monotonic, cross-
+// thread-comparable clock. steady_clock on Linux resolves to clock_gettime
+// (CLOCK_MONOTONIC) through the vDSO — ~20 ns per read, which is far below
+// the per-batch granularity at which the hot paths sample it (obs
+// instrumentation never timestamps per item).
+
+#ifndef QUANTILEFILTER_COMMON_TIME_H_
+#define QUANTILEFILTER_COMMON_TIME_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace qf {
+
+/// Nanoseconds on a monotonic clock with an arbitrary epoch. Values from
+/// different threads are mutually comparable.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Wall-clock nanoseconds since the Unix epoch (for snapshot timestamps;
+/// not monotonic, never used to compute durations).
+inline uint64_t WallNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_COMMON_TIME_H_

@@ -40,6 +40,7 @@
 #include "core/candidate_part.h"
 #include "core/criteria.h"
 #include "core/vague_part.h"
+#include "obs/instrument.h"
 #include "stream/item.h"
 
 namespace qf {
@@ -92,7 +93,10 @@ class QuantileFilter {
         candidate_(MakeCandidateOptions(options)),
         vague_(VagueBytes(options), options.vague_depth,
                Mix64(options.seed ^ 0xA60EULL)),
-        rng_(Mix64(options.seed ^ 0xD1CEULL)) {}
+        rng_(Mix64(options.seed ^ 0xD1CEULL)) {
+    QF_OBS(obs::FilterMetrics::Get().candidate_slots.Add(
+        candidate_.num_slots()));
+  }
 
   explicit QuantileFilter(const Options& options)
       : QuantileFilter(options, Criteria()) {}
@@ -241,7 +245,40 @@ class QuantileFilter {
     vague_.Clear();
   }
 
-  void ClearStats() { stats_ = Stats{}; }
+  /// Resets every Stats field to zero. Any deltas not yet published to the
+  /// global metrics counters are flushed first, so ClearStats never makes a
+  /// monotone `qf_filter_*_total` counter lose increments.
+  void ClearStats() {
+    FlushMetrics();
+    stats_ = Stats{};
+#if QF_METRICS
+    metrics_flushed_ = Stats{};
+#endif
+  }
+
+  /// Inserts between automatic metric flushes (power of two).
+  static constexpr uint64_t kMetricsFlushItems = 4096;
+
+  /// Publishes the per-instance Stats deltas accumulated since the last
+  /// flush into the global `qf_filter_*` counters, and drains the calling
+  /// thread's hot tallies (rounding/saturation events). Runs automatically
+  /// every kMetricsFlushItems inserts; call explicitly before taking a
+  /// snapshot that must include the newest items. No-op when QF_METRICS=0.
+  void FlushMetrics() {
+#if QF_METRICS
+    obs::FilterMetrics& m = obs::FilterMetrics::Get();
+    m.items.Add(stats_.items - metrics_flushed_.items);
+    m.reports.Add(stats_.reports - metrics_flushed_.reports);
+    m.candidate_hits.Add(stats_.candidate_hits -
+                         metrics_flushed_.candidate_hits);
+    m.admissions.Add(stats_.admissions - metrics_flushed_.admissions);
+    m.vague_inserts.Add(stats_.vague_inserts -
+                        metrics_flushed_.vague_inserts);
+    m.swaps.Add(stats_.swaps - metrics_flushed_.swaps);
+    metrics_flushed_ = stats_;
+    obs::DrainTally();
+#endif
+  }
 
   /// True iff `other` was constructed with structurally identical options
   /// (same budgets, geometry and seeds), so state can be merged/restored.
@@ -272,6 +309,10 @@ class QuantileFilter {
   }
 
   /// Checkpoint the full filter state (candidate slots + vague counters).
+  /// Stats are checkpoint-excluded by design: they are operational telemetry
+  /// of this process's run (feeding the qf_filter_* metrics), so a restored
+  /// filter reproduces detection behavior while its counters keep describing
+  /// the work this instance performed (tests/stats_reset_test.cc).
   std::vector<uint8_t> SerializeState() const {
     std::vector<uint8_t> out;
     AppendPod(kStateMagic, &out);
@@ -310,6 +351,12 @@ class QuantileFilter {
   bool InsertHashed(uint32_t fp, uint32_t bucket, bool abnormal,
                     const Criteria& criteria) {
     ++stats_.items;
+    // Metrics publish at batch granularity: one predictable branch per item
+    // here, atomics only once per kMetricsFlushItems (QF_METRICS=0 compiles
+    // this out entirely).
+    QF_OBS(if ((stats_.items & (kMetricsFlushItems - 1)) == 0) {
+      FlushMetrics();
+    });
 
     // Case 1: fingerprint already resident -> exact per-entry tracking.
     if (const int64_t slot = candidate_.Find(bucket, fp);
@@ -448,6 +495,11 @@ class QuantileFilter {
   VaguePart<SketchT> vague_;
   Rng rng_;
   Stats stats_;
+#if QF_METRICS
+  // Stats values already published to the global counters; the next flush
+  // adds only the delta, keeping the global totals exact and monotone.
+  Stats metrics_flushed_;
+#endif
 };
 
 /// The paper's default configuration: Count sketch vague part with 16-bit

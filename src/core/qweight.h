@@ -16,6 +16,7 @@
 
 #include "common/random.h"
 #include "core/criteria.h"
+#include "obs/instrument.h"
 
 namespace qf {
 
@@ -31,7 +32,13 @@ inline double ExactItemQweight(bool abnormal, const Criteria& c) {
 inline int64_t DrawItemQweight(bool abnormal, const Criteria& c, Rng& rng) {
   if (!abnormal) return -1;
   int64_t w = c.positive_floor();
-  if (c.positive_frac() > 0.0 && rng.Bernoulli(c.positive_frac())) ++w;
+  if (c.positive_frac() > 0.0) {
+    // The draw order and count are identical with and without QF_METRICS,
+    // so instrumented and plain builds stay bit-compatible.
+    const bool up = rng.Bernoulli(c.positive_frac());
+    if (up) ++w;
+    QF_OBS(++(up ? obs::Tally().rounding_up : obs::Tally().rounding_down));
+  }
   return w;
 }
 

@@ -120,6 +120,14 @@ class ShardedQuantileFilter {
     return true;
   }
 
+  /// Publishes every shard's unflushed stats deltas to the global metrics
+  /// counters (see QuantileFilter::FlushMetrics). Caller must hold exclusive
+  /// access to all shards — e.g. after IngestPipeline::Stop() has joined the
+  /// workers. No-op when QF_METRICS=0.
+  void FlushMetrics() {
+    for (auto& shard : shards_) shard->FlushMetrics();
+  }
+
   /// Sum of per-shard statistics.
   typename Filter::Stats AggregateStats() const {
     typename Filter::Stats total;

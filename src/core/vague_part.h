@@ -10,12 +10,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/random.h"
 #include "common/serialize.h"
 #include "core/criteria.h"
 #include "core/qweight.h"
+#include "obs/instrument.h"
 #include "sketch/count_min_sketch.h"
 #include "sketch/count_sketch.h"
 
@@ -42,7 +44,22 @@ class VaguePart {
     } else {
       sketch_.Add(vkey, DrawItemQweight(abnormal, criteria, rng));
     }
-    return sketch_.Estimate(vkey);
+    const int64_t estimate = sketch_.Estimate(vkey);
+#if QF_METRICS
+    // Saturation health signal: a median estimate pinned at the counter
+    // max means at least half the rows clamped — the budget is too small
+    // for the load (DESIGN.md §10). Only sketches with a uniform counter
+    // type expose a single saturation point (TowerSketch's rows differ in
+    // width, so it opts out by not defining counter_type).
+    if constexpr (!SketchT::kFloatingCounters &&
+                  requires { typename SketchT::counter_type; }) {
+      if (estimate >=
+          std::numeric_limits<typename SketchT::counter_type>::max()) {
+        ++obs::Tally().vague_saturations;
+      }
+    }
+#endif
+    return estimate;
   }
 
   /// Adds a raw integer Qweight (used when a candidate entry is demoted

@@ -1,0 +1,81 @@
+// Snapshot exporters and the matching parsers.
+//
+// Two wire formats for a MetricsSnapshot:
+//   * Prometheus text exposition (RenderPrometheus): counters/gauges as-is,
+//     histograms as summaries (quantile-labelled samples + _sum/_count).
+//     Registry names may embed a label set (`name{shard="0"}`); the
+//     renderer splices additional labels (e.g. quantile) into it.
+//   * JSON lines (RenderJsonLine): one self-contained JSON object per
+//     snapshot, with pre-computed histogram quantiles — the format
+//     MetricsSink appends and tools/qf_top polls.
+//
+// The parsers exist so that tools and CI can validate what was exported
+// without external dependencies: ParseJson is a strict little recursive
+// JSON reader (objects/arrays/strings/numbers/bools/null), and
+// ValidatePrometheusText checks exposition-format well-formedness
+// (HELP/TYPE lines, sample syntax, label quoting).
+
+#ifndef QUANTILEFILTER_OBS_EXPORT_H_
+#define QUANTILEFILTER_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace qf::obs {
+
+/// Splits a registry metric name into its base and the label body (the text
+/// inside `{}`, no braces). `qf_x{shard="0"}` -> {"qf_x", "shard=\"0\""};
+/// plain names return an empty label body.
+struct ParsedName {
+  std::string base;
+  std::string labels;
+};
+ParsedName SplitMetricName(std::string_view name);
+
+/// Quantiles exported for each histogram, shared by both formats.
+inline constexpr double kExportQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+std::string RenderJsonLine(const MetricsSnapshot& snapshot);
+
+/// Minimal JSON document model for the tools' own output formats.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::map<std::string, std::unique_ptr<JsonValue>> object;
+  std::vector<std::unique_ptr<JsonValue>> array;
+
+  const JsonValue* Get(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second.get();
+  }
+  double NumberOr(double fallback) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+};
+
+/// Parses `text` into `out`. On failure returns false and sets `error`.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+/// Validates Prometheus text exposition format. Returns true and the number
+/// of samples seen on success; false with a line-numbered error otherwise.
+struct PromValidation {
+  bool ok = false;
+  size_t samples = 0;
+  size_t families = 0;
+  std::string error;
+};
+PromValidation ValidatePrometheusText(std::string_view text);
+
+}  // namespace qf::obs
+
+#endif  // QUANTILEFILTER_OBS_EXPORT_H_

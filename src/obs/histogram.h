@@ -1,0 +1,175 @@
+// Log-linear (HDR-style) histogram for latency and size distributions.
+//
+// Bucket layout: values below 2^kSubBits land in exact unit buckets; every
+// higher power-of-two range [2^k, 2^(k+1)) is split into 2^kSubBits linear
+// sub-buckets. The mapping is branch-light integer arithmetic (one
+// count-leading-zeros, one shift, one mask), covers the full uint64 range,
+// and bounds the relative quantile error by 2^-kSubBits = 1/32 ≈ 3.1%
+// (bucket width / bucket lower bound <= 2^-kSubBits everywhere).
+//
+// Two flavours share the bucket math:
+//   * LogLinearHistogram — atomic buckets, safe for concurrent Record from
+//     any number of threads (relaxed increments; counts are exact once
+//     writers quiesce, ordering against concurrent snapshots is not).
+//   * HistogramData      — plain merged snapshot with quantile queries and
+//     associative MergeFrom, used on the export path.
+
+#ifndef QUANTILEFILTER_OBS_HISTOGRAM_H_
+#define QUANTILEFILTER_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qf::obs {
+
+/// Bucket geometry shared by the recording and snapshot types.
+struct HistogramLayout {
+  /// Sub-bucket resolution: 2^kSubBits linear sub-buckets per octave.
+  static constexpr int kSubBits = 5;
+  static constexpr uint64_t kSubCount = uint64_t{1} << kSubBits;
+
+  /// Number of distinct bucket indices BucketIndex can produce. The widest
+  /// value (bit 63 set) has shift = 63 - kSubBits, so the last group base
+  /// is (shift + 1) << kSubBits and the last index adds kSubCount - 1.
+  static constexpr size_t kNumBuckets =
+      (static_cast<size_t>(64 - kSubBits) << kSubBits) + kSubCount;
+
+  /// Maps a value to its bucket. Total over uint64: small values map to
+  /// exact unit buckets, larger ones to their octave's linear sub-bucket.
+  static constexpr size_t BucketIndex(uint64_t v) {
+    if (v < kSubCount) return static_cast<size_t>(v);
+    const int top = 63 - std::countl_zero(v);  // position of the MSB
+    const int shift = top - kSubBits;
+    const uint64_t sub = (v >> shift) & (kSubCount - 1);
+    return (static_cast<size_t>(shift + 1) << kSubBits) +
+           static_cast<size_t>(sub);
+  }
+
+  /// Smallest value mapping to bucket `i` (inverse of BucketIndex).
+  static constexpr uint64_t BucketLowerBound(size_t i) {
+    if (i < kSubCount) return i;
+    const int shift = static_cast<int>(i >> kSubBits) - 1;
+    const uint64_t sub = i & (kSubCount - 1);
+    return (kSubCount + sub) << shift;
+  }
+
+  /// Largest value mapping to bucket `i`.
+  static constexpr uint64_t BucketUpperBound(size_t i) {
+    if (i < kSubCount) return i;
+    const int shift = static_cast<int>(i >> kSubBits) - 1;
+    return BucketLowerBound(i) + ((uint64_t{1} << shift) - 1);
+  }
+};
+
+/// Plain merged histogram: bucket counts plus count/sum/max, with quantile
+/// queries. Merge is element-wise addition, hence associative and
+/// commutative (obs_histogram_test.cc checks this).
+class HistogramData : public HistogramLayout {
+ public:
+  HistogramData() : buckets_(kNumBuckets, 0) {}
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  uint64_t bucket(size_t i) const { return buckets_[i]; }
+
+  void Record(uint64_t value, uint64_t n = 1) {
+    buckets_[BucketIndex(value)] += n;
+    count_ += n;
+    sum_ += value * n;
+    if (value > max_) max_ = value;
+  }
+
+  /// Raw accumulation used when merging from a recording histogram, whose
+  /// exact count/sum/max are carried separately from the bucket array.
+  void AddBucket(size_t i, uint64_t n) { buckets_[i] += n; }
+  void AddTotals(uint64_t count, uint64_t sum, uint64_t max) {
+    count_ += count;
+    sum_ += sum;
+    if (max > max_) max_ = max;
+  }
+
+  void MergeFrom(const HistogramData& other) {
+    for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+    AddTotals(other.count_, other.sum_, other.max_);
+  }
+
+  /// Value at quantile `q` in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th recorded value, clamped to the observed max
+  /// (upper bound keeps the estimate conservative; relative error
+  /// <= 2^-kSubBits). Returns 0 when empty.
+  uint64_t Quantile(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (rank < 1) rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) {
+        const uint64_t ub = BucketUpperBound(i);
+        return ub < max_ ? ub : max_;
+      }
+    }
+    return max_;
+  }
+
+  double Mean() const {
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// Concurrent recording histogram: every field is a relaxed atomic, so any
+/// number of threads may Record while others snapshot. A concurrent
+/// snapshot sees some prefix of each writer's updates (count/sum/buckets
+/// may disagree by the in-flight records — fine for monitoring; totals are
+/// exact once writers quiesce).
+class LogLinearHistogram : public HistogramLayout {
+ public:
+  LogLinearHistogram() : buckets_(kNumBuckets) {}
+
+  void Record(uint64_t value, uint64_t n = 1) {
+    buckets_[BucketIndex(value)].fetch_add(n, std::memory_order_relaxed);
+    count_.fetch_add(n, std::memory_order_relaxed);
+    sum_.fetch_add(value * n, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < value && !max_.compare_exchange_weak(
+                               prev, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Adds this histogram's contents into `out`.
+  void AccumulateInto(HistogramData* out) const {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+      if (c != 0) out->AddBucket(i, c);
+    }
+    out->AddTotals(count_.load(std::memory_order_relaxed),
+                   sum_.load(std::memory_order_relaxed),
+                   max_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace qf::obs
+
+#endif  // QUANTILEFILTER_OBS_HISTOGRAM_H_

@@ -1,0 +1,182 @@
+// Compile-time instrumentation gate and the metric bundles used by the
+// QuantileFilter stack's hot paths.
+//
+// QF_METRICS (CMake option, default ON) selects at compile time whether the
+// hot paths carry instrumentation:
+//   * QF_METRICS=1 — filter-health counters flush from the per-instance
+//     Stats every kMetricsFlushItems inserts, the pipeline records
+//     per-shard latency/occupancy histograms per batch, and the trace ring
+//     can capture stage timing. Budget: <= 3% single-insert overhead
+//     (bench/micro_ops.cc + tools/check_metrics_overhead.sh enforce it).
+//   * QF_METRICS=0 — the QF_OBS() macro expands to nothing, so the hot
+//     paths contain no metrics code at all: no loads, no branches, no
+//     symbol references. The obs library itself still builds (exporters
+//     and tools are always available; they just see empty registries).
+//
+// Naming convention: `qf_<layer>_<name>` with Prometheus-style unit and
+// `_total` suffixes; per-shard series carry a `{shard="N"}` label embedded
+// in the registry name (DESIGN.md §10 documents the full taxonomy).
+
+#ifndef QUANTILEFILTER_OBS_INSTRUMENT_H_
+#define QUANTILEFILTER_OBS_INSTRUMENT_H_
+
+#ifndef QF_METRICS
+#define QF_METRICS 1
+#endif
+
+#if QF_METRICS
+#define QF_OBS(...) \
+  do {              \
+    __VA_ARGS__;    \
+  } while (0)
+#else
+// Arguments are dropped unexpanded: with metrics off the operands are never
+// evaluated, never odr-used, and generate no code.
+#define QF_OBS(...) \
+  do {              \
+  } while (0)
+#endif
+
+#if QF_METRICS
+
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.h"
+#include "obs/trace_ring.h"
+
+namespace qf::obs {
+
+/// Filter-health counters, aggregated across every QuantileFilter instance
+/// in the process (shards sum naturally). Flushed from the per-instance
+/// Stats at batch granularity, never incremented per item.
+struct FilterMetrics {
+  Counter& items;
+  Counter& reports;
+  Counter& candidate_hits;
+  Counter& admissions;  // == occupied candidate slots (slots never vacate)
+  Counter& vague_inserts;
+  Counter& swaps;
+  Counter& candidate_slots;  // capacity, added once per filter construction
+  Counter& rounding_up;      // probabilistic-rounding tallies
+  Counter& rounding_down;
+  Counter& vague_saturations;  // estimate pinned at the counter-type max
+
+  static FilterMetrics& Get() {
+    static FilterMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new FilterMetrics{
+          r.GetCounter("qf_filter_items_total", "items inserted"),
+          r.GetCounter("qf_filter_reports_total",
+                       "outstanding-key reports emitted"),
+          r.GetCounter("qf_filter_candidate_hits_total",
+                       "items resolved in the candidate part"),
+          r.GetCounter("qf_filter_candidate_admissions_total",
+                       "items admitted to empty candidate slots (equals "
+                       "occupied slots; slots never vacate between resets)"),
+          r.GetCounter("qf_filter_vague_inserts_total",
+                       "items routed to the vague part"),
+          r.GetCounter("qf_filter_election_swaps_total",
+                       "candidate-election swaps"),
+          r.GetCounter("qf_filter_candidate_slots_total",
+                       "candidate slot capacity across constructed filters"),
+          r.GetCounter("qf_filter_rounding_up_total",
+                       "probabilistic roundings that rounded up"),
+          r.GetCounter("qf_filter_rounding_down_total",
+                       "probabilistic roundings that rounded down"),
+          r.GetCounter("qf_filter_vague_saturation_total",
+                       "vague estimates pinned at the counter max"),
+      };
+    }();
+    return *m;
+  }
+};
+
+/// Thread-local scratch tallies for events that fire inside leaf helpers
+/// (probabilistic rounding in qweight.h, saturation checks in vague_part.h)
+/// where per-event atomic counters would be too hot. Plain increments;
+/// drained into FilterMetrics by the owning filter's periodic flush.
+struct HotTally {
+  uint64_t rounding_up = 0;
+  uint64_t rounding_down = 0;
+  uint64_t vague_saturations = 0;
+};
+
+inline HotTally& Tally() {
+  thread_local HotTally tally;
+  return tally;
+}
+
+/// Adds the calling thread's tallies into the global counters and zeroes
+/// them. Cheap no-op when nothing accumulated.
+inline void DrainTally() {
+  HotTally& t = Tally();
+  if (t.rounding_up != 0) {
+    FilterMetrics::Get().rounding_up.Add(t.rounding_up);
+    t.rounding_up = 0;
+  }
+  if (t.rounding_down != 0) {
+    FilterMetrics::Get().rounding_down.Add(t.rounding_down);
+    t.rounding_down = 0;
+  }
+  if (t.vague_saturations != 0) {
+    FilterMetrics::Get().vague_saturations.Add(t.vague_saturations);
+    t.vague_saturations = 0;
+  }
+}
+
+/// Per-shard pipeline series (registered on first pipeline construction
+/// for a given shard index; later pipelines reuse the same series).
+struct ShardMetrics {
+  Histogram& ingest_ns;      // per-batch InsertBatch latency
+  Histogram& batch_items;    // items per processed batch
+  Histogram& ring_occupancy; // ring occupancy (batches) sampled at pop
+};
+
+inline ShardMetrics ShardMetricsFor(int shard) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  const std::string label = "{shard=\"" + std::to_string(shard) + "\"}";
+  return ShardMetrics{
+      r.GetHistogram("qf_pipeline_ingest_batch_ns" + label,
+                     "per-batch shard ingest latency", "ns"),
+      r.GetHistogram("qf_pipeline_batch_items" + label,
+                     "items per processed batch", "items"),
+      r.GetHistogram("qf_pipeline_ring_occupancy" + label,
+                     "SPSC ring occupancy in batches, sampled at pop",
+                     "batches"),
+  };
+}
+
+/// Pipeline-wide counters.
+struct PipelineMetrics {
+  Counter& items_dispatched;
+  Counter& items_processed;
+  Counter& batches;
+  Counter& ring_full_waits;  // dispatcher backpressure yields (stalls)
+  Counter& worker_spins;     // consumer empty-ring yields
+
+  static PipelineMetrics& Get() {
+    static PipelineMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new PipelineMetrics{
+          r.GetCounter("qf_pipeline_items_dispatched_total",
+                       "items accepted by Push"),
+          r.GetCounter("qf_pipeline_items_processed_total",
+                       "items drained by workers"),
+          r.GetCounter("qf_pipeline_batches_total",
+                       "batches shipped through the rings"),
+          r.GetCounter("qf_pipeline_ring_full_waits_total",
+                       "dispatcher backpressure yields on a full ring"),
+          r.GetCounter("qf_pipeline_worker_spins_total",
+                       "worker yields on an empty ring"),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace qf::obs
+
+#endif  // QF_METRICS
+
+#endif  // QUANTILEFILTER_OBS_INSTRUMENT_H_

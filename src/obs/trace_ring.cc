@@ -1,0 +1,48 @@
+#include "obs/trace_ring.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace qf::obs {
+
+std::vector<TraceEntry> TraceRing::Entries() const {
+  const uint64_t total = next_.load(std::memory_order_acquire);
+  const size_t n = CountEntries();
+  std::vector<TraceEntry> out;
+  out.reserve(n);
+  // When wrapped, the oldest surviving entry is at index `total - n`.
+  for (uint64_t i = total - n; i < total; ++i) {
+    out.push_back(entries_[i & mask_]);
+  }
+  return out;
+}
+
+bool TraceRing::DumpChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::vector<TraceEntry> events = Entries();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEntry& a, const TraceEntry& b) {
+              return a.start_ns < b.start_ns;
+            });
+  std::fprintf(f, "{\"traceEvents\":[\n");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEntry& e = events[i];
+    // chrome://tracing timestamps are microseconds (doubles), so ns
+    // resolution survives as fractions.
+    std::fprintf(
+        f,
+        "  {\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"arg\":%" PRIu64 "}}%s\n",
+        TraceEventName(static_cast<TraceEvent>(e.event)),
+        static_cast<unsigned>(e.tid),
+        static_cast<double>(e.start_ns) / 1e3,
+        static_cast<double>(e.dur_ns) / 1e3, e.arg,
+        i + 1 == events.size() ? "" : ",");
+  }
+  std::fprintf(f, "],\"displayTimeUnit\":\"ns\"}\n");
+  return std::fclose(f) == 0;
+}
+
+}  // namespace qf::obs

@@ -47,8 +47,13 @@
 #include <vector>
 
 #include "core/sharded_filter.h"
+#include "obs/instrument.h"
 #include "parallel/spsc_ring.h"
 #include "stream/item.h"
+
+#if QF_METRICS
+#include "common/time.h"
+#endif
 
 namespace qf {
 
@@ -93,6 +98,12 @@ class IngestPipeline {
       rings_.push_back(
           std::make_unique<SpscRing<ItemBatch>>(options.ring_batches));
     }
+#if QF_METRICS
+    shard_metrics_.reserve(workers_.size());
+    for (size_t s = 0; s < workers_.size(); ++s) {
+      shard_metrics_.push_back(obs::ShardMetricsFor(static_cast<int>(s)));
+    }
+#endif
   }
 
   ~IngestPipeline() { Stop(); }
@@ -137,9 +148,17 @@ class IngestPipeline {
     assert(running_.load(std::memory_order_relaxed) &&
            "IngestPipeline::Flush outside Start()/Stop()");
     ClaimDispatcher();
+#if QF_METRICS
+    const uint64_t t0 =
+        obs::TraceRing::Global().enabled() ? MonotonicNanos() : 0;
+#endif
     for (size_t s = 0; s < staging_.size(); ++s) {
       ShipBatch(static_cast<int>(s));
     }
+    QF_OBS(if (t0 != 0) {
+      obs::TraceRing::Global().Emit(obs::TraceEvent::kFlush, 0, t0,
+                                    MonotonicNanos() - t0, staging_.size());
+    });
     ReleaseDispatcher();
   }
 
@@ -156,6 +175,10 @@ class IngestPipeline {
     for (std::thread& t : threads_) t.join();
     threads_.clear();
     running_.store(false, std::memory_order_relaxed);
+    // Workers are joined, so their shard stats are plainly readable here;
+    // publish any deltas below the periodic flush granularity so snapshots
+    // taken after Stop() are exact.
+    QF_OBS(filter_->FlushMetrics());
   }
 
   /// Convenience harness: Start(), feed `items` from a dedicated dispatcher
@@ -238,10 +261,34 @@ class IngestPipeline {
     ItemBatch& batch = staging_[static_cast<size_t>(s)];
     if (batch.count == 0) return;
     SpscRing<ItemBatch>& ring = *rings_[static_cast<size_t>(s)];
+#if QF_METRICS
+    uint64_t stalls = 0;
+    uint64_t stall_start_ns = 0;
+#endif
     while (!ring.TryPush(batch)) {
       ++ring_full_waits_;
+      QF_OBS({
+        ++stalls;
+        if (stall_start_ns == 0) stall_start_ns = MonotonicNanos();
+      });
       std::this_thread::yield();  // backpressure: the shard is saturated
     }
+#if QF_METRICS
+    obs::PipelineMetrics& pm = obs::PipelineMetrics::Get();
+    pm.items_dispatched.Add(batch.count);
+    obs::TraceRing& tr = obs::TraceRing::Global();
+    if (stalls != 0) {
+      pm.ring_full_waits.Add(stalls);
+      tr.Emit(obs::TraceEvent::kRingStall, static_cast<uint16_t>(s),
+              stall_start_ns, MonotonicNanos() - stall_start_ns, stalls);
+    }
+    if (tr.enabled()) {
+      // Instantaneous ship marker; the clock read is gated on tracing so
+      // untraced runs pay only the enabled() load.
+      tr.Emit(obs::TraceEvent::kBatchShip, static_cast<uint16_t>(s),
+              MonotonicNanos(), 0, batch.count);
+    }
+#endif
     batch.count = 0;
   }
 
@@ -250,30 +297,58 @@ class IngestPipeline {
     SpscRing<ItemBatch>& ring = *rings_[static_cast<size_t>(s)];
     WorkerState& state = workers_[static_cast<size_t>(s)];
     ItemBatch batch;
+#if QF_METRICS
+    uint64_t spins = 0;
+#endif
     for (;;) {
       if (ring.TryPop(&batch)) {
-        ProcessBatch(shard, state, batch);
+        QF_OBS(RecordOccupancy(s, ring));
+        ProcessBatch(s, shard, state, batch);
         continue;
       }
       if (done_.load(std::memory_order_acquire)) {
         // The release store in Stop() ordered all prior pushes before
         // `done`; one more drain pass and an empty ring means truly done.
         if (ring.TryPop(&batch)) {
-          ProcessBatch(shard, state, batch);
+          QF_OBS(RecordOccupancy(s, ring));
+          ProcessBatch(s, shard, state, batch);
           continue;
         }
         break;
       }
+      // Periodic flush so qf_pipeline_worker_spins_total is live during
+      // long idle stretches, not just on shutdown.
+      QF_OBS(if ((++spins & 4095) == 0) {
+        obs::PipelineMetrics::Get().worker_spins.Add(4096);
+      });
       std::this_thread::yield();
     }
+#if QF_METRICS
+    if ((spins & 4095) != 0) {
+      obs::PipelineMetrics::Get().worker_spins.Add(spins & 4095);
+    }
+    // Rounding/saturation tallies accumulated by this worker's inserts live
+    // in its thread-local HotTally; drain them before the thread exits.
+    obs::DrainTally();
+#endif
   }
 
+#if QF_METRICS
+  void RecordOccupancy(int s, const SpscRing<ItemBatch>& ring) {
+    shard_metrics_[static_cast<size_t>(s)].ring_occupancy.Record(
+        ring.SizeApprox());
+  }
+#endif
+
   template <typename Filter>
-  void ProcessBatch(Filter& shard, WorkerState& state,
+  void ProcessBatch(int s, Filter& shard, WorkerState& state,
                     const ItemBatch& batch) {
     const std::span<const Item> items(batch.items.data(), batch.count);
     state.items += batch.count;
     ++state.batches;
+#if QF_METRICS
+    const uint64_t t0 = MonotonicNanos();
+#endif
     if (collect_reported_keys_) {
       state.reports += shard.InsertBatch(
           items, shard.default_criteria(),
@@ -283,6 +358,18 @@ class IngestPipeline {
     } else {
       state.reports += shard.InsertBatch(items);
     }
+#if QF_METRICS
+    const uint64_t dur = MonotonicNanos() - t0;
+    obs::ShardMetrics& sm = shard_metrics_[static_cast<size_t>(s)];
+    sm.ingest_ns.Record(dur);
+    sm.batch_items.Record(batch.count);
+    obs::PipelineMetrics& pm = obs::PipelineMetrics::Get();
+    pm.items_processed.Add(batch.count);
+    pm.batches.Add(1);
+    obs::TraceRing::Global().Emit(obs::TraceEvent::kBatchProcess,
+                                  static_cast<uint16_t>(s), t0, dur,
+                                  batch.count);
+#endif
   }
 
   Sharded* filter_;
@@ -296,6 +383,12 @@ class IngestPipeline {
 
   // Shared channels and worker state.
   std::vector<std::unique_ptr<SpscRing<ItemBatch>>> rings_;
+#if QF_METRICS
+  // Per-shard metric series; each entry is recorded only by its shard's
+  // worker (occupancy/latency) — references resolve at construction so the
+  // hot path never touches the registry.
+  std::vector<obs::ShardMetrics> shard_metrics_;
+#endif
   std::vector<WorkerState> workers_;
   std::vector<std::thread> threads_;
   std::atomic<bool> done_{false};

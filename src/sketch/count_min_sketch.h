@@ -32,6 +32,7 @@ class CountMinSketch {
   /// Mirrors CountSketch: floating-point counters accumulate exact weights.
   static constexpr bool kFloatingCounters =
       std::is_floating_point_v<CounterT>;
+  using counter_type = CounterT;
 
   CountMinSketch(int depth, size_t width, uint64_t seed)
       : depth_(depth),

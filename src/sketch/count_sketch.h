@@ -42,6 +42,7 @@ class CountSketch {
  public:
   static constexpr bool kFloatingCounters =
       std::is_floating_point_v<CounterT>;
+  using counter_type = CounterT;
 
   /// `depth` rows of `width` counters each. Seed fixes the hash family.
   CountSketch(int depth, size_t width, uint64_t seed)

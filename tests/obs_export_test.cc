@@ -1,0 +1,119 @@
+// Exporters and parsers: Prometheus text exposition (validated by the
+// repo's own checker), JSON-lines rendering (round-tripped through the
+// repo's own parser), label splicing, and malformed-input rejection.
+
+#include "obs/export.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/registry.h"
+
+namespace qf::obs {
+namespace {
+
+MetricsSnapshot SampleSnapshot() {
+  MetricsRegistry r;
+  r.GetCounter("qf_filter_items_total", "items inserted").Add(12345);
+  r.GetCounter("qf_pipeline_batches_total").Add(99);
+  r.GetGauge("qf_ring_depth", "ring depth").Set(-3);
+  Histogram& h = r.GetHistogram("qf_pipeline_ingest_batch_ns{shard=\"0\"}",
+                                "per-batch latency", "ns");
+  for (uint64_t v = 100; v <= 10000; v += 100) h.Record(v);
+  return r.Snapshot();
+}
+
+TEST(ObsExportTest, SplitMetricName) {
+  ParsedName plain = SplitMetricName("qf_filter_items_total");
+  EXPECT_EQ(plain.base, "qf_filter_items_total");
+  EXPECT_EQ(plain.labels, "");
+  ParsedName labelled = SplitMetricName("qf_x{shard=\"3\"}");
+  EXPECT_EQ(labelled.base, "qf_x");
+  EXPECT_EQ(labelled.labels, "shard=\"3\"");
+}
+
+TEST(ObsExportTest, PrometheusOutputValidates) {
+  const std::string text = RenderPrometheus(SampleSnapshot());
+  const PromValidation v = ValidatePrometheusText(text);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_GT(v.samples, 0u);
+  EXPECT_GT(v.families, 0u);
+  // Counters keep their names; the labelled histogram becomes a summary
+  // with shard and quantile labels spliced together.
+  EXPECT_NE(text.find("# TYPE qf_filter_items_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("qf_filter_items_total 12345"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE qf_pipeline_ingest_batch_ns summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("qf_pipeline_ingest_batch_ns{shard=\"0\","
+                      "quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("qf_pipeline_ingest_batch_ns_count{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("qf_ring_depth -3"), std::string::npos);
+}
+
+TEST(ObsExportTest, JsonLineRoundTripsThroughParser) {
+  const std::string line = RenderJsonLine(SampleSnapshot());
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(line, &doc, &error)) << error;
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  ASSERT_NE(doc.Get("ts_ns"), nullptr);
+  ASSERT_NE(doc.Get("mono_ns"), nullptr);
+
+  const JsonValue* counters = doc.Get("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* items = counters->Get("qf_filter_items_total");
+  ASSERT_NE(items, nullptr);
+  EXPECT_EQ(items->NumberOr(0), 12345.0);
+
+  const JsonValue* hists = doc.Get("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* h = hists->Get("qf_pipeline_ingest_batch_ns{shard=\"0\"}");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Get("count")->NumberOr(0), 100.0);
+  ASSERT_NE(h->Get("p0.5"), nullptr);
+  ASSERT_NE(h->Get("p0.99"), nullptr);
+  // p50 of 100..10000 step 100 is ~5000; the log-linear bound allows 3.1%.
+  EXPECT_NEAR(h->Get("p0.5")->NumberOr(0), 5000.0, 5000.0 * 0.035);
+}
+
+TEST(ObsExportTest, ParseJsonRejectsMalformedInput) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{", &doc, &error));
+  EXPECT_FALSE(ParseJson("{\"a\":}", &doc, &error));
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing", &doc, &error));
+  EXPECT_FALSE(ParseJson("", &doc, &error));
+  EXPECT_TRUE(ParseJson("{\"a\":[1,2,{\"b\":null}],\"c\":true}", &doc,
+                        &error))
+      << error;
+}
+
+TEST(ObsExportTest, ValidatorRejectsBadExposition) {
+  EXPECT_FALSE(ValidatePrometheusText("# TYPE x bogus_kind\nx 1\n").ok);
+  EXPECT_FALSE(ValidatePrometheusText("9bad_name 1\n").ok);
+  EXPECT_FALSE(ValidatePrometheusText("x{unclosed=\"1\n").ok);
+  EXPECT_FALSE(ValidatePrometheusText("x notanumber\n").ok);
+  EXPECT_TRUE(ValidatePrometheusText("# HELP x h\n# TYPE x counter\nx 1\n")
+                  .ok);
+}
+
+TEST(ObsExportTest, EmptySnapshotStillRendersValidOutputs) {
+  MetricsRegistry r;
+  const MetricsSnapshot snap = r.Snapshot();
+  const PromValidation v = ValidatePrometheusText(RenderPrometheus(snap));
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.samples, 0u);
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(ParseJson(RenderJsonLine(snap), &doc, &error)) << error;
+}
+
+}  // namespace
+}  // namespace qf::obs

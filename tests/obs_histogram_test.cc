@@ -1,0 +1,188 @@
+// Log-linear histogram: bucket-boundary exactness, merge associativity,
+// the quantile error bound, and concurrent record-then-snapshot (the last
+// also runs under TSan via the sanitizer ctest label).
+
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qf::obs {
+namespace {
+
+using Layout = HistogramLayout;
+
+TEST(ObsHistogramTest, UnitBucketsAreExactBelowSubCount) {
+  for (uint64_t v = 0; v < Layout::kSubCount; ++v) {
+    const size_t i = Layout::BucketIndex(v);
+    EXPECT_EQ(i, static_cast<size_t>(v));
+    EXPECT_EQ(Layout::BucketLowerBound(i), v);
+    EXPECT_EQ(Layout::BucketUpperBound(i), v);
+  }
+}
+
+TEST(ObsHistogramTest, BucketBoundsInvertBucketIndexAtEveryBoundary) {
+  // At every octave, the first/last value of each sub-bucket must map into
+  // the bucket whose bounds contain it, and the bounds must round-trip.
+  for (int top = Layout::kSubBits; top < 64; ++top) {
+    for (uint64_t sub = 0; sub < Layout::kSubCount; ++sub) {
+      const int shift = top - Layout::kSubBits;
+      const uint64_t lo =
+          (Layout::kSubCount + sub) << shift;  // first value of the bucket
+      const uint64_t hi = lo + ((uint64_t{1} << shift) - 1);
+      const size_t i = Layout::BucketIndex(lo);
+      EXPECT_EQ(Layout::BucketLowerBound(i), lo);
+      EXPECT_EQ(Layout::BucketUpperBound(i), hi);
+      EXPECT_EQ(Layout::BucketIndex(hi), i);
+      if (hi != UINT64_MAX) {
+        EXPECT_NE(Layout::BucketIndex(hi + 1), i);
+      }
+    }
+  }
+}
+
+TEST(ObsHistogramTest, BucketIndexIsMonotoneAndInRange) {
+  uint64_t probes[] = {0,  1,   31,   32,         33,         1000,
+                       4096, 65535, 1u << 20, uint64_t{1} << 40, UINT64_MAX};
+  size_t prev = 0;
+  for (uint64_t v : probes) {
+    const size_t i = Layout::BucketIndex(v);
+    ASSERT_LT(i, Layout::kNumBuckets);
+    EXPECT_GE(i, prev);
+    EXPECT_LE(Layout::BucketLowerBound(i), v);
+    EXPECT_GE(Layout::BucketUpperBound(i), v);
+    prev = i;
+  }
+  EXPECT_EQ(Layout::BucketIndex(UINT64_MAX), Layout::kNumBuckets - 1);
+}
+
+TEST(ObsHistogramTest, MergeIsAssociativeAndCommutative) {
+  Rng rng(7);
+  std::vector<uint64_t> parts[3];
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 2000; ++i) {
+      parts[p].push_back(rng.Next() >> (rng.Next() % 50));
+    }
+  }
+  auto make = [&](int p) {
+    HistogramData h;
+    for (uint64_t v : parts[p]) h.Record(v);
+    return h;
+  };
+  // (a + b) + c
+  HistogramData left = make(0);
+  {
+    HistogramData b = make(1);
+    left.MergeFrom(b);
+    HistogramData c = make(2);
+    left.MergeFrom(c);
+  }
+  // c + (b + a)
+  HistogramData right = make(2);
+  {
+    HistogramData ba = make(1);
+    HistogramData a = make(0);
+    ba.MergeFrom(a);
+    right.MergeFrom(ba);
+  }
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.sum(), right.sum());
+  EXPECT_EQ(left.max(), right.max());
+  for (size_t i = 0; i < Layout::kNumBuckets; ++i) {
+    ASSERT_EQ(left.bucket(i), right.bucket(i)) << "bucket " << i;
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(left.Quantile(q), right.Quantile(q));
+  }
+}
+
+TEST(ObsHistogramTest, QuantileRelativeErrorIsBounded) {
+  // Against a sorted copy of the data, the histogram quantile must stay
+  // within the layout's 2^-kSubBits relative error (plus the clamp to max).
+  Rng rng(11);
+  std::vector<uint64_t> values;
+  HistogramData h;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform-ish spread over ~6 decades.
+    const uint64_t v = (uint64_t{1} << (rng.Next() % 20)) + rng.Next() % 97;
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    uint64_t rank = static_cast<uint64_t>(q * values.size());
+    if (rank < 1) rank = 1;
+    const double exact = static_cast<double>(values[rank - 1]);
+    const double est = static_cast<double>(h.Quantile(q));
+    const double rel_tol =
+        1.0 / static_cast<double>(uint64_t{1} << Layout::kSubBits);
+    EXPECT_GE(est, exact * (1.0 - rel_tol)) << "q=" << q;
+    EXPECT_LE(est, exact * (1.0 + rel_tol)) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogramTest, EmptyHistogramQuantilesAreZero) {
+  HistogramData h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(ObsHistogramTest, QuantileClampsToObservedMax) {
+  HistogramData h;
+  h.Record(1000);  // bucket upper bound is above 1000
+  EXPECT_EQ(h.Quantile(1.0), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(ObsHistogramTest, ConcurrentRecordThenSnapshotIsExact) {
+  // 4 writers record disjoint deterministic streams while a reader keeps
+  // taking (possibly torn, but data-race-free) snapshots; after joining,
+  // the final accumulation must be exact. TSan validates the "no data
+  // race" half via the sanitizer label.
+  LogLinearHistogram h;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 50000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      HistogramData snap;
+      h.AccumulateInto(&snap);
+      ASSERT_LE(snap.count(), kThreads * kPerThread);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record((i << 3) + static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  HistogramData final_snap;
+  h.AccumulateInto(&final_snap);
+  EXPECT_EQ(final_snap.count(), kThreads * kPerThread);
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      expected_sum += (i << 3) + static_cast<uint64_t>(t);
+    }
+  }
+  EXPECT_EQ(final_snap.sum(), expected_sum);
+  EXPECT_EQ(final_snap.max(),
+            ((kPerThread - 1) << 3) + (kThreads - 1));
+}
+
+}  // namespace
+}  // namespace qf::obs

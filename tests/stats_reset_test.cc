@@ -1,0 +1,107 @@
+// ClearStats coverage: every Stats field resets, and stats are
+// checkpoint-excluded by design — SerializeState does not carry them and
+// RestoreState does not touch them. Stats are operational telemetry of one
+// process's run (they feed the qf_filter_* metrics), not filter state: a
+// restored filter reproduces detection behavior, while its counters keep
+// describing the work *this* instance performed.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/quantile_filter.h"
+#include "sketch/count_sketch.h"
+
+namespace qf {
+namespace {
+
+using Filter = QuantileFilter<CountSketch<int16_t>>;
+
+Filter::Options SmallOptions() {
+  Filter::Options o;
+  o.memory_bytes = 8 * 1024;  // few candidate slots: forces elections
+  return o;
+}
+
+/// Drives enough mixed traffic over a tiny filter to make every Stats field
+/// nonzero: repeated abnormal streaks on many keys (reports, swaps,
+/// vague routing) over a candidate part too small for the key set
+/// (admissions, hits).
+void DriveAllStatsNonzero(Filter* filter) {
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    for (uint64_t key = 0; key < 2000; ++key) {
+      filter->Insert(key, rng.Bernoulli(0.7) ? 500.0 : 50.0);
+    }
+    // A dedicated hot key so reports definitely fire.
+    for (int i = 0; i < 40; ++i) filter->Insert(999983, 500.0);
+  }
+}
+
+void ExpectAllFieldsNonzero(const Filter::Stats& s) {
+  EXPECT_GT(s.items, 0u);
+  EXPECT_GT(s.reports, 0u);
+  EXPECT_GT(s.candidate_hits, 0u);
+  EXPECT_GT(s.admissions, 0u);
+  EXPECT_GT(s.vague_inserts, 0u);
+  EXPECT_GT(s.swaps, 0u);
+}
+
+void ExpectAllFieldsZero(const Filter::Stats& s) {
+  EXPECT_EQ(s.items, 0u);
+  EXPECT_EQ(s.reports, 0u);
+  EXPECT_EQ(s.candidate_hits, 0u);
+  EXPECT_EQ(s.admissions, 0u);
+  EXPECT_EQ(s.vague_inserts, 0u);
+  EXPECT_EQ(s.swaps, 0u);
+}
+
+TEST(StatsResetTest, ClearStatsResetsEveryField) {
+  Filter filter(SmallOptions(), Criteria(30, 0.95, 300));
+  DriveAllStatsNonzero(&filter);
+  ExpectAllFieldsNonzero(filter.stats());  // the workload earns its keep
+  filter.ClearStats();
+  ExpectAllFieldsZero(filter.stats());
+}
+
+TEST(StatsResetTest, StatsKeepCountingAfterClear) {
+  Filter filter(SmallOptions(), Criteria(30, 0.95, 300));
+  DriveAllStatsNonzero(&filter);
+  filter.ClearStats();
+  filter.Insert(1, 50.0);
+  filter.Insert(2, 50.0);
+  EXPECT_EQ(filter.stats().items, 2u);
+}
+
+TEST(StatsResetTest, SerializeStateExcludesStatsByDesign) {
+  Filter source(SmallOptions(), Criteria(30, 0.95, 300));
+  DriveAllStatsNonzero(&source);
+  const Filter::Stats before = source.stats();
+  const std::vector<uint8_t> bytes = source.SerializeState();
+
+  // Serialization itself leaves the source's stats untouched.
+  EXPECT_EQ(source.stats().items, before.items);
+
+  // A fresh filter that restores the checkpoint reproduces detection state
+  // but starts its own telemetry from zero: stats travel with the process,
+  // not the checkpoint.
+  Filter restored(SmallOptions(), Criteria(30, 0.95, 300));
+  ASSERT_TRUE(restored.RestoreState(bytes));
+  ExpectAllFieldsZero(restored.stats());
+}
+
+TEST(StatsResetTest, RestoreStateDoesNotClobberExistingStats) {
+  Filter source(SmallOptions(), Criteria(30, 0.95, 300));
+  DriveAllStatsNonzero(&source);
+  const std::vector<uint8_t> bytes = source.SerializeState();
+
+  Filter target(SmallOptions(), Criteria(30, 0.95, 300));
+  for (int i = 0; i < 10; ++i) target.Insert(static_cast<uint64_t>(i), 50.0);
+  ASSERT_TRUE(target.RestoreState(bytes));
+  // The 10 items this instance already processed remain counted.
+  EXPECT_EQ(target.stats().items, 10u);
+}
+
+}  // namespace
+}  // namespace qf

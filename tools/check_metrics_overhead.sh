@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# QF_METRICS overhead gate (DESIGN.md §10): builds the micro_ops benchmark
+# with metrics ON and OFF, runs the insert gate fixture in both binaries and
+# fails if the instrumented per-insert cost exceeds the budget (default 3%).
+#
+# Usage: tools/check_metrics_overhead.sh [budget_percent] [repetitions]
+# Run from the repository root. Exit 0 iff overhead <= budget.
+set -euo pipefail
+
+BUDGET_PCT="${1:-3}"
+REPS="${2:-9}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH_ARGS=(--benchmark_filter='BM_QuantileFilterInsertMetricsGate$'
+            --benchmark_repetitions="${REPS}"
+            --benchmark_report_aggregates_only=true
+            --benchmark_format=json)
+
+build_and_run() {  # $1 = ON|OFF, $2 = output json
+  local mode="$1" out="$2"
+  local dir="${ROOT}/build-gate-$(echo "${mode}" | tr '[:upper:]' '[:lower:]')"
+  cmake -B "${dir}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release \
+        -DQF_METRICS="${mode}" >/dev/null
+  cmake --build "${dir}" -j --target micro_ops >/dev/null
+  "${dir}/bench/micro_ops" "${BENCH_ARGS[@]}" > "${out}"
+}
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+echo "building metrics=ON and metrics=OFF gate binaries..."
+build_and_run ON "${TMP}/on.json"
+build_and_run OFF "${TMP}/off.json"
+
+python3 - "${TMP}/on.json" "${TMP}/off.json" "${BUDGET_PCT}" <<'PY'
+import json, sys
+
+def median_ns(path, expect_metrics):
+    doc = json.load(open(path))
+    med = None
+    for b in doc["benchmarks"]:
+        if b.get("aggregate_name") == "median":
+            med = b
+    if med is None:
+        sys.exit(f"{path}: no median aggregate found")
+    qf_metrics = med.get("qf_metrics")
+    if qf_metrics is not None and int(qf_metrics) != expect_metrics:
+        sys.exit(f"{path}: binary reports qf_metrics={qf_metrics}, "
+                 f"expected {expect_metrics} (wrong build?)")
+    return float(med["cpu_time"])
+
+on = median_ns(sys.argv[1], 1)
+off = median_ns(sys.argv[2], 0)
+budget = float(sys.argv[3])
+delta = (on - off) / off * 100.0
+print(f"insert cost: metrics ON {on:.2f} ns, OFF {off:.2f} ns, "
+      f"delta {delta:+.2f}% (budget {budget}%)")
+if delta > budget:
+    sys.exit(f"FAIL: QF_METRICS overhead {delta:.2f}% exceeds {budget}% budget")
+print("ok: metrics overhead within budget")
+PY

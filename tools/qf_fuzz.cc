@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "obs/registry.h"
+#include "obs/sink.h"
 #include "testing/differential_harness.h"
 #include "testing/minimizer.h"
 #include "testing/op_stream.h"
@@ -262,6 +264,10 @@ int Main(int argc, char** argv) {
   const std::string replay = flags.GetString("replay", "");
   const std::string replay_file = flags.GetString("replay-file", "");
   const std::string corpus = flags.GetString("corpus", "");
+  // One final filter-health snapshot (JSON line) after the run: the fuzz
+  // ensembles drive real filters/pipelines, so their qf_* counters make a
+  // useful smoke signal for the metrics plumbing itself.
+  const std::string metrics_json = flags.GetString("metrics-json", "");
 
   const auto unknown = flags.UnqueriedFlags();
   if (!unknown.empty()) {
@@ -271,12 +277,26 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
+  int rc;
   if (!replay.empty()) {
-    return ReplayTokenMode(replay, options.fault, has_fault);
+    rc = ReplayTokenMode(replay, options.fault, has_fault);
+  } else if (!replay_file.empty()) {
+    rc = ReplayFile(replay_file);
+  } else if (!corpus.empty()) {
+    rc = ReplayCorpusDir(corpus);
+  } else {
+    rc = RunMatrix(options);
   }
-  if (!replay_file.empty()) return ReplayFile(replay_file);
-  if (!corpus.empty()) return ReplayCorpusDir(corpus);
-  return RunMatrix(options);
+
+  if (!metrics_json.empty()) {
+    obs::MetricsSink sink(obs::MetricsRegistry::Global(),
+                          {metrics_json, "", 1000});
+    if (!sink.WriteOnce()) {
+      std::fprintf(stderr, "cannot write metrics snapshot: %s\n",
+                   metrics_json.c_str());
+    }
+  }
+  return rc;
 }
 
 }  // namespace
