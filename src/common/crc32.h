@@ -1,0 +1,66 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) and the checkpoint
+// integrity envelope built on it.
+//
+// Checkpoints were originally raw "QFS2"/"QSH2" frames with no integrity
+// check — fine for same-process restore, but the network serving layer
+// (src/net/) ships them over TCP via CONTROL frames, where a truncated or
+// bit-flipped blob must be detected before RestoreState interprets it.
+// WrapCrc prepends a fixed-size envelope:
+//
+//   [u32 kCrcEnvelopeMagic "QFCK"] [u32 crc32(payload)] [payload...]
+//
+// UnwrapCrc recognizes three cases:
+//   * enveloped, CRC matches      -> kOk, *payload points at the inner frame
+//   * enveloped, CRC mismatches   -> kCorrupt (reject)
+//   * no envelope (legacy blob)   -> kMissing, *payload is the whole input
+//     (callers accept it with a warning so pre-CRC v2 checkpoints restore)
+//
+// Detection is exact, not heuristic: the envelope magic occupies the first
+// four bytes, where every legacy checkpoint carries its own distinct frame
+// magic ("QFS2"/"QSH2"), so no legacy blob can alias an envelope.
+
+#ifndef QUANTILEFILTER_COMMON_CRC32_H_
+#define QUANTILEFILTER_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qf {
+
+/// CRC-32 of `data`. `seed` is the running CRC for incremental use: pass the
+/// previous return value to continue a checksum across buffers.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32(const std::vector<uint8_t>& bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+/// First word of a CRC-wrapped checkpoint ("QFCK", little-endian).
+inline constexpr uint32_t kCrcEnvelopeMagic = 0x4B434651;
+
+/// Result of UnwrapCrc; kMissing is the accept-with-warning legacy path.
+enum class CrcStatus {
+  kOk,       // envelope present, CRC verified
+  kMissing,  // no envelope: a pre-CRC checkpoint frame
+  kCorrupt,  // envelope present but CRC mismatch, or truncated envelope
+};
+
+/// Wraps `payload` in the CRC envelope (by value; the common producer call
+/// is WrapCrc(SerializeState())).
+std::vector<uint8_t> WrapCrc(std::vector<uint8_t> payload);
+
+/// Classifies `data` and locates the inner payload. On kOk the outputs
+/// reference the bytes after the envelope; on kMissing they alias the whole
+/// input; on kCorrupt they are null/0.
+CrcStatus UnwrapCrc(const uint8_t* data, size_t size,
+                    const uint8_t** payload, size_t* payload_size);
+
+inline CrcStatus UnwrapCrc(const std::vector<uint8_t>& bytes,
+                           const uint8_t** payload, size_t* payload_size) {
+  return UnwrapCrc(bytes.data(), bytes.size(), payload, payload_size);
+}
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_COMMON_CRC32_H_

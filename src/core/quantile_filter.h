@@ -31,10 +31,12 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <span>
 #include <vector>
 
 #include "common/counters.h"
+#include "common/crc32.h"
 #include "common/serialize.h"
 #include "common/random.h"
 #include "core/candidate_part.h"
@@ -193,6 +195,15 @@ class QuantileFilter {
     return vague_.Estimate(candidate_.VagueKey(bucket, fp));
   }
 
+  /// True iff `key` currently occupies a candidate slot, i.e. its Qweight
+  /// is tracked exactly rather than estimated by the vague part (the
+  /// candidate-status half of the serving layer's QUERY frame).
+  bool IsCandidate(uint64_t key) const {
+    return candidate_.Find(candidate_.BucketOf(key),
+                           candidate_.FingerprintOf(key)) !=
+           CandidatePart::kNone;
+  }
+
   /// Forgets `key`'s accumulated Qweight (the "delete" operation; used to
   /// change a key's criteria: delete, then insert under the new criteria).
   void Delete(uint64_t key) {
@@ -308,7 +319,9 @@ class QuantileFilter {
     return true;
   }
 
-  /// Checkpoint the full filter state (candidate slots + vague counters).
+  /// Checkpoint the full filter state (candidate slots + vague counters),
+  /// wrapped in the CRC-32 integrity envelope (common/crc32.h) so blobs
+  /// shipped over the network (net/ CONTROL frames) are tamper-evident.
   /// Stats are checkpoint-excluded by design: they are operational telemetry
   /// of this process's run (feeding the qf_filter_* metrics), so a restored
   /// filter reproduces detection behavior while its counters keep describing
@@ -318,17 +331,32 @@ class QuantileFilter {
     AppendPod(kStateMagic, &out);
     candidate_.AppendTo(&out);
     vague_.AppendTo(&out);
-    return out;
+    return WrapCrc(std::move(out));
   }
 
   /// Restores state saved by SerializeState into a filter constructed with
   /// the same options. Returns false (state unchanged or cleared) on
-  /// malformed input, geometry mismatch, or a checkpoint written under an
-  /// incompatible format/hash scheme — including v1 "QFST" checkpoints
-  /// from the modulo-era BucketOf, whose entries cannot be relocated to
-  /// their fast-range buckets because only fingerprints are stored.
+  /// malformed input, a CRC mismatch, geometry mismatch, or a checkpoint
+  /// written under an incompatible format/hash scheme — including v1 "QFST"
+  /// checkpoints from the modulo-era BucketOf, whose entries cannot be
+  /// relocated to their fast-range buckets because only fingerprints are
+  /// stored. CRC-less v2 blobs (pre-envelope) are accepted with a warning.
   bool RestoreState(const std::vector<uint8_t>& bytes) {
-    ByteReader reader(bytes);
+    CrcStatus crc = CrcStatus::kOk;
+    if (!RestoreState(bytes, &crc)) return false;
+    if (crc == CrcStatus::kMissing) WarnCrcMissing("QuantileFilter");
+    return true;
+  }
+
+  /// As above, but reports the envelope status instead of warning, for
+  /// callers (ShardedQuantileFilter, tests, the serving layer) that handle
+  /// the legacy-blob path themselves.
+  bool RestoreState(const std::vector<uint8_t>& bytes, CrcStatus* crc) {
+    const uint8_t* payload = nullptr;
+    size_t payload_size = 0;
+    *crc = UnwrapCrc(bytes, &payload, &payload_size);
+    if (*crc == CrcStatus::kCorrupt) return false;
+    ByteReader reader(payload, payload_size);
     uint32_t magic = 0;
     if (!reader.Read(&magic) || magic != kStateMagic) return false;
     if (!candidate_.ReadFrom(&reader)) return false;
@@ -337,6 +365,19 @@ class QuantileFilter {
       return false;
     }
     return true;
+  }
+
+  /// Warning side of the CRC-less legacy path: stderr note plus the
+  /// qf_checkpoint_crc_missing_total counter (when metrics are compiled in).
+  static void WarnCrcMissing(const char* what) {
+    std::fprintf(stderr,
+                 "warning: %s: restoring a CRC-less (pre-envelope) "
+                 "checkpoint; integrity not verified\n",
+                 what);
+    QF_OBS(obs::MetricsRegistry::Global()
+               .GetCounter("qf_checkpoint_crc_missing_total",
+                           "CRC-less legacy checkpoints accepted on restore")
+               .Add(1));
   }
 
  private:

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/hash.h"
 #include "common/serialize.h"
 #include "core/quantile_filter.h"
@@ -68,6 +69,9 @@ class ShardedQuantileFilter {
   int64_t QueryQweight(uint64_t key) const {
     return shards_[ShardFor(key)]->QueryQweight(key);
   }
+  bool IsCandidate(uint64_t key) const {
+    return shards_[ShardFor(key)]->IsCandidate(key);
+  }
   void Delete(uint64_t key) { shards_[ShardFor(key)]->Delete(key); }
 
   void Reset() {
@@ -93,15 +97,32 @@ class ShardedQuantileFilter {
     for (const auto& shard : shards_) {
       AppendVector(shard->SerializeState(), &out);
     }
-    return out;
+    return WrapCrc(std::move(out));
   }
 
   /// Restores state saved by SerializeState into a sharded filter built
   /// with the same options and shard count. Returns false on malformed
-  /// input or a mapping-scheme/shard-count mismatch; a failure mid-restore
-  /// resets all shards so no half-restored partition survives.
+  /// input, an envelope CRC mismatch, or a mapping-scheme/shard-count
+  /// mismatch; a failure mid-restore resets all shards so no half-restored
+  /// partition survives. A CRC-less legacy blob restores with one warning.
   bool RestoreState(const std::vector<uint8_t>& bytes) {
-    ByteReader reader(bytes);
+    CrcStatus crc = CrcStatus::kOk;
+    if (!RestoreState(bytes, &crc)) return false;
+    if (crc == CrcStatus::kMissing) {
+      Filter::WarnCrcMissing("ShardedQuantileFilter");
+    }
+    return true;
+  }
+
+  /// As above, reporting the envelope status instead of warning. The outer
+  /// envelope covers the per-shard frames too, so inner statuses are not
+  /// surfaced separately.
+  bool RestoreState(const std::vector<uint8_t>& bytes, CrcStatus* crc) {
+    const uint8_t* payload = nullptr;
+    size_t payload_size = 0;
+    *crc = UnwrapCrc(bytes, &payload, &payload_size);
+    if (*crc == CrcStatus::kCorrupt) return false;
+    ByteReader reader(payload, payload_size);
     uint32_t magic = 0, scheme = 0, shards = 0;
     if (!reader.Read(&magic) || magic != kShardedMagic) return false;
     if (!reader.Read(&scheme) || scheme != kKeyMappingScheme) return false;
@@ -111,8 +132,9 @@ class ShardedQuantileFilter {
     }
     for (int s = 0; s < num_shards_; ++s) {
       std::vector<uint8_t> shard_bytes;
+      CrcStatus shard_crc = CrcStatus::kOk;
       if (!reader.ReadVector(&shard_bytes) ||
-          !shards_[s]->RestoreState(shard_bytes)) {
+          !shards_[s]->RestoreState(shard_bytes, &shard_crc)) {
         Reset();  // earlier shards may already hold restored state
         return false;
       }

@@ -1,0 +1,280 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace qf::net {
+
+QfClient::QfClient(const Options& options)
+    : options_(options),
+      decoder_(FrameDecoder::Options{options.max_frame_bytes}) {}
+
+QfClient::~QfClient() { Close(); }
+
+bool QfClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Fail("socket: " + std::string(strerror(errno)));
+  if (options_.so_rcvbuf > 0) {
+    setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &options_.so_rcvbuf,
+               sizeof(options_.so_rcvbuf));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Fail("bad host: " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Fail("connect: " + std::string(strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  decoder_ = FrameDecoder(FrameDecoder::Options{options_.max_frame_bytes});
+  stashed_alerts_.clear();
+  pending_ingest_.clear();
+  error_.clear();
+  return true;
+}
+
+void QfClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool QfClient::Fail(const std::string& why) {
+  error_ = why;
+  Close();
+  return false;
+}
+
+bool QfClient::SendAll(const std::vector<uint8_t>& bytes) {
+  if (fd_ < 0) return false;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Fail("send: " + std::string(strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool QfClient::ReadFrame(Frame* out, int timeout_ms, bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  if (fd_ < 0) return false;
+  while (true) {
+    const FrameDecoder::Result r = decoder_.Next(out);
+    if (r == FrameDecoder::Result::kFrame) return true;
+    if (r == FrameDecoder::Result::kError) {
+      return Fail("protocol: " + decoder_.error());
+    }
+    if (timeout_ms >= 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int p = poll(&pfd, 1, timeout_ms);
+      if (p < 0) {
+        if (errno == EINTR) continue;
+        return Fail("poll: " + std::string(strerror(errno)));
+      }
+      if (p == 0) {
+        if (timed_out != nullptr) *timed_out = true;
+        return false;
+      }
+    }
+    uint8_t buf[64 * 1024];
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Fail("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Fail("recv: " + std::string(strerror(errno)));
+    }
+    if (!decoder_.Append(buf, static_cast<size_t>(n))) {
+      return Fail("protocol: " + decoder_.error());
+    }
+  }
+}
+
+bool QfClient::AwaitType(FrameType want, Frame* out) {
+  while (true) {
+    if (!ReadFrame(out, /*timeout_ms=*/-1)) return false;
+    if (out->type == want) return true;
+    if (out->type == FrameType::kAlert) {
+      WireAlert alert;
+      if (!ParseAlert(out->payload, &alert)) {
+        return Fail("protocol: malformed ALERT frame");
+      }
+      stashed_alerts_.push_back(alert);
+      continue;
+    }
+    if (out->type == FrameType::kError) {
+      ErrorFrame err;
+      if (ParseError(out->payload, &err)) {
+        return Fail("server error: " + err.message);
+      }
+      return Fail("server error (malformed ERROR frame)");
+    }
+    return Fail(std::string("unexpected frame: ") +
+                FrameTypeName(out->type));
+  }
+}
+
+bool QfClient::SendIngest(std::span<const Item> items) {
+  const uint64_t token = next_token_++;
+  std::vector<uint8_t> bytes;
+  EncodeIngestTo(token, items, &bytes);
+  if (!SendAll(bytes)) return false;
+  pending_ingest_.push_back(token);
+  return true;
+}
+
+bool QfClient::AwaitIngestAck(IngestAck* ack) {
+  if (pending_ingest_.empty()) return Fail("no ingest frame in flight");
+  Frame frame;
+  if (!AwaitType(FrameType::kIngestAck, &frame)) return false;
+  IngestAck parsed;
+  if (!ParseIngestAck(frame.payload, &parsed)) {
+    return Fail("protocol: malformed INGEST_ACK");
+  }
+  if (parsed.token != pending_ingest_.front()) {
+    return Fail("protocol: ingest ack out of order");
+  }
+  pending_ingest_.pop_front();
+  if (ack != nullptr) *ack = parsed;
+  return true;
+}
+
+bool QfClient::Ingest(std::span<const Item> items, IngestAck* ack) {
+  return SendIngest(items) && AwaitIngestAck(ack);
+}
+
+bool QfClient::Query(std::span<const uint64_t> keys,
+                     std::vector<QueryAnswer>* answers) {
+  const uint64_t token = next_token_++;
+  std::vector<uint8_t> bytes;
+  EncodeQueryTo(token, keys, &bytes);
+  if (!SendAll(bytes)) return false;
+  Frame frame;
+  if (!AwaitType(FrameType::kQueryResult, &frame)) return false;
+  QueryResult result;
+  if (!ParseQueryResult(frame.payload, &result) || result.token != token ||
+      result.answers.size() != keys.size()) {
+    return Fail("protocol: malformed QUERY_RESULT");
+  }
+  if (answers != nullptr) *answers = std::move(result.answers);
+  return true;
+}
+
+bool QfClient::ControlRoundTrip(ControlOp op,
+                                std::span<const uint8_t> op_payload,
+                                ControlResult* result) {
+  const uint64_t token = next_token_++;
+  std::vector<uint8_t> bytes;
+  EncodeControlTo(token, op, op_payload, &bytes);
+  if (!SendAll(bytes)) return false;
+  Frame frame;
+  if (!AwaitType(FrameType::kControlResult, &frame)) return false;
+  ControlResult parsed;
+  if (!ParseControlResult(frame.payload, &parsed) || parsed.token != token ||
+      parsed.op != op) {
+    return Fail("protocol: malformed CONTROL_RESULT");
+  }
+  if (parsed.status != ControlStatus::kOk) {
+    error_ = "control op rejected by server";
+    if (result != nullptr) *result = std::move(parsed);
+    return false;  // connection still usable; do not Close()
+  }
+  if (result != nullptr) *result = std::move(parsed);
+  return true;
+}
+
+bool QfClient::Drain() {
+  return ControlRoundTrip(ControlOp::kDrain, {}, nullptr);
+}
+
+bool QfClient::Checkpoint(std::vector<uint8_t>* blob) {
+  ControlResult result;
+  if (!ControlRoundTrip(ControlOp::kCheckpoint, {}, &result)) return false;
+  if (blob != nullptr) *blob = std::move(result.payload);
+  return true;
+}
+
+bool QfClient::Restore(std::span<const uint8_t> blob) {
+  return ControlRoundTrip(ControlOp::kRestore, blob, nullptr);
+}
+
+bool QfClient::Stats(WireStats* out) {
+  ControlResult result;
+  if (!ControlRoundTrip(ControlOp::kStats, {}, &result)) return false;
+  if (out != nullptr && !ParseWireStats(result.payload, out)) {
+    return Fail("protocol: malformed stats payload");
+  }
+  return true;
+}
+
+bool QfClient::Shutdown() {
+  return ControlRoundTrip(ControlOp::kShutdown, {}, nullptr);
+}
+
+bool QfClient::Subscribe(bool enable) {
+  const uint64_t token = next_token_++;
+  std::vector<uint8_t> bytes;
+  EncodeSubscribeTo(token, enable, &bytes);
+  if (!SendAll(bytes)) return false;
+  Frame frame;
+  if (!AwaitType(FrameType::kSubscribe, &frame)) return false;
+  SubscribeRequest echo;
+  if (!ParseSubscribe(frame.payload, &echo) || echo.token != token ||
+      echo.enable != enable) {
+    return Fail("protocol: malformed SUBSCRIBE echo");
+  }
+  return true;
+}
+
+QfClient::AlertWait QfClient::NextAlert(WireAlert* out, int timeout_ms) {
+  if (!stashed_alerts_.empty()) {
+    *out = stashed_alerts_.front();
+    stashed_alerts_.pop_front();
+    return AlertWait::kAlert;
+  }
+  Frame frame;
+  while (true) {
+    bool timed_out = false;
+    if (!ReadFrame(&frame, timeout_ms, &timed_out)) {
+      return timed_out ? AlertWait::kTimeout : AlertWait::kClosed;
+    }
+    if (frame.type == FrameType::kAlert) {
+      if (!ParseAlert(frame.payload, out)) {
+        Fail("protocol: malformed ALERT frame");
+        return AlertWait::kClosed;
+      }
+      return AlertWait::kAlert;
+    }
+    if (frame.type == FrameType::kError) {
+      ErrorFrame err;
+      Fail(ParseError(frame.payload, &err)
+               ? "server error: " + err.message
+               : "server error (malformed ERROR frame)");
+      return AlertWait::kClosed;
+    }
+    // Any other frame here means the caller interleaved calls wrongly;
+    // surface it as a protocol failure rather than dropping it.
+    Fail(std::string("unexpected frame while waiting for alerts: ") +
+         FrameTypeName(frame.type));
+    return AlertWait::kClosed;
+  }
+}
+
+}  // namespace qf::net

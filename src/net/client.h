@@ -1,0 +1,116 @@
+// QfClient: blocking client for QfServer's binary protocol (DESIGN.md §11).
+//
+// One connection, one calling thread. Request/response calls (Ingest,
+// Query, Drain, ...) send a frame and block for the matching reply; ALERT
+// frames that arrive interleaved while waiting are stashed and surfaced
+// later through NextAlert(), so a subscribed connection can mix queries
+// with alert consumption without losing either.
+//
+// Ingest can also be pipelined for throughput: SendIngest() queues a frame
+// without waiting and AwaitIngestAck() collects acknowledgments in order;
+// keeping a small window of unacknowledged frames in flight overlaps
+// network latency with server-side processing (tools/qf_loadgen does this).
+//
+// Every method returns false (or AlertWait::kClosed) on protocol or socket
+// failure with error() describing the cause; the connection is unusable
+// afterwards — a desynchronized length-prefixed stream cannot be resynced.
+
+#ifndef QUANTILEFILTER_NET_CLIENT_H_
+#define QUANTILEFILTER_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "stream/item.h"
+
+namespace qf::net {
+
+class QfClient {
+ public:
+  struct Options {
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// SO_RCVBUF, applied before connect() so it sizes the TCP window
+    /// (0 = kernel default). Tests shrink it to simulate slow consumers.
+    int so_rcvbuf = 0;
+  };
+
+  QfClient() : QfClient(Options{}) {}
+  explicit QfClient(const Options& options);
+  ~QfClient();
+
+  QfClient(const QfClient&) = delete;
+  QfClient& operator=(const QfClient&) = delete;
+
+  bool Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  const std::string& error() const { return error_; }
+
+  // --- Ingest ---------------------------------------------------------
+
+  /// Sends one INGEST frame without waiting for its ack.
+  bool SendIngest(std::span<const Item> items);
+  /// Blocks for the oldest outstanding ingest ack.
+  bool AwaitIngestAck(IngestAck* ack = nullptr);
+  size_t ingest_in_flight() const { return pending_ingest_.size(); }
+  /// Send + await: the synchronous convenience form.
+  bool Ingest(std::span<const Item> items, IngestAck* ack = nullptr);
+
+  // --- Queries --------------------------------------------------------
+
+  /// Point queries; answers align with `keys`. Preceded by Drain() when
+  /// read-your-writes is required.
+  bool Query(std::span<const uint64_t> keys,
+             std::vector<QueryAnswer>* answers);
+
+  // --- Control --------------------------------------------------------
+
+  bool Drain();
+  bool Checkpoint(std::vector<uint8_t>* blob);
+  bool Restore(std::span<const uint8_t> blob);
+  bool Stats(WireStats* out);
+  /// Asks the server to drain and exit; returns once the server acked.
+  bool Shutdown();
+
+  // --- Alerts ---------------------------------------------------------
+
+  bool Subscribe(bool enable);
+
+  enum class AlertWait {
+    kAlert,    // *out filled
+    kTimeout,  // no alert within timeout_ms
+    kClosed,   // connection lost or protocol error (see error())
+  };
+  /// Next ALERT frame: stashed ones first, then reads the socket.
+  /// timeout_ms < 0 blocks indefinitely.
+  AlertWait NextAlert(WireAlert* out, int timeout_ms);
+
+ private:
+  bool SendAll(const std::vector<uint8_t>& bytes);
+  /// Reads until one complete frame is decoded. timeout_ms < 0 blocks.
+  /// Returns false on close/poison/timeout (timed_out set on timeout).
+  bool ReadFrame(Frame* out, int timeout_ms, bool* timed_out = nullptr);
+  /// Reads frames until one of type `want` arrives, stashing alerts and
+  /// failing on ERROR frames or anything unexpected.
+  bool AwaitType(FrameType want, Frame* out);
+  bool Fail(const std::string& why);
+  /// Control request returning the (validated) result frame.
+  bool ControlRoundTrip(ControlOp op, std::span<const uint8_t> op_payload,
+                        ControlResult* result);
+
+  Options options_;
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::deque<WireAlert> stashed_alerts_;
+  std::deque<uint64_t> pending_ingest_;  // tokens awaiting acks, in order
+  uint64_t next_token_ = 1;
+  std::string error_;
+};
+
+}  // namespace qf::net
+
+#endif  // QUANTILEFILTER_NET_CLIENT_H_

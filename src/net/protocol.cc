@@ -1,0 +1,359 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "common/serialize.h"
+
+namespace qf::net {
+
+static_assert(sizeof(Item) == 16,
+              "Item is memcpy'd to the wire; layout must be {u64, f64}");
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kIngest: return "ingest";
+    case FrameType::kQuery: return "query";
+    case FrameType::kSubscribe: return "subscribe";
+    case FrameType::kControl: return "control";
+    case FrameType::kIngestAck: return "ingest_ack";
+    case FrameType::kQueryResult: return "query_result";
+    case FrameType::kAlert: return "alert";
+    case FrameType::kControlResult: return "control_result";
+    case FrameType::kError: return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void AppendRaw(const void* data, size_t size, std::vector<uint8_t>* out) {
+  if (size == 0) return;  // empty spans may carry a null data()
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), p, p + size);
+}
+
+template <typename T>
+void AppendValue(const T& value, std::vector<uint8_t>* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AppendRaw(&value, sizeof(T), out);
+}
+
+}  // namespace
+
+void AppendFrameTo(FrameType type, std::span<const uint8_t> payload,
+                   std::vector<uint8_t>* out) {
+  const uint32_t length =
+      static_cast<uint32_t>(kFrameHeaderBytes + payload.size());
+  out->reserve(out->size() + 4 + length);
+  AppendValue(length, out);
+  AppendValue(kProtocolVersion, out);
+  AppendValue(static_cast<uint8_t>(type), out);
+  AppendValue(static_cast<uint16_t>(0), out);  // reserved
+  AppendRaw(payload.data(), payload.size(), out);
+}
+
+void EncodeIngestTo(uint64_t token, std::span<const Item> items,
+                    std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(12 + items.size() * sizeof(Item));
+  AppendValue(token, &payload);
+  AppendValue(static_cast<uint32_t>(items.size()), &payload);
+  AppendRaw(items.data(), items.size() * sizeof(Item), &payload);
+  AppendFrameTo(FrameType::kIngest, payload, out);
+}
+
+void EncodeIngestAckTo(uint64_t token, uint32_t count, uint64_t total_items,
+                       std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(20);
+  AppendValue(token, &payload);
+  AppendValue(count, &payload);
+  AppendValue(total_items, &payload);
+  AppendFrameTo(FrameType::kIngestAck, payload, out);
+}
+
+void EncodeQueryTo(uint64_t token, std::span<const uint64_t> keys,
+                   std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(12 + keys.size() * 8);
+  AppendValue(token, &payload);
+  AppendValue(static_cast<uint32_t>(keys.size()), &payload);
+  AppendRaw(keys.data(), keys.size() * 8, &payload);
+  AppendFrameTo(FrameType::kQuery, payload, out);
+}
+
+void EncodeQueryResultTo(uint64_t token,
+                         std::span<const QueryAnswer> answers,
+                         std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(12 + answers.size() * 9);
+  AppendValue(token, &payload);
+  AppendValue(static_cast<uint32_t>(answers.size()), &payload);
+  for (const QueryAnswer& a : answers) {
+    AppendValue(a.qweight, &payload);   // answers are packed 9-byte records
+    AppendValue(a.is_candidate, &payload);
+  }
+  AppendFrameTo(FrameType::kQueryResult, payload, out);
+}
+
+void EncodeSubscribeTo(uint64_t token, bool enable,
+                       std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(9);
+  AppendValue(token, &payload);
+  AppendValue(static_cast<uint8_t>(enable ? 1 : 0), &payload);
+  AppendFrameTo(FrameType::kSubscribe, payload, out);
+}
+
+void EncodeControlTo(uint64_t token, ControlOp op,
+                     std::span<const uint8_t> op_payload,
+                     std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(9 + op_payload.size());
+  AppendValue(token, &payload);
+  AppendValue(static_cast<uint8_t>(op), &payload);
+  AppendRaw(op_payload.data(), op_payload.size(), &payload);
+  AppendFrameTo(FrameType::kControl, payload, out);
+}
+
+void EncodeControlResultTo(uint64_t token, ControlOp op, ControlStatus status,
+                           std::span<const uint8_t> payload,
+                           std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  body.reserve(10 + payload.size());
+  AppendValue(token, &body);
+  AppendValue(static_cast<uint8_t>(op), &body);
+  AppendValue(static_cast<uint8_t>(status), &body);
+  AppendRaw(payload.data(), payload.size(), &body);
+  AppendFrameTo(FrameType::kControlResult, body, out);
+}
+
+void EncodeAlertTo(const WireAlert& alert, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(sizeof(WireAlert));
+  AppendValue(alert, &payload);
+  AppendFrameTo(FrameType::kAlert, payload, out);
+}
+
+void EncodeErrorTo(ErrorCode code, std::string_view message,
+                   std::vector<uint8_t>* out) {
+  if (message.size() > 1024) message = message.substr(0, 1024);
+  std::vector<uint8_t> payload;
+  payload.reserve(6 + message.size());
+  AppendValue(static_cast<uint32_t>(code), &payload);
+  AppendValue(static_cast<uint16_t>(message.size()), &payload);
+  AppendRaw(message.data(), message.size(), &payload);
+  AppendFrameTo(FrameType::kError, payload, out);
+}
+
+// ---------------------------------------------------------------------------
+
+bool ParseIngest(std::span<const uint8_t> payload, IngestRequest* out) {
+  ByteReader reader(payload.data(), payload.size());
+  uint64_t token = 0;
+  uint32_t count = 0;
+  if (!reader.Read(&token) || !reader.Read(&count)) return false;
+  if (reader.remaining() != static_cast<size_t>(count) * sizeof(Item)) {
+    return false;  // exact-size contract: no trailing garbage
+  }
+  out->token = token;
+  out->items.clear();
+  out->items.resize(count);
+  if (count > 0) {
+    std::memcpy(out->items.data(), payload.data() + 12,
+                static_cast<size_t>(count) * sizeof(Item));
+  }
+  return true;
+}
+
+bool ParseIngestAck(std::span<const uint8_t> payload, IngestAck* out) {
+  ByteReader reader(payload.data(), payload.size());
+  IngestAck ack;
+  if (!reader.Read(&ack.token) || !reader.Read(&ack.count) ||
+      !reader.Read(&ack.total_items) || reader.remaining() != 0) {
+    return false;
+  }
+  *out = ack;
+  return true;
+}
+
+bool ParseQuery(std::span<const uint8_t> payload, QueryRequest* out) {
+  ByteReader reader(payload.data(), payload.size());
+  uint64_t token = 0;
+  uint32_t count = 0;
+  if (!reader.Read(&token) || !reader.Read(&count)) return false;
+  if (reader.remaining() != static_cast<size_t>(count) * 8) return false;
+  out->token = token;
+  out->keys.clear();
+  out->keys.resize(count);
+  if (count > 0) {
+    std::memcpy(out->keys.data(), payload.data() + 12,
+                static_cast<size_t>(count) * 8);
+  }
+  return true;
+}
+
+bool ParseQueryResult(std::span<const uint8_t> payload, QueryResult* out) {
+  ByteReader reader(payload.data(), payload.size());
+  uint64_t token = 0;
+  uint32_t count = 0;
+  if (!reader.Read(&token) || !reader.Read(&count)) return false;
+  if (reader.remaining() != static_cast<size_t>(count) * 9) return false;
+  out->token = token;
+  out->answers.clear();
+  out->answers.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    QueryAnswer& a = out->answers[i];
+    if (!reader.Read(&a.qweight) || !reader.Read(&a.is_candidate)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseSubscribe(std::span<const uint8_t> payload, SubscribeRequest* out) {
+  ByteReader reader(payload.data(), payload.size());
+  uint64_t token = 0;
+  uint8_t enable = 0;
+  if (!reader.Read(&token) || !reader.Read(&enable) ||
+      reader.remaining() != 0 || enable > 1) {
+    return false;
+  }
+  out->token = token;
+  out->enable = enable != 0;
+  return true;
+}
+
+bool ParseControl(std::span<const uint8_t> payload, ControlRequest* out) {
+  ByteReader reader(payload.data(), payload.size());
+  uint64_t token = 0;
+  uint8_t op = 0;
+  if (!reader.Read(&token) || !reader.Read(&op)) return false;
+  if (op < 1 || op > kMaxControlOp) return false;
+  out->token = token;
+  out->op = static_cast<ControlOp>(op);
+  out->op_payload.assign(payload.begin() + 9, payload.end());
+  return true;
+}
+
+bool ParseControlResult(std::span<const uint8_t> payload, ControlResult* out) {
+  ByteReader reader(payload.data(), payload.size());
+  uint64_t token = 0;
+  uint8_t op = 0, status = 0;
+  if (!reader.Read(&token) || !reader.Read(&op) || !reader.Read(&status)) {
+    return false;
+  }
+  if (op < 1 || op > kMaxControlOp) return false;
+  out->token = token;
+  out->op = static_cast<ControlOp>(op);
+  out->status = static_cast<ControlStatus>(status);
+  out->payload.assign(payload.begin() + 10, payload.end());
+  return true;
+}
+
+bool ParseAlert(std::span<const uint8_t> payload, WireAlert* out) {
+  if (payload.size() != sizeof(WireAlert)) return false;
+  std::memcpy(out, payload.data(), sizeof(WireAlert));
+  return true;
+}
+
+bool ParseWireStats(std::span<const uint8_t> payload, WireStats* out) {
+  // Accept longer payloads from newer servers (append-only struct).
+  if (payload.size() < sizeof(WireStats)) return false;
+  std::memcpy(out, payload.data(), sizeof(WireStats));
+  return true;
+}
+
+bool ParseError(std::span<const uint8_t> payload, ErrorFrame* out) {
+  ByteReader reader(payload.data(), payload.size());
+  uint32_t code = 0;
+  uint16_t len = 0;
+  if (!reader.Read(&code) || !reader.Read(&len)) return false;
+  if (reader.remaining() != len) return false;
+  out->code = static_cast<ErrorCode>(code);
+  out->message.assign(reinterpret_cast<const char*>(payload.data()) + 6, len);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+bool FrameDecoder::Poison(const std::string& why) {
+  poisoned_ = true;
+  error_ = why;
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  consumed_ = 0;
+  return false;
+}
+
+bool FrameDecoder::ValidateBufferedHeader() {
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return true;  // need more to judge
+  uint32_t length = 0;
+  std::memcpy(&length, buffer_.data() + consumed_, 4);
+  if (length < kFrameHeaderBytes) {
+    return Poison("frame length " + std::to_string(length) +
+                  " below header size");
+  }
+  if (length > options_.max_frame_bytes + kFrameHeaderBytes) {
+    return Poison("frame length " + std::to_string(length) +
+                  " exceeds cap " +
+                  std::to_string(options_.max_frame_bytes));
+  }
+  if (avail >= 5 && buffer_[consumed_ + 4] != kProtocolVersion) {
+    return Poison("unsupported protocol version " +
+                  std::to_string(buffer_[consumed_ + 4]));
+  }
+  if (avail >= 6) {
+    const uint8_t type = buffer_[consumed_ + 5];
+    if (type < 1 || type > kMaxFrameType) {
+      return Poison("unknown frame type " + std::to_string(type));
+    }
+  }
+  if (avail >= 8) {
+    uint16_t reserved = 0;
+    std::memcpy(&reserved, buffer_.data() + consumed_ + 6, 2);
+    if (reserved != 0) return Poison("nonzero reserved field");
+  }
+  return true;
+}
+
+bool FrameDecoder::Append(const uint8_t* data, size_t size) {
+  if (poisoned_) return false;
+  // Reclaim consumed prefix before growing, so steady-state buffering stays
+  // bounded by one frame plus one read chunk.
+  if (consumed_ > 0 &&
+      (consumed_ >= buffer_.size() || consumed_ > (64u << 10))) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+  // Fail closed as soon as the malformed bytes arrive: an oversize or
+  // garbage header poisons here, before any caller waits for a full frame.
+  return ValidateBufferedHeader();
+}
+
+FrameDecoder::Result FrameDecoder::Next(Frame* out) {
+  if (poisoned_) return Result::kError;
+  if (!ValidateBufferedHeader()) return Result::kError;
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return Result::kNeedMore;
+  uint32_t length = 0;
+  std::memcpy(&length, buffer_.data() + consumed_, 4);
+  if (avail < 4 + static_cast<size_t>(length)) return Result::kNeedMore;
+
+  const uint8_t* frame = buffer_.data() + consumed_;
+  out->type = static_cast<FrameType>(frame[5]);
+  out->payload.assign(frame + 4 + kFrameHeaderBytes, frame + 4 + length);
+  consumed_ += 4 + static_cast<size_t>(length);
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  // The next frame's header may already be buffered and malformed.
+  if (!ValidateBufferedHeader()) return Result::kFrame;  // frame still valid
+  return Result::kFrame;
+}
+
+}  // namespace qf::net

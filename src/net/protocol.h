@@ -1,0 +1,269 @@
+// QuantileFilter wire protocol: length-prefixed binary frames (DESIGN.md
+// §11).
+//
+// Every frame is
+//
+//   u32 length     — byte count of everything after this field (LE)
+//   u8  version    — kProtocolVersion; mismatches fail closed
+//   u8  type       — FrameType
+//   u16 reserved   — must be zero (room for flags; non-zero fails closed)
+//   u8  payload[length - 4]
+//
+// Client -> server: INGEST (batched <key,value> items), QUERY (point
+// Qweight + candidate status), SUBSCRIBE (enable/disable the alert
+// stream), CONTROL (stats / drain / checkpoint / restore / shutdown).
+// Server -> client: INGEST_ACK, QUERY_RESULT, ALERT (streamed detections),
+// CONTROL_RESULT, ERROR.
+//
+// Client-chosen u64 tokens correlate responses with requests; ALERT frames
+// carry a per-connection sequence number instead (they are unsolicited).
+//
+// The decoder (FrameDecoder) is incremental and fail-closed: it accepts
+// arbitrary byte chunks, never over-reads, caps both the declared frame
+// length and its internal buffering at Options::max_frame_bytes (+ header),
+// and poisons the stream permanently on the first malformed header — a
+// desynchronized length-prefixed stream cannot be trusted again. It is pure
+// in-memory code with no socket dependency, which is what the wire-frame
+// fuzz mode in tools/qf_fuzz drives.
+
+#ifndef QUANTILEFILTER_NET_PROTOCOL_H_
+#define QUANTILEFILTER_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stream/item.h"
+
+namespace qf::net {
+
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Frame header bytes after the length field (version, type, reserved).
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Default cap on a frame's payload. CONTROL checkpoint/restore frames
+/// carry whole serialized filters, so the cap is sized for checkpoint
+/// blobs (a filter checkpoint is roughly its memory budget).
+inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
+
+enum class FrameType : uint8_t {
+  kIngest = 1,
+  kQuery = 2,
+  kSubscribe = 3,
+  kControl = 4,
+  kIngestAck = 5,
+  kQueryResult = 6,
+  kAlert = 7,
+  kControlResult = 8,
+  kError = 9,
+};
+inline constexpr uint8_t kMaxFrameType = 9;
+
+const char* FrameTypeName(FrameType type);
+
+enum class ControlOp : uint8_t {
+  kStats = 1,       // reply payload: WireStats
+  kDrain = 2,       // flush + fence the pipeline; reply when quiescent
+  kCheckpoint = 3,  // drain, then reply payload: SerializeState() blob
+  kRestore = 4,     // request payload: checkpoint blob; drain, then restore
+  kShutdown = 5,    // drain, ack, then stop serving
+};
+inline constexpr uint8_t kMaxControlOp = 5;
+
+/// CONTROL_RESULT status byte.
+enum class ControlStatus : uint8_t {
+  kOk = 0,
+  kBadRequest = 1,   // unknown op / malformed op payload
+  kRejected = 2,     // e.g. restore blob failed CRC or geometry checks
+};
+
+/// Server counters returned by ControlOp::kStats. All-u64 and packed, so it
+/// memcpy-serializes; extend only by appending (the parser accepts longer
+/// payloads from newer servers).
+struct WireStats {
+  uint64_t items_ingested = 0;    // items accepted from INGEST frames
+  uint64_t items_processed = 0;   // items drained by pipeline workers
+  uint64_t reports = 0;           // outstanding-key reports across shards
+  uint64_t alerts_streamed = 0;   // ALERT frames queued to subscribers
+  uint64_t alerts_dropped = 0;    // alert-ring overflows (at-most-once)
+  uint64_t accepts = 0;           // connections accepted since boot
+  uint64_t active_connections = 0;
+  uint64_t slow_disconnects = 0;  // connections dropped over write-queue cap
+};
+static_assert(sizeof(WireStats) == 8 * sizeof(uint64_t));
+
+/// One alert on the wire. `seq` counts ALERT frames on this connection;
+/// gaps never occur (drops happen upstream of the per-connection stream and
+/// are visible only in WireStats::alerts_dropped).
+struct WireAlert {
+  uint64_t seq = 0;
+  uint64_t key = 0;
+  double value = 0.0;   // the item value that triggered the report
+  uint32_t shard = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(WireAlert) == 32);
+
+/// One QUERY answer.
+struct QueryAnswer {
+  int64_t qweight = 0;
+  uint8_t is_candidate = 0;
+};
+
+/// A decoded frame: type plus its raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// ERROR frame codes.
+enum class ErrorCode : uint32_t {
+  kMalformedFrame = 1,
+  kUnsupportedType = 2,
+  kBadPayload = 3,
+  kSlowConsumer = 4,
+  kShuttingDown = 5,
+};
+
+// ---------------------------------------------------------------------------
+// Encoding. The *To forms append to `out` (the server's per-connection write
+// queue); the value forms build a fresh buffer (client convenience).
+
+void AppendFrameTo(FrameType type, std::span<const uint8_t> payload,
+                   std::vector<uint8_t>* out);
+
+void EncodeIngestTo(uint64_t token, std::span<const Item> items,
+                    std::vector<uint8_t>* out);
+void EncodeIngestAckTo(uint64_t token, uint32_t count, uint64_t total_items,
+                       std::vector<uint8_t>* out);
+void EncodeQueryTo(uint64_t token, std::span<const uint64_t> keys,
+                   std::vector<uint8_t>* out);
+void EncodeQueryResultTo(uint64_t token,
+                         std::span<const QueryAnswer> answers,
+                         std::vector<uint8_t>* out);
+void EncodeSubscribeTo(uint64_t token, bool enable,
+                       std::vector<uint8_t>* out);
+void EncodeControlTo(uint64_t token, ControlOp op,
+                     std::span<const uint8_t> op_payload,
+                     std::vector<uint8_t>* out);
+void EncodeControlResultTo(uint64_t token, ControlOp op, ControlStatus status,
+                           std::span<const uint8_t> payload,
+                           std::vector<uint8_t>* out);
+void EncodeAlertTo(const WireAlert& alert, std::vector<uint8_t>* out);
+void EncodeErrorTo(ErrorCode code, std::string_view message,
+                   std::vector<uint8_t>* out);
+
+// ---------------------------------------------------------------------------
+// Payload parsers. Each returns false on any size/shape violation and
+// touches the outputs only on success. Item/key vectors are cleared and
+// refilled so callers can reuse capacity across frames.
+
+struct IngestRequest {
+  uint64_t token = 0;
+  std::vector<Item> items;
+};
+bool ParseIngest(std::span<const uint8_t> payload, IngestRequest* out);
+
+struct IngestAck {
+  uint64_t token = 0;
+  uint32_t count = 0;
+  uint64_t total_items = 0;
+};
+bool ParseIngestAck(std::span<const uint8_t> payload, IngestAck* out);
+
+struct QueryRequest {
+  uint64_t token = 0;
+  std::vector<uint64_t> keys;
+};
+bool ParseQuery(std::span<const uint8_t> payload, QueryRequest* out);
+
+struct QueryResult {
+  uint64_t token = 0;
+  std::vector<QueryAnswer> answers;
+};
+bool ParseQueryResult(std::span<const uint8_t> payload, QueryResult* out);
+
+struct SubscribeRequest {
+  uint64_t token = 0;
+  bool enable = false;
+};
+bool ParseSubscribe(std::span<const uint8_t> payload, SubscribeRequest* out);
+
+struct ControlRequest {
+  uint64_t token = 0;
+  ControlOp op = ControlOp::kStats;
+  std::vector<uint8_t> op_payload;
+};
+bool ParseControl(std::span<const uint8_t> payload, ControlRequest* out);
+
+struct ControlResult {
+  uint64_t token = 0;
+  ControlOp op = ControlOp::kStats;
+  ControlStatus status = ControlStatus::kOk;
+  std::vector<uint8_t> payload;
+};
+bool ParseControlResult(std::span<const uint8_t> payload, ControlResult* out);
+
+bool ParseAlert(std::span<const uint8_t> payload, WireAlert* out);
+bool ParseWireStats(std::span<const uint8_t> payload, WireStats* out);
+
+struct ErrorFrame {
+  ErrorCode code = ErrorCode::kMalformedFrame;
+  std::string message;
+};
+bool ParseError(std::span<const uint8_t> payload, ErrorFrame* out);
+
+// ---------------------------------------------------------------------------
+
+/// Incremental, fail-closed frame decoder over a byte stream.
+class FrameDecoder {
+ public:
+  struct Options {
+    /// Cap on a frame's payload bytes; also bounds internal buffering at
+    /// max_frame_bytes + kFrameHeaderBytes + 4.
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  };
+
+  enum class Result {
+    kFrame,     // *out holds the next complete frame
+    kNeedMore,  // no complete frame buffered yet
+    kError,     // stream poisoned; error() describes why
+  };
+
+  FrameDecoder() : FrameDecoder(Options{}) {}
+  explicit FrameDecoder(const Options& options) : options_(options) {}
+
+  /// Buffers `size` bytes of stream input. Returns false iff the stream is
+  /// (or becomes) poisoned — a malformed header is detected as soon as its
+  /// bytes arrive, without waiting for the full frame.
+  bool Append(const uint8_t* data, size_t size);
+
+  /// Pulls the next complete frame out of the buffer.
+  Result Next(Frame* out);
+
+  bool poisoned() const { return poisoned_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes currently buffered (tests assert this stays bounded).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  bool Poison(const std::string& why);
+  /// Validates the header of the frame starting at `consumed_`, as far as
+  /// the buffered bytes allow. Returns false on poison.
+  bool ValidateBufferedHeader();
+
+  Options options_;
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;  // bytes of buffer_ already handed out as frames
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+}  // namespace qf::net
+
+#endif  // QUANTILEFILTER_NET_PROTOCOL_H_

@@ -1,0 +1,642 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/instrument.h"
+
+#if QF_METRICS
+#include "common/time.h"
+#include "obs/registry.h"
+#endif
+
+namespace qf::net {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+#if QF_METRICS
+/// Serving-layer metric bundle (names per DESIGN.md §10/§11). Per-frame-type
+/// counters carry a `{type="..."}` label; per-connection activity is exposed
+/// through the accepts/active/slow series plus WireStats.
+struct NetMetrics {
+  obs::Counter& accepts;
+  obs::Counter& disconnects;
+  obs::Counter& slow_disconnects;
+  obs::Counter& bytes_read;
+  obs::Counter& bytes_written;
+  obs::Counter& ingest_items;
+  obs::Counter& alerts_streamed;
+  obs::Counter& protocol_errors;
+  obs::Gauge& active_connections;
+  obs::Histogram& ingest_frame_ns;
+  obs::Histogram& query_frame_ns;
+  obs::Histogram& control_frame_ns;
+  obs::Counter* frames_by_type[kMaxFrameType + 1];
+
+  static NetMetrics& Get() {
+    static NetMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      auto* nm = new NetMetrics{
+          r.GetCounter("qf_net_accepts_total", "connections accepted"),
+          r.GetCounter("qf_net_disconnects_total", "connections closed"),
+          r.GetCounter("qf_net_slow_disconnects_total",
+                       "connections dropped over the write-queue cap"),
+          r.GetCounter("qf_net_bytes_read_total", "bytes read from sockets"),
+          r.GetCounter("qf_net_bytes_written_total",
+                       "bytes written to sockets"),
+          r.GetCounter("qf_net_ingest_items_total",
+                       "items accepted from INGEST frames"),
+          r.GetCounter("qf_net_alerts_streamed_total",
+                       "ALERT frames queued to subscribers"),
+          r.GetCounter("qf_net_protocol_errors_total",
+                       "connections poisoned by malformed frames"),
+          r.GetGauge("qf_net_active_connections", "open connections"),
+          r.GetHistogram("qf_net_ingest_frame_ns",
+                         "INGEST frame handling latency (ns)"),
+          r.GetHistogram("qf_net_query_frame_ns",
+                         "QUERY frame handling latency (ns)"),
+          r.GetHistogram("qf_net_control_frame_ns",
+                         "CONTROL frame handling latency (ns)"),
+          {},
+      };
+      nm->frames_by_type[0] = nullptr;
+      for (uint8_t t = 1; t <= kMaxFrameType; ++t) {
+        std::string name = "qf_net_frames_total{type=\"";
+        name += FrameTypeName(static_cast<FrameType>(t));
+        name += "\"}";
+        nm->frames_by_type[t] =
+            &r.GetCounter(name, "frames received, by type");
+      }
+      return nm;
+    }();
+    return *m;
+  }
+};
+#endif  // QF_METRICS
+
+}  // namespace
+
+/// Per-connection state, owned by the event loop.
+struct QfServer::Conn {
+  int fd = -1;
+  FrameDecoder decoder;
+  std::vector<uint8_t> out;  // pending write bytes [out_off, out.size())
+  size_t out_off = 0;
+  bool want_write = false;   // EPOLLOUT currently armed
+  bool subscribed = false;
+  bool closing = false;      // close once `out` drains
+  uint64_t alert_seq = 0;
+
+  explicit Conn(int fd_in, const FrameDecoder::Options& dopts)
+      : fd(fd_in), decoder(dopts) {}
+  size_t pending() const { return out.size() - out_off; }
+};
+
+QfServer::QfServer(const Options& options)
+    : options_(options),
+      filter_(options.filter, options.criteria,
+              options.num_shards < 1 ? 1 : options.num_shards),
+      pipeline_(filter_, [&options] {
+        Pipeline::Options p;
+        p.batch_size = options.batch_size;
+        p.ring_batches = options.ring_batches;
+        p.alert_ring_records = options.alert_ring_records;
+        return p;
+      }()) {}
+
+QfServer::~QfServer() {
+  Stop();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+}
+
+bool QfServer::Start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    error_ = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad host: " + options_.host;
+    return false;
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    error_ = "bind: " + std::string(strerror(errno));
+    return false;
+  }
+  if (listen(listen_fd_, 128) != 0) {
+    error_ = "listen: " + std::string(strerror(errno));
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (!SetNonBlocking(listen_fd_)) {
+    error_ = "fcntl: " + std::string(strerror(errno));
+    return false;
+  }
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    error_ = "epoll/eventfd: " + std::string(strerror(errno));
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stop_requested_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void QfServer::Stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+  }
+  Wait();
+}
+
+void QfServer::Wait() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+WireStats QfServer::StatsSnapshot() const {
+  const Pipeline::Totals t = pipeline_.totals();
+  WireStats s;
+  s.items_ingested = items_ingested_.load(std::memory_order_relaxed);
+  s.items_processed = t.items_processed;
+  s.reports = t.reports;
+  s.alerts_streamed = alerts_streamed_.load(std::memory_order_relaxed);
+  s.alerts_dropped = t.alerts_dropped;
+  s.accepts = accepts_.load(std::memory_order_relaxed);
+  s.active_connections = active_connections_.load(std::memory_order_relaxed);
+  s.slow_disconnects = slow_disconnects_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void QfServer::Loop() {
+  // The loop thread is the pipeline's dispatcher: Start()/Push()/Fence()/
+  // Stop() all run here, satisfying the single-producer contract.
+  pipeline_.Start();
+
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  bool pushed = false;  // items staged since the last Flush
+
+  while (true) {
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if (stopping_) {
+      // kShutdown acked: leave once the ack has drained (or the client
+      // vanished); everything else has already been fenced.
+      auto it = conns_.find(shutdown_fd_);
+      if (it == conns_.end() || it->second->pending() == 0) break;
+    }
+
+    // Short timeout while subscribers wait on alert fan-out; otherwise
+    // sleep long — Stop() pokes the eventfd.
+    bool any_subscriber = false;
+    for (const auto& [fd, conn] : conns_) {
+      if (conn->subscribed) {
+        any_subscriber = true;
+        break;
+      }
+    }
+    const int timeout_ms = (any_subscriber || pushed || stopping_) ? 1 : 200;
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0 && errno != EINTR) break;
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drain;
+        while (read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      Conn* conn = it->second.get();
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConn(conn, /*slow=*/false);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        WriteReady(conn);
+        if (conns_.find(fd) == conns_.end()) continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        ReadReady(conn);
+        pushed = true;  // conservatively: INGEST frames stage items
+      }
+    }
+
+    // Ship partial batches so staged items never wait on a quiet socket.
+    if (pushed) {
+      pipeline_.Flush();
+      pushed = false;
+    }
+    BroadcastAlerts();
+  }
+
+  // Dispatcher-side pipeline shutdown; joins the shard workers.
+  pipeline_.Stop();
+
+  for (auto& [fd, conn] : conns_) {
+    (void)conn;
+    close(fd);
+  }
+  conns_.clear();
+  active_connections_.store(0, std::memory_order_relaxed);
+  running_.store(false, std::memory_order_release);
+}
+
+void QfServer::AcceptReady() {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: try next wakeup
+    if (conns_.size() >=
+        static_cast<size_t>(options_.max_connections < 1
+                                ? 1
+                                : options_.max_connections)) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.so_sndbuf > 0) {
+      setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                 sizeof(options_.so_sndbuf));
+    }
+    FrameDecoder::Options dopts;
+    dopts.max_frame_bytes = options_.max_frame_bytes;
+    auto conn = std::make_unique<Conn>(fd, dopts);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+    accepts_.fetch_add(1, std::memory_order_relaxed);
+    active_connections_.store(conns_.size(), std::memory_order_relaxed);
+    QF_OBS({
+      NetMetrics::Get().accepts.Add(1);
+      NetMetrics::Get().active_connections.Set(
+          static_cast<int64_t>(conns_.size()));
+    });
+  }
+}
+
+void QfServer::ReadReady(Conn* conn) {
+  const int fd = conn->fd;  // survives CloseConn for liveness re-checks
+  uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      CloseConn(conn, /*slow=*/false);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConn(conn, /*slow=*/false);
+      return;
+    }
+    QF_OBS(NetMetrics::Get().bytes_read.Add(static_cast<uint64_t>(n)));
+    if (!conn->decoder.Append(buf, static_cast<size_t>(n))) {
+      QF_OBS(NetMetrics::Get().protocol_errors.Add(1));
+      SendError(conn, ErrorCode::kMalformedFrame, conn->decoder.error());
+      return;
+    }
+    Frame frame;
+    while (true) {
+      const FrameDecoder::Result r = conn->decoder.Next(&frame);
+      if (r == FrameDecoder::Result::kNeedMore) break;
+      if (r == FrameDecoder::Result::kError) {
+        QF_OBS(NetMetrics::Get().protocol_errors.Add(1));
+        SendError(conn, ErrorCode::kMalformedFrame, conn->decoder.error());
+        return;
+      }
+      HandleFrame(conn, frame);
+      // HandleFrame may close the connection (bad payload, slow consumer).
+      if (conns_.find(fd) == conns_.end()) return;
+      if (conn->closing) return;  // post-shutdown: ignore pipelined frames
+    }
+    if (static_cast<size_t>(n) < sizeof(buf)) break;  // drained the socket
+  }
+}
+
+void QfServer::WriteReady(Conn* conn) {
+  if (!FlushWrites(conn)) return;
+  if (conn->closing && conn->pending() == 0) {
+    CloseConn(conn, /*slow=*/false);
+  }
+}
+
+void QfServer::HandleFrame(Conn* conn, const Frame& frame) {
+#if QF_METRICS
+  const uint8_t type_idx = static_cast<uint8_t>(frame.type);
+  if (type_idx >= 1 && type_idx <= kMaxFrameType) {
+    NetMetrics::Get().frames_by_type[type_idx]->Add(1);
+  }
+#endif
+  if (stopping_) {
+    SendError(conn, ErrorCode::kShuttingDown, "server is shutting down");
+    return;
+  }
+  switch (frame.type) {
+    case FrameType::kIngest:
+      HandleIngest(conn, frame);
+      return;
+    case FrameType::kQuery:
+      HandleQuery(conn, frame);
+      return;
+    case FrameType::kSubscribe:
+      HandleSubscribe(conn, frame);
+      return;
+    case FrameType::kControl:
+      HandleControl(conn, frame);
+      return;
+    default:
+      // Server-to-client frame types are not valid requests.
+      SendError(conn, ErrorCode::kUnsupportedType,
+                std::string("unexpected frame type: ") +
+                    FrameTypeName(frame.type));
+      return;
+  }
+}
+
+void QfServer::HandleIngest(Conn* conn, const Frame& frame) {
+#if QF_METRICS
+  const uint64_t t0 = MonotonicNanos();
+#endif
+  IngestRequest req;
+  if (!ParseIngest(frame.payload, &req)) {
+    SendError(conn, ErrorCode::kBadPayload, "malformed INGEST payload");
+    return;
+  }
+  for (const Item& item : req.items) pipeline_.Push(item);
+  items_ingested_.fetch_add(req.items.size(), std::memory_order_relaxed);
+  std::vector<uint8_t> reply;
+  EncodeIngestAckTo(req.token, static_cast<uint32_t>(req.items.size()),
+                    items_ingested_.load(std::memory_order_relaxed), &reply);
+  QueueWrite(conn, reply);
+  QF_OBS({
+    NetMetrics::Get().ingest_items.Add(req.items.size());
+    NetMetrics::Get().ingest_frame_ns.Record(MonotonicNanos() - t0);
+  });
+}
+
+void QfServer::HandleQuery(Conn* conn, const Frame& frame) {
+#if QF_METRICS
+  const uint64_t t0 = MonotonicNanos();
+#endif
+  QueryRequest req;
+  if (!ParseQuery(frame.payload, &req)) {
+    SendError(conn, ErrorCode::kBadPayload, "malformed QUERY payload");
+    return;
+  }
+  std::vector<QueryAnswer> answers;
+  answers.reserve(req.keys.size());
+  for (const uint64_t key : req.keys) {
+    // Executed on the owning shard's worker thread via its control slot;
+    // reflects the worker's current ring position (CONTROL kDrain first for
+    // read-your-writes).
+    const Pipeline::QueryAnswer a = pipeline_.Query(key);
+    answers.push_back(
+        QueryAnswer{a.qweight, static_cast<uint8_t>(a.is_candidate ? 1 : 0)});
+  }
+  std::vector<uint8_t> reply;
+  EncodeQueryResultTo(req.token, answers, &reply);
+  QueueWrite(conn, reply);
+  QF_OBS(NetMetrics::Get().query_frame_ns.Record(MonotonicNanos() - t0));
+}
+
+void QfServer::HandleSubscribe(Conn* conn, const Frame& frame) {
+  SubscribeRequest req;
+  if (!ParseSubscribe(frame.payload, &req)) {
+    SendError(conn, ErrorCode::kBadPayload, "malformed SUBSCRIBE payload");
+    return;
+  }
+  conn->subscribed = req.enable;
+  // Echo as the acknowledgment; alerts start streaming after this frame.
+  std::vector<uint8_t> reply;
+  EncodeSubscribeTo(req.token, req.enable, &reply);
+  QueueWrite(conn, reply);
+}
+
+void QfServer::HandleControl(Conn* conn, const Frame& frame) {
+#if QF_METRICS
+  const uint64_t t0 = MonotonicNanos();
+#endif
+  ControlRequest req;
+  if (!ParseControl(frame.payload, &req)) {
+    SendError(conn, ErrorCode::kBadPayload, "malformed CONTROL payload");
+    return;
+  }
+  std::vector<uint8_t> reply;
+  switch (req.op) {
+    case ControlOp::kStats: {
+      const WireStats stats = StatsSnapshot();
+      std::vector<uint8_t> payload(sizeof(WireStats));
+      memcpy(payload.data(), &stats, sizeof(WireStats));
+      EncodeControlResultTo(req.token, req.op, ControlStatus::kOk, payload,
+                            &reply);
+      break;
+    }
+    case ControlOp::kDrain: {
+      pipeline_.Fence();
+      EncodeControlResultTo(req.token, req.op, ControlStatus::kOk, {},
+                            &reply);
+      break;
+    }
+    case ControlOp::kCheckpoint: {
+      // Fence first: the checkpoint then covers every item acked so far,
+      // and the quiescent shards are safe to serialize from this thread.
+      pipeline_.Fence();
+      const std::vector<uint8_t> blob = filter_.SerializeState();
+      EncodeControlResultTo(req.token, req.op, ControlStatus::kOk, blob,
+                            &reply);
+      break;
+    }
+    case ControlOp::kRestore: {
+      pipeline_.Fence();
+      const bool ok = filter_.RestoreState(req.op_payload);
+      // The workers observe the restored state through the next ring push /
+      // control-slot post (release/acquire pairs).
+      EncodeControlResultTo(req.token, req.op,
+                            ok ? ControlStatus::kOk : ControlStatus::kRejected,
+                            {}, &reply);
+      break;
+    }
+    case ControlOp::kShutdown: {
+      pipeline_.Fence();
+      EncodeControlResultTo(req.token, req.op, ControlStatus::kOk, {},
+                            &reply);
+      stopping_ = true;
+      shutdown_fd_ = conn->fd;
+      break;
+    }
+  }
+  QueueWrite(conn, reply);
+  QF_OBS(NetMetrics::Get().control_frame_ns.Record(MonotonicNanos() - t0));
+}
+
+void QfServer::BroadcastAlerts() {
+  // Drain even with no subscribers so the rings never silt up. Records are
+  // staged first because fanning out can close a slow subscriber, which
+  // mutates conns_ — never iterate conns_ while queueing writes.
+  struct Drained {
+    int shard;
+    Pipeline::AlertRecord rec;
+  };
+  std::vector<Drained> drained;
+  pipeline_.DrainAlerts([&drained](int shard,
+                                   const Pipeline::AlertRecord& rec) {
+    drained.push_back(Drained{shard, rec});
+  });
+  if (drained.empty()) return;
+  std::vector<int> subscriber_fds;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->subscribed && !conn->closing) subscriber_fds.push_back(fd);
+  }
+  for (const int fd : subscriber_fds) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    Conn* conn = it->second.get();
+    std::vector<uint8_t> bytes;
+    for (const Drained& d : drained) {
+      WireAlert alert;
+      alert.seq = conn->alert_seq++;
+      alert.key = d.rec.key;
+      alert.value = d.rec.value;
+      alert.shard = static_cast<uint32_t>(d.shard);
+      EncodeAlertTo(alert, &bytes);
+    }
+    alerts_streamed_.fetch_add(drained.size(), std::memory_order_relaxed);
+    QF_OBS(NetMetrics::Get().alerts_streamed.Add(drained.size()));
+    QueueWrite(conn, bytes);  // may disconnect a slow subscriber
+  }
+}
+
+bool QfServer::QueueWrite(Conn* conn, const std::vector<uint8_t>& bytes) {
+  // Compact the drained prefix before growing the buffer.
+  if (conn->out_off == conn->out.size()) {
+    conn->out.clear();
+    conn->out_off = 0;
+  } else if (conn->out_off > (64u << 10)) {
+    conn->out.erase(conn->out.begin(),
+                    conn->out.begin() +
+                        static_cast<std::ptrdiff_t>(conn->out_off));
+    conn->out_off = 0;
+  }
+  conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
+  if (!FlushWrites(conn)) return false;
+  if (conn->pending() > options_.max_write_queue_bytes) {
+    // Slow consumer: the socket cannot drain what we owe it. Disconnect
+    // rather than buffer without bound or stall ingest for everyone else.
+    CloseConn(conn, /*slow=*/true);
+    return false;
+  }
+  return true;
+}
+
+bool QfServer::FlushWrites(Conn* conn) {
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t n =
+        send(conn->fd, conn->out.data() + conn->out_off,
+             conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConn(conn, /*slow=*/false);
+      return false;
+    }
+    conn->out_off += static_cast<size_t>(n);
+    QF_OBS(NetMetrics::Get().bytes_written.Add(static_cast<uint64_t>(n)));
+  }
+  const bool need_write = conn->out_off < conn->out.size();
+  if (need_write != conn->want_write) {
+    conn->want_write = need_write;
+    UpdateEpoll(conn);
+  }
+  if (!need_write && conn->out_off == conn->out.size()) {
+    conn->out.clear();
+    conn->out_off = 0;
+  }
+  return true;
+}
+
+void QfServer::UpdateEpoll(Conn* conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn->want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void QfServer::SendError(Conn* conn, ErrorCode code,
+                         const std::string& message) {
+  std::vector<uint8_t> bytes;
+  EncodeErrorTo(code, message, &bytes);
+  conn->closing = true;
+  if (!QueueWrite(conn, bytes)) return;  // already closed
+  if (conn->pending() == 0) CloseConn(conn, /*slow=*/false);
+  // Otherwise EPOLLOUT drains the error frame, then WriteReady closes.
+}
+
+void QfServer::CloseConn(Conn* conn, bool slow) {
+  const int fd = conn->fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  conns_.erase(fd);  // frees conn
+  active_connections_.store(conns_.size(), std::memory_order_relaxed);
+  if (slow) slow_disconnects_.fetch_add(1, std::memory_order_relaxed);
+  QF_OBS({
+    NetMetrics::Get().disconnects.Add(1);
+    if (slow) NetMetrics::Get().slow_disconnects.Add(1);
+    NetMetrics::Get().active_connections.Set(
+        static_cast<int64_t>(conns_.size()));
+  });
+}
+
+}  // namespace qf::net

@@ -1,0 +1,173 @@
+// QfServer: non-blocking epoll TCP server exposing a ShardedQuantileFilter
+// over the length-prefixed binary protocol in net/protocol.h (DESIGN.md
+// §11).
+//
+// Threading model — one event-loop thread, N shard workers:
+//
+//   clients ──TCP──▶ event loop ──IngestPipeline rings──▶ shard workers
+//                        ▲  └─ per-shard control slots (QUERY / fence)
+//                        └───── per-shard alert rings ◀──┘
+//
+// The event-loop thread is the pipeline's single dispatcher: it decodes
+// INGEST frames and Push()es items, posts QUERY requests to the owning
+// shard's control slot (executed by that shard's worker, so shard state is
+// only ever touched by one thread), drives drain/checkpoint/restore through
+// Fence() (after which the quiescent filter is safe to serialize or restore
+// from the loop thread), and drains the alert rings to broadcast ALERT
+// frames to subscribers. This satisfies IngestPipeline's single-producer
+// contract by construction and is TSan-clean.
+//
+// Backpressure and failure policy:
+//   * Per-connection write queues are bounded (Options::
+//     max_write_queue_bytes). A connection that cannot drain its queue —
+//     typically a slow alert subscriber — is disconnected rather than
+//     allowed to stall ingest or grow the queue without bound.
+//   * The first malformed frame on a connection poisons its decoder; the
+//     server sends one ERROR frame (best effort) and closes. A
+//     desynchronized length-prefixed stream cannot be trusted again.
+//   * Partial reads/writes (EAGAIN) are first-class: frames are reassembled
+//     by FrameDecoder and writes resume on EPOLLOUT.
+//
+// Alert delivery is at-most-once: a full per-shard alert ring drops the
+// record (counted in WireStats::alerts_dropped); records that reach a
+// subscriber's write queue are delivered in order with a per-connection
+// contiguous sequence number.
+//
+// Linux-only (epoll + eventfd).
+
+#ifndef QUANTILEFILTER_NET_SERVER_H_
+#define QUANTILEFILTER_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sharded_filter.h"
+#include "net/protocol.h"
+#include "parallel/pipeline.h"
+
+namespace qf::net {
+
+class QfServer {
+ public:
+  using Sharded = ShardedQuantileFilter<>;
+  using Pipeline = IngestPipeline<>;
+
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 binds an ephemeral port; read it back with port() after Start().
+    uint16_t port = 0;
+
+    /// Filter geometry (total memory, split across shards) and criteria.
+    Sharded::Filter::Options filter;
+    Criteria criteria{};
+    int num_shards = 4;
+
+    /// Pipeline shape.
+    size_t batch_size = 32;
+    size_t ring_batches = 1024;
+    /// Per-shard alert-ring capacity feeding SUBSCRIBE streams.
+    size_t alert_ring_records = 4096;
+
+    /// Protocol/backpressure limits.
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    size_t max_write_queue_bytes = 8u << 20;
+    int max_connections = 1024;
+    /// SO_SNDBUF for accepted sockets (0 = kernel default). Tests shrink it
+    /// so slow-consumer backpressure surfaces without megabytes of alerts.
+    int so_sndbuf = 0;
+  };
+
+  explicit QfServer(const Options& options);
+  ~QfServer();
+
+  QfServer(const QfServer&) = delete;
+  QfServer& operator=(const QfServer&) = delete;
+
+  /// Binds, listens and spawns the event-loop thread. Returns false (with
+  /// error() set) if the socket setup fails. Idempotent once started.
+  bool Start();
+
+  /// Requests shutdown (as if a CONTROL kShutdown arrived) and joins the
+  /// loop thread. Safe from any thread; idempotent.
+  void Stop();
+
+  /// Blocks until the loop thread exits (a client's CONTROL kShutdown also
+  /// stops the server).
+  void Wait();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& error() const { return error_; }
+
+  /// Live server counters (the same snapshot CONTROL kStats serves).
+  WireStats StatsSnapshot() const;
+
+  /// The serving filter; read it only when the server is stopped.
+  const Sharded& filter() const { return filter_; }
+
+  /// Boot-time restore into the serving filter; only valid while the
+  /// server is not running (live restores go through CONTROL kRestore).
+  bool RestoreCheckpoint(const std::vector<uint8_t>& blob) {
+    if (running()) return false;
+    return filter_.RestoreState(blob);
+  }
+
+ private:
+  struct Conn;
+
+  void Loop();
+  void AcceptReady();
+  void ReadReady(Conn* conn);
+  void WriteReady(Conn* conn);
+  void HandleFrame(Conn* conn, const Frame& frame);
+  void HandleIngest(Conn* conn, const Frame& frame);
+  void HandleQuery(Conn* conn, const Frame& frame);
+  void HandleSubscribe(Conn* conn, const Frame& frame);
+  void HandleControl(Conn* conn, const Frame& frame);
+  void BroadcastAlerts();
+  /// Appends bytes to the connection's write queue and flushes what the
+  /// socket will take. Enforces max_write_queue_bytes (slow-consumer
+  /// disconnect). Returns false if the connection was closed.
+  bool QueueWrite(Conn* conn, const std::vector<uint8_t>& bytes);
+  bool FlushWrites(Conn* conn);
+  void SendError(Conn* conn, ErrorCode code, const std::string& message);
+  void CloseConn(Conn* conn, bool slow);
+  void UpdateEpoll(Conn* conn);
+
+  Options options_;
+  Sharded filter_;
+  Pipeline pipeline_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Stop() wakes the loop
+  uint16_t port_ = 0;
+  std::string error_;
+
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool stopping_ = false;   // loop-thread: kShutdown acked, draining
+  int shutdown_fd_ = -1;    // conn whose shutdown ack must drain first
+
+  // Keyed by fd; epoll events carry the fd and re-resolve through this map,
+  // so a connection closed mid-batch is simply not found by later events.
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+
+  // Loop-thread counters mirrored into WireStats (atomic so StatsSnapshot
+  // may run on another thread).
+  std::atomic<uint64_t> items_ingested_{0};
+  std::atomic<uint64_t> alerts_streamed_{0};
+  std::atomic<uint64_t> accepts_{0};
+  std::atomic<uint64_t> slow_disconnects_{0};
+  std::atomic<uint64_t> active_connections_{0};
+};
+
+}  // namespace qf::net
+
+#endif  // QUANTILEFILTER_NET_SERVER_H_

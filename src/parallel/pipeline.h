@@ -72,15 +72,35 @@ class IngestPipeline {
     size_t ring_batches = 256;
     /// Record the keys of reported items per shard (for tests/alerting).
     bool collect_reported_keys = false;
+    /// Per-shard alert-ring capacity in records (rounded down to a power
+    /// of 2). When non-zero, every outstanding-key report is pushed into
+    /// its shard's SPSC alert ring for DrainAlerts to consume; a full ring
+    /// drops the record and counts it (at-most-once delivery).
+    size_t alert_ring_records = 0;
   };
 
-  /// Aggregate pipeline counters; stable once Stop() has returned.
+  /// Aggregate pipeline counters; stable once Stop() has returned (live
+  /// reads are safe but may trail the workers by a batch).
   struct Totals {
     uint64_t items_dispatched = 0;  // items accepted by Push
     uint64_t items_processed = 0;   // items drained by workers
     uint64_t batches = 0;           // batches shipped through the rings
     uint64_t reports = 0;           // outstanding-key reports across shards
     uint64_t ring_full_waits = 0;   // dispatcher backpressure yields
+    uint64_t alerts_dropped = 0;    // alert-ring overflows
+  };
+
+  /// One outstanding-key detection, as queued for alert subscribers. The
+  /// shard index is implied by the ring it is drained from.
+  struct AlertRecord {
+    uint64_t key = 0;
+    double value = 0.0;  // the item value that triggered the report
+  };
+
+  /// Answer to a point query executed on the owning shard's worker thread.
+  struct QueryAnswer {
+    int64_t qweight = 0;
+    bool is_candidate = false;
   };
 
   IngestPipeline(Sharded& filter, const Options& options = Options{})
@@ -91,12 +111,21 @@ class IngestPipeline {
                                ? kMaxBatch
                                : options.batch_size)),
         collect_reported_keys_(options.collect_reported_keys),
+        alerts_enabled_(options.alert_ring_records > 0),
         staging_(static_cast<size_t>(filter.num_shards())),
-        workers_(static_cast<size_t>(filter.num_shards())) {
+        workers_(static_cast<size_t>(filter.num_shards())),
+        slots_(static_cast<size_t>(filter.num_shards())) {
     rings_.reserve(workers_.size());
     for (size_t s = 0; s < workers_.size(); ++s) {
       rings_.push_back(
           std::make_unique<SpscRing<ItemBatch>>(options.ring_batches));
+    }
+    if (alerts_enabled_) {
+      alert_rings_.reserve(workers_.size());
+      for (size_t s = 0; s < workers_.size(); ++s) {
+        alert_rings_.push_back(std::make_unique<SpscRing<AlertRecord>>(
+            options.alert_ring_records));
+      }
     }
 #if QF_METRICS
     shard_metrics_.reserve(workers_.size());
@@ -162,6 +191,57 @@ class IngestPipeline {
     ReleaseDispatcher();
   }
 
+  /// Runs a point query for `key` on its owning shard's worker thread, so
+  /// shard state is only ever touched by one thread. Dispatcher-only, while
+  /// running. The answer reflects the shard as of the worker's current
+  /// position in its ring — items still staged or queued are not included;
+  /// call Fence() first for read-your-writes semantics.
+  QueryAnswer Query(uint64_t key) {
+    assert(running_.load(std::memory_order_relaxed) &&
+           "IngestPipeline::Query outside Start()/Stop()");
+    ShardRequest req;
+    req.kind = ShardRequest::Kind::kQuery;
+    req.key = key;
+    PostAndWait(filter_->ShardFor(key), &req);
+    return QueryAnswer{req.qweight, req.is_candidate};
+  }
+
+  /// Drain barrier: ships all staged batches, then blocks until every
+  /// worker has emptied its ring and processed everything pushed before the
+  /// fence. Afterwards (and until new Pushes) the sharded filter is
+  /// quiescent: per-shard state, stats and SerializeState() may be read
+  /// from the dispatcher thread. Dispatcher-only, while running.
+  void Fence() {
+    assert(running_.load(std::memory_order_relaxed) &&
+           "IngestPipeline::Fence outside Start()/Stop()");
+    Flush();
+    ClaimDispatcher();
+    for (size_t s = 0; s < workers_.size(); ++s) {
+      ShardRequest req;
+      req.kind = ShardRequest::Kind::kFence;
+      PostAndWait(static_cast<int>(s), &req);
+    }
+    ReleaseDispatcher();
+  }
+
+  /// Pops every queued alert (in per-shard FIFO order) and invokes
+  /// `fn(shard, record)`. Single-consumer: call from one thread at a time
+  /// (the serving layer's event loop). Returns the number drained. Only
+  /// meaningful when Options::alert_ring_records > 0.
+  template <typename Fn>
+  size_t DrainAlerts(Fn&& fn) {
+    if (!alerts_enabled_) return 0;
+    size_t drained = 0;
+    for (size_t s = 0; s < alert_rings_.size(); ++s) {
+      AlertRecord record;
+      while (alert_rings_[s]->TryPop(&record)) {
+        fn(static_cast<int>(s), record);
+        ++drained;
+      }
+    }
+    return drained;
+  }
+
   /// Flushes, signals shutdown and joins all workers. Because of the
   /// internal Flush, Stop() must run on the dispatcher thread, or on
   /// another thread only after the dispatcher has called Flush() and been
@@ -203,16 +283,18 @@ class IngestPipeline {
     t.items_dispatched = items_dispatched_;
     t.ring_full_waits = ring_full_waits_;
     for (const WorkerState& w : workers_) {
-      t.items_processed += w.items;
-      t.batches += w.batches;
-      t.reports += w.reports;
+      t.items_processed += w.items.load(std::memory_order_relaxed);
+      t.batches += w.batches.load(std::memory_order_relaxed);
+      t.reports += w.reports.load(std::memory_order_relaxed);
+      t.alerts_dropped += w.alerts_dropped.load(std::memory_order_relaxed);
     }
     return t;
   }
 
   /// Reports emitted by shard `s`'s worker (after Stop()).
   uint64_t shard_reports(int s) const {
-    return workers_[static_cast<size_t>(s)].reports;
+    return workers_[static_cast<size_t>(s)].reports.load(
+        std::memory_order_relaxed);
   }
 
   /// Keys reported by shard `s`, in processing order. Only populated when
@@ -228,13 +310,58 @@ class IngestPipeline {
   };
 
   /// Per-worker state, cache-line padded: each worker mutates only its own
-  /// entry while running; the dispatcher/caller reads after join.
+  /// entry while running. The counters are relaxed atomics so live stats
+  /// snapshots (the serving layer's CONTROL kStats) can read them without a
+  /// race; exact values require Stop() or Fence() first. reported_keys is
+  /// worker-only until the workers are joined.
   struct alignas(64) WorkerState {
-    uint64_t items = 0;
-    uint64_t batches = 0;
-    uint64_t reports = 0;
+    std::atomic<uint64_t> items{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> reports{0};
+    std::atomic<uint64_t> alerts_dropped{0};
     std::vector<uint64_t> reported_keys;
   };
+
+  /// A request posted by the dispatcher into a shard's control slot and
+  /// executed by that shard's worker, preserving the one-thread-per-shard
+  /// contract for reads. kFence is only answered once the worker's ring is
+  /// empty, which (after Flush) means everything pushed before the fence
+  /// has been processed.
+  struct ShardRequest {
+    enum class Kind : uint8_t { kQuery, kFence };
+    Kind kind = Kind::kQuery;
+    uint64_t key = 0;
+    int64_t qweight = 0;       // out (kQuery)
+    bool is_candidate = false;  // out (kQuery)
+    std::atomic<bool> done{false};
+  };
+
+  /// One control slot per shard; dispatcher posts (release), worker answers
+  /// and clears. Padded so polling a slot never false-shares with others.
+  struct alignas(64) ControlSlot {
+    std::atomic<ShardRequest*> req{nullptr};
+  };
+
+  void PostAndWait(int s, ShardRequest* req) {
+    slots_[static_cast<size_t>(s)].req.store(req, std::memory_order_release);
+    while (!req->done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Worker-side slot poll. `ring_empty` gates fence completion.
+  void AnswerSlot(int s, typename Sharded::Filter& shard, bool ring_empty) {
+    ControlSlot& slot = slots_[static_cast<size_t>(s)];
+    ShardRequest* req = slot.req.load(std::memory_order_acquire);
+    if (req == nullptr) return;
+    if (req->kind == ShardRequest::Kind::kFence && !ring_empty) return;
+    if (req->kind == ShardRequest::Kind::kQuery) {
+      req->qweight = shard.QueryQweight(req->key);
+      req->is_candidate = shard.IsCandidate(req->key);
+    }
+    slot.req.store(nullptr, std::memory_order_relaxed);
+    req->done.store(true, std::memory_order_release);
+  }
 
   /// Claims dispatcher ownership for the calling thread, or asserts that
   /// this thread already holds it. The CAS/store pair also publishes the
@@ -304,8 +431,13 @@ class IngestPipeline {
       if (ring.TryPop(&batch)) {
         QF_OBS(RecordOccupancy(s, ring));
         ProcessBatch(s, shard, state, batch);
+        // Answer point queries promptly even under sustained load; fences
+        // wait for the empty-ring path below.
+        AnswerSlot(s, shard, /*ring_empty=*/false);
         continue;
       }
+      // Ring empty from this consumer's perspective: fences may complete.
+      AnswerSlot(s, shard, /*ring_empty=*/true);
       if (done_.load(std::memory_order_acquire)) {
         // The release store in Stop() ordered all prior pushes before
         // `done`; one more drain pass and an empty ring means truly done.
@@ -344,20 +476,31 @@ class IngestPipeline {
   void ProcessBatch(int s, Filter& shard, WorkerState& state,
                     const ItemBatch& batch) {
     const std::span<const Item> items(batch.items.data(), batch.count);
-    state.items += batch.count;
-    ++state.batches;
+    state.items.fetch_add(batch.count, std::memory_order_relaxed);
+    state.batches.fetch_add(1, std::memory_order_relaxed);
 #if QF_METRICS
     const uint64_t t0 = MonotonicNanos();
 #endif
-    if (collect_reported_keys_) {
-      state.reports += shard.InsertBatch(
+    uint64_t reports = 0;
+    if (collect_reported_keys_ || alerts_enabled_) {
+      SpscRing<AlertRecord>* alerts =
+          alerts_enabled_ ? alert_rings_[static_cast<size_t>(s)].get()
+                          : nullptr;
+      reports = shard.InsertBatch(
           items, shard.default_criteria(),
-          [&state](size_t, const Item& item) {
-            state.reported_keys.push_back(item.key);
+          [this, &state, alerts](size_t, const Item& item) {
+            if (collect_reported_keys_) {
+              state.reported_keys.push_back(item.key);
+            }
+            if (alerts != nullptr &&
+                !alerts->TryPush(AlertRecord{item.key, item.value})) {
+              state.alerts_dropped.fetch_add(1, std::memory_order_relaxed);
+            }
           });
     } else {
-      state.reports += shard.InsertBatch(items);
+      reports = shard.InsertBatch(items);
     }
+    state.reports.fetch_add(reports, std::memory_order_relaxed);
 #if QF_METRICS
     const uint64_t dur = MonotonicNanos() - t0;
     obs::ShardMetrics& sm = shard_metrics_[static_cast<size_t>(s)];
@@ -375,6 +518,7 @@ class IngestPipeline {
   Sharded* filter_;
   const size_t batch_size_;
   const bool collect_reported_keys_;
+  const bool alerts_enabled_;
 
   // Dispatcher-owned.
   std::vector<ItemBatch> staging_;
@@ -383,6 +527,9 @@ class IngestPipeline {
 
   // Shared channels and worker state.
   std::vector<std::unique_ptr<SpscRing<ItemBatch>>> rings_;
+  // Per-shard alert rings (worker produces, serving layer consumes); empty
+  // unless Options::alert_ring_records > 0.
+  std::vector<std::unique_ptr<SpscRing<AlertRecord>>> alert_rings_;
 #if QF_METRICS
   // Per-shard metric series; each entry is recorded only by its shard's
   // worker (occupancy/latency) — references resolve at construction so the
@@ -390,6 +537,8 @@ class IngestPipeline {
   std::vector<obs::ShardMetrics> shard_metrics_;
 #endif
   std::vector<WorkerState> workers_;
+  // Control slots for Query()/Fence(); dispatcher posts, workers answer.
+  std::vector<ControlSlot> slots_;
   std::vector<std::thread> threads_;
   std::atomic<bool> done_{false};
   std::atomic<bool> running_{false};

@@ -1,0 +1,340 @@
+// QfServer lifecycle tests (DESIGN.md §11): ingest/query round trips
+// against an in-process oracle, lockstep alert delivery versus a Monitor
+// run, drain → checkpoint → restart → identical answers, slow-subscriber
+// disconnect, and malformed-frame handling. All run under the sanitizer
+// label: the server spans an event loop, shard workers and client threads,
+// and must be TSan-clean.
+
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "core/monitor.h"
+#include "core/sharded_filter.h"
+#include "net/client.h"
+#include "stream/generators.h"
+
+namespace qf::net {
+namespace {
+
+QfServer::Options ServerOptions(int num_shards) {
+  QfServer::Options o;
+  o.port = 0;  // ephemeral
+  o.num_shards = num_shards;
+  o.filter.memory_bytes = 128 * 1024;
+  o.criteria = Criteria(30, 0.95, 300);
+  o.alert_ring_records = 1u << 16;
+  return o;
+}
+
+Trace MakeTrace(size_t items, uint64_t seed = 42) {
+  ZipfTraceOptions o;
+  o.num_items = items;
+  o.num_keys = 10'000;
+  o.seed = seed;
+  return GenerateZipfTrace(o);
+}
+
+std::vector<Item> Slice(const Trace& trace, size_t begin, size_t count) {
+  return std::vector<Item>(trace.begin() + static_cast<std::ptrdiff_t>(begin),
+                           trace.begin() +
+                               static_cast<std::ptrdiff_t>(begin + count));
+}
+
+TEST(NetServerTest, IngestDrainQueryMatchesOracle) {
+  const QfServer::Options opts = ServerOptions(4);
+  QfServer server(opts);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  const Trace trace = MakeTrace(100'000);
+  QfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port())) << client.error();
+  constexpr size_t kBatch = 512;
+  for (size_t i = 0; i < trace.size(); i += kBatch) {
+    const size_t n = std::min(kBatch, trace.size() - i);
+    ASSERT_TRUE(client.Ingest(Slice(trace, i, n))) << client.error();
+  }
+  ASSERT_TRUE(client.Drain()) << client.error();
+
+  // Oracle: the identical sharded construction fed sequentially. The
+  // pipeline's per-shard determinism makes the server's answers exact.
+  QfServer::Sharded oracle(opts.filter, opts.criteria, opts.num_shards);
+  for (const Item& item : trace) oracle.Insert(item.key, item.value);
+
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 1; k <= 1000; ++k) keys.push_back(k);
+  std::vector<QueryAnswer> answers;
+  ASSERT_TRUE(client.Query(keys, &answers)) << client.error();
+  ASSERT_EQ(answers.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(answers[i].qweight, oracle.QueryQweight(keys[i]))
+        << "key " << keys[i];
+    EXPECT_EQ(answers[i].is_candidate != 0, oracle.IsCandidate(keys[i]))
+        << "key " << keys[i];
+  }
+
+  WireStats stats;
+  ASSERT_TRUE(client.Stats(&stats)) << client.error();
+  EXPECT_EQ(stats.items_ingested, trace.size());
+  EXPECT_EQ(stats.items_processed, trace.size());  // post-drain balance
+  EXPECT_EQ(stats.active_connections, 1u);
+
+  server.Stop();
+}
+
+TEST(NetServerTest, SubscriberReceivesEveryMonitorAlertInLockstep) {
+  // One shard so the alert stream is totally ordered, no cooldown so every
+  // report alerts. The shard's filter seed is derived by the sharded
+  // wrapper; mirror that derivation for the in-process Monitor, making the
+  // two runs bit-identical.
+  QfServer::Options opts = ServerOptions(1);
+  // Report threshold eps/(1-delta) = 16: hot enough for a dense alert
+  // stream out of a 150k-item trace.
+  opts.criteria = Criteria(4, 0.75, 16);
+  QfServer server(opts);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  Monitor::Options mopts;
+  mopts.filter = opts.filter;
+  mopts.filter.seed = Mix64(opts.filter.seed + 0x9E37);
+  mopts.cooldown_items = 0;
+  std::vector<uint64_t> expected;
+  Monitor monitor(mopts, opts.criteria,
+                  [&expected](const Monitor::Alert& a) {
+                    expected.push_back(a.key);
+                  });
+
+  const Trace trace = MakeTrace(150'000, /*seed=*/5);
+  for (const Item& item : trace) monitor.Observe(item.key, item.value);
+  ASSERT_GT(expected.size(), 100u) << "trace produced too few alerts";
+
+  QfClient subscriber;
+  ASSERT_TRUE(subscriber.Connect("127.0.0.1", server.port()))
+      << subscriber.error();
+  ASSERT_TRUE(subscriber.Subscribe(true)) << subscriber.error();
+
+  QfClient ingester;
+  ASSERT_TRUE(ingester.Connect("127.0.0.1", server.port()))
+      << ingester.error();
+  constexpr size_t kBatch = 512;
+  for (size_t i = 0; i < trace.size(); i += kBatch) {
+    const size_t n = std::min(kBatch, trace.size() - i);
+    ASSERT_TRUE(ingester.Ingest(Slice(trace, i, n))) << ingester.error();
+  }
+  ASSERT_TRUE(ingester.Drain()) << ingester.error();
+
+  std::vector<uint64_t> received;
+  uint64_t next_seq = 0;
+  while (received.size() < expected.size()) {
+    WireAlert alert;
+    const QfClient::AlertWait w = subscriber.NextAlert(&alert, 10'000);
+    ASSERT_EQ(w, QfClient::AlertWait::kAlert)
+        << "alert stream stalled at " << received.size() << "/"
+        << expected.size() << ": " << subscriber.error();
+    EXPECT_EQ(alert.seq, next_seq++) << "alert sequence gap";
+    EXPECT_EQ(alert.shard, 0u);
+    received.push_back(alert.key);
+  }
+  EXPECT_EQ(received, expected);
+
+  // Nothing extra queued, and nothing was dropped along the way.
+  WireAlert spurious;
+  EXPECT_EQ(subscriber.NextAlert(&spurious, 200),
+            QfClient::AlertWait::kTimeout);
+  WireStats stats;
+  ASSERT_TRUE(ingester.Stats(&stats)) << ingester.error();
+  EXPECT_EQ(stats.alerts_dropped, 0u);
+  EXPECT_EQ(stats.alerts_streamed, expected.size());
+
+  server.Stop();
+}
+
+TEST(NetServerTest, CheckpointRestartAnswersIdentically) {
+  const QfServer::Options opts = ServerOptions(4);
+  const Trace trace = MakeTrace(120'000, /*seed=*/9);
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 1; k <= 1000; ++k) keys.push_back(k);
+
+  std::vector<uint8_t> blob;
+  std::vector<QueryAnswer> before;
+  {
+    QfServer server(opts);
+    ASSERT_TRUE(server.Start()) << server.error();
+    QfClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()))
+        << client.error();
+    constexpr size_t kBatch = 512;
+    for (size_t i = 0; i < trace.size(); i += kBatch) {
+      const size_t n = std::min(kBatch, trace.size() - i);
+      ASSERT_TRUE(client.Ingest(Slice(trace, i, n))) << client.error();
+    }
+    ASSERT_TRUE(client.Drain()) << client.error();
+    ASSERT_TRUE(client.Checkpoint(&blob)) << client.error();
+    ASSERT_FALSE(blob.empty());
+    ASSERT_TRUE(client.Query(keys, &before)) << client.error();
+    // Shutdown through the protocol: the server loop exits on its own.
+    ASSERT_TRUE(client.Shutdown()) << client.error();
+    server.Wait();
+    EXPECT_FALSE(server.running());
+  }
+
+  // A fresh server with the same geometry restores the checkpoint and must
+  // answer every query identically.
+  QfServer server2(opts);
+  ASSERT_TRUE(server2.Start()) << server2.error();
+  QfClient client2;
+  ASSERT_TRUE(client2.Connect("127.0.0.1", server2.port()))
+      << client2.error();
+  ASSERT_TRUE(client2.Restore(blob)) << client2.error();
+  std::vector<QueryAnswer> after;
+  ASSERT_TRUE(client2.Query(keys, &after)) << client2.error();
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(after[i].qweight, before[i].qweight) << "key " << keys[i];
+    EXPECT_EQ(after[i].is_candidate, before[i].is_candidate)
+        << "key " << keys[i];
+  }
+
+  // The restored server keeps serving: ingest after restore works.
+  ASSERT_TRUE(client2.Ingest(Slice(trace, 0, 512))) << client2.error();
+  ASSERT_TRUE(client2.Drain()) << client2.error();
+  server2.Stop();
+}
+
+TEST(NetServerTest, RestoreRejectsCorruptBlob) {
+  QfServer server(ServerOptions(2));
+  ASSERT_TRUE(server.Start()) << server.error();
+  QfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port())) << client.error();
+  std::vector<uint8_t> blob;
+  ASSERT_TRUE(client.Checkpoint(&blob)) << client.error();
+  blob[blob.size() / 2] ^= 0x40;  // CRC envelope must catch this
+  EXPECT_FALSE(client.Restore(blob));
+  EXPECT_TRUE(client.connected()) << "rejection must not kill the conn";
+  // The connection stays usable for further requests.
+  WireStats stats;
+  EXPECT_TRUE(client.Stats(&stats)) << client.error();
+  server.Stop();
+}
+
+TEST(NetServerTest, SlowSubscriberIsDisconnectedWhileIngestContinues) {
+  QfServer::Options opts = ServerOptions(2);
+  opts.max_write_queue_bytes = 16 * 1024;  // tiny: easy to overflow
+  // Hot criteria (report threshold eps/(1-delta) = 4): ~every fourth value
+  // unit re-reports, so the alert stream dwarfs what the kernel socket
+  // buffers can absorb and must blow past the server-side queue cap.
+  opts.criteria = Criteria(2, 0.5, 4);
+  opts.so_sndbuf = 4096;  // minimal kernel buffering on the server side
+  QfServer server(opts);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  // Subscribes, then never reads: its (deliberately tiny) kernel buffers
+  // and the server-side write queue fill until the server cuts it loose.
+  QfClient::Options sleeper_opts;
+  sleeper_opts.so_rcvbuf = 4096;
+  QfClient sleeper(sleeper_opts);
+  ASSERT_TRUE(sleeper.Connect("127.0.0.1", server.port()))
+      << sleeper.error();
+  ASSERT_TRUE(sleeper.Subscribe(true)) << sleeper.error();
+
+  QfClient ingester;
+  ASSERT_TRUE(ingester.Connect("127.0.0.1", server.port()))
+      << ingester.error();
+  const Trace trace = MakeTrace(400'000, /*seed=*/3);
+  constexpr size_t kBatch = 512;
+  WireStats stats{};
+  for (size_t i = 0; i < trace.size(); i += kBatch) {
+    const size_t n = std::min(kBatch, trace.size() - i);
+    ASSERT_TRUE(ingester.Ingest(Slice(trace, i, n))) << ingester.error();
+  }
+  ASSERT_TRUE(ingester.Drain()) << ingester.error();
+  ASSERT_TRUE(ingester.Stats(&stats)) << ingester.error();
+  // Every item was acked above — ingest never stalled — and the slow
+  // subscriber is gone.
+  EXPECT_EQ(stats.items_ingested, trace.size());
+  EXPECT_EQ(stats.slow_disconnects, 1u);
+  EXPECT_EQ(stats.active_connections, 1u);
+  server.Stop();
+}
+
+TEST(NetServerTest, MalformedBytesGetErrorFrameThenClose) {
+  QfServer server(ServerOptions(1));
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const uint8_t garbage[] = {0xff, 0xff, 0xff, 0xff, 0xde, 0xad,
+                             0xbe, 0xef, 0x00, 0x11, 0x22, 0x33};
+  ASSERT_EQ(send(fd, garbage, sizeof(garbage), 0),
+            static_cast<ssize_t>(sizeof(garbage)));
+
+  // Expect one well-formed ERROR frame, then EOF.
+  FrameDecoder decoder;
+  Frame frame;
+  bool got_error = false;
+  bool got_eof = false;
+  uint8_t buf[4096];
+  for (int rounds = 0; rounds < 100 && !got_eof; ++rounds) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      got_eof = true;
+      break;
+    }
+    ASSERT_GT(n, 0);
+    ASSERT_TRUE(decoder.Append(buf, static_cast<size_t>(n)));
+    while (decoder.Next(&frame) == FrameDecoder::Result::kFrame) {
+      ASSERT_EQ(frame.type, FrameType::kError);
+      ErrorFrame err;
+      ASSERT_TRUE(ParseError(frame.payload, &err));
+      EXPECT_EQ(err.code, ErrorCode::kMalformedFrame);
+      got_error = true;
+    }
+  }
+  EXPECT_TRUE(got_error);
+  EXPECT_TRUE(got_eof);
+  close(fd);
+  server.Stop();
+}
+
+TEST(NetServerTest, PipelinedIngestOverlapsAcks) {
+  QfServer server(ServerOptions(4));
+  ASSERT_TRUE(server.Start()) << server.error();
+  QfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port())) << client.error();
+
+  const Trace trace = MakeTrace(100'000, /*seed=*/17);
+  constexpr size_t kBatch = 512;
+  constexpr size_t kWindow = 8;
+  for (size_t i = 0; i < trace.size(); i += kBatch) {
+    const size_t n = std::min(kBatch, trace.size() - i);
+    ASSERT_TRUE(client.SendIngest(Slice(trace, i, n))) << client.error();
+    while (client.ingest_in_flight() >= kWindow) {
+      ASSERT_TRUE(client.AwaitIngestAck()) << client.error();
+    }
+  }
+  IngestAck last{};
+  while (client.ingest_in_flight() > 0) {
+    ASSERT_TRUE(client.AwaitIngestAck(&last)) << client.error();
+  }
+  EXPECT_EQ(last.total_items, trace.size());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace qf::net

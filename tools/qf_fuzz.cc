@@ -15,6 +15,12 @@
 //   qf_fuzz --corpus=DIR
 //       Replays every *.qfops file in DIR (regression mode for checked-in
 //       reproducers; succeeds when the directory has none).
+//   qf_fuzz --wire-iters=N [--wire-seed=S]
+//       Wire-frame fuzz: feeds adversarial byte streams (random garbage,
+//       header mutations, spliced/truncated valid frames) through the
+//       net/protocol.h FrameDecoder and payload parsers — no sockets. The
+//       decoder must never crash, over-read, or buffer beyond its cap;
+//       violations exit non-zero. Run under ASan for the real guarantee.
 //
 // Config selection: --config=I pins one config; otherwise config = seed %
 // #configs so a seed matrix covers the whole table. --list-configs prints it.
@@ -27,8 +33,12 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "net/protocol.h"
 #include "obs/registry.h"
 #include "obs/sink.h"
+#include "stream/item.h"
 #include "testing/differential_harness.h"
 #include "testing/minimizer.h"
 #include "testing/op_stream.h"
@@ -228,6 +238,163 @@ int ReplayCorpusDir(const std::string& dir) {
   return failures == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Wire-frame fuzz mode (DESIGN.md §11): the protocol decoder is pure
+// in-memory code, so it fuzzes without sockets.
+
+/// Routes a decoded frame's payload through its typed parser; outputs are
+/// ignored — the property under test is memory safety, not semantics.
+void ParseDecodedFrame(const net::Frame& frame) {
+  switch (frame.type) {
+    case net::FrameType::kIngest: {
+      net::IngestRequest r;
+      net::ParseIngest(frame.payload, &r);
+      return;
+    }
+    case net::FrameType::kIngestAck: {
+      net::IngestAck r;
+      net::ParseIngestAck(frame.payload, &r);
+      return;
+    }
+    case net::FrameType::kQuery: {
+      net::QueryRequest r;
+      net::ParseQuery(frame.payload, &r);
+      return;
+    }
+    case net::FrameType::kQueryResult: {
+      net::QueryResult r;
+      net::ParseQueryResult(frame.payload, &r);
+      return;
+    }
+    case net::FrameType::kSubscribe: {
+      net::SubscribeRequest r;
+      net::ParseSubscribe(frame.payload, &r);
+      return;
+    }
+    case net::FrameType::kControl: {
+      net::ControlRequest r;
+      net::ParseControl(frame.payload, &r);
+      return;
+    }
+    case net::FrameType::kControlResult: {
+      net::ControlResult r;
+      net::ParseControlResult(frame.payload, &r);
+      net::WireStats stats;
+      net::ParseWireStats(r.payload, &stats);
+      return;
+    }
+    case net::FrameType::kAlert: {
+      net::WireAlert r;
+      net::ParseAlert(frame.payload, &r);
+      return;
+    }
+    case net::FrameType::kError: {
+      net::ErrorFrame r;
+      net::ParseError(frame.payload, &r);
+      return;
+    }
+  }
+}
+
+/// One deterministic adversarial byte stream. Three strategies, weighted
+/// toward structure so the fuzz reaches past the header checks: pure
+/// garbage, valid frames (every type, random payloads), and valid frames
+/// mangled by bit flips / truncation / splices.
+std::vector<uint8_t> GenerateWireStream(Rng& rng) {
+  std::vector<uint8_t> stream;
+  const uint64_t strategy = rng.NextBounded(4);
+  if (strategy == 0) {
+    const size_t len = static_cast<size_t>(rng.NextBounded(4096));
+    stream.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      stream.push_back(static_cast<uint8_t>(rng.Next()));
+    }
+    return stream;
+  }
+  // Valid-ish frames: random declared type, random payload bytes — typed
+  // encoders for INGEST some of the time so the item fast path is hit.
+  const uint64_t frames = 1 + rng.NextBounded(6);
+  for (uint64_t f = 0; f < frames; ++f) {
+    if (rng.NextBounded(4) == 0) {
+      std::vector<Item> items(static_cast<size_t>(rng.NextBounded(64)));
+      for (Item& item : items) {
+        item.key = rng.Next();
+        item.value = rng.NextDouble();
+      }
+      net::EncodeIngestTo(rng.Next(), items, &stream);
+    } else {
+      const auto type =
+          static_cast<net::FrameType>(1 + rng.NextBounded(net::kMaxFrameType));
+      std::vector<uint8_t> payload(static_cast<size_t>(rng.NextBounded(512)));
+      for (uint8_t& b : payload) b = static_cast<uint8_t>(rng.Next());
+      net::AppendFrameTo(type, payload, &stream);
+    }
+  }
+  if (strategy >= 2 && !stream.empty()) {
+    // Mangle: flip a few bytes (lengths, versions, types, payload alike)...
+    const uint64_t flips = 1 + rng.NextBounded(8);
+    for (uint64_t i = 0; i < flips; ++i) {
+      stream[static_cast<size_t>(rng.NextBounded(stream.size()))] ^=
+          static_cast<uint8_t>(1u << rng.NextBounded(8));
+    }
+    // ...and sometimes truncate mid-frame (partial-input paths).
+    if (strategy == 3) {
+      stream.resize(1 + static_cast<size_t>(rng.NextBounded(stream.size())));
+    }
+  }
+  return stream;
+}
+
+int RunWireFuzz(uint64_t iters, uint64_t seed) {
+  net::FrameDecoder::Options dopts;
+  dopts.max_frame_bytes = 64 * 1024;  // small cap: overflow bugs surface fast
+  // The documented buffering bound; exceeding it is a fuzz failure even
+  // when nothing crashes.
+  const size_t buffer_cap =
+      dopts.max_frame_bytes + net::kFrameHeaderBytes + 4;
+
+  Rng rng(Mix64(seed ^ 0x51F0D3C0DEULL));
+  uint64_t frames_decoded = 0;
+  uint64_t streams_poisoned = 0;
+  for (uint64_t it = 0; it < iters; ++it) {
+    const std::vector<uint8_t> stream = GenerateWireStream(rng);
+    net::FrameDecoder decoder(dopts);
+    size_t off = 0;
+    bool poisoned = false;
+    while (off < stream.size() && !poisoned) {
+      // Adversarial chunking: 1-byte dribbles through jumbo writes.
+      const size_t chunk = static_cast<size_t>(
+          std::min<uint64_t>(1 + rng.NextBounded(997), stream.size() - off));
+      if (!decoder.Append(stream.data() + off, chunk)) {
+        poisoned = true;
+        break;
+      }
+      off += chunk;
+      net::Frame frame;
+      while (decoder.Next(&frame) == net::FrameDecoder::Result::kFrame) {
+        ++frames_decoded;
+        ParseDecodedFrame(frame);
+      }
+      if (decoder.poisoned()) {
+        poisoned = true;
+        break;
+      }
+      if (decoder.buffered_bytes() > buffer_cap) {
+        std::fprintf(stderr,
+                     "wire fuzz: iteration %" PRIu64
+                     " buffered %zu bytes (cap %zu) — unbounded buffering\n",
+                     it, decoder.buffered_bytes(), buffer_cap);
+        return 1;
+      }
+    }
+    if (poisoned) ++streams_poisoned;
+  }
+  std::printf("wire fuzz: %" PRIu64 " streams clean (%" PRIu64
+              " frames decoded, %" PRIu64 " streams poisoned)\n",
+              iters, frames_decoded, streams_poisoned);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   if (flags.GetBool("list-configs", false)) {
@@ -264,6 +431,10 @@ int Main(int argc, char** argv) {
   const std::string replay = flags.GetString("replay", "");
   const std::string replay_file = flags.GetString("replay-file", "");
   const std::string corpus = flags.GetString("corpus", "");
+  const uint64_t wire_iters =
+      static_cast<uint64_t>(flags.GetInt("wire-iters", 0));
+  const uint64_t wire_seed =
+      static_cast<uint64_t>(flags.GetInt("wire-seed", 1));
   // One final filter-health snapshot (JSON line) after the run: the fuzz
   // ensembles drive real filters/pipelines, so their qf_* counters make a
   // useful smoke signal for the metrics plumbing itself.
@@ -278,7 +449,9 @@ int Main(int argc, char** argv) {
   }
 
   int rc;
-  if (!replay.empty()) {
+  if (wire_iters > 0) {
+    rc = RunWireFuzz(wire_iters, wire_seed);
+  } else if (!replay.empty()) {
     rc = ReplayTokenMode(replay, options.fault, has_fault);
   } else if (!replay_file.empty()) {
     rc = ReplayFile(replay_file);

@@ -1,0 +1,250 @@
+// qf_loadgen: multi-connection Zipf load generator for qf_server
+// (DESIGN.md §11).
+//
+// Spawns one thread + one connection each, streams Zipf-distributed
+// <key,value> items in pipelined INGEST frames (a bounded window of
+// unacknowledged frames keeps the wire and the server busy at once), and
+// reports achieved items/s plus ingest round-trip latency percentiles from
+// the obs histogram plumbing (qf_loadgen_ingest_rtt_ns).
+//
+// Exit status is non-zero if any connection fails, or if --expect-rate is
+// given and the achieved items/s falls short (CI uses this as a perf gate).
+//
+// Example (the acceptance setup: 4 connections vs a 4-shard server):
+//   qf_server --port=7171 --shards=4 &
+//   qf_loadgen --port=7171 --connections=4 --items=8000000
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/time.h"
+#include "common/zipf.h"
+#include "net/client.h"
+#include "obs/registry.h"
+#include "obs/sink.h"
+#include "stream/item.h"
+
+namespace qf {
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "qf_loadgen: Zipf load generator for qf_server\n\n"
+      "target:\n"
+      "  --host=ADDR --port=N  server address (default 127.0.0.1:7171)\n\n"
+      "load shape:\n"
+      "  --connections=N       parallel connections (default 4)\n"
+      "  --items=N             total items across connections (default 4e6)\n"
+      "  --batch=N             items per INGEST frame (default 512)\n"
+      "  --window=N            unacked frames in flight (default 8)\n"
+      "  --keys=N              Zipf support size (default 100000)\n"
+      "  --alpha=X             Zipf skew (default 1.1)\n"
+      "  --value=X             per-item value (default 1.0)\n"
+      "  --seed=N              RNG seed base (default 1)\n\n"
+      "wrap-up:\n"
+      "  --drain               CONTROL kDrain after the load\n"
+      "  --stats               print server WireStats after the load\n"
+      "  --shutdown            CONTROL kShutdown when done\n"
+      "  --expect-rate=N       exit 1 unless items/s >= N\n"
+      "  --metrics-prom=PATH   write one Prometheus snapshot at exit\n");
+}
+
+struct WorkerResult {
+  bool ok = false;
+  std::string error;
+  uint64_t items = 0;
+};
+
+void RunWorker(int id, const std::string& host, uint16_t port,
+               uint64_t items, size_t batch, size_t window, uint64_t keys,
+               double alpha, double value, uint64_t seed,
+               obs::Histogram* rtt_ns, WorkerResult* result) {
+  net::QfClient client;
+  if (!client.Connect(host, port)) {
+    result->error = client.error();
+    return;
+  }
+  Rng rng(seed + static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ULL);
+  const ZipfSampler sampler(keys, alpha);
+  std::vector<Item> frame;
+  frame.reserve(batch);
+  // Send timestamps for in-flight frames, acked in FIFO order.
+  std::vector<uint64_t> sent_at;
+  size_t sent_head = 0;
+
+  const auto await_one = [&]() -> bool {
+    if (!client.AwaitIngestAck()) {
+      result->error = client.error();
+      return false;
+    }
+    rtt_ns->Record(MonotonicNanos() - sent_at[sent_head++]);
+    return true;
+  };
+
+  uint64_t sent_items = 0;
+  while (sent_items < items) {
+    frame.clear();
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(batch, items - sent_items));
+    for (size_t i = 0; i < n; ++i) {
+      frame.push_back(Item{sampler.Sample(rng), value});
+    }
+    sent_at.push_back(MonotonicNanos());
+    if (!client.SendIngest(frame)) {
+      result->error = client.error();
+      return;
+    }
+    sent_items += n;
+    while (client.ingest_in_flight() >= window) {
+      if (!await_one()) return;
+    }
+  }
+  while (client.ingest_in_flight() > 0) {
+    if (!await_one()) return;
+  }
+  result->items = sent_items;
+  result->ok = true;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    PrintUsage();
+    return 0;
+  }
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(flags.GetInt("port", 7171));
+  const int connections =
+      static_cast<int>(flags.GetInt("connections", 4));
+  const uint64_t total_items =
+      static_cast<uint64_t>(flags.GetInt("items", 4'000'000));
+  const size_t batch = static_cast<size_t>(flags.GetInt("batch", 512));
+  const size_t window = static_cast<size_t>(flags.GetInt("window", 8));
+  const uint64_t keys = static_cast<uint64_t>(flags.GetInt("keys", 100'000));
+  const double alpha = flags.GetDouble("alpha", 1.1);
+  const double value = flags.GetDouble("value", 1.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const bool do_drain = flags.Has("drain");
+  const bool do_stats = flags.Has("stats");
+  const bool do_shutdown = flags.Has("shutdown");
+  const double expect_rate = flags.GetDouble("expect-rate", 0.0);
+  const std::string prom_path = flags.GetString("metrics-prom", "");
+
+  const std::vector<std::string> unknown = flags.UnqueriedFlags();
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "qf_loadgen: unknown flag --%s (see --help)\n",
+                 unknown.front().c_str());
+    return 2;
+  }
+  if (connections < 1 || batch < 1 || window < 1 || total_items < 1) {
+    std::fprintf(stderr, "qf_loadgen: bad load shape\n");
+    return 2;
+  }
+
+  obs::Histogram& rtt_ns = obs::MetricsRegistry::Global().GetHistogram(
+      "qf_loadgen_ingest_rtt_ns",
+      "INGEST frame round-trip latency (send to ack, ns)");
+
+  std::vector<WorkerResult> results(static_cast<size_t>(connections));
+  std::vector<std::thread> threads;
+  const uint64_t per_conn = total_items / static_cast<uint64_t>(connections);
+  const uint64_t t0 = MonotonicNanos();
+  for (int c = 0; c < connections; ++c) {
+    // The last connection absorbs the rounding remainder.
+    const uint64_t n = c == connections - 1
+                           ? total_items - per_conn * static_cast<uint64_t>(
+                                                          connections - 1)
+                           : per_conn;
+    threads.emplace_back(RunWorker, c, host, port, n, batch, window, keys,
+                         alpha, value, seed, &rtt_ns,
+                         &results[static_cast<size_t>(c)]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      static_cast<double>(MonotonicNanos() - t0) * 1e-9;
+
+  uint64_t items = 0;
+  for (size_t c = 0; c < results.size(); ++c) {
+    if (!results[c].ok) {
+      std::fprintf(stderr, "qf_loadgen: connection %zu failed: %s\n", c,
+                   results[c].error.c_str());
+      return 1;
+    }
+    items += results[c].items;
+  }
+  const double rate = static_cast<double>(items) / elapsed_s;
+  const obs::HistogramData rtt = rtt_ns.Merged();
+  std::printf(
+      "qf_loadgen: %llu items over %d connections in %.3f s = %.0f items/s\n"
+      "  ingest rtt: p50 %.1f us, p99 %.1f us, max %.1f us (%llu frames)\n",
+      static_cast<unsigned long long>(items), connections, elapsed_s, rate,
+      static_cast<double>(rtt.Quantile(0.50)) * 1e-3,
+      static_cast<double>(rtt.Quantile(0.99)) * 1e-3,
+      static_cast<double>(rtt.max()) * 1e-3,
+      static_cast<unsigned long long>(rtt.count()));
+
+  // Wrap-up ops reuse one extra connection.
+  if (do_drain || do_stats || do_shutdown) {
+    net::QfClient ctl;
+    if (!ctl.Connect(host, port)) {
+      std::fprintf(stderr, "qf_loadgen: control connection: %s\n",
+                   ctl.error().c_str());
+      return 1;
+    }
+    if (do_drain && !ctl.Drain()) {
+      std::fprintf(stderr, "qf_loadgen: drain: %s\n", ctl.error().c_str());
+      return 1;
+    }
+    if (do_stats) {
+      net::WireStats stats;
+      if (!ctl.Stats(&stats)) {
+        std::fprintf(stderr, "qf_loadgen: stats: %s\n", ctl.error().c_str());
+        return 1;
+      }
+      std::printf(
+          "  server: %llu ingested, %llu processed, %llu reports, "
+          "%llu alerts streamed (%llu dropped), %llu slow disconnects\n",
+          static_cast<unsigned long long>(stats.items_ingested),
+          static_cast<unsigned long long>(stats.items_processed),
+          static_cast<unsigned long long>(stats.reports),
+          static_cast<unsigned long long>(stats.alerts_streamed),
+          static_cast<unsigned long long>(stats.alerts_dropped),
+          static_cast<unsigned long long>(stats.slow_disconnects));
+    }
+    if (do_shutdown && !ctl.Shutdown()) {
+      std::fprintf(stderr, "qf_loadgen: shutdown: %s\n",
+                   ctl.error().c_str());
+      return 1;
+    }
+  }
+
+  if (!prom_path.empty()) {
+    obs::MetricsSink::Options sink_opts;
+    sink_opts.prom_path = prom_path;
+    obs::MetricsSink sink(obs::MetricsRegistry::Global(), sink_opts);
+    if (!sink.WriteOnce()) {
+      std::fprintf(stderr, "qf_loadgen: failed to write %s\n",
+                   prom_path.c_str());
+      return 1;
+    }
+  }
+
+  if (expect_rate > 0.0 && rate < expect_rate) {
+    std::fprintf(stderr,
+                 "qf_loadgen: achieved %.0f items/s < expected %.0f\n", rate,
+                 expect_rate);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace qf
+
+int main(int argc, char** argv) { return qf::Main(argc, argv); }

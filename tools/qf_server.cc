@@ -1,0 +1,176 @@
+// qf_server: the QuantileFilter serving daemon (DESIGN.md §11).
+//
+// Binds a QfServer (epoll event loop + sharded ingest pipeline) and serves
+// the binary protocol until a CONTROL kShutdown frame or SIGINT/SIGTERM.
+// Optionally exports observability snapshots (JSONL + Prometheus text) via
+// the obs MetricsSink, restores a checkpoint at boot, and writes one at
+// shutdown.
+//
+// Examples:
+//   qf_server --port=7171 --shards=4 --memory=1048576
+//   qf_server --port=0 --metrics-prom=/tmp/qf.prom    # ephemeral port
+//   qf_server --port=7171 --checkpoint=/var/lib/qf/state.qfck
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "net/server.h"
+#include "obs/sink.h"
+
+namespace qf {
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+void OnSignal(int sig) { g_signal = sig; }
+
+void PrintUsage() {
+  std::printf(
+      "qf_server: network serving daemon for QuantileFilter\n\n"
+      "listening:\n"
+      "  --host=ADDR           bind address (default 127.0.0.1)\n"
+      "  --port=N              TCP port; 0 picks one (default 7171)\n\n"
+      "filter:\n"
+      "  --shards=N            pipeline shards (default 4)\n"
+      "  --memory=BYTES        total filter budget (default 1048576)\n"
+      "  --eps=X --delta=X --threshold=X   criteria (30 / 0.95 / 300)\n"
+      "  --seed=N              filter seed\n\n"
+      "serving:\n"
+      "  --batch=N             pipeline batch size (default 32)\n"
+      "  --alert-ring=N        per-shard alert-ring records (default 4096)\n"
+      "  --max-frame=BYTES     protocol frame cap (default 64 MiB)\n"
+      "  --max-write-queue=BYTES  per-connection write cap (default 8 MiB)\n"
+      "  --checkpoint=PATH     restore at boot (if present), save on exit\n\n"
+      "observability:\n"
+      "  --metrics-jsonl=PATH  append metric snapshots as JSON lines\n"
+      "  --metrics-prom=PATH   atomically rewrite Prometheus exposition\n"
+      "  --metrics-interval-ms=N  snapshot period (default 1000)\n");
+}
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return in.good() || in.eof();
+}
+
+bool WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    PrintUsage();
+    return 0;
+  }
+
+  net::QfServer::Options opts;
+  opts.host = flags.GetString("host", "127.0.0.1");
+  opts.port = static_cast<uint16_t>(flags.GetInt("port", 7171));
+  opts.num_shards = static_cast<int>(flags.GetInt("shards", 4));
+  opts.filter.memory_bytes =
+      static_cast<size_t>(flags.GetInt("memory", 1 << 20));
+  opts.filter.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<int64_t>(opts.filter.seed)));
+  opts.criteria =
+      Criteria(flags.GetDouble("eps", 30.0), flags.GetDouble("delta", 0.95),
+               flags.GetDouble("threshold", 300.0));
+  opts.batch_size = static_cast<size_t>(flags.GetInt("batch", 32));
+  opts.alert_ring_records =
+      static_cast<size_t>(flags.GetInt("alert-ring", 4096));
+  opts.max_frame_bytes = static_cast<size_t>(
+      flags.GetInt("max-frame", static_cast<int64_t>(net::kDefaultMaxFrameBytes)));
+  opts.max_write_queue_bytes =
+      static_cast<size_t>(flags.GetInt("max-write-queue", 8 << 20));
+
+  const std::string checkpoint = flags.GetString("checkpoint", "");
+  obs::MetricsSink::Options sink_opts;
+  sink_opts.jsonl_path = flags.GetString("metrics-jsonl", "");
+  sink_opts.prom_path = flags.GetString("metrics-prom", "");
+  sink_opts.interval_ms =
+      static_cast<int>(flags.GetInt("metrics-interval-ms", 1000));
+
+  const std::vector<std::string> unknown = flags.UnqueriedFlags();
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "qf_server: unknown flag --%s (see --help)\n",
+                 unknown.front().c_str());
+    return 2;
+  }
+
+  net::QfServer server(opts);
+
+  if (!checkpoint.empty()) {
+    std::vector<uint8_t> blob;
+    if (ReadFile(checkpoint, &blob)) {
+      if (!server.RestoreCheckpoint(blob)) {
+        std::fprintf(stderr,
+                     "qf_server: checkpoint %s rejected (geometry/CRC)\n",
+                     checkpoint.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "qf_server: restored checkpoint %s (%zu bytes)\n",
+                   checkpoint.c_str(), blob.size());
+    }
+  }
+
+  if (!server.Start()) {
+    std::fprintf(stderr, "qf_server: %s\n", server.error().c_str());
+    return 1;
+  }
+  std::printf("qf_server: listening on %s:%u (%d shards, %zu-byte budget)\n",
+              opts.host.c_str(), server.port(), opts.num_shards,
+              opts.filter.memory_bytes);
+  std::fflush(stdout);
+
+  obs::MetricsSink sink(obs::MetricsRegistry::Global(), sink_opts);
+  if (!sink_opts.jsonl_path.empty() || !sink_opts.prom_path.empty()) {
+    sink.Start();
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  // Serve until a protocol shutdown stops the loop or a signal arrives.
+  while (server.running() && g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  sink.Stop();
+
+  if (!checkpoint.empty()) {
+    const std::vector<uint8_t> blob = server.filter().SerializeState();
+    if (!WriteFile(checkpoint, blob)) {
+      std::fprintf(stderr, "qf_server: failed to write checkpoint %s\n",
+                   checkpoint.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "qf_server: wrote checkpoint %s (%zu bytes)\n",
+                 checkpoint.c_str(), blob.size());
+  }
+  const net::WireStats stats = server.StatsSnapshot();
+  std::printf(
+      "qf_server: done — %llu items ingested, %llu reports, %llu alerts "
+      "streamed (%llu dropped), %llu connections\n",
+      static_cast<unsigned long long>(stats.items_ingested),
+      static_cast<unsigned long long>(stats.reports),
+      static_cast<unsigned long long>(stats.alerts_streamed),
+      static_cast<unsigned long long>(stats.alerts_dropped),
+      static_cast<unsigned long long>(stats.accepts));
+  return 0;
+}
+
+}  // namespace
+}  // namespace qf
+
+int main(int argc, char** argv) { return qf::Main(argc, argv); }

@@ -34,9 +34,12 @@
 namespace qf::obs {
 namespace {
 
-/// Last non-empty line of `path`; empty string if unreadable/empty.
-std::string ReadLastLine(const std::string& path) {
+/// Last non-empty line of `path`; empty string if empty. `*readable`
+/// distinguishes a missing/unopenable feed from a present-but-empty one —
+/// --once reports them differently (exit 2 vs 1).
+std::string ReadLastLine(const std::string& path, bool* readable) {
   std::ifstream in(path);
+  *readable = static_cast<bool>(in);
   if (!in) return {};
   std::string line, last;
   while (std::getline(in, line)) {
@@ -86,6 +89,16 @@ bool ParseSnapshotLine(const std::string& line, Parsed* out,
         dst[field] = val->NumberOr(0);
       }
     }
+  }
+  // A JSON object that carries none of the snapshot sections is some other
+  // document, not a MetricsSink line; rendering it would silently produce
+  // an empty dashboard.
+  if (doc.Get("counters") == nullptr && doc.Get("gauges") == nullptr &&
+      doc.Get("histograms") == nullptr) {
+    *error =
+        "JSON object is not a metrics snapshot (no counters/gauges/"
+        "histograms sections)";
+    return false;
   }
   return true;
 }
@@ -206,10 +219,19 @@ int Main(int argc, char** argv) {
   Parsed prev;
   bool have_prev = false;
   for (;;) {
-    const std::string line = ReadLastLine(file);
-    if (line.empty()) {
+    bool readable = false;
+    const std::string line = ReadLastLine(file, &readable);
+    if (!readable) {
       if (once) {
-        std::fprintf(stderr, "no snapshot in %s\n", file.c_str());
+        std::fprintf(stderr, "qf_top: cannot read %s (missing feed?)\n",
+                     file.c_str());
+        return 2;
+      }
+      // Follow mode: the producer may not have created the file yet.
+    } else if (line.empty()) {
+      if (once) {
+        std::fprintf(stderr, "qf_top: %s has no snapshot lines yet\n",
+                     file.c_str());
         return 1;
       }
       // Follow mode: the producer may not have written yet; keep polling.
@@ -219,7 +241,8 @@ int Main(int argc, char** argv) {
       if (!ParseSnapshotLine(line, &snap, &error)) {
         // A torn tail line (writer mid-append) parses on the next poll.
         if (once) {
-          std::fprintf(stderr, "bad snapshot line: %s\n", error.c_str());
+          std::fprintf(stderr, "qf_top: malformed snapshot in %s: %s\n",
+                       file.c_str(), error.c_str());
           return 1;
         }
       } else {
