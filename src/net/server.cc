@@ -30,6 +30,14 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+/// epoll user data: fd in the low 32 bits, a per-accept generation in the
+/// high 32 (0 for the listen/wake fds, which are never reused while the
+/// loop runs). Events are matched against the live Conn's generation so a
+/// stale event for a closed-and-reused fd is dropped, not misapplied.
+uint64_t EventToken(int fd, uint32_t gen) {
+  return (static_cast<uint64_t>(gen) << 32) | static_cast<uint32_t>(fd);
+}
+
 #if QF_METRICS
 /// Serving-layer metric bundle (names per DESIGN.md §10/§11). Per-frame-type
 /// counters carry a `{type="..."}` label; per-connection activity is exposed
@@ -101,6 +109,7 @@ struct QfServer::Conn {
   bool want_write = false;   // EPOLLOUT currently armed
   bool subscribed = false;
   bool closing = false;      // close once `out` drains
+  uint32_t gen = 0;          // per-accept generation (see EventToken)
   uint64_t alert_seq = 0;
 
   explicit Conn(int fd_in, const FrameDecoder::Options& dopts)
@@ -170,9 +179,9 @@ bool QfServer::Start() {
   }
   epoll_event ev{};
   ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
+  ev.data.u64 = EventToken(listen_fd_, 0);
   epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.fd = wake_fd_;
+  ev.data.u64 = EventToken(wake_fd_, 0);
   epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
   stop_requested_.store(false, std::memory_order_relaxed);
@@ -240,7 +249,9 @@ void QfServer::Loop() {
     if (n < 0 && errno != EINTR) break;
 
     for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
+      const uint64_t token = events[i].data.u64;
+      const int fd = static_cast<int>(token & 0xffffffffu);
+      const uint32_t gen = static_cast<uint32_t>(token >> 32);
       if (fd == wake_fd_) {
         uint64_t drain;
         while (read(wake_fd_, &drain, sizeof(drain)) > 0) {
@@ -254,6 +265,7 @@ void QfServer::Loop() {
       auto it = conns_.find(fd);
       if (it == conns_.end()) continue;  // closed earlier in this batch
       Conn* conn = it->second.get();
+      if (conn->gen != gen) continue;  // stale event: fd was reused
       if (events[i].events & (EPOLLHUP | EPOLLERR)) {
         CloseConn(conn, /*slow=*/false);
         continue;
@@ -309,9 +321,10 @@ void QfServer::AcceptReady() {
     FrameDecoder::Options dopts;
     dopts.max_frame_bytes = options_.max_frame_bytes;
     auto conn = std::make_unique<Conn>(fd, dopts);
+    conn->gen = ++conn_gen_;
     epoll_event ev{};
     ev.events = EPOLLIN;
-    ev.data.fd = fd;
+    ev.data.u64 = EventToken(fd, conn->gen);
     if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
       close(fd);
       continue;
@@ -436,13 +449,24 @@ void QfServer::HandleQuery(Conn* conn, const Frame& frame) {
     SendError(conn, ErrorCode::kBadPayload, "malformed QUERY payload");
     return;
   }
+  if (req.keys.size() > options_.max_query_keys) {
+    // Each QUERY blocks the event loop for its control-slot round trips; an
+    // uncapped frame (~8M keys at the default frame cap) would stall every
+    // connection for seconds.
+    SendError(conn, ErrorCode::kBadPayload,
+              "QUERY carries " + std::to_string(req.keys.size()) +
+                  " keys, cap is " + std::to_string(options_.max_query_keys));
+    return;
+  }
+  // Executed on the owning shards' worker threads via their control slots
+  // — one round trip per shard, answered concurrently, not one per key.
+  // Answers reflect each worker's current ring position (CONTROL kDrain
+  // first for read-your-writes).
+  std::vector<Pipeline::QueryAnswer> grouped(req.keys.size());
+  pipeline_.QueryBatch(req.keys, grouped.data());
   std::vector<QueryAnswer> answers;
   answers.reserve(req.keys.size());
-  for (const uint64_t key : req.keys) {
-    // Executed on the owning shard's worker thread via its control slot;
-    // reflects the worker's current ring position (CONTROL kDrain first for
-    // read-your-writes).
-    const Pipeline::QueryAnswer a = pipeline_.Query(key);
+  for (const Pipeline::QueryAnswer& a : grouped) {
     answers.push_back(
         QueryAnswer{a.qweight, static_cast<uint8_t>(a.is_candidate ? 1 : 0)});
   }
@@ -495,8 +519,19 @@ void QfServer::HandleControl(Conn* conn, const Frame& frame) {
       // and the quiescent shards are safe to serialize from this thread.
       pipeline_.Fence();
       const std::vector<uint8_t> blob = filter_.SerializeState();
-      EncodeControlResultTo(req.token, req.op, ControlStatus::kOk, blob,
-                            &reply);
+      // CONTROL_RESULT payload = token(8) + op(1) + status(1) + blob. A
+      // blob past max_frame_bytes would produce a frame every compliant
+      // decoder (including our client's) rejects, poisoning the stream of
+      // a successful checkpoint — refuse instead. Size max_frame_bytes to
+      // at least the filter memory budget (Options comment, DESIGN.md §11).
+      constexpr size_t kControlResultHeader = 10;
+      if (blob.size() + kControlResultHeader > options_.max_frame_bytes) {
+        EncodeControlResultTo(req.token, req.op, ControlStatus::kRejected,
+                              {}, &reply);
+      } else {
+        EncodeControlResultTo(req.token, req.op, ControlStatus::kOk, blob,
+                              &reply);
+      }
       break;
     }
     case ControlOp::kRestore: {
@@ -610,7 +645,7 @@ bool QfServer::FlushWrites(Conn* conn) {
 void QfServer::UpdateEpoll(Conn* conn) {
   epoll_event ev{};
   ev.events = EPOLLIN | (conn->want_write ? EPOLLOUT : 0u);
-  ev.data.fd = conn->fd;
+  ev.data.u64 = EventToken(conn->fd, conn->gen);
   epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
 }
 

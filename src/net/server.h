@@ -73,8 +73,16 @@ class QfServer {
     /// Per-shard alert-ring capacity feeding SUBSCRIBE streams.
     size_t alert_ring_records = 4096;
 
-    /// Protocol/backpressure limits.
+    /// Protocol/backpressure limits. max_frame_bytes also bounds CONTROL
+    /// checkpoint replies: size it to at least the filter memory budget
+    /// plus slack, or kCheckpoint answers kRejected rather than emit a
+    /// frame no compliant decoder would accept.
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Cap on keys in one QUERY frame (oversize → ERROR kBadPayload).
+    /// Each QUERY costs one control-slot round trip per owning shard on
+    /// the event-loop thread, so this bounds how long a single frame can
+    /// occupy the loop.
+    size_t max_query_keys = 65536;
     size_t max_write_queue_bytes = 8u << 20;
     int max_connections = 1024;
     /// SO_SNDBUF for accepted sockets (0 = kernel default). Tests shrink it
@@ -155,9 +163,13 @@ class QfServer {
   bool stopping_ = false;   // loop-thread: kShutdown acked, draining
   int shutdown_fd_ = -1;    // conn whose shutdown ack must drain first
 
-  // Keyed by fd; epoll events carry the fd and re-resolve through this map,
-  // so a connection closed mid-batch is simply not found by later events.
+  // Keyed by fd; epoll events carry the fd plus a per-accept generation
+  // and re-resolve through this map. A connection closed mid-batch is not
+  // found by later events, and if an accept in the same batch reuses the
+  // fd number, the stale event fails the generation check instead of
+  // being applied to the new connection.
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  uint32_t conn_gen_ = 0;  // loop-thread only; bumped per accept
 
   // Loop-thread counters mirrored into WireStats (atomic so StatsSnapshot
   // may run on another thread).

@@ -164,7 +164,7 @@ class IngestPipeline {
     const int s = filter_->ShardFor(key);
     ItemBatch& batch = staging_[static_cast<size_t>(s)];
     batch.items[batch.count++] = Item{key, value};
-    ++items_dispatched_;
+    BumpRelaxed(items_dispatched_);
     if (batch.count >= batch_size_) ShipBatch(s);
   }
   void Push(const Item& item) { Push(item.key, item.value); }
@@ -204,6 +204,45 @@ class IngestPipeline {
     req.key = key;
     PostAndWait(filter_->ShardFor(key), &req);
     return QueryAnswer{req.qweight, req.is_candidate};
+  }
+
+  /// Runs point queries for all `keys` with one control-slot round trip
+  /// per owning shard (not per key): keys are grouped by shard, every
+  /// group is posted before any is waited on, and the shard workers
+  /// execute their groups concurrently. `answers[i]` corresponds to
+  /// `keys[i]`. Same caller contract and consistency semantics as
+  /// Query().
+  void QueryBatch(std::span<const uint64_t> keys, QueryAnswer* answers) {
+    assert(running_.load(std::memory_order_relaxed) &&
+           "IngestPipeline::QueryBatch outside Start()/Stop()");
+    const size_t nshards = workers_.size();
+    std::vector<std::vector<uint64_t>> shard_keys(nshards);
+    std::vector<std::vector<size_t>> shard_pos(nshards);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const size_t s = static_cast<size_t>(filter_->ShardFor(keys[i]));
+      shard_keys[s].push_back(keys[i]);
+      shard_pos[s].push_back(i);
+    }
+    std::vector<std::vector<QueryAnswer>> shard_answers(nshards);
+    std::vector<ShardRequest> reqs(nshards);
+    for (size_t s = 0; s < nshards; ++s) {
+      if (shard_keys[s].empty()) continue;
+      shard_answers[s].resize(shard_keys[s].size());
+      reqs[s].kind = ShardRequest::Kind::kQueryBatch;
+      reqs[s].keys = shard_keys[s].data();
+      reqs[s].answers = shard_answers[s].data();
+      reqs[s].count = shard_keys[s].size();
+      slots_[s].req.store(&reqs[s], std::memory_order_release);
+    }
+    for (size_t s = 0; s < nshards; ++s) {
+      if (shard_keys[s].empty()) continue;
+      while (!reqs[s].done.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (size_t j = 0; j < shard_pos[s].size(); ++j) {
+        answers[shard_pos[s][j]] = shard_answers[s][j];
+      }
+    }
   }
 
   /// Drain barrier: ships all staged batches, then blocks until every
@@ -280,8 +319,8 @@ class IngestPipeline {
   /// values.
   Totals totals() const {
     Totals t;
-    t.items_dispatched = items_dispatched_;
-    t.ring_full_waits = ring_full_waits_;
+    t.items_dispatched = items_dispatched_.load(std::memory_order_relaxed);
+    t.ring_full_waits = ring_full_waits_.load(std::memory_order_relaxed);
     for (const WorkerState& w : workers_) {
       t.items_processed += w.items.load(std::memory_order_relaxed);
       t.batches += w.batches.load(std::memory_order_relaxed);
@@ -328,11 +367,17 @@ class IngestPipeline {
   /// empty, which (after Flush) means everything pushed before the fence
   /// has been processed.
   struct ShardRequest {
-    enum class Kind : uint8_t { kQuery, kFence };
+    enum class Kind : uint8_t { kQuery, kQueryBatch, kFence };
     Kind kind = Kind::kQuery;
     uint64_t key = 0;
     int64_t qweight = 0;       // out (kQuery)
     bool is_candidate = false;  // out (kQuery)
+    // kQueryBatch: `count` keys to look up and their answer slots. The
+    // arrays are dispatcher-owned; the done release/acquire pair publishes
+    // the worker's writes back.
+    const uint64_t* keys = nullptr;
+    QueryAnswer* answers = nullptr;
+    size_t count = 0;
     std::atomic<bool> done{false};
   };
 
@@ -342,6 +387,14 @@ class IngestPipeline {
     std::atomic<ShardRequest*> req{nullptr};
   };
 
+  /// Single-writer counter bump: a plain load/store pair instead of an
+  /// atomic RMW keeps the dispatcher's per-item hot path free of locked
+  /// instructions while still letting other threads read without a race.
+  static void BumpRelaxed(std::atomic<uint64_t>& counter) {
+    counter.store(counter.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+  }
+
   void PostAndWait(int s, ShardRequest* req) {
     slots_[static_cast<size_t>(s)].req.store(req, std::memory_order_release);
     while (!req->done.load(std::memory_order_acquire)) {
@@ -349,15 +402,32 @@ class IngestPipeline {
     }
   }
 
-  /// Worker-side slot poll. `ring_empty` gates fence completion.
-  void AnswerSlot(int s, typename Sharded::Filter& shard, bool ring_empty) {
+  /// Worker-side slot poll. Fences re-verify ring emptiness AFTER the
+  /// acquire load of the request: a verdict from a TryPop that ran before
+  /// the load could race the dispatcher (Flush pushes a batch, then posts
+  /// the fence) and complete the fence with a pre-fence batch still
+  /// queued. The acquire load synchronizes with the dispatcher's release
+  /// store of the request, which its Flush() pushes happen-before, so the
+  /// consumer-side emptiness test observes every pre-fence push.
+  void AnswerSlot(int s, typename Sharded::Filter& shard,
+                  const SpscRing<ItemBatch>& ring) {
     ControlSlot& slot = slots_[static_cast<size_t>(s)];
     ShardRequest* req = slot.req.load(std::memory_order_acquire);
     if (req == nullptr) return;
-    if (req->kind == ShardRequest::Kind::kFence && !ring_empty) return;
-    if (req->kind == ShardRequest::Kind::kQuery) {
-      req->qweight = shard.QueryQweight(req->key);
-      req->is_candidate = shard.IsCandidate(req->key);
+    switch (req->kind) {
+      case ShardRequest::Kind::kFence:
+        if (!ring.ConsumerEmpty()) return;  // pre-fence work still queued
+        break;
+      case ShardRequest::Kind::kQuery:
+        req->qweight = shard.QueryQweight(req->key);
+        req->is_candidate = shard.IsCandidate(req->key);
+        break;
+      case ShardRequest::Kind::kQueryBatch:
+        for (size_t i = 0; i < req->count; ++i) {
+          req->answers[i] = QueryAnswer{shard.QueryQweight(req->keys[i]),
+                                        shard.IsCandidate(req->keys[i])};
+        }
+        break;
     }
     slot.req.store(nullptr, std::memory_order_relaxed);
     req->done.store(true, std::memory_order_release);
@@ -393,7 +463,7 @@ class IngestPipeline {
     uint64_t stall_start_ns = 0;
 #endif
     while (!ring.TryPush(batch)) {
-      ++ring_full_waits_;
+      BumpRelaxed(ring_full_waits_);
       QF_OBS({
         ++stalls;
         if (stall_start_ns == 0) stall_start_ns = MonotonicNanos();
@@ -431,13 +501,12 @@ class IngestPipeline {
       if (ring.TryPop(&batch)) {
         QF_OBS(RecordOccupancy(s, ring));
         ProcessBatch(s, shard, state, batch);
-        // Answer point queries promptly even under sustained load; fences
-        // wait for the empty-ring path below.
-        AnswerSlot(s, shard, /*ring_empty=*/false);
+        // Answer pending control requests promptly even under sustained
+        // load; AnswerSlot itself gates fences on true ring emptiness.
+        AnswerSlot(s, shard, ring);
         continue;
       }
-      // Ring empty from this consumer's perspective: fences may complete.
-      AnswerSlot(s, shard, /*ring_empty=*/true);
+      AnswerSlot(s, shard, ring);
       if (done_.load(std::memory_order_acquire)) {
         // The release store in Stop() ordered all prior pushes before
         // `done`; one more drain pass and an empty ring means truly done.
@@ -520,10 +589,12 @@ class IngestPipeline {
   const bool collect_reported_keys_;
   const bool alerts_enabled_;
 
-  // Dispatcher-owned.
+  // Dispatcher-owned. The counters are relaxed atomics (single writer, the
+  // dispatcher) so live totals() snapshots — QfServer::StatsSnapshot reads
+  // them from arbitrary threads — are race-free.
   std::vector<ItemBatch> staging_;
-  uint64_t items_dispatched_ = 0;
-  uint64_t ring_full_waits_ = 0;
+  std::atomic<uint64_t> items_dispatched_{0};
+  std::atomic<uint64_t> ring_full_waits_{0};
 
   // Shared channels and worker state.
   std::vector<std::unique_ptr<SpscRing<ItemBatch>>> rings_;

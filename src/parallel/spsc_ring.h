@@ -73,6 +73,16 @@ class SpscRing {
     return true;
   }
 
+  /// Consumer-side emptiness test: exact when called from the consumer
+  /// thread. head_ is owned by the caller and tail_ is acquire-loaded, so
+  /// `true` means every push that happened-before this call has already
+  /// been popped (unlike TryPop's fast path, this never trusts the cached
+  /// tail).
+  bool ConsumerEmpty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
   /// Approximate occupancy; exact only from the calling side's perspective.
   size_t SizeApprox() const {
     const uint64_t tail = tail_.load(std::memory_order_acquire);

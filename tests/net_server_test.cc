@@ -227,6 +227,48 @@ TEST(NetServerTest, RestoreRejectsCorruptBlob) {
   server.Stop();
 }
 
+TEST(NetServerTest, OversizedQueryIsRejectedAtTheCap) {
+  QfServer::Options opts = ServerOptions(2);
+  opts.max_query_keys = 64;
+  QfServer server(opts);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  // One key over the cap: ERROR kBadPayload, connection closed.
+  QfClient over;
+  ASSERT_TRUE(over.Connect("127.0.0.1", server.port())) << over.error();
+  std::vector<uint64_t> keys(65);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i + 1;
+  std::vector<QueryAnswer> answers;
+  EXPECT_FALSE(over.Query(keys, &answers));
+  EXPECT_FALSE(over.connected());
+
+  // Exactly at the cap still answers.
+  QfClient at;
+  ASSERT_TRUE(at.Connect("127.0.0.1", server.port())) << at.error();
+  keys.resize(64);
+  ASSERT_TRUE(at.Query(keys, &answers)) << at.error();
+  EXPECT_EQ(answers.size(), keys.size());
+  server.Stop();
+}
+
+TEST(NetServerTest, CheckpointLargerThanFrameCapIsRefused) {
+  QfServer::Options opts = ServerOptions(2);
+  opts.max_frame_bytes = 4096;  // far below the 128 KiB filter budget
+  QfServer server(opts);
+  ASSERT_TRUE(server.Start()) << server.error();
+  QfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port())) << client.error();
+  // The blob cannot fit a frame the client's decoder would accept; the
+  // server must answer kRejected rather than poison the stream.
+  std::vector<uint8_t> blob;
+  EXPECT_FALSE(client.Checkpoint(&blob));
+  EXPECT_TRUE(blob.empty());
+  EXPECT_TRUE(client.connected()) << "refusal must not kill the conn";
+  WireStats stats;
+  EXPECT_TRUE(client.Stats(&stats)) << client.error();
+  server.Stop();
+}
+
 TEST(NetServerTest, SlowSubscriberIsDisconnectedWhileIngestContinues) {
   QfServer::Options opts = ServerOptions(2);
   opts.max_write_queue_bytes = 16 * 1024;  // tiny: easy to overflow

@@ -6,6 +6,7 @@
 
 #include "parallel/pipeline.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -64,6 +65,57 @@ TEST(PipelineControlTest, QueryAfterFenceMatchesDirectFilterRead) {
   const Pipeline::Totals totals = pipeline.totals();
   EXPECT_EQ(totals.items_dispatched, trace.size());
   EXPECT_EQ(totals.items_processed, trace.size());
+}
+
+TEST(PipelineControlTest, FenceNeverCompletesAheadOfQueuedBatches) {
+  // Regression for a fence TOCTOU: the worker must re-verify ring
+  // emptiness after acquire-loading the fence request, not reuse the
+  // verdict of a TryPop that ran before the dispatcher's Flush() queued a
+  // batch — otherwise a fence can return while a pre-fence batch is still
+  // in the ring. Fence repeatedly right after pushing so the push → post
+  // window lands inside the workers' empty-ring slot polls.
+  const Criteria criteria(30, 0.95, 300);
+  const Trace trace = MakeTrace(60'000, /*seed=*/13);
+  Sharded filter(FilterOptions(), criteria, 2);
+  Pipeline::Options popts;
+  popts.batch_size = 1;  // every Push ships immediately: maximal overlap
+  Pipeline pipeline(filter, popts);
+  pipeline.Start();
+  uint64_t pushed = 0;
+  for (size_t i = 0; i < trace.size();) {
+    const size_t n = std::min<size_t>(7, trace.size() - i);
+    for (size_t j = 0; j < n; ++j, ++i) {
+      pipeline.Push(trace[i]);
+      ++pushed;
+    }
+    pipeline.Fence();
+    const Pipeline::Totals t = pipeline.totals();
+    ASSERT_EQ(t.items_processed, pushed)
+        << "fence returned with items still queued";
+  }
+  pipeline.Stop();
+}
+
+TEST(PipelineControlTest, QueryBatchMatchesSingleKeyQueries) {
+  const Criteria criteria(30, 0.95, 300);
+  const Trace trace = MakeTrace(150'000, /*seed=*/23);
+  Sharded filter(FilterOptions(), criteria, 4);
+  Pipeline pipeline(filter);
+  pipeline.Start();
+  for (const Item& item : trace) pipeline.Push(item);
+  pipeline.Fence();
+
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 1; k <= 777; ++k) keys.push_back(k);
+  std::vector<Pipeline::QueryAnswer> batched(keys.size());
+  pipeline.QueryBatch(keys, batched.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const Pipeline::QueryAnswer single = pipeline.Query(keys[i]);
+    EXPECT_EQ(batched[i].qweight, single.qweight) << "key " << keys[i];
+    EXPECT_EQ(batched[i].is_candidate, single.is_candidate)
+        << "key " << keys[i];
+  }
+  pipeline.Stop();
 }
 
 TEST(PipelineControlTest, QueriesInterleavedWithLoadAnswerPromptly) {
