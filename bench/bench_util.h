@@ -61,9 +61,13 @@ inline Trace MakeZipfTrace(size_t items, uint64_t num_keys) {
 }
 
 /// Builds a QuantileFilter with the paper's default parameters at `budget`.
-inline DefaultQuantileFilter MakeQf(size_t budget, const Criteria& criteria) {
+/// `layout` selects the vague-part memory layout (classic rows by default;
+/// kBlocked packs all rows of a key into one cache line).
+inline DefaultQuantileFilter MakeQf(size_t budget, const Criteria& criteria,
+                                    VagueLayout layout = VagueLayout::kClassic) {
   DefaultQuantileFilter::Options o;
   o.memory_bytes = budget;
+  o.vague_layout = layout;
   return DefaultQuantileFilter(o, criteria);
 }
 

@@ -16,6 +16,7 @@
 #include "quantile/gk.h"
 #include "quantile/kll.h"
 #include "quantile/tdigest.h"
+#include "sketch/blocked_count_sketch.h"
 #include "sketch/count_min_sketch.h"
 #include "sketch/count_sketch.h"
 #include "sketch/space_saving.h"
@@ -175,6 +176,75 @@ void BM_CountSketchEstimate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CountSketchEstimate);
+
+// Same counter budget as BM_CountSketchAdd/Estimate (3 x 16384 int16 rows
+// ~= 96 KiB), but laid out as 64-byte blocks: every op touches one cache
+// line instead of d.
+void BM_BlockedSketchAdd(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  BlockedCountSketch<int16_t> sketch =
+      BlockedCountSketch<int16_t>::FromBytes(3 * 16384 * sizeof(int16_t), 3, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(w.keys[i], 19);
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockedSketchAdd);
+
+void BM_BlockedSketchEstimate(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  BlockedCountSketch<int16_t> sketch =
+      BlockedCountSketch<int16_t>::FromBytes(3 * 16384 * sizeof(int16_t), 3, 7);
+  for (size_t i = 0; i < kStreamLen; ++i) sketch.Add(w.keys[i], 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Estimate(w.keys[i]));
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockedSketchEstimate);
+
+// End-to-end vague-path comparison: a filter whose candidate part is kept
+// tiny so most inserts fall through to the vague part, run under both
+// layouts (arg 0 = classic, 1 = blocked).
+void BM_QuantileFilterVagueInsert(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  QuantileFilter<CountSketch<int16_t>>::Options o;
+  o.memory_bytes = 1 << 18;
+  o.vague_layout =
+      state.range(0) ? VagueLayout::kBlocked : VagueLayout::kClassic;
+  QuantileFilter<CountSketch<int16_t>> filter(o, Criteria(30, 0.95, 300));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Insert(w.keys[i], w.values[i]));
+    i = (i + 1) & (kStreamLen - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(VagueLayoutName(o.vague_layout));
+}
+BENCHMARK(BM_QuantileFilterVagueInsert)->Arg(0)->Arg(1);
+
+// The branch-free sorting-network median that blocked Estimate leans on
+// (arg = row count d).
+void BM_MedianOfSmall(benchmark::State& state) {
+  Rng rng(7);
+  constexpr size_t kVals = 1 << 10;
+  std::vector<int64_t> vals(kVals);
+  for (auto& v : vals) v = static_cast<int64_t>(rng.Next() % 4096) - 2048;
+  const int n = static_cast<int>(state.range(0));
+  size_t i = 0;
+  int64_t scratch[8];
+  for (auto _ : state) {
+    for (int k = 0; k < n; ++k) scratch[k] = vals[(i + k) & (kVals - 1)];
+    benchmark::DoNotOptimize(MedianOfSmall(scratch, n));
+    i = (i + n) & (kVals - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MedianOfSmall)->Arg(3)->Arg(4)->Arg(5);
 
 void BM_CountMinAdd(benchmark::State& state) {
   const Workload& w = SharedWorkload();

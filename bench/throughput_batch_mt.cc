@@ -8,10 +8,16 @@
 //   * pipeline-N — N-shard ShardedQuantileFilter behind the SPSC ingest
 //                 pipeline (parallel/pipeline.h): 1 dispatcher + N workers.
 //
-// Prints MOPS and speedup vs scalar, and emits machine-readable JSON to
-// bench_results/throughput_batch_mt.json (override with QF_BENCH_JSON) so
-// later PRs can track the perf trajectory. Pipeline numbers depend on real
-// core count; `hardware_threads` is recorded in the JSON for context.
+// Every configuration runs under both vague-part layouts by default
+// (--layout=classic|blocked|both restricts the sweep); rows are tagged with
+// the layout in the table and the JSON.
+//
+// Prints MOPS and speedup vs the same-layout scalar run, and emits
+// machine-readable JSON to bench_results/throughput_batch_mt.json (override
+// with QF_BENCH_JSON) so later PRs can track the perf trajectory. Pipeline
+// numbers depend on real core count; `hardware_threads` and the build's
+// `git_sha` (QF_GIT_SHA env var, else the compile-time stamp) are recorded
+// in the JSON for context.
 //
 // Observability flags (all optional; see DESIGN.md §10):
 //   --metrics-json=PATH        append one metrics snapshot per second as a
@@ -46,10 +52,23 @@ struct Measurement {
   std::string trace;
   size_t budget = 0;
   std::string config;
+  VagueLayout layout = VagueLayout::kClassic;
   double mops = 0.0;
   double speedup = 1.0;
   uint64_t reports = 0;
 };
+
+/// Best-effort build identity for the JSON trail: the QF_GIT_SHA env var
+/// wins (set by CI at run time), then the compile-time stamp from CMake,
+/// then "unknown".
+const char* GitSha() {
+  if (const char* env = std::getenv("QF_GIT_SHA"); env && *env) return env;
+#ifdef QF_GIT_SHA
+  return QF_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
 
 double Seconds(std::chrono::steady_clock::time_point start,
                std::chrono::steady_clock::time_point stop) {
@@ -62,74 +81,79 @@ double Mops(size_t items, double seconds) {
 }
 
 Measurement RunScalar(const Trace& trace, size_t budget,
-                      const Criteria& criteria) {
-  DefaultQuantileFilter filter = MakeQf(budget, criteria);
+                      const Criteria& criteria, VagueLayout layout) {
+  DefaultQuantileFilter filter = MakeQf(budget, criteria, layout);
   uint64_t reports = 0;
   const auto start = std::chrono::steady_clock::now();
   for (const Item& item : trace) {
     reports += filter.Insert(item.key, item.value);
   }
   const auto stop = std::chrono::steady_clock::now();
-  return {"", budget, "scalar", Mops(trace.size(), Seconds(start, stop)), 1.0,
-          reports};
+  return {"", budget, "scalar", layout,
+          Mops(trace.size(), Seconds(start, stop)), 1.0, reports};
 }
 
 Measurement RunBatch(const Trace& trace, size_t budget,
-                     const Criteria& criteria) {
-  DefaultQuantileFilter filter = MakeQf(budget, criteria);
+                     const Criteria& criteria, VagueLayout layout) {
+  DefaultQuantileFilter filter = MakeQf(budget, criteria, layout);
   const auto start = std::chrono::steady_clock::now();
   const uint64_t reports =
       filter.InsertBatch(std::span<const Item>(trace), criteria);
   const auto stop = std::chrono::steady_clock::now();
-  return {"", budget, "batch", Mops(trace.size(), Seconds(start, stop)), 1.0,
-          reports};
+  return {"", budget, "batch", layout,
+          Mops(trace.size(), Seconds(start, stop)), 1.0, reports};
 }
 
 Measurement RunPipeline(const Trace& trace, size_t budget,
-                        const Criteria& criteria, int shards) {
+                        const Criteria& criteria, VagueLayout layout,
+                        int shards) {
   DefaultQuantileFilter::Options options;
   options.memory_bytes = budget;
+  options.vague_layout = layout;
   ShardedQuantileFilter<CountSketch<int16_t>> filter(options, criteria,
                                                      shards);
   IngestPipeline<CountSketch<int16_t>> pipeline(filter);
   const auto start = std::chrono::steady_clock::now();
   const uint64_t reports = pipeline.RunTrace(std::span<const Item>(trace));
   const auto stop = std::chrono::steady_clock::now();
-  return {"", budget, "pipeline-" + std::to_string(shards),
+  return {"", budget, "pipeline-" + std::to_string(shards), layout,
           Mops(trace.size(), Seconds(start, stop)), 1.0, reports};
 }
 
 void Print(const Measurement& m) {
-  std::printf("%-12s mem=%9zuB  %8.2f MOPS  %5.2fx  reports=%llu\n",
-              m.config.c_str(), m.budget, m.mops, m.speedup,
-              static_cast<unsigned long long>(m.reports));
+  std::printf("%-12s %-8s mem=%9zuB  %8.2f MOPS  %5.2fx  reports=%llu\n",
+              m.config.c_str(), VagueLayoutName(m.layout), m.budget, m.mops,
+              m.speedup, static_cast<unsigned long long>(m.reports));
 }
 
 void Sweep(const char* name, const Trace& trace, const Criteria& criteria,
+           const std::vector<VagueLayout>& layouts,
            std::vector<Measurement>* all) {
   PrintHeader(name, trace, criteria);
   for (size_t budget : {size_t{256} << 10, size_t{16} << 20}) {
     // Warm-up pass (page in the trace, stabilize clocks).
-    RunScalar(trace, budget, criteria);
+    RunScalar(trace, budget, criteria, layouts.front());
 
-    Measurement scalar = RunScalar(trace, budget, criteria);
-    Measurement batch = RunBatch(trace, budget, criteria);
-    std::vector<Measurement> rows{scalar, batch};
-    for (int shards : {1, 2, 4, 8}) {
-      rows.push_back(RunPipeline(trace, budget, criteria, shards));
+    for (VagueLayout layout : layouts) {
+      Measurement scalar = RunScalar(trace, budget, criteria, layout);
+      Measurement batch = RunBatch(trace, budget, criteria, layout);
+      std::vector<Measurement> rows{scalar, batch};
+      for (int shards : {1, 2, 4, 8}) {
+        rows.push_back(RunPipeline(trace, budget, criteria, layout, shards));
+      }
+      for (Measurement& m : rows) {
+        m.trace = name;
+        m.speedup = scalar.mops > 0 ? m.mops / scalar.mops : 0.0;
+        Print(m);
+        all->push_back(m);
+      }
+      if (batch.reports != scalar.reports) {
+        std::printf("!! batch/scalar report mismatch (%llu vs %llu)\n",
+                    static_cast<unsigned long long>(batch.reports),
+                    static_cast<unsigned long long>(scalar.reports));
+      }
+      std::printf("\n");
     }
-    for (Measurement& m : rows) {
-      m.trace = name;
-      m.speedup = scalar.mops > 0 ? m.mops / scalar.mops : 0.0;
-      Print(m);
-      all->push_back(m);
-    }
-    if (batch.reports != scalar.reports) {
-      std::printf("!! batch/scalar report mismatch (%llu vs %llu)\n",
-                  static_cast<unsigned long long>(batch.reports),
-                  static_cast<unsigned long long>(scalar.reports));
-    }
-    std::printf("\n");
   }
 }
 
@@ -145,15 +169,17 @@ void WriteJson(const std::vector<Measurement>& all, size_t items) {
                QF_SIMD_NAME);
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"git_sha\": \"%s\",\n", GitSha());
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < all.size(); ++i) {
     const Measurement& m = all[i];
     std::fprintf(f,
                  "    {\"trace\": \"%s\", \"budget_bytes\": %zu, "
-                 "\"config\": \"%s\", \"mops\": %.3f, "
+                 "\"config\": \"%s\", \"layout\": \"%s\", \"mops\": %.3f, "
                  "\"speedup_vs_scalar\": %.3f, \"reports\": %llu}%s\n",
-                 m.trace.c_str(), m.budget, m.config.c_str(), m.mops,
-                 m.speedup, static_cast<unsigned long long>(m.reports),
+                 m.trace.c_str(), m.budget, m.config.c_str(),
+                 VagueLayoutName(m.layout), m.mops, m.speedup,
+                 static_cast<unsigned long long>(m.reports),
                  i + 1 == all.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -163,6 +189,19 @@ void WriteJson(const std::vector<Measurement>& all, size_t items) {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  const std::string layout_flag = flags.GetString("layout", "both");
+  std::vector<VagueLayout> layouts;
+  if (layout_flag == "classic") {
+    layouts = {VagueLayout::kClassic};
+  } else if (layout_flag == "blocked") {
+    layouts = {VagueLayout::kBlocked};
+  } else if (layout_flag == "both") {
+    layouts = {VagueLayout::kClassic, VagueLayout::kBlocked};
+  } else {
+    std::fprintf(stderr, "unknown --layout=%s (classic | blocked | both)\n",
+                 layout_flag.c_str());
+    return 2;
+  }
   const std::string metrics_json = flags.GetString("metrics-json", "");
   const std::string metrics_prom = flags.GetString("metrics-prom", "");
   const std::string trace_json = flags.GetString("trace-json", "");
@@ -185,10 +224,10 @@ int Main(int argc, char** argv) {
   std::vector<Measurement> all;
 
   const Trace zipf = MakeZipfTrace(items, items / 8);
-  Sweep("zipf", zipf, InternetCriteria(300.0), &all);
+  Sweep("zipf", zipf, InternetCriteria(300.0), layouts, &all);
 
   const Trace cloud = MakeCloudTrace(items);
-  Sweep("cloud", cloud, CloudCriteria(20000.0), &all);
+  Sweep("cloud", cloud, CloudCriteria(20000.0), layouts, &all);
 
   WriteJson(all, items);
 

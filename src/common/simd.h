@@ -1,6 +1,6 @@
 // Portable SIMD primitives for the hot insert path.
 //
-// Two things live here:
+// Three things live here:
 //   1. Prefetch / PrefetchWrite — cache-line prefetch wrappers used by the
 //      batched insert window (core/quantile_filter.h) and the sketch
 //      row-prefetch hooks.
@@ -8,6 +8,12 @@
 //      F14/cuckoo-filter-style bucket probe. One vector compare covers a
 //      whole 6-entry candidate bucket on AVX2 (two on SSE2); the scalar
 //      fallback is bit-identical, so results never depend on the ISA.
+//   3. SatAddBlockI16 / SatAddBlockI8 — lane-wise saturating add of one
+//      64-byte counter block, the update kernel of the blocked vague part
+//      (sketch/blocked_count_sketch.h). Saturating vector adds
+//      (PADDSW/PADDSB) clamp exactly like common/counters.h's
+//      SaturatingAdd whenever the per-lane delta fits the counter type,
+//      so the scalar fallback is bit-identical.
 //
 // Dispatch is compile-time via feature macros: QF_SIMD_AVX2 when the TU is
 // built with -mavx2/-march=native, QF_SIMD_SSE2 on any x86-64 target (SSE2
@@ -18,6 +24,7 @@
 #define QUANTILEFILTER_COMMON_SIMD_H_
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 
 #if defined(__AVX2__)
@@ -110,6 +117,65 @@ inline int FindU32Scalar(const uint32_t* data, int n, uint32_t target) {
     if (data[i] == target) return i;
   }
   return -1;
+}
+
+/// Bytes in one counter block (one cache line).
+inline constexpr size_t kBlockBytes = 64;
+
+/// dst[i] = saturate_i16(dst[i] + delta[i]) for the 32 int16 lanes of one
+/// 64-byte block. REQUIRES: both pointers 64-byte aligned.
+inline void SatAddBlockI16(int16_t* dst, const int16_t* delta) {
+#if defined(QF_SIMD_AVX2)
+  for (int i = 0; i < 2; ++i) {
+    __m256i* d = reinterpret_cast<__m256i*>(dst) + i;
+    const __m256i v = _mm256_adds_epi16(
+        _mm256_load_si256(d),
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(delta) + i));
+    _mm256_store_si256(d, v);
+  }
+#elif defined(QF_SIMD_SSE2)
+  for (int i = 0; i < 4; ++i) {
+    __m128i* d = reinterpret_cast<__m128i*>(dst) + i;
+    const __m128i v = _mm_adds_epi16(
+        _mm_load_si128(d),
+        _mm_load_si128(reinterpret_cast<const __m128i*>(delta) + i));
+    _mm_store_si128(d, v);
+  }
+#else
+  for (size_t i = 0; i < kBlockBytes / sizeof(int16_t); ++i) {
+    const int32_t sum = static_cast<int32_t>(dst[i]) + delta[i];
+    const int32_t lo = sum < INT16_MIN ? INT16_MIN : sum;
+    dst[i] = static_cast<int16_t>(lo > INT16_MAX ? INT16_MAX : lo);
+  }
+#endif
+}
+
+/// dst[i] = saturate_i8(dst[i] + delta[i]) for the 64 int8 lanes of one
+/// 64-byte block. REQUIRES: both pointers 64-byte aligned.
+inline void SatAddBlockI8(int8_t* dst, const int8_t* delta) {
+#if defined(QF_SIMD_AVX2)
+  for (int i = 0; i < 2; ++i) {
+    __m256i* d = reinterpret_cast<__m256i*>(dst) + i;
+    const __m256i v = _mm256_adds_epi8(
+        _mm256_load_si256(d),
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(delta) + i));
+    _mm256_store_si256(d, v);
+  }
+#elif defined(QF_SIMD_SSE2)
+  for (int i = 0; i < 4; ++i) {
+    __m128i* d = reinterpret_cast<__m128i*>(dst) + i;
+    const __m128i v = _mm_adds_epi8(
+        _mm_load_si128(d),
+        _mm_load_si128(reinterpret_cast<const __m128i*>(delta) + i));
+    _mm_store_si128(d, v);
+  }
+#else
+  for (size_t i = 0; i < kBlockBytes; ++i) {
+    const int32_t sum = static_cast<int32_t>(dst[i]) + delta[i];
+    const int32_t lo = sum < INT8_MIN ? INT8_MIN : sum;
+    dst[i] = static_cast<int8_t>(lo > INT8_MAX ? INT8_MAX : lo);
+  }
+#endif
 }
 
 }  // namespace qf

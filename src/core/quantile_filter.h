@@ -72,6 +72,12 @@ class QuantileFilter {
     int bucket_entries = 6;     // b, paper default
     int fingerprint_bits = 16;  // paper default
     ElectionStrategy election = ElectionStrategy::kComparative;
+    /// Vague-part engine: the paper's d-independent-rows layout (kClassic,
+    /// kept for the fig-12/ablation benches) or the cache-resident blocked
+    /// layout (sketch/blocked_count_sketch.h; one miss per item). Only
+    /// integer Count sketch SketchT support kBlocked — others fall back to
+    /// classic; vague_layout() reports what is in effect.
+    VagueLayout vague_layout = VagueLayout::kClassic;
     uint64_t seed = 0x9F17E60ULL;
   };
 
@@ -94,7 +100,7 @@ class QuantileFilter {
         default_criteria_(default_criteria),
         candidate_(MakeCandidateOptions(options)),
         vague_(VagueBytes(options), options.vague_depth,
-               Mix64(options.seed ^ 0xA60EULL)),
+               Mix64(options.seed ^ 0xA60EULL), options.vague_layout),
         rng_(Mix64(options.seed ^ 0xD1CEULL)) {
     QF_OBS(obs::FilterMetrics::Get().candidate_slots.Add(
         candidate_.num_slots()));
@@ -104,6 +110,9 @@ class QuantileFilter {
       : QuantileFilter(options, Criteria()) {}
 
   const Criteria& default_criteria() const { return default_criteria_; }
+  /// The vague layout actually in effect (a kBlocked request on an
+  /// unsupported SketchT falls back to kClassic).
+  VagueLayout vague_layout() const { return vague_.layout(); }
   const Stats& stats() const { return stats_; }
   const CandidatePart& candidate_part() const { return candidate_; }
   size_t MemoryBytes() const {
@@ -148,9 +157,11 @@ class QuantileFilter {
     while (pos < items.size()) {
       const size_t n = std::min(kBatchWindow, items.size() - pos);
       // Stage 1: hash the window and issue prefetches. The candidate bucket
-      // is touched by every item; the vague rows only by bucket-full items,
-      // but prefetching them unconditionally costs little and hides the
-      // d random-row misses that dominate large-budget configurations.
+      // is touched by every item; the vague storage only by bucket-full
+      // items, but prefetching it unconditionally costs little and hides
+      // the misses that dominate large-budget configurations — d random
+      // rows under the classic layout, the single 64-byte block under the
+      // blocked layout (VaguePart::Prefetch dispatches).
       for (size_t i = 0; i < n; ++i) {
         const Item& item = items[pos + i];
         Prehashed& p = window[i];
@@ -328,8 +339,17 @@ class QuantileFilter {
   /// the work this instance performed (tests/stats_reset_test.cc).
   std::vector<uint8_t> SerializeState() const {
     std::vector<uint8_t> out;
-    AppendPod(kStateMagic, &out);
+    const bool blocked = vague_.layout() == VagueLayout::kBlocked;
+    // Classic-layout filters keep writing the v2/v3 "QFS2" shape, so their
+    // blobs stay byte-compatible with earlier builds. Blocked-layout
+    // filters write format v4: a "QFS4" magic plus an explicit layout tag
+    // between the candidate and vague payloads (after the candidate
+    // payload so the key-mapping scheme tag keeps its offset).
+    AppendPod(blocked ? kStateMagicV4 : kStateMagic, &out);
     candidate_.AppendTo(&out);
+    if (blocked) {
+      AppendPod(static_cast<uint8_t>(vague_.layout()), &out);
+    }
     vague_.AppendTo(&out);
     return WrapCrc(std::move(out));
   }
@@ -358,8 +378,27 @@ class QuantileFilter {
     if (*crc == CrcStatus::kCorrupt) return false;
     ByteReader reader(payload, payload_size);
     uint32_t magic = 0;
-    if (!reader.Read(&magic) || magic != kStateMagic) return false;
+    if (!reader.Read(&magic)) return false;
+    const bool blocked = vague_.layout() == VagueLayout::kBlocked;
+    // A v2/v3 blob restores only into a classic-layout filter (which is
+    // the only layout that ever wrote it); a v4 blob only into a blocked
+    // one. Cross-layout restores fail closed — the counter geometries are
+    // incompatible.
+    if (magic == kStateMagic) {
+      if (blocked) return false;
+    } else if (magic == kStateMagicV4) {
+      if (!blocked) return false;
+    } else {
+      return false;
+    }
     if (!candidate_.ReadFrom(&reader)) return false;
+    if (magic == kStateMagicV4) {
+      uint8_t layout_tag = 0;
+      if (!reader.Read(&layout_tag) ||
+          layout_tag != static_cast<uint8_t>(VagueLayout::kBlocked)) {
+        return false;
+      }
+    }
     if (!vague_.ReadFrom(&reader)) {
       candidate_.Clear();  // half-restored state would be inconsistent
       return false;
@@ -381,11 +420,15 @@ class QuantileFilter {
   }
 
  private:
-  // Checkpoint format id. v2 ("QFS2") added the key-mapping scheme tag to
+  // Checkpoint format ids. v2 ("QFS2") added the key-mapping scheme tag to
   // the candidate payload when BucketOf moved from `%` to FastRange64; the
   // v1 magic 0x51465354 ("QFST") identifies modulo-era checkpoints, which
-  // RestoreState rejects.
-  static constexpr uint32_t kStateMagic = 0x51465332;  // "QFS2"
+  // RestoreState rejects; v3 wrapped v2 in the CRC envelope (same magic).
+  // v4 ("QFS4") is written only by blocked-vague-layout filters and adds a
+  // layout tag after the candidate payload — classic filters keep the v2/v3
+  // shape so old blobs restore and new classic blobs stay byte-compatible.
+  static constexpr uint32_t kStateMagic = 0x51465332;    // "QFS2"
+  static constexpr uint32_t kStateMagicV4 = 0x51465334;  // "QFS4"
 
   /// The per-item state machine (Algorithm 1 + candidate election), shared
   /// verbatim by Insert and the InsertBatch drain stage.

@@ -1,9 +1,21 @@
 // Vague part of QuantileFilter (Sec III-A/III-B).
 //
-// A thin, typed wrapper around a signed sketch (Count sketch by default;
-// Count-Min for the paper's "Choice 2" ablation) that speaks Qweights:
-// it converts an item's (value, criteria) into an unbiased integer weight
-// and offers the estimate / reset-after-report operations Algorithm 1 needs.
+// A thin, typed wrapper around a signed sketch that speaks Qweights: it
+// converts an item's (value, criteria) into an unbiased integer weight and
+// offers the estimate / reset-after-report operations Algorithm 1 needs.
+//
+// Two interchangeable engines (Options::vague_layout selects per filter):
+//   * classic — the template parameter SketchT (Count sketch by default;
+//     Count-Min for the paper's "Choice 2" ablation; float counters for the
+//     rounding ablation): d independent random cache lines per item.
+//   * blocked — BlockedCountSketch over SketchT's counter type: all d
+//     counters in one 64-byte block, one cache miss per item
+//     (sketch/blocked_count_sketch.h). Only meaningful for integer Count
+//     sketch configurations; other SketchT silently keep the classic
+//     layout (layout() reports what is actually in effect).
+//
+// Exactly one engine is constructed; every method dispatches on one
+// perfectly-predicted branch, so the classic path's codegen is unchanged.
 
 #ifndef QUANTILEFILTER_CORE_VAGUE_PART_H_
 #define QUANTILEFILTER_CORE_VAGUE_PART_H_
@@ -11,6 +23,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "common/random.h"
@@ -18,20 +32,58 @@
 #include "core/criteria.h"
 #include "core/qweight.h"
 #include "obs/instrument.h"
+#include "sketch/blocked_count_sketch.h"
 #include "sketch/count_min_sketch.h"
 #include "sketch/count_sketch.h"
 
 namespace qf {
 
+/// Which SketchT configurations have a blocked-layout equivalent: integer
+/// Count sketches (the signed median estimator is what the blocked layout
+/// reimplements). The placeholder counter keeps the unused BlockedT member
+/// instantiable for every SketchT.
+template <typename SketchT>
+struct BlockedLayoutSupport {
+  static constexpr bool value = false;
+  using counter = int16_t;
+};
+template <typename C>
+  requires(std::is_integral_v<C> && std::is_signed_v<C> && sizeof(C) <= 4)
+struct BlockedLayoutSupport<CountSketch<C>> {
+  static constexpr bool value = true;
+  using counter = C;
+};
+
 template <typename SketchT>
 class VaguePart {
  public:
-  VaguePart(size_t memory_bytes, int depth, uint64_t seed)
-      : sketch_(SketchT::FromBytes(memory_bytes, depth, seed)) {}
+  using Support = BlockedLayoutSupport<SketchT>;
+  using BlockedT = BlockedCountSketch<typename Support::counter>;
+  static constexpr bool kSupportsBlocked = Support::value;
 
-  int depth() const { return sketch_.depth(); }
-  size_t width() const { return sketch_.width(); }
-  size_t MemoryBytes() const { return sketch_.MemoryBytes(); }
+  VaguePart(size_t memory_bytes, int depth, uint64_t seed,
+            VagueLayout layout = VagueLayout::kClassic)
+      : layout_(kSupportsBlocked && layout == VagueLayout::kBlocked
+                    ? VagueLayout::kBlocked
+                    : VagueLayout::kClassic) {
+    if (layout_ == VagueLayout::kBlocked) {
+      blocked_.emplace(BlockedT::FromBytes(memory_bytes, depth, seed));
+    } else {
+      classic_.emplace(SketchT::FromBytes(memory_bytes, depth, seed));
+    }
+  }
+
+  /// The layout actually in effect (a blocked request on an unsupported
+  /// SketchT falls back to classic).
+  VagueLayout layout() const { return layout_; }
+
+  int depth() const { return blocked_ ? blocked_->depth() : classic_->depth(); }
+  size_t width() const {
+    return blocked_ ? blocked_->width() : classic_->width();
+  }
+  size_t MemoryBytes() const {
+    return blocked_ ? blocked_->MemoryBytes() : classic_->MemoryBytes();
+  }
 
   /// Inserts one item for `vkey` and returns the post-insert Qweight
   /// estimate (Algorithm 1 lines 3-5). Integer counters receive the
@@ -39,12 +91,24 @@ class VaguePart {
   /// (the paper's alternative design) accumulate the exact weight.
   int64_t Insert(uint64_t vkey, bool abnormal, const Criteria& criteria,
                  Rng& rng) {
-    if constexpr (SketchT::kFloatingCounters) {
-      sketch_.AddReal(vkey, ExactItemQweight(abnormal, criteria));
-    } else {
-      sketch_.Add(vkey, DrawItemQweight(abnormal, criteria, rng));
+    if (blocked_) {
+      // Fused add+estimate: one hash and one cache line for the whole of
+      // Algorithm 1's insert-then-read step.
+      const int64_t estimate =
+          blocked_->AddEstimate(vkey, DrawItemQweight(abnormal, criteria, rng));
+      QF_OBS(if (estimate >= std::numeric_limits<
+                                 typename BlockedT::counter_type>::max()) {
+        ++obs::Tally().vague_saturations;
+      });
+      return estimate;
     }
-    const int64_t estimate = sketch_.Estimate(vkey);
+    SketchT& sketch = *classic_;
+    if constexpr (SketchT::kFloatingCounters) {
+      sketch.AddReal(vkey, ExactItemQweight(abnormal, criteria));
+    } else {
+      sketch.Add(vkey, DrawItemQweight(abnormal, criteria, rng));
+    }
+    const int64_t estimate = sketch.Estimate(vkey);
 #if QF_METRICS
     // Saturation health signal: a median estimate pinned at the counter
     // max means at least half the rows clamped — the budget is too small
@@ -64,34 +128,73 @@ class VaguePart {
 
   /// Adds a raw integer Qweight (used when a candidate entry is demoted
   /// into the vague part during election).
-  void Add(uint64_t vkey, int64_t qweight) { sketch_.Add(vkey, qweight); }
+  void Add(uint64_t vkey, int64_t qweight) {
+    if (blocked_) {
+      blocked_->Add(vkey, qweight);
+    } else {
+      classic_->Add(vkey, qweight);
+    }
+  }
 
-  /// Prefetches the d counter cells `vkey` maps to, ahead of a possible
+  /// Prefetches the counter storage `vkey` maps to, ahead of a possible
   /// Insert/Estimate (the batched insert window issues this for every item
-  /// while earlier items are still draining).
-  void Prefetch(uint64_t vkey) const { sketch_.Prefetch(vkey); }
+  /// while earlier items are still draining): d lines for the classic
+  /// layout, the single block for the blocked layout.
+  void Prefetch(uint64_t vkey) const {
+    if (blocked_) {
+      blocked_->Prefetch(vkey);
+    } else {
+      classic_->Prefetch(vkey);
+    }
+  }
 
-  int64_t Estimate(uint64_t vkey) const { return sketch_.Estimate(vkey); }
+  int64_t Estimate(uint64_t vkey) const {
+    return blocked_ ? blocked_->Estimate(vkey) : classic_->Estimate(vkey);
+  }
 
   /// Removes `amount` of estimated Qweight from `vkey`'s counters — the
   /// reset-after-report / promote-to-candidate operation.
   void Subtract(uint64_t vkey, int64_t amount) {
-    sketch_.Subtract(vkey, amount);
+    if (blocked_) {
+      blocked_->Subtract(vkey, amount);
+    } else {
+      classic_->Subtract(vkey, amount);
+    }
   }
 
-  void Clear() { sketch_.Clear(); }
+  void Clear() {
+    if (blocked_) {
+      blocked_->Clear();
+    } else {
+      classic_->Clear();
+    }
+  }
 
   bool Mergeable(const VaguePart& other) const {
-    return sketch_.Mergeable(other.sketch_);
+    if (layout_ != other.layout_) return false;
+    return blocked_ ? blocked_->Mergeable(*other.blocked_)
+                    : classic_->Mergeable(*other.classic_);
   }
   bool MergeFrom(const VaguePart& other) {
-    return sketch_.MergeFrom(other.sketch_);
+    if (layout_ != other.layout_) return false;
+    return blocked_ ? blocked_->MergeFrom(*other.blocked_)
+                    : classic_->MergeFrom(*other.classic_);
   }
-  void AppendTo(std::vector<uint8_t>* out) const { sketch_.AppendTo(out); }
-  bool ReadFrom(ByteReader* reader) { return sketch_.ReadFrom(reader); }
+  void AppendTo(std::vector<uint8_t>* out) const {
+    if (blocked_) {
+      blocked_->AppendTo(out);
+    } else {
+      classic_->AppendTo(out);
+    }
+  }
+  bool ReadFrom(ByteReader* reader) {
+    return blocked_ ? blocked_->ReadFrom(reader) : classic_->ReadFrom(reader);
+  }
 
  private:
-  SketchT sketch_;
+  VagueLayout layout_;
+  std::optional<SketchT> classic_;
+  std::optional<BlockedT> blocked_;
 };
 
 }  // namespace qf

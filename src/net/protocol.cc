@@ -280,9 +280,10 @@ bool ParseError(std::span<const uint8_t> payload, ErrorFrame* out) {
 bool FrameDecoder::Poison(const std::string& why) {
   poisoned_ = true;
   error_ = why;
-  buffer_.clear();
-  buffer_.shrink_to_fit();
-  consumed_ = 0;
+  // Do NOT release buffer_ here: NextView validates the *next* header after
+  // handing out a span into buffer_, so a poison triggered there must leave
+  // the storage behind the outstanding view intact. Views are only valid
+  // until the decoder is next fed, so Append reclaims instead.
   return false;
 }
 
@@ -319,7 +320,13 @@ bool FrameDecoder::ValidateBufferedHeader() {
 }
 
 bool FrameDecoder::Append(const uint8_t* data, size_t size) {
-  if (poisoned_) return false;
+  if (poisoned_) {
+    // Any previously handed-out view just expired; release the dead bytes.
+    buffer_.clear();
+    buffer_.shrink_to_fit();
+    consumed_ = 0;
+    return false;
+  }
   // Reclaim consumed prefix before growing, so steady-state buffering stays
   // bounded by one frame plus one read chunk.
   if (consumed_ > 0 &&
@@ -334,7 +341,7 @@ bool FrameDecoder::Append(const uint8_t* data, size_t size) {
   return ValidateBufferedHeader();
 }
 
-FrameDecoder::Result FrameDecoder::Next(Frame* out) {
+FrameDecoder::Result FrameDecoder::NextView(FrameView* out) {
   if (poisoned_) return Result::kError;
   if (!ValidateBufferedHeader()) return Result::kError;
   const size_t avail = buffer_.size() - consumed_;
@@ -345,14 +352,25 @@ FrameDecoder::Result FrameDecoder::Next(Frame* out) {
 
   const uint8_t* frame = buffer_.data() + consumed_;
   out->type = static_cast<FrameType>(frame[5]);
-  out->payload.assign(frame + 4 + kFrameHeaderBytes, frame + 4 + length);
+  out->payload = std::span<const uint8_t>(frame + 4 + kFrameHeaderBytes,
+                                          length - kFrameHeaderBytes);
   consumed_ += 4 + static_cast<size_t>(length);
-  if (consumed_ == buffer_.size()) {
-    buffer_.clear();
-    consumed_ = 0;
-  }
-  // The next frame's header may already be buffered and malformed.
+  // The consumed prefix (including this frame's bytes, which the returned
+  // view still references) is reclaimed lazily by the next Append — never
+  // here, so the view stays valid until the decoder is fed again.
+  //
+  // The next frame's header may already be buffered and malformed; poison
+  // for the future but hand out the current, fully-validated frame.
   if (!ValidateBufferedHeader()) return Result::kFrame;  // frame still valid
+  return Result::kFrame;
+}
+
+FrameDecoder::Result FrameDecoder::Next(Frame* out) {
+  FrameView view;
+  const Result result = NextView(&view);
+  if (result != Result::kFrame) return result;
+  out->type = view.type;
+  out->payload.assign(view.payload.begin(), view.payload.end());
   return Result::kFrame;
 }
 

@@ -120,6 +120,14 @@ struct Frame {
   std::vector<uint8_t> payload;
 };
 
+/// A decoded frame as a zero-copy view into the decoder's buffer. Valid
+/// only until the decoder's next Append/Next/NextView call (see
+/// FrameDecoder::NextView).
+struct FrameView {
+  FrameType type = FrameType::kError;
+  std::span<const uint8_t> payload;
+};
+
 /// ERROR frame codes.
 enum class ErrorCode : uint32_t {
   kMalformedFrame = 1,
@@ -242,8 +250,17 @@ class FrameDecoder {
   /// bytes arrive, without waiting for the full frame.
   bool Append(const uint8_t* data, size_t size);
 
-  /// Pulls the next complete frame out of the buffer.
+  /// Pulls the next complete frame out of the buffer, copying the payload
+  /// into `out`. Implemented over NextView.
   Result Next(Frame* out);
+
+  /// Zero-copy variant: `out->payload` points into the decoder's internal
+  /// buffer and is invalidated by the next Append/Next/NextView call —
+  /// consume the payload (or copy what must outlive it) before feeding the
+  /// decoder again. This is the serving layer's ingest fast path: INGEST
+  /// item arrays are scattered to pipeline shards straight from the
+  /// receive buffer, with no per-frame payload vector.
+  Result NextView(FrameView* out);
 
   bool poisoned() const { return poisoned_; }
   const std::string& error() const { return error_; }

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "obs/instrument.h"
@@ -361,9 +362,9 @@ void QfServer::ReadReady(Conn* conn) {
       SendError(conn, ErrorCode::kMalformedFrame, conn->decoder.error());
       return;
     }
-    Frame frame;
+    FrameView frame;
     while (true) {
-      const FrameDecoder::Result r = conn->decoder.Next(&frame);
+      const FrameDecoder::Result r = conn->decoder.NextView(&frame);
       if (r == FrameDecoder::Result::kNeedMore) break;
       if (r == FrameDecoder::Result::kError) {
         QF_OBS(NetMetrics::Get().protocol_errors.Add(1));
@@ -386,7 +387,7 @@ void QfServer::WriteReady(Conn* conn) {
   }
 }
 
-void QfServer::HandleFrame(Conn* conn, const Frame& frame) {
+void QfServer::HandleFrame(Conn* conn, const FrameView& frame) {
 #if QF_METRICS
   const uint8_t type_idx = static_cast<uint8_t>(frame.type);
   if (type_idx >= 1 && type_idx <= kMaxFrameType) {
@@ -419,28 +420,46 @@ void QfServer::HandleFrame(Conn* conn, const Frame& frame) {
   }
 }
 
-void QfServer::HandleIngest(Conn* conn, const Frame& frame) {
+void QfServer::HandleIngest(Conn* conn, const FrameView& frame) {
 #if QF_METRICS
   const uint64_t t0 = MonotonicNanos();
 #endif
-  IngestRequest req;
-  if (!ParseIngest(frame.payload, &req)) {
+  // Wire-to-shard fast path: walk the item array in place (the view points
+  // into the decoder's receive buffer), compute each item's owning shard
+  // here, and write it once into that shard's pipeline arena — no
+  // IngestRequest vector, no second ShardFor inside the pipeline. Same
+  // exact-size contract as ParseIngest.
+  const std::span<const uint8_t> payload = frame.payload;
+  uint64_t token = 0;
+  uint32_t count = 0;
+  if (payload.size() < 12) {
     SendError(conn, ErrorCode::kBadPayload, "malformed INGEST payload");
     return;
   }
-  for (const Item& item : req.items) pipeline_.Push(item);
-  items_ingested_.fetch_add(req.items.size(), std::memory_order_relaxed);
+  std::memcpy(&token, payload.data(), 8);
+  std::memcpy(&count, payload.data() + 8, 4);
+  if (payload.size() - 12 != static_cast<size_t>(count) * sizeof(Item)) {
+    SendError(conn, ErrorCode::kBadPayload, "malformed INGEST payload");
+    return;
+  }
+  const uint8_t* cursor = payload.data() + 12;
+  for (uint32_t i = 0; i < count; ++i, cursor += sizeof(Item)) {
+    Item item;  // register-sized staging copy: the wire bytes are unaligned
+    std::memcpy(&item, cursor, sizeof(Item));
+    pipeline_.PushToShard(filter_.ShardFor(item.key), item.key, item.value);
+  }
+  items_ingested_.fetch_add(count, std::memory_order_relaxed);
   std::vector<uint8_t> reply;
-  EncodeIngestAckTo(req.token, static_cast<uint32_t>(req.items.size()),
+  EncodeIngestAckTo(token, count,
                     items_ingested_.load(std::memory_order_relaxed), &reply);
   QueueWrite(conn, reply);
   QF_OBS({
-    NetMetrics::Get().ingest_items.Add(req.items.size());
+    NetMetrics::Get().ingest_items.Add(count);
     NetMetrics::Get().ingest_frame_ns.Record(MonotonicNanos() - t0);
   });
 }
 
-void QfServer::HandleQuery(Conn* conn, const Frame& frame) {
+void QfServer::HandleQuery(Conn* conn, const FrameView& frame) {
 #if QF_METRICS
   const uint64_t t0 = MonotonicNanos();
 #endif
@@ -476,7 +495,7 @@ void QfServer::HandleQuery(Conn* conn, const Frame& frame) {
   QF_OBS(NetMetrics::Get().query_frame_ns.Record(MonotonicNanos() - t0));
 }
 
-void QfServer::HandleSubscribe(Conn* conn, const Frame& frame) {
+void QfServer::HandleSubscribe(Conn* conn, const FrameView& frame) {
   SubscribeRequest req;
   if (!ParseSubscribe(frame.payload, &req)) {
     SendError(conn, ErrorCode::kBadPayload, "malformed SUBSCRIBE payload");
@@ -489,7 +508,7 @@ void QfServer::HandleSubscribe(Conn* conn, const Frame& frame) {
   QueueWrite(conn, reply);
 }
 
-void QfServer::HandleControl(Conn* conn, const Frame& frame) {
+void QfServer::HandleControl(Conn* conn, const FrameView& frame) {
 #if QF_METRICS
   const uint64_t t0 = MonotonicNanos();
 #endif

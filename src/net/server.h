@@ -132,11 +132,17 @@ class QfServer {
   void AcceptReady();
   void ReadReady(Conn* conn);
   void WriteReady(Conn* conn);
-  void HandleFrame(Conn* conn, const Frame& frame);
-  void HandleIngest(Conn* conn, const Frame& frame);
-  void HandleQuery(Conn* conn, const Frame& frame);
-  void HandleSubscribe(Conn* conn, const Frame& frame);
-  void HandleControl(Conn* conn, const Frame& frame);
+  // Frame handlers receive zero-copy payload views into the connection's
+  // decoder buffer (FrameDecoder::NextView); the views die when the decoder
+  // is next fed, so handlers must consume them before returning. INGEST is
+  // the fast path: items are scattered from the view straight into the
+  // pipeline's per-shard arenas (PushToShard), with no IngestRequest
+  // materialization and no per-item re-dispatch.
+  void HandleFrame(Conn* conn, const FrameView& frame);
+  void HandleIngest(Conn* conn, const FrameView& frame);
+  void HandleQuery(Conn* conn, const FrameView& frame);
+  void HandleSubscribe(Conn* conn, const FrameView& frame);
+  void HandleControl(Conn* conn, const FrameView& frame);
   void BroadcastAlerts();
   /// Appends bytes to the connection's write queue and flushes what the
   /// socket will take. Enforces max_write_queue_bytes (slow-consumer

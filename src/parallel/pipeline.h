@@ -3,31 +3,41 @@
 // Topology (cf. OctoSketch-style sketch pipelines and the ROADMAP's
 // sharding/batching/async north star):
 //
-//   dispatcher ──SPSC ring──▶ worker 0 ──▶ shard 0 (QuantileFilter)
-//       │       ──SPSC ring──▶ worker 1 ──▶ shard 1
-//       └──...  ──SPSC ring──▶ worker N-1 ─▶ shard N-1
+//   dispatcher ──arena + span ring──▶ worker 0 ──▶ shard 0 (QuantileFilter)
+//       │       ──arena + span ring──▶ worker 1 ──▶ shard 1
+//       └──...  ──arena + span ring──▶ worker N-1 ─▶ shard N-1
 //
-// One dispatcher thread fast-hashes each key to its owning shard
-// (ShardedQuantileFilter::ShardFor, division-free), stages items into
-// per-shard batches and pushes full batches into that shard's SPSC ring.
-// One worker thread per shard pops batches and drives its shard's
-// InsertBatch (prefetching batched fast path). This honors the sharded
-// filter's thread-safety contract exactly: every shard has a single writer,
-// shards share no mutable state, and the SPSC rings are the only
-// cross-thread channels.
+// One dispatcher thread routes each item to its owning shard
+// (ShardedQuantileFilter::ShardFor, division-free — or the caller's own
+// pre-computed shard via PushToShard) and writes it ONCE into that shard's
+// item arena: a power-of-two ring buffer of Items owned by the
+// dispatcher/worker pair. Every `batch_size` items the dispatcher publishes
+// a 16-byte span descriptor {begin, count} into the shard's SPSC ring; the
+// worker pops descriptors and drives its shard's InsertBatch directly over
+// the arena storage (prefetching batched fast path), then release-stores a
+// consumed-items watermark the dispatcher reads for space accounting.
+// Compared with shipping materialized 1-KiB batch structs through the ring,
+// items cross threads with one write and zero copies.
+//
+// This honors the sharded filter's thread-safety contract exactly: every
+// shard has a single writer, shards share no mutable state, and the SPSC
+// rings + consumed watermarks are the only cross-thread channels.
 //
 // Because the dispatcher preserves per-key order (a key always maps to the
-// same shard and ring, and rings are FIFO), every shard observes the same
-// per-shard subsequence it would observe under single-threaded insertion —
-// so per-shard reports, statistics and serialized state are bit-identical
-// to a sequential run over the same trace (pipeline_test.cc asserts this).
+// same shard and arena, and descriptors are FIFO), every shard observes the
+// same per-shard subsequence it would observe under single-threaded
+// insertion — so per-shard reports, statistics and serialized state are
+// bit-identical to a sequential run over the same trace (pipeline_test.cc
+// asserts this; a descriptor that wraps the arena is split into two
+// InsertBatch calls, which the InsertBatch equivalence guarantee makes
+// identity-preserving).
 //
-// Shutdown: Stop() flushes partial batches, raises `done` (release), and
+// Shutdown: Stop() flushes partial spans, raises `done` (release), and
 // workers drain their rings to empty before exiting — no items are lost.
 //
 // Threading contract (enforced with assert() in debug builds):
-//   - Push/Flush may be called only between Start() and Stop(), and only
-//     from one dispatcher thread at a time. The first Push claims
+//   - Push/PushToShard/Flush may be called only between Start() and Stop(),
+//     and only from one dispatcher thread at a time. The first Push claims
 //     dispatcher ownership; Flush() releases it after shipping.
 //   - Stop() flushes internally, so it must run either on the dispatcher
 //     thread, or on another thread only after the dispatcher thread has
@@ -37,7 +47,7 @@
 #ifndef QUANTILEFILTER_PARALLEL_PIPELINE_H_
 #define QUANTILEFILTER_PARALLEL_PIPELINE_H_
 
-#include <array>
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -46,6 +56,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/memory.h"
 #include "core/sharded_filter.h"
 #include "obs/instrument.h"
 #include "parallel/spsc_ring.h"
@@ -62,13 +73,17 @@ class IngestPipeline {
  public:
   using Sharded = ShardedQuantileFilter<SketchT>;
 
-  /// Upper bound on items per dispatched batch.
+  /// Upper bound on items per published span (and on dispatcher-staged
+  /// items per shard).
   static constexpr size_t kMaxBatch = 64;
 
   struct Options {
-    /// Items staged per shard before the batch is shipped (≤ kMaxBatch).
+    /// Items staged per shard before the span is published (≤ kMaxBatch).
     size_t batch_size = 32;
-    /// Ring capacity per shard, in batches (rounded down to a power of 2).
+    /// Descriptor-ring capacity per shard, in spans (rounded down to a
+    /// power of 2). The per-shard item arena holds ring_batches * kMaxBatch
+    /// items, so the worst-case buffered footprint matches the previous
+    /// batch-copy transport.
     size_t ring_batches = 256;
     /// Record the keys of reported items per shard (for tests/alerting).
     bool collect_reported_keys = false;
@@ -84,7 +99,7 @@ class IngestPipeline {
   struct Totals {
     uint64_t items_dispatched = 0;  // items accepted by Push
     uint64_t items_processed = 0;   // items drained by workers
-    uint64_t batches = 0;           // batches shipped through the rings
+    uint64_t batches = 0;           // span descriptors shipped
     uint64_t reports = 0;           // outstanding-key reports across shards
     uint64_t ring_full_waits = 0;   // dispatcher backpressure yields
     uint64_t alerts_dropped = 0;    // alert-ring overflows
@@ -110,15 +125,20 @@ class IngestPipeline {
                         : (options.batch_size > kMaxBatch
                                ? kMaxBatch
                                : options.batch_size)),
+        arena_items_(
+            FloorPow2(std::max<size_t>(options.ring_batches, 2) * kMaxBatch)),
+        arena_mask_(arena_items_ - 1),
         collect_reported_keys_(options.collect_reported_keys),
         alerts_enabled_(options.alert_ring_records > 0),
-        staging_(static_cast<size_t>(filter.num_shards())),
+        producers_(static_cast<size_t>(filter.num_shards())),
         workers_(static_cast<size_t>(filter.num_shards())),
         slots_(static_cast<size_t>(filter.num_shards())) {
+    arenas_.reserve(workers_.size());
     rings_.reserve(workers_.size());
     for (size_t s = 0; s < workers_.size(); ++s) {
+      arenas_.emplace_back(arena_items_);
       rings_.push_back(
-          std::make_unique<SpscRing<ItemBatch>>(options.ring_batches));
+          std::make_unique<SpscRing<SpanDesc>>(options.ring_batches));
     }
     if (alerts_enabled_) {
       alert_rings_.reserve(workers_.size());
@@ -153,23 +173,37 @@ class IngestPipeline {
     running_.store(true, std::memory_order_release);
   }
 
-  /// Dispatches one item to its shard's staging batch. Single-producer:
-  /// call from exactly one thread (the dispatcher), and only while the
-  /// pipeline is running — otherwise no worker drains the rings and a full
-  /// ring would spin the producer forever.
+  /// Dispatches one item to its shard's arena. Single-producer: call from
+  /// exactly one thread (the dispatcher), and only while the pipeline is
+  /// running — otherwise no worker drains the rings and a full arena would
+  /// spin the producer forever.
   void Push(uint64_t key, double value) {
-    assert(running_.load(std::memory_order_relaxed) &&
-           "IngestPipeline::Push outside Start()/Stop()");
-    ClaimDispatcher();
-    const int s = filter_->ShardFor(key);
-    ItemBatch& batch = staging_[static_cast<size_t>(s)];
-    batch.items[batch.count++] = Item{key, value};
-    BumpRelaxed(items_dispatched_);
-    if (batch.count >= batch_size_) ShipBatch(s);
+    PushToShard(filter_->ShardFor(key), key, value);
   }
   void Push(const Item& item) { Push(item.key, item.value); }
 
-  /// Ships all partially-filled staging batches and releases dispatcher
+  /// Same as Push for a caller that already knows the owning shard (the
+  /// serving layer hashes keys at frame-decode time and scatters items
+  /// straight here, skipping a second ShardFor). `s` MUST equal
+  /// filter's ShardFor(key), or per-key ordering — and the sharded filter's
+  /// single-writer-per-key guarantee across checkpoints — breaks.
+  void PushToShard(int s, uint64_t key, double value) {
+    assert(running_.load(std::memory_order_relaxed) &&
+           "IngestPipeline::Push outside Start()/Stop()");
+    assert(s == filter_->ShardFor(key) && "PushToShard: wrong shard for key");
+    ClaimDispatcher();
+    const size_t si = static_cast<size_t>(s);
+    ProducerState& p = producers_[si];
+    if (p.produced + p.staged - p.cached_consumed >= arena_items_) {
+      WaitForArenaSpace(si, p);
+    }
+    arenas_[si][(p.produced + p.staged) & arena_mask_] = Item{key, value};
+    ++p.staged;
+    BumpRelaxed(items_dispatched_);
+    if (p.staged >= batch_size_) PublishSpan(s);
+  }
+
+  /// Publishes all partially-staged spans and releases dispatcher
   /// ownership, so a dispatcher thread that is done pushing should call
   /// Flush() before handing the pipeline to another thread (which may then
   /// Push or Stop). Must run while the pipeline is running.
@@ -181,12 +215,12 @@ class IngestPipeline {
     const uint64_t t0 =
         obs::TraceRing::Global().enabled() ? MonotonicNanos() : 0;
 #endif
-    for (size_t s = 0; s < staging_.size(); ++s) {
-      ShipBatch(static_cast<int>(s));
+    for (size_t s = 0; s < producers_.size(); ++s) {
+      PublishSpan(static_cast<int>(s));
     }
     QF_OBS(if (t0 != 0) {
       obs::TraceRing::Global().Emit(obs::TraceEvent::kFlush, 0, t0,
-                                    MonotonicNanos() - t0, staging_.size());
+                                    MonotonicNanos() - t0, producers_.size());
     });
     ReleaseDispatcher();
   }
@@ -245,8 +279,8 @@ class IngestPipeline {
     }
   }
 
-  /// Drain barrier: ships all staged batches, then blocks until every
-  /// worker has emptied its ring and processed everything pushed before the
+  /// Drain barrier: ships all staged spans, then blocks until every worker
+  /// has emptied its ring and processed everything pushed before the
   /// fence. Afterwards (and until new Pushes) the sharded filter is
   /// quiescent: per-shard state, stats and SerializeState() may be read
   /// from the dispatcher thread. Dispatcher-only, while running.
@@ -308,7 +342,7 @@ class IngestPipeline {
     Start();
     std::thread dispatcher([this, items] {
       for (const Item& item : items) Push(item);
-      Flush();  // ship partial batches and release dispatcher ownership
+      Flush();  // ship partial spans and release dispatcher ownership
     });
     dispatcher.join();
     Stop();
@@ -343,17 +377,36 @@ class IngestPipeline {
   }
 
  private:
-  struct ItemBatch {
-    std::array<Item, kMaxBatch> items;
+  /// A published run of items in a shard's arena: arena indices
+  /// [begin, begin + count) modulo the arena size. 16 bytes — the only
+  /// thing the SPSC ring copies.
+  struct SpanDesc {
+    uint64_t begin = 0;  // monotone item sequence number, never wrapped
     uint32_t count = 0;
+    uint32_t pad = 0;
+  };
+
+  /// Dispatcher-side per-shard cursor, cache-line padded: only the
+  /// dispatcher thread touches it. `produced` counts items covered by
+  /// published descriptors; `staged` counts items written to the arena
+  /// beyond that (≤ batch_size); `cached_consumed` is the last observed
+  /// worker watermark, refreshed only when the space check fails.
+  struct alignas(64) ProducerState {
+    uint64_t produced = 0;
+    uint64_t cached_consumed = 0;
+    uint32_t staged = 0;
   };
 
   /// Per-worker state, cache-line padded: each worker mutates only its own
   /// entry while running. The counters are relaxed atomics so live stats
   /// snapshots (the serving layer's CONTROL kStats) can read them without a
-  /// race; exact values require Stop() or Fence() first. reported_keys is
-  /// worker-only until the workers are joined.
+  /// race; exact values require Stop() or Fence() first. `consumed` is the
+  /// arena-space watermark: every item with sequence number < consumed has
+  /// been fully processed and its slot may be overwritten (release store,
+  /// acquire load in WaitForArenaSpace). reported_keys is worker-only until
+  /// the workers are joined.
   struct alignas(64) WorkerState {
+    std::atomic<uint64_t> consumed{0};
     std::atomic<uint64_t> items{0};
     std::atomic<uint64_t> batches{0};
     std::atomic<uint64_t> reports{0};
@@ -404,13 +457,13 @@ class IngestPipeline {
 
   /// Worker-side slot poll. Fences re-verify ring emptiness AFTER the
   /// acquire load of the request: a verdict from a TryPop that ran before
-  /// the load could race the dispatcher (Flush pushes a batch, then posts
-  /// the fence) and complete the fence with a pre-fence batch still
+  /// the load could race the dispatcher (Flush pushes a span, then posts
+  /// the fence) and complete the fence with a pre-fence span still
   /// queued. The acquire load synchronizes with the dispatcher's release
   /// store of the request, which its Flush() pushes happen-before, so the
   /// consumer-side emptiness test observes every pre-fence push.
   void AnswerSlot(int s, typename Sharded::Filter& shard,
-                  const SpscRing<ItemBatch>& ring) {
+                  const SpscRing<SpanDesc>& ring) {
     ControlSlot& slot = slots_[static_cast<size_t>(s)];
     ShardRequest* req = slot.req.load(std::memory_order_acquire);
     if (req == nullptr) return;
@@ -435,8 +488,8 @@ class IngestPipeline {
 
   /// Claims dispatcher ownership for the calling thread, or asserts that
   /// this thread already holds it. The CAS/store pair also publishes the
-  /// claimer's prior writes to staging_ to the next claimer (handoff
-  /// across Flush()).
+  /// claimer's prior writes to the arenas and cursors to the next claimer
+  /// (handoff across Flush()).
   void ClaimDispatcher() {
     const std::thread::id self = std::this_thread::get_id();
     std::thread::id expected{};
@@ -454,15 +507,33 @@ class IngestPipeline {
     dispatcher_.store(std::thread::id{}, std::memory_order_release);
   }
 
-  void ShipBatch(int s) {
-    ItemBatch& batch = staging_[static_cast<size_t>(s)];
-    if (batch.count == 0) return;
-    SpscRing<ItemBatch>& ring = *rings_[static_cast<size_t>(s)];
+  /// Blocks until the shard's arena has room for one more staged item.
+  /// Cannot deadlock: the arena holds ≥ 2 * kMaxBatch items while staged
+  /// ≤ kMaxBatch, so a full arena implies published-but-unconsumed items
+  /// exist and the worker is making progress.
+  void WaitForArenaSpace(size_t s, ProducerState& p) {
+    for (;;) {
+      p.cached_consumed =
+          workers_[s].consumed.load(std::memory_order_acquire);
+      if (p.produced + p.staged - p.cached_consumed < arena_items_) return;
+      BumpRelaxed(ring_full_waits_);
+      std::this_thread::yield();  // backpressure: the shard is saturated
+    }
+  }
+
+  void PublishSpan(int s) {
+    const size_t si = static_cast<size_t>(s);
+    ProducerState& p = producers_[si];
+    if (p.staged == 0) return;
+    SpscRing<SpanDesc>& ring = *rings_[si];
+    const SpanDesc desc{p.produced, p.staged, 0};
 #if QF_METRICS
     uint64_t stalls = 0;
     uint64_t stall_start_ns = 0;
 #endif
-    while (!ring.TryPush(batch)) {
+    // The ring's release push publishes the arena writes in [begin,
+    // begin + count) to the worker's acquire pop.
+    while (!ring.TryPush(desc)) {
       BumpRelaxed(ring_full_waits_);
       QF_OBS({
         ++stalls;
@@ -470,9 +541,11 @@ class IngestPipeline {
       });
       std::this_thread::yield();  // backpressure: the shard is saturated
     }
+    p.produced += p.staged;
+    p.staged = 0;
 #if QF_METRICS
     obs::PipelineMetrics& pm = obs::PipelineMetrics::Get();
-    pm.items_dispatched.Add(batch.count);
+    pm.items_dispatched.Add(desc.count);
     obs::TraceRing& tr = obs::TraceRing::Global();
     if (stalls != 0) {
       pm.ring_full_waits.Add(stalls);
@@ -483,24 +556,23 @@ class IngestPipeline {
       // Instantaneous ship marker; the clock read is gated on tracing so
       // untraced runs pay only the enabled() load.
       tr.Emit(obs::TraceEvent::kBatchShip, static_cast<uint16_t>(s),
-              MonotonicNanos(), 0, batch.count);
+              MonotonicNanos(), 0, desc.count);
     }
 #endif
-    batch.count = 0;
   }
 
   void WorkerLoop(int s) {
     auto& shard = filter_->shard(s);
-    SpscRing<ItemBatch>& ring = *rings_[static_cast<size_t>(s)];
+    SpscRing<SpanDesc>& ring = *rings_[static_cast<size_t>(s)];
     WorkerState& state = workers_[static_cast<size_t>(s)];
-    ItemBatch batch;
+    SpanDesc desc;
 #if QF_METRICS
     uint64_t spins = 0;
 #endif
     for (;;) {
-      if (ring.TryPop(&batch)) {
+      if (ring.TryPop(&desc)) {
         QF_OBS(RecordOccupancy(s, ring));
-        ProcessBatch(s, shard, state, batch);
+        ProcessSpan(s, shard, state, desc);
         // Answer pending control requests promptly even under sustained
         // load; AnswerSlot itself gates fences on true ring emptiness.
         AnswerSlot(s, shard, ring);
@@ -510,9 +582,9 @@ class IngestPipeline {
       if (done_.load(std::memory_order_acquire)) {
         // The release store in Stop() ordered all prior pushes before
         // `done`; one more drain pass and an empty ring means truly done.
-        if (ring.TryPop(&batch)) {
+        if (ring.TryPop(&desc)) {
           QF_OBS(RecordOccupancy(s, ring));
-          ProcessBatch(s, shard, state, batch);
+          ProcessSpan(s, shard, state, desc);
           continue;
         }
         break;
@@ -535,27 +607,58 @@ class IngestPipeline {
   }
 
 #if QF_METRICS
-  void RecordOccupancy(int s, const SpscRing<ItemBatch>& ring) {
+  void RecordOccupancy(int s, const SpscRing<SpanDesc>& ring) {
     shard_metrics_[static_cast<size_t>(s)].ring_occupancy.Record(
         ring.SizeApprox());
   }
 #endif
 
   template <typename Filter>
-  void ProcessBatch(int s, Filter& shard, WorkerState& state,
-                    const ItemBatch& batch) {
-    const std::span<const Item> items(batch.items.data(), batch.count);
-    state.items.fetch_add(batch.count, std::memory_order_relaxed);
+  void ProcessSpan(int s, Filter& shard, WorkerState& state,
+                   const SpanDesc& desc) {
+    const size_t si = static_cast<size_t>(s);
+    const Item* arena = arenas_[si].data();
+    const size_t begin = static_cast<size_t>(desc.begin) & arena_mask_;
+    const size_t first =
+        std::min<size_t>(desc.count, arena_items_ - begin);
+    state.items.fetch_add(desc.count, std::memory_order_relaxed);
     state.batches.fetch_add(1, std::memory_order_relaxed);
 #if QF_METRICS
     const uint64_t t0 = MonotonicNanos();
 #endif
-    uint64_t reports = 0;
+    // A span that wraps the arena end becomes two InsertBatch calls;
+    // chunking preserves bit-identity (insert_batch_test.cc).
+    uint64_t reports = InsertSpan(s, shard, state, {arena + begin, first});
+    if (first < desc.count) {
+      reports += InsertSpan(s, shard, state, {arena, desc.count - first});
+    }
+    state.reports.fetch_add(reports, std::memory_order_relaxed);
+    // Every slot in the span is drained; hand the space back to the
+    // dispatcher (pairs with the acquire in WaitForArenaSpace).
+    state.consumed.store(desc.begin + desc.count, std::memory_order_release);
+#if QF_METRICS
+    const uint64_t dur = MonotonicNanos() - t0;
+    obs::ShardMetrics& sm = shard_metrics_[si];
+    sm.ingest_ns.Record(dur);
+    sm.batch_items.Record(desc.count);
+    obs::PipelineMetrics& pm = obs::PipelineMetrics::Get();
+    pm.items_processed.Add(desc.count);
+    pm.batches.Add(1);
+    obs::TraceRing::Global().Emit(obs::TraceEvent::kBatchProcess,
+                                  static_cast<uint16_t>(s), t0, dur,
+                                  desc.count);
+#endif
+  }
+
+  template <typename Filter>
+  uint64_t InsertSpan(int s, Filter& shard, WorkerState& state,
+                      std::span<const Item> items) {
+    if (items.empty()) return 0;
     if (collect_reported_keys_ || alerts_enabled_) {
       SpscRing<AlertRecord>* alerts =
           alerts_enabled_ ? alert_rings_[static_cast<size_t>(s)].get()
                           : nullptr;
-      reports = shard.InsertBatch(
+      return shard.InsertBatch(
           items, shard.default_criteria(),
           [this, &state, alerts](size_t, const Item& item) {
             if (collect_reported_keys_) {
@@ -566,38 +669,31 @@ class IngestPipeline {
               state.alerts_dropped.fetch_add(1, std::memory_order_relaxed);
             }
           });
-    } else {
-      reports = shard.InsertBatch(items);
     }
-    state.reports.fetch_add(reports, std::memory_order_relaxed);
-#if QF_METRICS
-    const uint64_t dur = MonotonicNanos() - t0;
-    obs::ShardMetrics& sm = shard_metrics_[static_cast<size_t>(s)];
-    sm.ingest_ns.Record(dur);
-    sm.batch_items.Record(batch.count);
-    obs::PipelineMetrics& pm = obs::PipelineMetrics::Get();
-    pm.items_processed.Add(batch.count);
-    pm.batches.Add(1);
-    obs::TraceRing::Global().Emit(obs::TraceEvent::kBatchProcess,
-                                  static_cast<uint16_t>(s), t0, dur,
-                                  batch.count);
-#endif
+    return shard.InsertBatch(items);
   }
 
   Sharded* filter_;
   const size_t batch_size_;
+  const size_t arena_items_;  // power of two, ≥ 2 * kMaxBatch
+  const size_t arena_mask_;
   const bool collect_reported_keys_;
   const bool alerts_enabled_;
+
+  // Item arenas: slot i of shard s is written by the dispatcher (while it
+  // owns the space, per the consumed watermark) and read by worker s (after
+  // the descriptor-ring handoff).
+  std::vector<std::vector<Item>> arenas_;
 
   // Dispatcher-owned. The counters are relaxed atomics (single writer, the
   // dispatcher) so live totals() snapshots — QfServer::StatsSnapshot reads
   // them from arbitrary threads — are race-free.
-  std::vector<ItemBatch> staging_;
+  std::vector<ProducerState> producers_;
   std::atomic<uint64_t> items_dispatched_{0};
   std::atomic<uint64_t> ring_full_waits_{0};
 
   // Shared channels and worker state.
-  std::vector<std::unique_ptr<SpscRing<ItemBatch>>> rings_;
+  std::vector<std::unique_ptr<SpscRing<SpanDesc>>> rings_;
   // Per-shard alert rings (worker produces, serving layer consumes); empty
   // unless Options::alert_ring_records > 0.
   std::vector<std::unique_ptr<SpscRing<AlertRecord>>> alert_rings_;

@@ -2,16 +2,58 @@
 
 namespace qf {
 
+namespace {
+
+/// Compare-exchange: after the call a <= b. std::min/std::max compile to
+/// cmov on x86, so the networks below are branch-free — no mispredicts on
+/// the random counter values the estimate path feeds them.
+inline void CmpSwap(int64_t& a, int64_t& b) {
+  const int64_t lo = std::min(a, b);
+  b = std::max(a, b);
+  a = lo;
+}
+
+}  // namespace
+
 int64_t MedianOfSmall(int64_t* v, int n) {
-  if (n == 1) return v[0];
-  if (n == 2) return std::min(v[0], v[1]);
-  if (n == 3) {  // hot path: the paper's default depth is 3
-    int64_t a = v[0], b = v[1], c = v[2];
-    if (a > b) std::swap(a, b);
-    return (c < a) ? a : std::min(b, c);
+  switch (n) {
+    case 1:
+      return v[0];
+    case 2:
+      return std::min(v[0], v[1]);
+    case 3: {  // hot path: the paper's default depth is 3
+      // med3 = max(min(a,b), min(max(a,b), c)) — 4 cmov ops, no branches.
+      int64_t a = v[0], b = v[1];
+      const int64_t lo = std::min(a, b);
+      const int64_t hi = std::max(a, b);
+      return std::max(lo, std::min(hi, v[2]));
+    }
+    case 4: {  // 5-exchange sorting network; lower median = v[1]
+      int64_t a = v[0], b = v[1], c = v[2], d = v[3];
+      CmpSwap(a, b);
+      CmpSwap(c, d);
+      CmpSwap(a, c);
+      CmpSwap(b, d);
+      CmpSwap(b, c);
+      return b;
+    }
+    case 5: {  // 9-exchange sorting network (optimal); median = v[2]
+      int64_t a = v[0], b = v[1], c = v[2], d = v[3], e = v[4];
+      CmpSwap(a, b);
+      CmpSwap(d, e);
+      CmpSwap(c, e);
+      CmpSwap(c, d);
+      CmpSwap(a, d);
+      CmpSwap(a, c);
+      CmpSwap(b, e);
+      CmpSwap(b, d);
+      CmpSwap(b, c);
+      return c;
+    }
+    default:
+      std::nth_element(v, v + (n - 1) / 2, v + n);
+      return v[(n - 1) / 2];
   }
-  std::nth_element(v, v + (n - 1) / 2, v + n);
-  return v[(n - 1) / 2];
 }
 
 }  // namespace qf

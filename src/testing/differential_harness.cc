@@ -111,6 +111,25 @@ std::vector<FuzzConfig> BuildConfigs() {
       /*value_levels=*/{10.0, 250.0, 400.0, 800.0},
   });
 
+  configs.push_back(FuzzConfig{
+      /*name=*/"approx-blocked-frac",
+      /*sketch=*/SketchKind::kCountSketch16,
+      /*memory_bytes=*/8 * 1024,
+      /*num_shards=*/2,
+      /*election=*/ElectionStrategy::kComparative,
+      /*key_universe=*/4096,
+      /*exact_regime=*/false,
+      /*use_exact_detector=*/false,
+      /*allow_merge=*/true,
+      // Same stream shape as approx-frac-rounding, but the vague part runs
+      // the cache-blocked layout: demote/estimate/report paths, QFS4
+      // checkpoints and blocked-vs-blocked merges all go through the
+      // lockstep scalar/batch/pipeline comparison.
+      /*criteria=*/{Criteria(2.0, 0.7, 100.0), Criteria(4.0, 0.65, 200.0)},
+      /*value_levels=*/{10.0, 150.0, 250.0, 600.0},
+      /*layout=*/VagueLayout::kBlocked,
+  });
+
   return configs;
 }
 

@@ -102,6 +102,11 @@ struct FuzzConfig {
   bool allow_merge;
   std::vector<Criteria> criteria;    // [0] is the default criteria
   std::vector<double> value_levels;  // value_sel maps into this table
+  /// Vague-part memory layout for every filter in the ensemble. Blocked is
+  /// only effective for small signed integral CountSketch counters; other
+  /// sketches silently run classic, so pair kBlocked with a kind that
+  /// supports it.
+  VagueLayout layout = VagueLayout::kClassic;
 };
 
 /// The built-in configuration matrix (seed % size selects one per run).
@@ -207,6 +212,7 @@ class DifferentialHarness {
     typename Filter::Options o;
     o.memory_bytes = c.memory_bytes;
     o.election = c.election;
+    o.vague_layout = c.layout;
     return o;
   }
 

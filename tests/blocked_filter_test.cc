@@ -1,0 +1,205 @@
+// QuantileFilter with the blocked vague layout (Options::vague_layout =
+// kBlocked): layout selection/fallback, InsertBatch/Insert bit-identity
+// with the seeded rounding RNG, checkpoint format v4 round-trips and
+// cross-layout rejection, merging, and report behavior.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/quantile_filter.h"
+#include "sketch/count_min_sketch.h"
+#include "stream/generators.h"
+
+namespace qf {
+namespace {
+
+using Filter = QuantileFilter<CountSketch<int16_t>>;
+
+Filter::Options BlockedOptions(size_t memory = 32 * 1024) {
+  Filter::Options o;
+  o.memory_bytes = memory;
+  o.vague_layout = VagueLayout::kBlocked;
+  return o;
+}
+
+Trace MakeTrace(size_t items, uint64_t seed = 77) {
+  ZipfTraceOptions o;
+  o.num_items = items;
+  o.num_keys = items / 8 < 1000 ? 1000 : items / 8;
+  o.seed = seed;
+  return GenerateZipfTrace(o);
+}
+
+TEST(BlockedFilterTest, LayoutIsEffectiveForIntegerCountSketch) {
+  Filter blocked(BlockedOptions());
+  EXPECT_EQ(blocked.vague_layout(), VagueLayout::kBlocked);
+  Filter classic(Filter::Options{});
+  EXPECT_EQ(classic.vague_layout(), VagueLayout::kClassic);
+}
+
+TEST(BlockedFilterTest, UnsupportedSketchesFallBackToClassic) {
+  // Float counters and Count-Min have no blocked equivalent; a blocked
+  // request degrades to classic rather than failing.
+  QuantileFilter<CountSketch<float>>::Options fo;
+  fo.memory_bytes = 32 * 1024;
+  fo.vague_layout = VagueLayout::kBlocked;
+  QuantileFilter<CountSketch<float>> ffilter(fo);
+  EXPECT_EQ(ffilter.vague_layout(), VagueLayout::kClassic);
+
+  QuantileFilter<CountMinSketch<int16_t>>::Options co;
+  co.memory_bytes = 32 * 1024;
+  co.vague_layout = VagueLayout::kBlocked;
+  QuantileFilter<CountMinSketch<int16_t>> cfilter(co);
+  EXPECT_EQ(cfilter.vague_layout(), VagueLayout::kClassic);
+}
+
+TEST(BlockedFilterTest, ReportsOutstandingKeys) {
+  // The blocked vague part must still elect and report an all-abnormal key.
+  Filter filter(BlockedOptions(4 * 1024), Criteria(30, 0.95, 300));
+  Trace trace(96, Item{1, 500.0});
+  EXPECT_EQ(filter.InsertBatch(std::span<const Item>(trace)), 3u);
+}
+
+/// Satellite requirement: with the blocked layout and fractional criteria
+/// weights (seeded rounding RNG hot), InsertBatch must stay a bit-identical
+/// drop-in for one-at-a-time Insert.
+TEST(BlockedFilterTest, InsertBatchBitIdenticalToInsert) {
+  const Trace trace = MakeTrace(300'000);
+  const Criteria criteria(30, 0.93, 300);  // 0.93/(1-0.93): fractional weight
+  for (const ElectionStrategy election :
+       {ElectionStrategy::kComparative, ElectionStrategy::kProbabilistic,
+        ElectionStrategy::kDecay}) {
+    SCOPED_TRACE(testing::Message()
+                 << "election " << static_cast<int>(election));
+    Filter::Options o = BlockedOptions();
+    o.election = election;
+    Filter sequential(o, criteria);
+    Filter batched(o, criteria);
+
+    std::vector<size_t> seq_reports;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      if (sequential.Insert(trace[i].key, trace[i].value)) {
+        seq_reports.push_back(i);
+      }
+    }
+    std::vector<size_t> batch_reports;
+    const size_t chunk = 997;  // odd framing: partial windows on every chunk
+    for (size_t pos = 0; pos < trace.size(); pos += chunk) {
+      const size_t n = std::min(chunk, trace.size() - pos);
+      batched.InsertBatch(std::span<const Item>(trace.data() + pos, n),
+                          criteria, [&](size_t index, const Item&) {
+                            batch_reports.push_back(pos + index);
+                          });
+    }
+    EXPECT_EQ(seq_reports, batch_reports);
+    EXPECT_EQ(sequential.stats().items, batched.stats().items);
+    EXPECT_EQ(sequential.stats().reports, batched.stats().reports);
+    EXPECT_EQ(sequential.stats().swaps, batched.stats().swaps);
+    EXPECT_EQ(sequential.SerializeState(), batched.SerializeState());
+  }
+}
+
+TEST(BlockedFilterTest, CheckpointRoundTripsBitIdentical) {
+  const Criteria criteria(30, 0.9, 200);
+  Filter a(BlockedOptions(), criteria);
+  const Trace trace = MakeTrace(100'000);
+  for (const Item& item : trace) a.Insert(item.key, item.value);
+
+  const std::vector<uint8_t> state = a.SerializeState();
+  // Blocked checkpoints carry the v4 magic ("QFS4" after the CRC envelope).
+  Filter b(BlockedOptions(), criteria);
+  ASSERT_TRUE(b.RestoreState(state));
+  EXPECT_EQ(b.SerializeState(), state);
+  for (uint64_t key = 0; key < 64; ++key) {
+    EXPECT_EQ(a.QueryQweight(key), b.QueryQweight(key)) << key;
+  }
+  // Restored filter continues the stream identically.
+  const Trace more = MakeTrace(20'000, 123);
+  size_t ra = 0, rb = 0;
+  for (const Item& item : more) {
+    ra += a.Insert(item.key, item.value);
+    rb += b.Insert(item.key, item.value);
+  }
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(a.SerializeState(), b.SerializeState());
+}
+
+TEST(BlockedFilterTest, CrossLayoutRestoreRejected) {
+  const Criteria criteria(30, 0.9, 200);
+  Filter blocked(BlockedOptions(), criteria);
+  Filter classic(Filter::Options{.memory_bytes = 32 * 1024}, criteria);
+  const Trace trace = MakeTrace(50'000);
+  for (const Item& item : trace) {
+    blocked.Insert(item.key, item.value);
+    classic.Insert(item.key, item.value);
+  }
+  const std::vector<uint8_t> blocked_state = blocked.SerializeState();
+  const std::vector<uint8_t> classic_state = classic.SerializeState();
+
+  // A blocked (v4) blob must not restore into a classic filter, and vice
+  // versa — and a failed restore must not corrupt the target.
+  Filter classic2(Filter::Options{.memory_bytes = 32 * 1024}, criteria);
+  EXPECT_FALSE(classic2.RestoreState(blocked_state));
+  Filter blocked2(BlockedOptions(), criteria);
+  EXPECT_FALSE(blocked2.RestoreState(classic_state));
+
+  // Classic blobs are still the v2/v3 format and restore as before.
+  Filter classic3(Filter::Options{.memory_bytes = 32 * 1024}, criteria);
+  ASSERT_TRUE(classic3.RestoreState(classic_state));
+  EXPECT_EQ(classic3.SerializeState(), classic_state);
+}
+
+TEST(BlockedFilterTest, ClassicSerializationUnchangedByThisFeature) {
+  // Classic filters must keep emitting the pre-blocked magic so old readers
+  // and old blobs interoperate: first payload word is "QFS2", not "QFS4".
+  // SerializeState = [8-byte CRC envelope][payload]; the payload leads with
+  // the format magic.
+  constexpr size_t kEnvelope = 8;
+  Filter classic(Filter::Options{.memory_bytes = 32 * 1024});
+  const std::vector<uint8_t> state = classic.SerializeState();
+  ASSERT_GE(state.size(), kEnvelope + 4);
+  uint32_t magic = 0;
+  std::memcpy(&magic, state.data() + kEnvelope, sizeof(magic));
+  EXPECT_EQ(magic, 0x51465332u);  // "QFS2"
+
+  Filter blocked(BlockedOptions());
+  const std::vector<uint8_t> bstate = blocked.SerializeState();
+  ASSERT_GE(bstate.size(), kEnvelope + 4);
+  std::memcpy(&magic, bstate.data() + kEnvelope, sizeof(magic));
+  EXPECT_EQ(magic, 0x51465334u);  // "QFS4"
+}
+
+TEST(BlockedFilterTest, MergeCombinesBlockedFilters) {
+  const Criteria criteria(30, 0.9, 200);
+  Filter a(BlockedOptions(), criteria);
+  Filter b(BlockedOptions(), criteria);
+  const Trace trace = MakeTrace(60'000);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    (i % 2 == 0 ? a : b).Insert(trace[i].key, trace[i].value);
+  }
+  ASSERT_TRUE(a.MergeFrom(b));
+
+  // Blocked and classic filters must refuse to merge with each other.
+  Filter classic(Filter::Options{.memory_bytes = 32 * 1024}, criteria);
+  EXPECT_FALSE(a.MergeFrom(classic));
+  EXPECT_FALSE(classic.MergeFrom(a));
+}
+
+TEST(BlockedFilterTest, TinyMemoryStillFunctions) {
+  // Degenerate budget: one vague block. Elections and reports still work.
+  Filter filter(BlockedOptions(512), Criteria(30, 0.95, 300));
+  const Trace trace = MakeTrace(30'000);
+  size_t reports = 0;
+  for (const Item& item : trace) reports += filter.Insert(item.key, item.value);
+  EXPECT_EQ(filter.stats().items, trace.size());
+  Trace hot(200, Item{99, 500.0});
+  reports += filter.InsertBatch(std::span<const Item>(hot));
+  EXPECT_GT(reports, 0u);
+}
+
+}  // namespace
+}  // namespace qf

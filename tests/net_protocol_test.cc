@@ -52,6 +52,68 @@ TEST(NetProtocol, IngestRoundTrip) {
   EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore);
 }
 
+TEST(NetProtocol, NextViewMatchesNextWithoutCopying) {
+  // NextView must yield the same frames as Next, with payload views that
+  // alias the decoder buffer and survive until the next Append.
+  const std::vector<Item> items = {{1, 400.0}, {2, 5.5}};
+  std::vector<uint8_t> wire;
+  EncodeIngestTo(7, items, &wire);
+  EncodeSubscribeTo(8, true, &wire);
+
+  FrameDecoder viewer;
+  ASSERT_TRUE(viewer.Append(wire.data(), wire.size()));
+  FrameView view;
+  ASSERT_EQ(viewer.NextView(&view), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(view.type, FrameType::kIngest);
+  IngestRequest req;
+  ASSERT_TRUE(ParseIngest(view.payload, &req));
+  EXPECT_EQ(req.token, 7u);
+  ASSERT_EQ(req.items.size(), items.size());
+  EXPECT_EQ(req.items[1].value, 5.5);
+
+  // Pulling the second frame does not invalidate protocol state; both
+  // frames decode in order with no payload copies.
+  ASSERT_EQ(viewer.NextView(&view), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(view.type, FrameType::kSubscribe);
+  SubscribeRequest sub;
+  ASSERT_TRUE(ParseSubscribe(view.payload, &sub));
+  EXPECT_EQ(sub.token, 8u);
+  EXPECT_TRUE(sub.enable);
+  EXPECT_EQ(viewer.NextView(&view), FrameDecoder::Result::kNeedMore);
+  EXPECT_EQ(viewer.buffered_bytes(), 0u);
+
+  // The copying API decodes the same stream identically.
+  FrameDecoder copier;
+  ASSERT_TRUE(copier.Append(wire.data(), wire.size()));
+  Frame frame;
+  ASSERT_EQ(copier.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kIngest);
+  IngestRequest req2;
+  ASSERT_TRUE(ParseIngest(frame.payload, &req2));
+  EXPECT_EQ(req2.items.size(), req.items.size());
+}
+
+TEST(NetProtocol, NextViewByteAtATime) {
+  // Views must only materialize once the full frame is buffered, and the
+  // decoder must keep accepting input after handing out views.
+  std::vector<uint8_t> wire;
+  EncodeSubscribeTo(3, false, &wire);
+  EncodeSubscribeTo(4, true, &wire);
+  FrameDecoder decoder;
+  size_t frames = 0;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_TRUE(decoder.Append(&wire[i], 1));
+    FrameView view;
+    while (decoder.NextView(&view) == FrameDecoder::Result::kFrame) {
+      SubscribeRequest sub;
+      ASSERT_TRUE(ParseSubscribe(view.payload, &sub));
+      EXPECT_EQ(sub.token, 3u + frames);
+      ++frames;
+    }
+  }
+  EXPECT_EQ(frames, 2u);
+}
+
 TEST(NetProtocol, EmptyIngestIsValid) {
   std::vector<uint8_t> wire;
   EncodeIngestTo(1, {}, &wire);
@@ -228,8 +290,40 @@ TEST(NetProtocol, PoisonAfterValidFrameStillDeliversIt) {
   Frame frame;
   EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
   EXPECT_EQ(frame.type, FrameType::kSubscribe);
+  SubscribeRequest sub;
+  ASSERT_TRUE(ParseSubscribe(frame.payload, &sub));
+  EXPECT_EQ(sub.token, 9u);
   EXPECT_TRUE(decoder.poisoned());
   EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+}
+
+TEST(NetProtocol, ViewSurvivesPoisonTriggeredByTrailingHeader) {
+  // Same shape as above through the zero-copy API: the poison fires inside
+  // the NextView call that hands out the span, so the decoder must not
+  // release the buffer the view aliases (regression: Poison used to
+  // clear + shrink_to_fit, leaving the view dangling).
+  std::vector<uint8_t> wire;
+  const std::vector<Item> items = {{42, 123.0}, {43, -4.0}};
+  EncodeIngestTo(3, items, &wire);
+  wire.push_back(0x02);  // malformed next header: length 2 < header size
+  wire.push_back(0x00);
+  wire.push_back(0x00);
+  wire.push_back(0x00);
+  FrameDecoder decoder;
+  EXPECT_TRUE(decoder.Append(wire.data(), wire.size()));
+  FrameView view;
+  ASSERT_EQ(decoder.NextView(&view), FrameDecoder::Result::kFrame);
+  EXPECT_TRUE(decoder.poisoned());
+  IngestRequest req;
+  ASSERT_TRUE(ParseIngest(view.payload, &req));
+  EXPECT_EQ(req.token, 3u);
+  ASSERT_EQ(req.items.size(), items.size());
+  EXPECT_EQ(req.items[0].key, 42u);
+  EXPECT_EQ(req.items[1].value, -4.0);
+  // Feeding the poisoned decoder expires the view and stays rejected.
+  const uint8_t byte = 0;
+  EXPECT_FALSE(decoder.Append(&byte, 1));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
 }
 
 TEST(NetProtocol, ParserSizeContracts) {

@@ -40,7 +40,9 @@ void PrintUsage() {
       "  --shards=N            pipeline shards (default 4)\n"
       "  --memory=BYTES        total filter budget (default 1048576)\n"
       "  --eps=X --delta=X --threshold=X   criteria (30 / 0.95 / 300)\n"
-      "  --seed=N              filter seed\n\n"
+      "  --seed=N              filter seed\n"
+      "  --layout=NAME         vague layout: classic | blocked (default\n"
+      "                        blocked; blocked = one cache miss per item)\n\n"
       "serving:\n"
       "  --batch=N             pipeline batch size (default 32)\n"
       "  --alert-ring=N        per-shard alert-ring records (default 4096)\n"
@@ -84,6 +86,16 @@ int Main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("memory", 1 << 20));
   opts.filter.seed = static_cast<uint64_t>(
       flags.GetInt("seed", static_cast<int64_t>(opts.filter.seed)));
+  const std::string layout = flags.GetString("layout", "blocked");
+  if (layout == "blocked") {
+    opts.filter.vague_layout = VagueLayout::kBlocked;
+  } else if (layout == "classic") {
+    opts.filter.vague_layout = VagueLayout::kClassic;
+  } else {
+    std::fprintf(stderr, "qf_server: unknown --layout=%s (see --help)\n",
+                 layout.c_str());
+    return 2;
+  }
   opts.criteria =
       Criteria(flags.GetDouble("eps", 30.0), flags.GetDouble("delta", 0.95),
                flags.GetDouble("threshold", 300.0));
@@ -129,9 +141,11 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "qf_server: %s\n", server.error().c_str());
     return 1;
   }
-  std::printf("qf_server: listening on %s:%u (%d shards, %zu-byte budget)\n",
-              opts.host.c_str(), server.port(), opts.num_shards,
-              opts.filter.memory_bytes);
+  std::printf(
+      "qf_server: listening on %s:%u (%d shards, %zu-byte budget, %s "
+      "vague layout)\n",
+      opts.host.c_str(), server.port(), opts.num_shards,
+      opts.filter.memory_bytes, VagueLayoutName(opts.filter.vague_layout));
   std::fflush(stdout);
 
   obs::MetricsSink sink(obs::MetricsRegistry::Global(), sink_opts);
