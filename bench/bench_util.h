@@ -10,10 +10,13 @@
 #ifndef QUANTILEFILTER_BENCH_BENCH_UTIL_H_
 #define QUANTILEFILTER_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "baseline/exact_detector.h"
 #include "core/criteria.h"
@@ -28,6 +31,80 @@ inline size_t ItemsFromEnv(size_t default_items) {
   if (env == nullptr) return default_items;
   long long v = std::atoll(env);
   return v <= 0 ? default_items : static_cast<size_t>(v);
+}
+
+/// Repetitions for the robust-sampling benches (QF_BENCH_REPS env var).
+inline int RepsFromEnv(int default_reps) {
+  const char* env = std::getenv("QF_BENCH_REPS");
+  if (env == nullptr) return default_reps;
+  const long long v = std::atoll(env);
+  return v <= 0 ? default_reps : static_cast<int>(v);
+}
+
+/// Robust summary of repeated throughput samples, in the style udipe uses
+/// for micro-benchmark timings: median as the location estimate, MAD
+/// (median absolute deviation) as the dispersion estimate, and outlier
+/// rejection by modified z-score before either is reported. One descheduled
+/// rep or a thermal-throttle dip then shifts nothing, where a mean/min
+/// would follow it. Samples should come from REPEATED-INTERLEAVED runs
+/// (rep r runs every config once before rep r+1 starts) so slow drift —
+/// frequency scaling, page-cache warmth, a noisy neighbour — lands on all
+/// configs alike instead of biasing whichever ran last.
+struct RobustStats {
+  double median = 0.0;
+  /// Raw MAD of the kept samples (same unit as the samples).
+  double mad = 0.0;
+  /// mad / median — the dimensionless dispersion reported in the JSON; a
+  /// value above ~0.05 means the box was too noisy to trust small deltas.
+  double rel_dispersion = 0.0;
+  int samples_total = 0;
+  int outliers_rejected = 0;
+};
+
+inline double MedianOfSorted(const std::vector<double>& sorted) {
+  const size_t n = sorted.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? sorted[n / 2]
+                    : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+/// Median/MAD with modified-z-score outlier rejection (|z| > 3.5, the
+/// Iglewicz–Hoaglin cutoff; 1.4826 rescales MAD to sigma under normality).
+/// With fewer than 4 samples, or a zero MAD (all samples equal), rejection
+/// is skipped — there is nothing statistically sound to reject against.
+inline RobustStats Robust(std::vector<double> samples) {
+  RobustStats out;
+  out.samples_total = static_cast<int>(samples.size());
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const double med = MedianOfSorted(samples);
+  std::vector<double> dev;
+  dev.reserve(samples.size());
+  for (const double s : samples) dev.push_back(std::fabs(s - med));
+  std::sort(dev.begin(), dev.end());
+  const double mad = MedianOfSorted(dev);
+
+  std::vector<double> kept;
+  if (samples.size() >= 4 && mad > 0.0) {
+    for (const double s : samples) {
+      const double z = 0.6745 * (s - med) / mad;
+      if (std::fabs(z) <= 3.5) kept.push_back(s);
+    }
+  } else {
+    kept = samples;
+  }
+  out.outliers_rejected =
+      out.samples_total - static_cast<int>(kept.size());
+  out.median = MedianOfSorted(kept);
+  std::vector<double> kept_dev;
+  kept_dev.reserve(kept.size());
+  for (const double s : kept) {
+    kept_dev.push_back(std::fabs(s - out.median));
+  }
+  std::sort(kept_dev.begin(), kept_dev.end());
+  out.mad = MedianOfSorted(kept_dev);
+  out.rel_dispersion = out.median > 0.0 ? out.mad / out.median : 0.0;
+  return out;
 }
 
 /// Paper defaults (Sec V-A): eps=30, delta=0.95; T=300 (internet, zipf),

@@ -49,10 +49,17 @@ constexpr uint64_t FastRange64(uint64_t hash, uint64_t n) {
 /// mapping would place every resident key in the wrong bucket/shard on
 /// load (silently wrong queries), so readers reject on mismatch. History:
 ///   1 = `hash % n` modulo reduction (pre-SIMD seed code, no tag written)
-///   2 = Lemire FastRange64 multiply-shift reduction
-/// Bump this whenever the mapping of an existing key to its bucket or
-/// shard changes.
-inline constexpr uint32_t kKeyMappingScheme = 2;
+///   2 = Lemire FastRange64 multiply-shift reduction; fingerprint from a
+///       second, independently-seeded HashKey call
+///   3 = single-hash probe: bucket AND fingerprint both derive from one
+///       HashKey(key, seed) — bucket from the high bits (FastRange64),
+///       fingerprint from the low 32 — halving the Mix64 work per probe.
+///       Bucket placement is unchanged from scheme 2, but resident
+///       fingerprints are not, so scheme-2 candidate payloads must be
+///       rejected.
+/// Bump this whenever the mapping of an existing key to its bucket, shard
+/// or stored fingerprint changes.
+inline constexpr uint32_t kKeyMappingScheme = 3;
 
 /// MurmurHash3-style hash of an arbitrary byte string (for string keys such
 /// as 5-tuples serialized to bytes).

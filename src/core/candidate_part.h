@@ -60,6 +60,8 @@ class CandidatePart {
         seed_(options.seed),
         num_buckets_(ElemsForBudget(options.memory_bytes,
                                     sizeof(Entry) * bucket_entries_, 1)),
+        fp_mask_((fingerprint_bits_ >= 32) ? 0xFFFFFFFFu
+                                           : ((1u << fingerprint_bits_) - 1u)),
         num_slots_(num_buckets_ * bucket_entries_),
         fps_(num_slots_ + kFindU32Pad, 0u),
         qweights_(num_slots_, 0) {}
@@ -70,13 +72,31 @@ class CandidatePart {
   size_t num_slots() const { return num_slots_; }
   size_t MemoryBytes() const { return num_slots_ * sizeof(Entry); }
 
-  uint32_t BucketOf(uint64_t key) const {
-    return static_cast<uint32_t>(
-        FastRange64(HashKey(key, seed_), num_buckets_));
+  /// Single-hash probe seam (kKeyMappingScheme = 3): ONE HashKey call
+  /// yields both coordinates of a key's probe. The bucket comes from the
+  /// high hash bits (FastRange64's multiply keeps only the top of the
+  /// product) and the fingerprint from the low 32, so the two stay
+  /// effectively independent while every probe path — scalar insert, the
+  /// batched prehash window, queries, deletes — pays one Mix64 instead of
+  /// two. BucketFromHash reproduces scheme-2 bucket placement bit-exactly;
+  /// fingerprints changed, which is why the mapping scheme was bumped.
+  uint64_t KeyHash(uint64_t key) const { return HashKey(key, seed_); }
+
+  uint32_t BucketFromHash(uint64_t h) const {
+    return static_cast<uint32_t>(FastRange64(h, num_buckets_));
   }
 
+  /// Low 32 bits of the key hash, masked to fingerprint_bits; never 0
+  /// (0 marks an empty slot), matching Fingerprint()'s convention.
+  uint32_t FingerprintFromHash(uint64_t h) const {
+    const uint32_t fp = static_cast<uint32_t>(h) & fp_mask_;
+    return fp == 0 ? 1u : fp;
+  }
+
+  uint32_t BucketOf(uint64_t key) const { return BucketFromHash(KeyHash(key)); }
+
   uint32_t FingerprintOf(uint64_t key) const {
-    return Fingerprint(key, seed_ ^ 0xF1A9F1A9F1A9F1A9ULL, fingerprint_bits_);
+    return FingerprintFromHash(KeyHash(key));
   }
 
   /// The identifier under which a (bucket, fingerprint) pair is inserted
@@ -211,6 +231,7 @@ class CandidatePart {
   int fingerprint_bits_;
   uint64_t seed_;
   size_t num_buckets_;
+  uint32_t fp_mask_;
   size_t num_slots_;
   // Parallel slot arrays; fps_ carries kFindU32Pad zeroed lanes of overread
   // padding for the vectorized probe.

@@ -129,8 +129,9 @@ class QuantileFilter {
   /// Processes one item under caller-supplied criteria (Sec III-C: distinct
   /// criteria per key, supplied alongside each item).
   bool Insert(uint64_t key, double value, const Criteria& criteria) {
-    return InsertHashed(candidate_.FingerprintOf(key),
-                        candidate_.BucketOf(key),
+    const uint64_t h = candidate_.KeyHash(key);
+    return InsertHashed(candidate_.FingerprintFromHash(h),
+                        candidate_.BucketFromHash(h),
                         criteria.ValueIsAbnormal(value), criteria);
   }
 
@@ -165,8 +166,9 @@ class QuantileFilter {
       for (size_t i = 0; i < n; ++i) {
         const Item& item = items[pos + i];
         Prehashed& p = window[i];
-        p.fp = candidate_.FingerprintOf(item.key);
-        p.bucket = candidate_.BucketOf(item.key);
+        const uint64_t h = candidate_.KeyHash(item.key);
+        p.fp = candidate_.FingerprintFromHash(h);
+        p.bucket = candidate_.BucketFromHash(h);
         p.abnormal = criteria.ValueIsAbnormal(item.value);
         candidate_.PrefetchBucket(p.bucket);
         vague_.Prefetch(candidate_.VagueKey(p.bucket, p.fp));
@@ -197,8 +199,9 @@ class QuantileFilter {
   /// part, otherwise the vague-part estimate. (The "query" operation of
   /// Sec III-B.)
   int64_t QueryQweight(uint64_t key) const {
-    const uint32_t fp = candidate_.FingerprintOf(key);
-    const uint32_t bucket = candidate_.BucketOf(key);
+    const uint64_t h = candidate_.KeyHash(key);
+    const uint32_t fp = candidate_.FingerprintFromHash(h);
+    const uint32_t bucket = candidate_.BucketFromHash(h);
     if (const int64_t slot = candidate_.Find(bucket, fp);
         slot != CandidatePart::kNone) {
       return candidate_.qweight(slot);
@@ -210,16 +213,18 @@ class QuantileFilter {
   /// is tracked exactly rather than estimated by the vague part (the
   /// candidate-status half of the serving layer's QUERY frame).
   bool IsCandidate(uint64_t key) const {
-    return candidate_.Find(candidate_.BucketOf(key),
-                           candidate_.FingerprintOf(key)) !=
+    const uint64_t h = candidate_.KeyHash(key);
+    return candidate_.Find(candidate_.BucketFromHash(h),
+                           candidate_.FingerprintFromHash(h)) !=
            CandidatePart::kNone;
   }
 
   /// Forgets `key`'s accumulated Qweight (the "delete" operation; used to
   /// change a key's criteria: delete, then insert under the new criteria).
   void Delete(uint64_t key) {
-    const uint32_t fp = candidate_.FingerprintOf(key);
-    const uint32_t bucket = candidate_.BucketOf(key);
+    const uint64_t h = candidate_.KeyHash(key);
+    const uint32_t fp = candidate_.FingerprintFromHash(h);
+    const uint32_t bucket = candidate_.BucketFromHash(h);
     if (const int64_t slot = candidate_.Find(bucket, fp);
         slot != CandidatePart::kNone) {
       candidate_.set_qweight(slot, 0);

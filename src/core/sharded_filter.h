@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/crc32.h"
@@ -42,6 +43,36 @@ class ShardedQuantileFilter {
       shard_options.seed = Mix64(options.seed + 0x9E37 * (s + 1));
       shards_.push_back(std::make_unique<Filter>(shard_options, criteria));
     }
+  }
+
+  /// NUMA-aware variant: constructs shard `s` on a fresh thread after
+  /// running `init(s)` on it (the caller typically pins the thread there —
+  /// parallel/placement.h). Under Linux first-touch, the filter's candidate
+  /// arrays and sketch counters are then backed by pages on the node where
+  /// that shard's pipeline worker will run. Seeds and splits match the
+  /// plain constructor exactly, so the resulting filter is bit-identical —
+  /// only page placement differs.
+  template <typename ShardInit>
+  ShardedQuantileFilter(const typename Filter::Options& options,
+                        const Criteria& criteria, int num_shards,
+                        ShardInit&& init)
+      : num_shards_(num_shards < 1 ? 1 : num_shards) {
+    typename Filter::Options shard_options = options;
+    shard_options.memory_bytes =
+        options.memory_bytes / static_cast<size_t>(num_shards_);
+    shards_.resize(static_cast<size_t>(num_shards_));
+    std::vector<std::thread> builders;
+    builders.reserve(static_cast<size_t>(num_shards_));
+    for (int s = 0; s < num_shards_; ++s) {
+      typename Filter::Options opts = shard_options;
+      opts.seed = Mix64(options.seed + 0x9E37 * (s + 1));
+      builders.emplace_back([this, opts, &criteria, &init, s] {
+        init(s);
+        shards_[static_cast<size_t>(s)] =
+            std::make_unique<Filter>(opts, criteria);
+      });
+    }
+    for (std::thread& t : builders) t.join();
   }
 
   int num_shards() const { return num_shards_; }

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "obs/instrument.h"
+#include "parallel/park.h"
 
 #if QF_METRICS
 #include "common/time.h"
@@ -101,7 +102,7 @@ struct NetMetrics {
 
 }  // namespace
 
-/// Per-connection state, owned by the event loop.
+/// Per-connection state, owned by the accepting reactor.
 struct QfServer::Conn {
   int fd = -1;
   FrameDecoder decoder;
@@ -118,35 +119,47 @@ struct QfServer::Conn {
   size_t pending() const { return out.size() - out_off; }
 };
 
+QfServer::Sharded QfServer::MakeFilter(const Options& options) {
+  const int shards = options.num_shards < 1 ? 1 : options.num_shards;
+  if (options.placement.pin_threads && options.placement.first_touch_arenas) {
+    // Construct each shard's filter on a thread pinned where the shard's
+    // pipeline worker will run, so first-touch places its candidate arrays
+    // and sketch counters on that worker's NUMA node.
+    const PlacementOptions placement = options.placement;
+    return Sharded(options.filter, options.criteria, shards,
+                   [placement](int s) {
+                     PinThreadToCore(PlacementCore(placement, s));
+                   });
+  }
+  return Sharded(options.filter, options.criteria, shards);
+}
+
 QfServer::QfServer(const Options& options)
     : options_(options),
-      filter_(options.filter, options.criteria,
-              options.num_shards < 1 ? 1 : options.num_shards),
-      pipeline_(filter_, [&options] {
-        Pipeline::Options p;
-        p.batch_size = options.batch_size;
-        p.ring_batches = options.ring_batches;
-        p.alert_ring_records = options.alert_ring_records;
-        return p;
-      }()) {}
+      filter_(MakeFilter(options)),
+      pipeline_(filter_,
+                [&options] {
+                  Pipeline::Options p;
+                  p.batch_size = options.batch_size;
+                  p.ring_batches = options.ring_batches;
+                  p.alert_ring_records = options.alert_ring_records;
+                  p.num_producers = options.reactors < 1 ? 1 : options.reactors;
+                  p.placement = options.placement;
+                  return p;
+                }()),
+      num_reactors_(options.reactors < 1 ? 1 : options.reactors) {}
 
 QfServer::~QfServer() {
   Stop();
-  if (listen_fd_ >= 0) close(listen_fd_);
-  if (epoll_fd_ >= 0) close(epoll_fd_);
-  if (wake_fd_ >= 0) close(wake_fd_);
+  for (auto& rx : reactors_) {
+    if (rx->listen_fd >= 0) close(rx->listen_fd);
+    if (rx->epoll_fd >= 0) close(rx->epoll_fd);
+    if (rx->wake_fd >= 0) close(rx->wake_fd);
+  }
 }
 
 bool QfServer::Start() {
   if (running_.load(std::memory_order_acquire)) return true;
-
-  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    error_ = "socket: " + std::string(strerror(errno));
-    return false;
-  }
-  const int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -155,53 +168,100 @@ bool QfServer::Start() {
     error_ = "bad host: " + options_.host;
     return false;
   }
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    error_ = "bind: " + std::string(strerror(errno));
-    return false;
-  }
-  if (listen(listen_fd_, 128) != 0) {
-    error_ = "listen: " + std::string(strerror(errno));
-    return false;
-  }
-  socklen_t len = sizeof(addr);
-  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  if (!SetNonBlocking(listen_fd_)) {
-    error_ = "fcntl: " + std::string(strerror(errno));
-    return false;
-  }
 
-  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
-  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    error_ = "epoll/eventfd: " + std::string(strerror(errno));
-    return false;
+  reactors_.clear();
+  for (int r = 0; r < num_reactors_; ++r) {
+    auto rx = std::make_unique<Reactor>();
+    rx->idx = r;
+    rx->listen_fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (rx->listen_fd < 0) {
+      error_ = "socket: " + std::string(strerror(errno));
+      return false;
+    }
+    const int one = 1;
+    setsockopt(rx->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (num_reactors_ > 1) {
+      // One listen socket per reactor in a single SO_REUSEPORT group: the
+      // kernel hashes incoming connections across the group, so accepts
+      // (and everything after them) spread over the reactors with no
+      // shared accept lock.
+      if (setsockopt(rx->listen_fd, SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) != 0) {
+        error_ = "SO_REUSEPORT: " + std::string(strerror(errno));
+        return false;
+      }
+    }
+    // Reactor 0 may bind port 0 (ephemeral); later reactors join the port
+    // it was actually assigned.
+    addr.sin_port = htons(r == 0 ? options_.port : port_);
+    if (bind(rx->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+      error_ = "bind: " + std::string(strerror(errno));
+      return false;
+    }
+    if (listen(rx->listen_fd, 128) != 0) {
+      error_ = "listen: " + std::string(strerror(errno));
+      return false;
+    }
+    if (r == 0) {
+      socklen_t len = sizeof(addr);
+      getsockname(rx->listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+      port_ = ntohs(addr.sin_port);
+    }
+    if (!SetNonBlocking(rx->listen_fd)) {
+      error_ = "fcntl: " + std::string(strerror(errno));
+      return false;
+    }
+    rx->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    rx->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (rx->epoll_fd < 0 || rx->wake_fd < 0) {
+      error_ = "epoll/eventfd: " + std::string(strerror(errno));
+      return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = EventToken(rx->listen_fd, 0);
+    epoll_ctl(rx->epoll_fd, EPOLL_CTL_ADD, rx->listen_fd, &ev);
+    ev.data.u64 = EventToken(rx->wake_fd, 0);
+    epoll_ctl(rx->epoll_fd, EPOLL_CTL_ADD, rx->wake_fd, &ev);
+    reactors_.push_back(std::move(rx));
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = EventToken(listen_fd_, 0);
-  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.u64 = EventToken(wake_fd_, 0);
-  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
   stop_requested_.store(false, std::memory_order_relaxed);
+  stopping_.store(false, std::memory_order_relaxed);
+  control_owner_.store(-1, std::memory_order_relaxed);
+  quiesce_word_.store(0, std::memory_order_relaxed);
+  quiesce_acks_.store(0, std::memory_order_relaxed);
+  exited_reactors_.store(0, std::memory_order_relaxed);
+  active_reactors_.store(num_reactors_, std::memory_order_relaxed);
   running_.store(true, std::memory_order_release);
-  loop_thread_ = std::thread([this] { Loop(); });
+
+  // Workers spawn (and pre-fault their arenas) before any reactor can push.
+  pipeline_.Start();
+  for (auto& rx : reactors_) {
+    Reactor* p = rx.get();
+    p->thread = std::thread([this, p] { Loop(*p); });
+  }
   return true;
 }
 
 void QfServer::Stop() {
   stop_requested_.store(true, std::memory_order_release);
-  if (wake_fd_ >= 0) {
-    const uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+  for (auto& rx : reactors_) {
+    if (rx->wake_fd >= 0) WakeReactor(*rx);
   }
   Wait();
 }
 
 void QfServer::Wait() {
-  if (loop_thread_.joinable()) loop_thread_.join();
+  for (auto& rx : reactors_) {
+    if (rx->thread.joinable()) rx->thread.join();
+  }
+}
+
+void QfServer::WakeReactor(Reactor& rx) {
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(rx.wake_fd, &one, sizeof(one));
 }
 
 WireStats QfServer::StatsSnapshot() const {
@@ -218,98 +278,176 @@ WireStats QfServer::StatsSnapshot() const {
   return s;
 }
 
-void QfServer::Loop() {
-  // The loop thread is the pipeline's dispatcher: Start()/Push()/Fence()/
-  // Stop() all run here, satisfying the single-producer contract.
-  pipeline_.Start();
+void QfServer::ServiceQuiesce(Reactor& rx) {
+  // The word is a generation counter: odd = a quiesce is in progress. A
+  // peer acks ONCE per generation and then waits for the word to CHANGE —
+  // not for a fixed value — so a peer waking late from generation g cannot
+  // mistake generation g+2 for its own round and park without acking
+  // (back-to-back kDrain frames hit exactly that interleaving).
+  const uint32_t gen = quiesce_word_.load(std::memory_order_acquire);
+  if ((gen & 1) == 0) return;
+  // Ship everything this reactor has staged, ack, and park until the
+  // coordinator finishes. Parking (not spinning) matters — on a busy box
+  // the coordinator needs the core to run the fence and the checkpoint.
+  pipeline_.FlushFrom(rx.idx);
+  quiesce_acks_.fetch_add(1, std::memory_order_acq_rel);
+  while (quiesce_word_.load(std::memory_order_acquire) == gen) {
+    ParkingSpot::WaitWhile(&quiesce_word_, gen);
+  }
+}
+
+template <typename Fn>
+void QfServer::WithGlobalQuiesce(Reactor& rx, Fn&& fn) {
+  // Claim the coordinator slot; while waiting, keep answering a competing
+  // coordinator's quiesce so two concurrent CONTROL frames on different
+  // reactors serialize instead of deadlocking.
+  int expected = -1;
+  while (!control_owner_.compare_exchange_weak(expected, rx.idx,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+    expected = -1;
+    ServiceQuiesce(rx);
+    std::this_thread::yield();
+  }
+  quiesce_acks_.store(0, std::memory_order_relaxed);
+  // Even → odd: opens generation `gen`. Only the coordinator (serialized
+  // by control_owner_) ever flips the parity.
+  quiesce_word_.fetch_add(1, std::memory_order_acq_rel);
+  for (auto& peer : reactors_) {
+    if (peer->idx != rx.idx) WakeReactor(*peer);
+  }
+  // Wait for every LIVE peer (an exiting reactor flushes its producer on
+  // the way out, which is all the fence needs from it; waiting on exited
+  // peers would hang a drain that races a shutdown).
+  AdaptiveBackoff backoff;
+  while (quiesce_acks_.load(std::memory_order_acquire) <
+         active_reactors_.load(std::memory_order_acquire) - 1) {
+    if (backoff.ShouldPark()) std::this_thread::yield();
+  }
+  // Every producer is now flushed and parked (or exited); a fence from
+  // this reactor's slot drains all R×N rings.
+  pipeline_.FenceFrom(rx.idx);
+  fn();
+  // Odd → even: closes the generation; parked peers see the word change.
+  quiesce_word_.fetch_add(1, std::memory_order_acq_rel);
+  ParkingSpot::WakeAll(&quiesce_word_);
+  control_owner_.store(-1, std::memory_order_release);
+}
+
+void QfServer::Loop(Reactor& rx) {
+  if (options_.placement.pin_threads) {
+    // Shard workers occupy cores [offset, offset + shards); reactors take
+    // the next cores (wrapping modulo the online count).
+    PinThreadToCore(
+        PlacementCore(options_.placement, filter_.num_shards() + rx.idx));
+  }
 
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
-  bool pushed = false;  // items staged since the last Flush
 
   while (true) {
     if (stop_requested_.load(std::memory_order_acquire)) break;
-    if (stopping_) {
-      // kShutdown acked: leave once the ack has drained (or the client
-      // vanished); everything else has already been fenced.
-      auto it = conns_.find(shutdown_fd_);
-      if (it == conns_.end() || it->second->pending() == 0) break;
+    ServiceQuiesce(rx);
+    // Deliver alerts forwarded by reactor 0 to this reactor's subscribers.
+    if (rx.idx != 0) {
+      std::vector<DrainedAlert> mail;
+      {
+        std::lock_guard<std::mutex> lock(rx.mail_mu);
+        mail.swap(rx.mail);
+      }
+      if (!mail.empty()) DeliverAlerts(rx, mail);
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // kShutdown acked: the acking reactor leaves once the ack has
+      // drained (or the client vanished); every other reactor leaves
+      // immediately — the fence already ran under the shutdown quiesce.
+      if (rx.shutdown_fd < 0) break;
+      auto it = rx.conns.find(rx.shutdown_fd);
+      if (it == rx.conns.end() || it->second->pending() == 0) break;
     }
 
-    // Short timeout while subscribers wait on alert fan-out; otherwise
-    // sleep long — Stop() pokes the eventfd.
-    bool any_subscriber = false;
-    for (const auto& [fd, conn] : conns_) {
-      if (conn->subscribed) {
-        any_subscriber = true;
-        break;
-      }
-    }
-    const int timeout_ms = (any_subscriber || pushed || stopping_) ? 1 : 200;
-    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    // Short timeout while alert fan-out is pending; otherwise sleep long —
+    // wakes arrive via the eventfd. Only reactor 0 polls the alert rings,
+    // so a subscriber anywhere keeps reactor 0 (and only reactor 0) hot.
+    const bool alert_duty =
+        rx.idx == 0 && subscribers_.load(std::memory_order_relaxed) > 0;
+    const int timeout_ms =
+        (alert_duty || rx.pushed || stopping_.load(std::memory_order_relaxed))
+            ? 1
+            : 200;
+    const int n = epoll_wait(rx.epoll_fd, events, kMaxEvents, timeout_ms);
     if (n < 0 && errno != EINTR) break;
 
     for (int i = 0; i < n; ++i) {
       const uint64_t token = events[i].data.u64;
       const int fd = static_cast<int>(token & 0xffffffffu);
       const uint32_t gen = static_cast<uint32_t>(token >> 32);
-      if (fd == wake_fd_) {
+      if (fd == rx.wake_fd) {
         uint64_t drain;
-        while (read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        while (read(rx.wake_fd, &drain, sizeof(drain)) > 0) {
         }
         continue;
       }
-      if (fd == listen_fd_) {
-        AcceptReady();
+      if (fd == rx.listen_fd) {
+        AcceptReady(rx);
         continue;
       }
-      auto it = conns_.find(fd);
-      if (it == conns_.end()) continue;  // closed earlier in this batch
+      auto it = rx.conns.find(fd);
+      if (it == rx.conns.end()) continue;  // closed earlier in this batch
       Conn* conn = it->second.get();
       if (conn->gen != gen) continue;  // stale event: fd was reused
       if (events[i].events & (EPOLLHUP | EPOLLERR)) {
-        CloseConn(conn, /*slow=*/false);
+        CloseConn(rx, conn, /*slow=*/false);
         continue;
       }
       if (events[i].events & EPOLLOUT) {
-        WriteReady(conn);
-        if (conns_.find(fd) == conns_.end()) continue;
+        WriteReady(rx, conn);
+        if (rx.conns.find(fd) == rx.conns.end()) continue;
       }
       if (events[i].events & EPOLLIN) {
-        ReadReady(conn);
-        pushed = true;  // conservatively: INGEST frames stage items
+        ReadReady(rx, conn);
+        rx.pushed = true;  // conservatively: INGEST frames stage items
       }
     }
 
     // Ship partial batches so staged items never wait on a quiet socket.
-    if (pushed) {
-      pipeline_.Flush();
-      pushed = false;
+    if (rx.pushed) {
+      pipeline_.FlushFrom(rx.idx);
+      rx.pushed = false;
     }
-    BroadcastAlerts();
+    if (rx.idx == 0) BroadcastAlerts(rx);
   }
 
-  // Dispatcher-side pipeline shutdown; joins the shard workers.
-  pipeline_.Stop();
+  // Ship anything still staged and release this reactor's producer slot,
+  // THEN leave the live set — a coordinator mid-quiesce stops waiting for
+  // this reactor only after its flush, keeping fences exact.
+  pipeline_.FlushFrom(rx.idx);
+  active_reactors_.fetch_sub(1, std::memory_order_acq_rel);
 
-  for (auto& [fd, conn] : conns_) {
-    (void)conn;
+  for (auto& [fd, conn] : rx.conns) {
+    if (conn->subscribed) subscribers_.fetch_sub(1, std::memory_order_relaxed);
     close(fd);
   }
-  conns_.clear();
-  active_connections_.store(0, std::memory_order_relaxed);
-  running_.store(false, std::memory_order_release);
+  active_connections_.fetch_sub(rx.conns.size(), std::memory_order_relaxed);
+  rx.conns.clear();
+
+  // Last reactor out joins the shard workers (all producer slots are
+  // released by now) and marks the server stopped.
+  if (exited_reactors_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      num_reactors_) {
+    pipeline_.Stop();
+    running_.store(false, std::memory_order_release);
+  }
 }
 
-void QfServer::AcceptReady() {
+void QfServer::AcceptReady(Reactor& rx) {
   while (true) {
-    const int fd = accept4(listen_fd_, nullptr, nullptr,
+    const int fd = accept4(rx.listen_fd, nullptr, nullptr,
                            SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or transient error: try next wakeup
-    if (conns_.size() >=
-        static_cast<size_t>(options_.max_connections < 1
-                                ? 1
-                                : options_.max_connections)) {
+    const size_t per_reactor_cap = static_cast<size_t>(
+        options_.max_connections < 1 ? 1 : options_.max_connections);
+    if (rx.conns.size() >= per_reactor_cap) {
       close(fd);
       continue;
     }
@@ -322,44 +460,44 @@ void QfServer::AcceptReady() {
     FrameDecoder::Options dopts;
     dopts.max_frame_bytes = options_.max_frame_bytes;
     auto conn = std::make_unique<Conn>(fd, dopts);
-    conn->gen = ++conn_gen_;
+    conn->gen = ++rx.conn_gen;
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = EventToken(fd, conn->gen);
-    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    if (epoll_ctl(rx.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
       close(fd);
       continue;
     }
-    conns_.emplace(fd, std::move(conn));
+    rx.conns.emplace(fd, std::move(conn));
     accepts_.fetch_add(1, std::memory_order_relaxed);
-    active_connections_.store(conns_.size(), std::memory_order_relaxed);
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
     QF_OBS({
       NetMetrics::Get().accepts.Add(1);
-      NetMetrics::Get().active_connections.Set(
-          static_cast<int64_t>(conns_.size()));
+      NetMetrics::Get().active_connections.Set(static_cast<int64_t>(
+          active_connections_.load(std::memory_order_relaxed)));
     });
   }
 }
 
-void QfServer::ReadReady(Conn* conn) {
+void QfServer::ReadReady(Reactor& rx, Conn* conn) {
   const int fd = conn->fd;  // survives CloseConn for liveness re-checks
   uint8_t buf[64 * 1024];
   while (true) {
     const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
     if (n == 0) {
-      CloseConn(conn, /*slow=*/false);
+      CloseConn(rx, conn, /*slow=*/false);
       return;
     }
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
-      CloseConn(conn, /*slow=*/false);
+      CloseConn(rx, conn, /*slow=*/false);
       return;
     }
     QF_OBS(NetMetrics::Get().bytes_read.Add(static_cast<uint64_t>(n)));
     if (!conn->decoder.Append(buf, static_cast<size_t>(n))) {
       QF_OBS(NetMetrics::Get().protocol_errors.Add(1));
-      SendError(conn, ErrorCode::kMalformedFrame, conn->decoder.error());
+      SendError(rx, conn, ErrorCode::kMalformedFrame, conn->decoder.error());
       return;
     }
     FrameView frame;
@@ -368,119 +506,121 @@ void QfServer::ReadReady(Conn* conn) {
       if (r == FrameDecoder::Result::kNeedMore) break;
       if (r == FrameDecoder::Result::kError) {
         QF_OBS(NetMetrics::Get().protocol_errors.Add(1));
-        SendError(conn, ErrorCode::kMalformedFrame, conn->decoder.error());
+        SendError(rx, conn, ErrorCode::kMalformedFrame,
+                  conn->decoder.error());
         return;
       }
-      HandleFrame(conn, frame);
+      HandleFrame(rx, conn, frame);
       // HandleFrame may close the connection (bad payload, slow consumer).
-      if (conns_.find(fd) == conns_.end()) return;
+      if (rx.conns.find(fd) == rx.conns.end()) return;
       if (conn->closing) return;  // post-shutdown: ignore pipelined frames
     }
     if (static_cast<size_t>(n) < sizeof(buf)) break;  // drained the socket
   }
 }
 
-void QfServer::WriteReady(Conn* conn) {
-  if (!FlushWrites(conn)) return;
+void QfServer::WriteReady(Reactor& rx, Conn* conn) {
+  if (!FlushWrites(rx, conn)) return;
   if (conn->closing && conn->pending() == 0) {
-    CloseConn(conn, /*slow=*/false);
+    CloseConn(rx, conn, /*slow=*/false);
   }
 }
 
-void QfServer::HandleFrame(Conn* conn, const FrameView& frame) {
+void QfServer::HandleFrame(Reactor& rx, Conn* conn, const FrameView& frame) {
 #if QF_METRICS
   const uint8_t type_idx = static_cast<uint8_t>(frame.type);
   if (type_idx >= 1 && type_idx <= kMaxFrameType) {
     NetMetrics::Get().frames_by_type[type_idx]->Add(1);
   }
 #endif
-  if (stopping_) {
-    SendError(conn, ErrorCode::kShuttingDown, "server is shutting down");
+  if (stopping_.load(std::memory_order_acquire)) {
+    SendError(rx, conn, ErrorCode::kShuttingDown, "server is shutting down");
     return;
   }
   switch (frame.type) {
     case FrameType::kIngest:
-      HandleIngest(conn, frame);
+      HandleIngest(rx, conn, frame);
       return;
     case FrameType::kQuery:
-      HandleQuery(conn, frame);
+      HandleQuery(rx, conn, frame);
       return;
     case FrameType::kSubscribe:
-      HandleSubscribe(conn, frame);
+      HandleSubscribe(rx, conn, frame);
       return;
     case FrameType::kControl:
-      HandleControl(conn, frame);
+      HandleControl(rx, conn, frame);
       return;
     default:
       // Server-to-client frame types are not valid requests.
-      SendError(conn, ErrorCode::kUnsupportedType,
+      SendError(rx, conn, ErrorCode::kUnsupportedType,
                 std::string("unexpected frame type: ") +
                     FrameTypeName(frame.type));
       return;
   }
 }
 
-void QfServer::HandleIngest(Conn* conn, const FrameView& frame) {
+void QfServer::HandleIngest(Reactor& rx, Conn* conn, const FrameView& frame) {
 #if QF_METRICS
   const uint64_t t0 = MonotonicNanos();
 #endif
-  // Wire-to-shard fast path: walk the item array in place (the view points
-  // into the decoder's receive buffer), compute each item's owning shard
-  // here, and write it once into that shard's pipeline arena — no
-  // IngestRequest vector, no second ShardFor inside the pipeline. Same
-  // exact-size contract as ParseIngest.
+  // Wire-to-shard fast path: stage the (possibly unaligned) wire items into
+  // the reactor's scratch buffer, then scatter them through PushBatchFrom —
+  // ShardFor is computed once per item at decode time, in the pipeline's
+  // block-hashed loop, and items land directly in this reactor's per-shard
+  // arenas. Same exact-size contract as ParseIngest.
   const std::span<const uint8_t> payload = frame.payload;
   uint64_t token = 0;
   uint32_t count = 0;
   if (payload.size() < 12) {
-    SendError(conn, ErrorCode::kBadPayload, "malformed INGEST payload");
+    SendError(rx, conn, ErrorCode::kBadPayload, "malformed INGEST payload");
     return;
   }
   std::memcpy(&token, payload.data(), 8);
   std::memcpy(&count, payload.data() + 8, 4);
   if (payload.size() - 12 != static_cast<size_t>(count) * sizeof(Item)) {
-    SendError(conn, ErrorCode::kBadPayload, "malformed INGEST payload");
+    SendError(rx, conn, ErrorCode::kBadPayload, "malformed INGEST payload");
     return;
   }
-  const uint8_t* cursor = payload.data() + 12;
-  for (uint32_t i = 0; i < count; ++i, cursor += sizeof(Item)) {
-    Item item;  // register-sized staging copy: the wire bytes are unaligned
-    std::memcpy(&item, cursor, sizeof(Item));
-    pipeline_.PushToShard(filter_.ShardFor(item.key), item.key, item.value);
+  rx.scratch.resize(count);
+  if (count > 0) {
+    std::memcpy(rx.scratch.data(), payload.data() + 12,
+                static_cast<size_t>(count) * sizeof(Item));
+    pipeline_.PushBatchFrom(rx.idx, rx.scratch);
   }
   items_ingested_.fetch_add(count, std::memory_order_relaxed);
   std::vector<uint8_t> reply;
   EncodeIngestAckTo(token, count,
                     items_ingested_.load(std::memory_order_relaxed), &reply);
-  QueueWrite(conn, reply);
+  QueueWrite(rx, conn, reply);
   QF_OBS({
     NetMetrics::Get().ingest_items.Add(count);
     NetMetrics::Get().ingest_frame_ns.Record(MonotonicNanos() - t0);
   });
 }
 
-void QfServer::HandleQuery(Conn* conn, const FrameView& frame) {
+void QfServer::HandleQuery(Reactor& rx, Conn* conn, const FrameView& frame) {
 #if QF_METRICS
   const uint64_t t0 = MonotonicNanos();
 #endif
   QueryRequest req;
   if (!ParseQuery(frame.payload, &req)) {
-    SendError(conn, ErrorCode::kBadPayload, "malformed QUERY payload");
+    SendError(rx, conn, ErrorCode::kBadPayload, "malformed QUERY payload");
     return;
   }
   if (req.keys.size() > options_.max_query_keys) {
-    // Each QUERY blocks the event loop for its control-slot round trips; an
+    // Each QUERY blocks its reactor for the control-slot round trips; an
     // uncapped frame (~8M keys at the default frame cap) would stall every
-    // connection for seconds.
-    SendError(conn, ErrorCode::kBadPayload,
+    // connection on this reactor for seconds.
+    SendError(rx, conn, ErrorCode::kBadPayload,
               "QUERY carries " + std::to_string(req.keys.size()) +
                   " keys, cap is " + std::to_string(options_.max_query_keys));
     return;
   }
   // Executed on the owning shards' worker threads via their control slots
   // — one round trip per shard, answered concurrently, not one per key.
-  // Answers reflect each worker's current ring position (CONTROL kDrain
-  // first for read-your-writes).
+  // Any reactor may post; the pipeline's control mutex serializes. Answers
+  // reflect each worker's current ring position (CONTROL kDrain first for
+  // read-your-writes).
   std::vector<Pipeline::QueryAnswer> grouped(req.keys.size());
   pipeline_.QueryBatch(req.keys, grouped.data());
   std::vector<QueryAnswer> answers;
@@ -491,30 +631,34 @@ void QfServer::HandleQuery(Conn* conn, const FrameView& frame) {
   }
   std::vector<uint8_t> reply;
   EncodeQueryResultTo(req.token, answers, &reply);
-  QueueWrite(conn, reply);
+  QueueWrite(rx, conn, reply);
   QF_OBS(NetMetrics::Get().query_frame_ns.Record(MonotonicNanos() - t0));
 }
 
-void QfServer::HandleSubscribe(Conn* conn, const FrameView& frame) {
+void QfServer::HandleSubscribe(Reactor& rx, Conn* conn,
+                               const FrameView& frame) {
   SubscribeRequest req;
   if (!ParseSubscribe(frame.payload, &req)) {
-    SendError(conn, ErrorCode::kBadPayload, "malformed SUBSCRIBE payload");
+    SendError(rx, conn, ErrorCode::kBadPayload, "malformed SUBSCRIBE payload");
     return;
+  }
+  if (req.enable != conn->subscribed) {
+    subscribers_.fetch_add(req.enable ? 1 : -1, std::memory_order_relaxed);
   }
   conn->subscribed = req.enable;
   // Echo as the acknowledgment; alerts start streaming after this frame.
   std::vector<uint8_t> reply;
   EncodeSubscribeTo(req.token, req.enable, &reply);
-  QueueWrite(conn, reply);
+  QueueWrite(rx, conn, reply);
 }
 
-void QfServer::HandleControl(Conn* conn, const FrameView& frame) {
+void QfServer::HandleControl(Reactor& rx, Conn* conn, const FrameView& frame) {
 #if QF_METRICS
   const uint64_t t0 = MonotonicNanos();
 #endif
   ControlRequest req;
   if (!ParseControl(frame.payload, &req)) {
-    SendError(conn, ErrorCode::kBadPayload, "malformed CONTROL payload");
+    SendError(rx, conn, ErrorCode::kBadPayload, "malformed CONTROL payload");
     return;
   }
   std::vector<uint8_t> reply;
@@ -528,78 +672,100 @@ void QfServer::HandleControl(Conn* conn, const FrameView& frame) {
       break;
     }
     case ControlOp::kDrain: {
-      pipeline_.Fence();
+      WithGlobalQuiesce(rx, [] {});
       EncodeControlResultTo(req.token, req.op, ControlStatus::kOk, {},
                             &reply);
       break;
     }
     case ControlOp::kCheckpoint: {
-      // Fence first: the checkpoint then covers every item acked so far,
-      // and the quiescent shards are safe to serialize from this thread.
-      pipeline_.Fence();
-      const std::vector<uint8_t> blob = filter_.SerializeState();
-      // CONTROL_RESULT payload = token(8) + op(1) + status(1) + blob. A
-      // blob past max_frame_bytes would produce a frame every compliant
-      // decoder (including our client's) rejects, poisoning the stream of
-      // a successful checkpoint — refuse instead. Size max_frame_bytes to
-      // at least the filter memory budget (Options comment, DESIGN.md §11).
-      constexpr size_t kControlResultHeader = 10;
-      if (blob.size() + kControlResultHeader > options_.max_frame_bytes) {
-        EncodeControlResultTo(req.token, req.op, ControlStatus::kRejected,
-                              {}, &reply);
-      } else {
-        EncodeControlResultTo(req.token, req.op, ControlStatus::kOk, blob,
-                              &reply);
-      }
+      // Quiesce + fence first: the checkpoint then covers every item acked
+      // by ANY reactor so far, and the quiescent shards are safe to
+      // serialize from this thread.
+      WithGlobalQuiesce(rx, [&] {
+        const std::vector<uint8_t> blob = filter_.SerializeState();
+        // CONTROL_RESULT payload = token(8) + op(1) + status(1) + blob. A
+        // blob past max_frame_bytes would produce a frame every compliant
+        // decoder (including our client's) rejects, poisoning the stream
+        // of a successful checkpoint — refuse instead. Size
+        // max_frame_bytes to at least the filter memory budget (Options
+        // comment, DESIGN.md §11).
+        constexpr size_t kControlResultHeader = 10;
+        if (blob.size() + kControlResultHeader > options_.max_frame_bytes) {
+          EncodeControlResultTo(req.token, req.op, ControlStatus::kRejected,
+                                {}, &reply);
+        } else {
+          EncodeControlResultTo(req.token, req.op, ControlStatus::kOk, blob,
+                                &reply);
+        }
+      });
       break;
     }
     case ControlOp::kRestore: {
-      pipeline_.Fence();
-      const bool ok = filter_.RestoreState(req.op_payload);
-      // The workers observe the restored state through the next ring push /
-      // control-slot post (release/acquire pairs).
-      EncodeControlResultTo(req.token, req.op,
-                            ok ? ControlStatus::kOk : ControlStatus::kRejected,
-                            {}, &reply);
+      WithGlobalQuiesce(rx, [&] {
+        const bool ok = filter_.RestoreState(req.op_payload);
+        // Workers observe the restored state through their next ring pop /
+        // control-slot post; parked peer reactors through the quiesce
+        // release (release/acquire pairs in both protocols).
+        EncodeControlResultTo(
+            req.token, req.op,
+            ok ? ControlStatus::kOk : ControlStatus::kRejected, {}, &reply);
+      });
       break;
     }
     case ControlOp::kShutdown: {
-      pipeline_.Fence();
+      WithGlobalQuiesce(rx, [] {});
       EncodeControlResultTo(req.token, req.op, ControlStatus::kOk, {},
                             &reply);
-      stopping_ = true;
-      shutdown_fd_ = conn->fd;
+      stopping_.store(true, std::memory_order_release);
+      rx.shutdown_fd = conn->fd;
+      // Peers exit on their next loop iteration.
+      for (auto& peer : reactors_) {
+        if (peer->idx != rx.idx) WakeReactor(*peer);
+      }
       break;
     }
   }
-  QueueWrite(conn, reply);
+  QueueWrite(rx, conn, reply);
   QF_OBS(NetMetrics::Get().control_frame_ns.Record(MonotonicNanos() - t0));
 }
 
-void QfServer::BroadcastAlerts() {
-  // Drain even with no subscribers so the rings never silt up. Records are
-  // staged first because fanning out can close a slow subscriber, which
-  // mutates conns_ — never iterate conns_ while queueing writes.
-  struct Drained {
-    int shard;
-    Pipeline::AlertRecord rec;
-  };
-  std::vector<Drained> drained;
+void QfServer::BroadcastAlerts(Reactor& rx) {
+  // Reactor 0 is the alert rings' single consumer. Drain even with no
+  // subscribers so the rings never silt up.
+  std::vector<DrainedAlert> drained;
   pipeline_.DrainAlerts([&drained](int shard,
                                    const Pipeline::AlertRecord& rec) {
-    drained.push_back(Drained{shard, rec});
+    drained.push_back(DrainedAlert{shard, rec});
   });
   if (drained.empty()) return;
+  // Forward to peers first (their subscribers shouldn't wait on our socket
+  // writes), then deliver locally.
+  for (auto& peer : reactors_) {
+    if (peer->idx == rx.idx) continue;
+    {
+      std::lock_guard<std::mutex> lock(peer->mail_mu);
+      peer->mail.insert(peer->mail.end(), drained.begin(), drained.end());
+    }
+    WakeReactor(*peer);
+  }
+  DeliverAlerts(rx, drained);
+}
+
+void QfServer::DeliverAlerts(Reactor& rx,
+                             const std::vector<DrainedAlert>& drained) {
+  // Records are staged first because fanning out can close a slow
+  // subscriber, which mutates conns — never iterate conns while queueing
+  // writes.
   std::vector<int> subscriber_fds;
-  for (const auto& [fd, conn] : conns_) {
+  for (const auto& [fd, conn] : rx.conns) {
     if (conn->subscribed && !conn->closing) subscriber_fds.push_back(fd);
   }
   for (const int fd : subscriber_fds) {
-    auto it = conns_.find(fd);
-    if (it == conns_.end()) continue;
+    auto it = rx.conns.find(fd);
+    if (it == rx.conns.end()) continue;
     Conn* conn = it->second.get();
     std::vector<uint8_t> bytes;
-    for (const Drained& d : drained) {
+    for (const DrainedAlert& d : drained) {
       WireAlert alert;
       alert.seq = conn->alert_seq++;
       alert.key = d.rec.key;
@@ -609,11 +775,12 @@ void QfServer::BroadcastAlerts() {
     }
     alerts_streamed_.fetch_add(drained.size(), std::memory_order_relaxed);
     QF_OBS(NetMetrics::Get().alerts_streamed.Add(drained.size()));
-    QueueWrite(conn, bytes);  // may disconnect a slow subscriber
+    QueueWrite(rx, conn, bytes);  // may disconnect a slow subscriber
   }
 }
 
-bool QfServer::QueueWrite(Conn* conn, const std::vector<uint8_t>& bytes) {
+bool QfServer::QueueWrite(Reactor& rx, Conn* conn,
+                          const std::vector<uint8_t>& bytes) {
   // Compact the drained prefix before growing the buffer.
   if (conn->out_off == conn->out.size()) {
     conn->out.clear();
@@ -625,17 +792,17 @@ bool QfServer::QueueWrite(Conn* conn, const std::vector<uint8_t>& bytes) {
     conn->out_off = 0;
   }
   conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
-  if (!FlushWrites(conn)) return false;
+  if (!FlushWrites(rx, conn)) return false;
   if (conn->pending() > options_.max_write_queue_bytes) {
     // Slow consumer: the socket cannot drain what we owe it. Disconnect
     // rather than buffer without bound or stall ingest for everyone else.
-    CloseConn(conn, /*slow=*/true);
+    CloseConn(rx, conn, /*slow=*/true);
     return false;
   }
   return true;
 }
 
-bool QfServer::FlushWrites(Conn* conn) {
+bool QfServer::FlushWrites(Reactor& rx, Conn* conn) {
   while (conn->out_off < conn->out.size()) {
     const ssize_t n =
         send(conn->fd, conn->out.data() + conn->out_off,
@@ -643,7 +810,7 @@ bool QfServer::FlushWrites(Conn* conn) {
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
-      CloseConn(conn, /*slow=*/false);
+      CloseConn(rx, conn, /*slow=*/false);
       return false;
     }
     conn->out_off += static_cast<size_t>(n);
@@ -652,7 +819,7 @@ bool QfServer::FlushWrites(Conn* conn) {
   const bool need_write = conn->out_off < conn->out.size();
   if (need_write != conn->want_write) {
     conn->want_write = need_write;
-    UpdateEpoll(conn);
+    UpdateEpoll(rx, conn);
   }
   if (!need_write && conn->out_off == conn->out.size()) {
     conn->out.clear();
@@ -661,35 +828,38 @@ bool QfServer::FlushWrites(Conn* conn) {
   return true;
 }
 
-void QfServer::UpdateEpoll(Conn* conn) {
+void QfServer::UpdateEpoll(Reactor& rx, Conn* conn) {
   epoll_event ev{};
   ev.events = EPOLLIN | (conn->want_write ? EPOLLOUT : 0u);
   ev.data.u64 = EventToken(conn->fd, conn->gen);
-  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  epoll_ctl(rx.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
 }
 
-void QfServer::SendError(Conn* conn, ErrorCode code,
+void QfServer::SendError(Reactor& rx, Conn* conn, ErrorCode code,
                          const std::string& message) {
   std::vector<uint8_t> bytes;
   EncodeErrorTo(code, message, &bytes);
   conn->closing = true;
-  if (!QueueWrite(conn, bytes)) return;  // already closed
-  if (conn->pending() == 0) CloseConn(conn, /*slow=*/false);
+  if (!QueueWrite(rx, conn, bytes)) return;  // already closed
+  if (conn->pending() == 0) CloseConn(rx, conn, /*slow=*/false);
   // Otherwise EPOLLOUT drains the error frame, then WriteReady closes.
 }
 
-void QfServer::CloseConn(Conn* conn, bool slow) {
+void QfServer::CloseConn(Reactor& rx, Conn* conn, bool slow) {
   const int fd = conn->fd;
-  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  if (conn->subscribed) {
+    subscribers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  epoll_ctl(rx.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   close(fd);
-  conns_.erase(fd);  // frees conn
-  active_connections_.store(conns_.size(), std::memory_order_relaxed);
+  rx.conns.erase(fd);  // frees conn
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
   if (slow) slow_disconnects_.fetch_add(1, std::memory_order_relaxed);
   QF_OBS({
     NetMetrics::Get().disconnects.Add(1);
     if (slow) NetMetrics::Get().slow_disconnects.Add(1);
-    NetMetrics::Get().active_connections.Set(
-        static_cast<int64_t>(conns_.size()));
+    NetMetrics::Get().active_connections.Set(static_cast<int64_t>(
+        active_connections_.load(std::memory_order_relaxed)));
   });
 }
 

@@ -1,39 +1,45 @@
 // QfServer: non-blocking epoll TCP server exposing a ShardedQuantileFilter
 // over the length-prefixed binary protocol in net/protocol.h (DESIGN.md
-// §11).
+// §11, §13).
 //
-// Threading model — one event-loop thread, N shard workers:
+// Threading model — R reactors, N shard workers:
 //
-//   clients ──TCP──▶ event loop ──IngestPipeline rings──▶ shard workers
-//                        ▲  └─ per-shard control slots (QUERY / fence)
-//                        └───── per-shard alert rings ◀──┘
+//   clients ──TCP──▶ reactor 0 ──┐
+//   clients ──TCP──▶ reactor 1 ──┼─ R×N IngestPipeline channels ──▶ workers
+//   clients ──TCP──▶ reactor R-1─┘      ▲ per-shard control slots
+//                        ▲              └ per-shard alert rings (reactor 0)
+//                        └ SO_REUSEPORT listener group (one socket each)
 //
-// The event-loop thread is the pipeline's single dispatcher: it decodes
-// INGEST frames and Push()es items, posts QUERY requests to the owning
-// shard's control slot (executed by that shard's worker, so shard state is
-// only ever touched by one thread), drives drain/checkpoint/restore through
-// Fence() (after which the quiescent filter is safe to serialize or restore
-// from the loop thread), and drains the alert rings to broadcast ALERT
-// frames to subscribers. This satisfies IngestPipeline's single-producer
-// contract by construction and is TSan-clean.
+// Each reactor owns a listen socket in one SO_REUSEPORT group (the kernel
+// spreads incoming connections across them), an epoll instance, a wake
+// eventfd and the connections it accepted — no fd is ever shared between
+// reactor threads. Reactor r is pipeline producer r: INGEST frames are
+// decoded on the reactor, keys are hashed to shards at decode time
+// (PushBatchFrom's block-hashed scatter), and items land in the reactor's
+// own per-shard arenas. With --reactors=1 this collapses to the classic
+// single-dispatcher shape, whose per-shard bit-identity guarantee tests
+// rely on; with R > 1, N cores feed the shard workers without a central
+// dispatcher on the serving path.
 //
-// Backpressure and failure policy:
-//   * Per-connection write queues are bounded (Options::
-//     max_write_queue_bytes). A connection that cannot drain its queue —
-//     typically a slow alert subscriber — is disconnected rather than
-//     allowed to stall ingest or grow the queue without bound.
-//   * The first malformed frame on a connection poisons its decoder; the
-//     server sends one ERROR frame (best effort) and closes. A
-//     desynchronized length-prefixed stream cannot be trusted again.
-//   * Partial reads/writes (EAGAIN) are first-class: frames are reassembled
-//     by FrameDecoder and writes resume on EPOLLOUT.
+// Global control (kDrain / kCheckpoint / kRestore / kShutdown) quiesces the
+// reactor group: the handling reactor claims the coordinator slot, every
+// peer flushes its producer and futex-parks, the coordinator fences the
+// now-quiescent pipeline, runs the operation, and releases the group. The
+// claim loop keeps servicing quiesce requests from a competing coordinator,
+// so concurrent CONTROL frames on different reactors serialize instead of
+// deadlocking. kQuery needs no quiesce: shard workers answer through their
+// control slots regardless of which reactor posted them.
 //
-// Alert delivery is at-most-once: a full per-shard alert ring drops the
-// record (counted in WireStats::alerts_dropped); records that reach a
-// subscriber's write queue are delivered in order with a per-connection
-// contiguous sequence number.
+// Alert delivery is at-most-once, as before: reactor 0 is the alert rings'
+// single consumer; records fan out to local subscribers directly and to
+// other reactors' subscribers through per-reactor mailboxes (mutex +
+// eventfd), keeping every socket write on its owning reactor.
 //
-// Linux-only (epoll + eventfd).
+// Backpressure and failure policy (unchanged): bounded per-connection write
+// queues with slow-consumer disconnect, poisoned decoders close after one
+// best-effort ERROR frame, partial reads/writes are first-class.
+//
+// Linux-only (epoll + eventfd + SO_REUSEPORT).
 
 #ifndef QUANTILEFILTER_NET_SERVER_H_
 #define QUANTILEFILTER_NET_SERVER_H_
@@ -41,6 +47,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -49,6 +56,7 @@
 #include "core/sharded_filter.h"
 #include "net/protocol.h"
 #include "parallel/pipeline.h"
+#include "parallel/placement.h"
 
 namespace qf::net {
 
@@ -67,6 +75,13 @@ class QfServer {
     Criteria criteria{};
     int num_shards = 4;
 
+    /// Reactor threads (SO_REUSEPORT listeners, one pipeline producer
+    /// each). 1 = the classic single-event-loop server.
+    int reactors = 1;
+    /// Thread pinning + NUMA first-touch policy. Shard workers take cores
+    /// [core_offset, core_offset + num_shards); reactors follow them.
+    PlacementOptions placement;
+
     /// Pipeline shape.
     size_t batch_size = 32;
     size_t ring_batches = 1024;
@@ -80,8 +95,8 @@ class QfServer {
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
     /// Cap on keys in one QUERY frame (oversize → ERROR kBadPayload).
     /// Each QUERY costs one control-slot round trip per owning shard on
-    /// the event-loop thread, so this bounds how long a single frame can
-    /// occupy the loop.
+    /// the handling reactor, so this bounds how long a single frame can
+    /// occupy it.
     size_t max_query_keys = 65536;
     size_t max_write_queue_bytes = 8u << 20;
     int max_connections = 1024;
@@ -96,19 +111,21 @@ class QfServer {
   QfServer(const QfServer&) = delete;
   QfServer& operator=(const QfServer&) = delete;
 
-  /// Binds, listens and spawns the event-loop thread. Returns false (with
-  /// error() set) if the socket setup fails. Idempotent once started.
+  /// Binds the listener group, and spawns the reactor threads. Returns
+  /// false (with error() set) if socket setup fails. Idempotent once
+  /// started.
   bool Start();
 
   /// Requests shutdown (as if a CONTROL kShutdown arrived) and joins the
-  /// loop thread. Safe from any thread; idempotent.
+  /// reactor threads. Safe from any thread; idempotent.
   void Stop();
 
-  /// Blocks until the loop thread exits (a client's CONTROL kShutdown also
+  /// Blocks until every reactor exits (a client's CONTROL kShutdown also
   /// stops the server).
   void Wait();
 
   uint16_t port() const { return port_; }
+  int reactors() const { return num_reactors_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
   const std::string& error() const { return error_; }
 
@@ -128,57 +145,100 @@ class QfServer {
  private:
   struct Conn;
 
-  void Loop();
-  void AcceptReady();
-  void ReadReady(Conn* conn);
-  void WriteReady(Conn* conn);
+  /// One outstanding alert record en route to subscribers (the shard index
+  /// is carried because ALERT frames expose it).
+  struct DrainedAlert {
+    int shard;
+    Pipeline::AlertRecord rec;
+  };
+
+  /// Per-reactor state. Every field is owned by its reactor thread except
+  /// the mailbox (mutex-protected) and wake_fd (written by anyone).
+  struct Reactor {
+    int idx = 0;
+    int listen_fd = -1;
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;
+    uint32_t conn_gen = 0;     // bumped per accept (see EventToken)
+    bool pushed = false;       // items staged since the last FlushFrom
+    int shutdown_fd = -1;      // conn whose kShutdown ack must drain here
+    std::vector<Item> scratch; // INGEST decode staging (reused)
+    // Alerts forwarded from reactor 0 for this reactor's subscribers.
+    std::mutex mail_mu;
+    std::vector<DrainedAlert> mail;
+  };
+
+  static Sharded MakeFilter(const Options& options);
+  void Loop(Reactor& rx);
+  void AcceptReady(Reactor& rx);
+  void ReadReady(Reactor& rx, Conn* conn);
+  void WriteReady(Reactor& rx, Conn* conn);
   // Frame handlers receive zero-copy payload views into the connection's
   // decoder buffer (FrameDecoder::NextView); the views die when the decoder
   // is next fed, so handlers must consume them before returning. INGEST is
-  // the fast path: items are scattered from the view straight into the
-  // pipeline's per-shard arenas (PushToShard), with no IngestRequest
-  // materialization and no per-item re-dispatch.
-  void HandleFrame(Conn* conn, const FrameView& frame);
-  void HandleIngest(Conn* conn, const FrameView& frame);
-  void HandleQuery(Conn* conn, const FrameView& frame);
-  void HandleSubscribe(Conn* conn, const FrameView& frame);
-  void HandleControl(Conn* conn, const FrameView& frame);
-  void BroadcastAlerts();
+  // the fast path: the payload is staged into the reactor's scratch items
+  // and scattered via PushBatchFrom's block-hashed ShardFor — one hash per
+  // item at decode time, no IngestRequest materialization.
+  void HandleFrame(Reactor& rx, Conn* conn, const FrameView& frame);
+  void HandleIngest(Reactor& rx, Conn* conn, const FrameView& frame);
+  void HandleQuery(Reactor& rx, Conn* conn, const FrameView& frame);
+  void HandleSubscribe(Reactor& rx, Conn* conn, const FrameView& frame);
+  void HandleControl(Reactor& rx, Conn* conn, const FrameView& frame);
+  /// Runs `fn` with every reactor quiesced (producers flushed, peers
+  /// parked) and the pipeline fenced; the filter is quiescent inside fn.
+  template <typename Fn>
+  void WithGlobalQuiesce(Reactor& rx, Fn&& fn);
+  /// Peer side of the quiesce protocol: if a coordinator requested a
+  /// quiesce, flush this reactor's producer, ack, and park until released.
+  void ServiceQuiesce(Reactor& rx);
+  void WakeReactor(Reactor& rx);
+  /// Reactor 0 only: drain the alert rings, deliver to local subscribers,
+  /// forward to peers' mailboxes.
+  void BroadcastAlerts(Reactor& rx);
+  /// Deliver mailbox/locally-drained alerts to this reactor's subscribers.
+  void DeliverAlerts(Reactor& rx, const std::vector<DrainedAlert>& drained);
   /// Appends bytes to the connection's write queue and flushes what the
   /// socket will take. Enforces max_write_queue_bytes (slow-consumer
   /// disconnect). Returns false if the connection was closed.
-  bool QueueWrite(Conn* conn, const std::vector<uint8_t>& bytes);
-  bool FlushWrites(Conn* conn);
-  void SendError(Conn* conn, ErrorCode code, const std::string& message);
-  void CloseConn(Conn* conn, bool slow);
-  void UpdateEpoll(Conn* conn);
+  bool QueueWrite(Reactor& rx, Conn* conn, const std::vector<uint8_t>& bytes);
+  bool FlushWrites(Reactor& rx, Conn* conn);
+  void SendError(Reactor& rx, Conn* conn, ErrorCode code,
+                 const std::string& message);
+  void CloseConn(Reactor& rx, Conn* conn, bool slow);
+  void UpdateEpoll(Reactor& rx, Conn* conn);
 
   Options options_;
   Sharded filter_;
   Pipeline pipeline_;
+  const int num_reactors_;
 
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;  // eventfd: Stop() wakes the loop
   uint16_t port_ = 0;
   std::string error_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
 
-  std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  bool stopping_ = false;   // loop-thread: kShutdown acked, draining
-  int shutdown_fd_ = -1;    // conn whose shutdown ack must drain first
+  std::atomic<bool> stopping_{false};  // kShutdown acked, reactors draining
+  /// Reactors still running their loops; quiesce coordination only waits
+  /// for live peers (an exiting reactor flushes its producer first, which
+  /// is all a fence needs from it).
+  std::atomic<int> active_reactors_{0};
+  std::atomic<int> exited_reactors_{0};
 
-  // Keyed by fd; epoll events carry the fd plus a per-accept generation
-  // and re-resolve through this map. A connection closed mid-batch is not
-  // found by later events, and if an accept in the same batch reuses the
-  // fd number, the stale event fails the generation check instead of
-  // being applied to the new connection.
-  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
-  uint32_t conn_gen_ = 0;  // loop-thread only; bumped per accept
+  // Quiesce protocol state (see WithGlobalQuiesce).
+  std::atomic<int> control_owner_{-1};  // coordinating reactor, -1 = free
+  /// Quiesce generation (futex word): odd = quiesce in progress. Peers ack
+  /// once per generation and wait for the word to change, so back-to-back
+  /// quiesces cannot swallow an ack (see ServiceQuiesce).
+  std::atomic<uint32_t> quiesce_word_{0};
+  std::atomic<int> quiesce_acks_{0};
 
-  // Loop-thread counters mirrored into WireStats (atomic so StatsSnapshot
-  // may run on another thread).
+  std::atomic<int> subscribers_{0};  // across all reactors
+
+  // Shared counters mirrored into WireStats (atomic: multi-reactor
+  // writers, StatsSnapshot readers).
   std::atomic<uint64_t> items_ingested_{0};
   std::atomic<uint64_t> alerts_streamed_{0};
   std::atomic<uint64_t> accepts_{0};

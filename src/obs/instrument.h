@@ -152,8 +152,11 @@ struct PipelineMetrics {
   Counter& items_dispatched;
   Counter& items_processed;
   Counter& batches;
-  Counter& ring_full_waits;  // dispatcher backpressure yields (stalls)
-  Counter& worker_spins;     // consumer empty-ring yields
+  Counter& ring_full_waits;  // dispatcher backpressure stalls
+  Counter& worker_spins;     // consumer empty-ring poll rounds
+  Counter& worker_parks;     // worker futex sleeps (empty rings, no control)
+  Counter& producer_parks;   // dispatcher futex sleeps (backpressure)
+  Counter& handoff_wakes;    // futex wakes delivered to a parked thread
 
   static PipelineMetrics& Get() {
     static PipelineMetrics* m = [] {
@@ -166,9 +169,15 @@ struct PipelineMetrics {
           r.GetCounter("qf_pipeline_batches_total",
                        "batches shipped through the rings"),
           r.GetCounter("qf_pipeline_ring_full_waits_total",
-                       "dispatcher backpressure yields on a full ring"),
+                       "dispatcher backpressure stalls on a full ring/arena"),
           r.GetCounter("qf_pipeline_worker_spins_total",
-                       "worker yields on an empty ring"),
+                       "worker empty-ring poll rounds before parking"),
+          r.GetCounter("qf_pipeline_worker_parks_total",
+                       "worker futex sleeps on an empty shard"),
+          r.GetCounter("qf_pipeline_producer_parks_total",
+                       "dispatcher futex sleeps under shard backpressure"),
+          r.GetCounter("qf_pipeline_handoff_wakes_total",
+                       "futex wakes delivered to parked pipeline threads"),
       };
     }();
     return *m;

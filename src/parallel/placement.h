@@ -1,0 +1,69 @@
+// Thread-to-core placement and first-touch memory policy for the pipeline
+// (DESIGN.md §13).
+//
+// Two knobs, both off by default (the pipeline stays a pure library with no
+// scheduling opinions unless asked):
+//
+//   * pinning — workers / reactors call PinThreadToCore(core) so a shard's
+//     worker, its item arenas and its filter stay on one core's caches
+//     instead of migrating under the scheduler;
+//   * first-touch — on NUMA machines Linux backs a page on the node of the
+//     thread that FIRST writes it. The pipeline's arenas are allocated
+//     untouched (no zero-init) and each worker pre-faults its own shard's
+//     arenas from its (pinned) thread at startup, so span reads and filter
+//     probes stay node-local. Single-socket machines are unaffected — the
+//     pre-fault is then just a warm-up.
+//
+// Core assignment is round-robin over the online CPUs starting at
+// `core_offset`, which lets a deployment keep core 0 (IRQs) or a reactor
+// range clear of shard workers.
+
+#ifndef QUANTILEFILTER_PARALLEL_PLACEMENT_H_
+#define QUANTILEFILTER_PARALLEL_PLACEMENT_H_
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <thread>
+
+namespace qf {
+
+/// Placement policy shared by the pipeline (shard workers) and the serving
+/// layer (reactor threads).
+struct PlacementOptions {
+  /// Pin each worker/reactor thread to one core (round-robin from
+  /// core_offset over the online CPUs).
+  bool pin_threads = false;
+  /// First core index for the round-robin assignment.
+  int core_offset = 0;
+  /// Pre-fault each shard's item arenas from its own worker thread before
+  /// the pipeline accepts items (NUMA first-touch). Independent of pinning,
+  /// but only useful with it — an unpinned thread can fault pages on any
+  /// node it happens to run on.
+  bool first_touch_arenas = false;
+};
+
+inline int OnlineCores() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+/// Pins the calling thread to `core` (modulo the online-core count).
+/// Best-effort: returns false and leaves affinity unchanged if the kernel
+/// refuses (cpuset restrictions, single-core boxes are a no-op success).
+inline bool PinThreadToCore(int core) {
+  const int ncores = OnlineCores();
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core % ncores), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+/// The core assigned to logical thread `index` under `policy`.
+inline int PlacementCore(const PlacementOptions& policy, int index) {
+  return (policy.core_offset + index) % OnlineCores();
+}
+
+}  // namespace qf
+
+#endif  // QUANTILEFILTER_PARALLEL_PLACEMENT_H_

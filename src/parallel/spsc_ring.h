@@ -15,6 +15,15 @@
 //   * producer and consumer may run concurrently with no other
 //     synchronization — release/acquire pairs on the indices order the
 //     element payloads.
+//
+// Wake hooks (parallel/park.h): either side may install a ParkingSpot for
+// the opposite side. A successful TryPush then wakes a parked consumer and
+// a successful TryPop wakes a parked producer, after the index store that
+// publishes the transfer — so a thread that parked on "ring empty"/"ring
+// full" is guaranteed a wakeup for the push/pop that changed the answer
+// (ParkingSpot's fence protocol closes the decide-to-sleep race). Hooks are
+// installed before the threads start and are fence-protected no-ops when
+// the other side is awake.
 
 #ifndef QUANTILEFILTER_PARALLEL_SPSC_RING_H_
 #define QUANTILEFILTER_PARALLEL_SPSC_RING_H_
@@ -26,6 +35,7 @@
 #include <vector>
 
 #include "common/memory.h"
+#include "parallel/park.h"
 
 namespace qf {
 
@@ -44,6 +54,11 @@ class SpscRing {
 
   size_t capacity() const { return capacity_; }
 
+  /// Install wake hooks (before the producer/consumer threads start).
+  /// `consumer` is woken by TryPush, `producer` by TryPop; nullptr disables.
+  void SetConsumerWaiter(ParkingSpot* spot) { consumer_waiter_ = spot; }
+  void SetProducerWaiter(ParkingSpot* spot) { producer_waiter_ = spot; }
+
   /// Producer side. Returns false (and leaves `value` unmoved-from
   /// observable state aside) if the ring is full.
   bool TryPush(T&& value) {
@@ -54,6 +69,7 @@ class SpscRing {
     }
     buffer_[tail & mask_] = std::move(value);
     tail_.store(tail + 1, std::memory_order_release);
+    if (consumer_waiter_ != nullptr) consumer_waiter_->Wake();
     return true;
   }
   bool TryPush(const T& value) {
@@ -70,6 +86,7 @@ class SpscRing {
     }
     *out = std::move(buffer_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
+    if (producer_waiter_ != nullptr) producer_waiter_->Wake();
     return true;
   }
 
@@ -103,6 +120,11 @@ class SpscRing {
   // Consumer-owned: head_ plus its cached view of tail_.
   alignas(kCacheLine) std::atomic<uint64_t> head_{0};
   uint64_t cached_tail_ = 0;
+
+  // Wake hooks: read by the opposite side after its index store; set before
+  // the threads start (no synchronization of their own).
+  ParkingSpot* consumer_waiter_ = nullptr;
+  ParkingSpot* producer_waiter_ = nullptr;
 };
 
 }  // namespace qf

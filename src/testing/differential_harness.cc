@@ -130,6 +130,26 @@ std::vector<FuzzConfig> BuildConfigs() {
       /*layout=*/VagueLayout::kBlocked,
   });
 
+  configs.push_back(FuzzConfig{
+      /*name=*/"approx-parked-8shard",
+      /*sketch=*/SketchKind::kCountSketch16,
+      /*memory_bytes=*/8 * 1024,
+      /*num_shards=*/8,
+      /*election=*/ElectionStrategy::kComparative,
+      /*key_universe=*/4096,
+      /*exact_regime=*/false,
+      /*use_exact_detector=*/false,
+      /*allow_merge=*/true,
+      // More shards than most CI cores: the pipeline track oversubscribes
+      // the machine, so its workers spend much of the run futex-parked and
+      // the spin→yield→park ladder, publish wake hooks and drain-on-stop
+      // path all sit inside the scalar/batch/pipeline lockstep comparison.
+      // Uneven key traffic (4096 keys over 8 shards) keeps some workers
+      // idle while others are saturated — park/wake churn mid-stream.
+      /*criteria=*/{Criteria(2.0, 0.7, 100.0), Criteria(30.0, 0.95, 300.0)},
+      /*value_levels=*/{10.0, 150.0, 350.0, 700.0},
+  });
+
   return configs;
 }
 

@@ -12,8 +12,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -375,6 +378,207 @@ TEST(NetServerTest, PipelinedIngestOverlapsAcks) {
     ASSERT_TRUE(client.AwaitIngestAck(&last)) << client.error();
   }
   EXPECT_EQ(last.total_items, trace.size());
+  server.Stop();
+}
+
+// --- Multi-reactor (SO_REUSEPORT) coverage --------------------------------
+//
+// With --reactors=R the kernel spreads connections over R event loops, each
+// its own pipeline producer. A single ingest connection still lands on ONE
+// reactor, so its per-shard item order is the trace order and the
+// sequential oracle stays exact even with R > 1. Concurrent connections
+// interleave per shard nondeterministically; those tests assert
+// conservation (nothing lost, nothing doubled) and checkpoint/restore
+// identity instead.
+
+TEST(NetServerTest, MultiReactorSingleConnectionMatchesOracle) {
+  QfServer::Options opts = ServerOptions(4);
+  opts.reactors = 4;
+  QfServer server(opts);
+  ASSERT_TRUE(server.Start()) << server.error();
+  EXPECT_EQ(server.reactors(), 4);
+
+  const Trace trace = MakeTrace(100'000, /*seed=*/21);
+  QfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port())) << client.error();
+  constexpr size_t kBatch = 512;
+  for (size_t i = 0; i < trace.size(); i += kBatch) {
+    const size_t n = std::min(kBatch, trace.size() - i);
+    ASSERT_TRUE(client.Ingest(Slice(trace, i, n))) << client.error();
+  }
+  ASSERT_TRUE(client.Drain()) << client.error();
+
+  QfServer::Sharded oracle(opts.filter, opts.criteria, opts.num_shards);
+  for (const Item& item : trace) oracle.Insert(item.key, item.value);
+
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 1; k <= 1000; ++k) keys.push_back(k);
+  std::vector<QueryAnswer> answers;
+  ASSERT_TRUE(client.Query(keys, &answers)) << client.error();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(answers[i].qweight, oracle.QueryQweight(keys[i]))
+        << "key " << keys[i];
+    EXPECT_EQ(answers[i].is_candidate != 0, oracle.IsCandidate(keys[i]))
+        << "key " << keys[i];
+  }
+  WireStats stats;
+  ASSERT_TRUE(client.Stats(&stats)) << client.error();
+  EXPECT_EQ(stats.items_ingested, trace.size());
+  EXPECT_EQ(stats.items_processed, trace.size());
+  server.Stop();
+}
+
+TEST(NetServerTest, MultiReactorConcurrentIngestQuiesceAndCheckpoint) {
+  QfServer::Options opts = ServerOptions(4);
+  opts.reactors = 4;
+  const Trace trace = MakeTrace(160'000, /*seed=*/33);
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 1; k <= 1000; ++k) keys.push_back(k);
+
+  std::vector<uint8_t> blob;
+  std::vector<QueryAnswer> before;
+  {
+    QfServer server(opts);
+    ASSERT_TRUE(server.Start()) << server.error();
+
+    // Four connections ingest disjoint slices concurrently (each lands on
+    // some reactor via REUSEPORT hashing) while a fifth hammers kDrain —
+    // global quiesces race live ingest and each other, exercising the
+    // coordinator claim loop from whatever reactors the kernel picked.
+    constexpr int kClients = 4;
+    const size_t slice = trace.size() / kClients;
+    std::atomic<bool> ingest_done{false};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        QfClient in;
+        ASSERT_TRUE(in.Connect("127.0.0.1", server.port())) << in.error();
+        const size_t begin = static_cast<size_t>(c) * slice;
+        constexpr size_t kBatch = 512;
+        for (size_t i = 0; i < slice; i += kBatch) {
+          const size_t n = std::min(kBatch, slice - i);
+          ASSERT_TRUE(in.Ingest(Slice(trace, begin + i, n))) << in.error();
+        }
+      });
+    }
+    std::thread drainer([&] {
+      QfClient ctl;
+      ASSERT_TRUE(ctl.Connect("127.0.0.1", server.port())) << ctl.error();
+      while (!ingest_done.load(std::memory_order_acquire)) {
+        ASSERT_TRUE(ctl.Drain()) << ctl.error();
+      }
+    });
+    for (std::thread& t : threads) t.join();
+    ingest_done.store(true, std::memory_order_release);
+    drainer.join();
+
+    QfClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()))
+        << client.error();
+    ASSERT_TRUE(client.Drain()) << client.error();
+    WireStats stats;
+    ASSERT_TRUE(client.Stats(&stats)) << client.error();
+    // Conservation across producers: every acked item reached a shard.
+    EXPECT_EQ(stats.items_ingested, slice * kClients);
+    EXPECT_EQ(stats.items_processed, slice * kClients);
+
+    ASSERT_TRUE(client.Checkpoint(&blob)) << client.error();
+    ASSERT_FALSE(blob.empty());
+    ASSERT_TRUE(client.Query(keys, &before)) << client.error();
+    // Protocol shutdown with 4 reactors: the acking reactor drains its
+    // ack, the others exit on their wakeups, the last one out stops the
+    // pipeline.
+    ASSERT_TRUE(client.Shutdown()) << client.error();
+    server.Wait();
+    EXPECT_FALSE(server.running());
+  }
+
+  // The checkpoint is reactor-count-agnostic: restore into a single-loop
+  // server and every answer must be bit-identical.
+  QfServer::Options opts2 = ServerOptions(4);
+  opts2.reactors = 1;
+  QfServer server2(opts2);
+  ASSERT_TRUE(server2.Start()) << server2.error();
+  QfClient client2;
+  ASSERT_TRUE(client2.Connect("127.0.0.1", server2.port()))
+      << client2.error();
+  ASSERT_TRUE(client2.Restore(blob)) << client2.error();
+  std::vector<QueryAnswer> after;
+  ASSERT_TRUE(client2.Query(keys, &after)) << client2.error();
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(after[i].qweight, before[i].qweight) << "key " << keys[i];
+    EXPECT_EQ(after[i].is_candidate, before[i].is_candidate)
+        << "key " << keys[i];
+  }
+  server2.Stop();
+}
+
+TEST(NetServerTest, MultiReactorSubscribersGetLockstepAlertsViaMailboxes) {
+  // One shard + one ingest connection keeps the alert stream totally
+  // ordered even with two reactors; two subscribers make it likely at
+  // least one sits on a non-zero reactor, so delivery runs through the
+  // mailbox forwarding path as well as the local one. Every subscriber
+  // must see the full Monitor sequence, gap-free, wherever it landed.
+  QfServer::Options opts = ServerOptions(1);
+  opts.reactors = 2;
+  opts.criteria = Criteria(4, 0.75, 16);
+  // The gap-free assertion below is only scheduling-independent if the
+  // alert ring can never overflow: size it above the whole trace's alert
+  // volume (~12k) so a starved reactor 0 delays delivery but never drops.
+  opts.alert_ring_records = 32768;
+  QfServer server(opts);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  Monitor::Options mopts;
+  mopts.filter = opts.filter;
+  mopts.filter.seed = Mix64(opts.filter.seed + 0x9E37);
+  mopts.cooldown_items = 0;
+  std::vector<uint64_t> expected;
+  Monitor monitor(mopts, opts.criteria,
+                  [&expected](const Monitor::Alert& a) {
+                    expected.push_back(a.key);
+                  });
+  const Trace trace = MakeTrace(120'000, /*seed=*/11);
+  for (const Item& item : trace) monitor.Observe(item.key, item.value);
+  ASSERT_GT(expected.size(), 100u) << "trace produced too few alerts";
+
+  constexpr int kSubscribers = 2;
+  std::vector<std::unique_ptr<QfClient>> subs;
+  for (int s = 0; s < kSubscribers; ++s) {
+    subs.push_back(std::make_unique<QfClient>());
+    ASSERT_TRUE(subs.back()->Connect("127.0.0.1", server.port()))
+        << subs.back()->error();
+    ASSERT_TRUE(subs.back()->Subscribe(true)) << subs.back()->error();
+  }
+
+  QfClient ingester;
+  ASSERT_TRUE(ingester.Connect("127.0.0.1", server.port()))
+      << ingester.error();
+  constexpr size_t kBatch = 512;
+  for (size_t i = 0; i < trace.size(); i += kBatch) {
+    const size_t n = std::min(kBatch, trace.size() - i);
+    ASSERT_TRUE(ingester.Ingest(Slice(trace, i, n))) << ingester.error();
+  }
+  ASSERT_TRUE(ingester.Drain()) << ingester.error();
+
+  for (int s = 0; s < kSubscribers; ++s) {
+    std::vector<uint64_t> received;
+    uint64_t next_seq = 0;
+    while (received.size() < expected.size()) {
+      WireAlert alert;
+      const QfClient::AlertWait w = subs[s]->NextAlert(&alert, 10'000);
+      ASSERT_EQ(w, QfClient::AlertWait::kAlert)
+          << "subscriber " << s << " stalled at " << received.size() << "/"
+          << expected.size() << ": " << subs[s]->error();
+      EXPECT_EQ(alert.seq, next_seq++) << "alert sequence gap";
+      received.push_back(alert.key);
+    }
+    EXPECT_EQ(received, expected) << "subscriber " << s;
+  }
+  WireStats stats;
+  ASSERT_TRUE(ingester.Stats(&stats)) << ingester.error();
+  EXPECT_EQ(stats.alerts_dropped, 0u);
   server.Stop();
 }
 

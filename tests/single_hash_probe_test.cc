@@ -1,0 +1,136 @@
+// The single-hash probe seam (kKeyMappingScheme = 3): CandidatePart
+// derives bucket AND fingerprint from ONE HashKey call. These tests pin
+// the three properties the change must preserve:
+//   1. bucket placement is bit-identical to the scheme-2 reference
+//      (FastRange64 over HashKey(key, seed)), so shard/bucket geometry —
+//      and every accuracy result derived from it — is unchanged;
+//   2. the split seam is self-consistent: FingerprintOf == FingerprintFromHash
+//      ∘ KeyHash (the batched prehash window and the scalar path agree),
+//      fingerprints are in range and never 0;
+//   3. a filter fed through any probe path — scalar Insert, InsertBatch's
+//      prehash window — serializes bit-identically, and checkpoints stamped
+//      with the previous mapping scheme are rejected, not misread.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/serialize.h"
+#include "core/candidate_part.h"
+#include "core/quantile_filter.h"
+#include "stream/item.h"
+
+namespace qf {
+namespace {
+
+CandidatePart::Options PartOptions(uint64_t seed, int fp_bits) {
+  CandidatePart::Options o;
+  o.memory_bytes = 64 * 1024;
+  o.bucket_entries = 6;
+  o.fingerprint_bits = fp_bits;
+  o.seed = seed;
+  return o;
+}
+
+TEST(SingleHashProbeTest, BucketPlacementMatchesSchemeTwoReference) {
+  for (uint64_t seed : {0x5EEDCA4Dull, 1ull, 0xFFFFFFFFFFFFFFFFull}) {
+    CandidatePart part(PartOptions(seed, 16));
+    for (uint64_t key = 0; key < 20000; ++key) {
+      // Scheme 2 computed the bucket as FastRange64(HashKey(key, seed), m);
+      // scheme 3 must place every key in the same bucket.
+      const uint64_t reference =
+          FastRange64(HashKey(key, seed), part.num_buckets());
+      ASSERT_EQ(part.BucketOf(key), static_cast<uint32_t>(reference))
+          << "key " << key << " seed " << seed;
+      ASSERT_EQ(part.BucketFromHash(part.KeyHash(key)), part.BucketOf(key));
+    }
+  }
+}
+
+TEST(SingleHashProbeTest, FingerprintSeamIsConsistentInRangeAndNonZero) {
+  for (int bits : {4, 8, 16, 32}) {
+    CandidatePart part(PartOptions(0x5EEDCA4D, bits));
+    const uint64_t limit = bits >= 32 ? (1ull << 32) : (1ull << bits);
+    for (uint64_t key = 0; key < 20000; ++key) {
+      const uint32_t fp = part.FingerprintOf(key);
+      ASSERT_EQ(fp, part.FingerprintFromHash(part.KeyHash(key)));
+      ASSERT_NE(fp, 0u);  // 0 marks an empty slot
+      ASSERT_LT(static_cast<uint64_t>(fp), limit);
+    }
+  }
+}
+
+TEST(SingleHashProbeTest, FingerprintUsesLowHashBitsBucketHighBits) {
+  // The independence argument for the shared hash: the fingerprint reads
+  // only the low 32 bits, the bucket only the high bits (via the FastRange
+  // multiply). Two hashes equal in the low 32 bits must fingerprint alike.
+  CandidatePart part(PartOptions(7, 16));
+  const uint64_t h = part.KeyHash(123456);
+  EXPECT_EQ(part.FingerprintFromHash(h),
+            part.FingerprintFromHash(h & 0xFFFFFFFFull));
+  EXPECT_EQ(part.BucketFromHash(h), part.BucketFromHash(h | 0xFFFFFFFFull))
+      << "bucket reduction must ignore the fingerprint bits for any "
+         "realistic bucket count";
+}
+
+TEST(SingleHashProbeTest, ScalarAndBatchedProbePathsStayBitIdentical) {
+  using Filter = QuantileFilter<CountSketch<int16_t>>;
+  Filter::Options options;
+  options.memory_bytes = 64 * 1024;
+  options.seed = 99;
+  Criteria criteria(20.0, 0.9, 60.0);
+
+  Filter scalar(options, criteria);
+  Filter batched(options, criteria);
+
+  std::vector<Item> items;
+  items.reserve(30000);
+  uint64_t x = 1;
+  for (int i = 0; i < 30000; ++i) {
+    x = Mix64(x);
+    items.push_back(Item{x % 700, static_cast<double>(x % 100)});
+  }
+  size_t scalar_reports = 0;
+  for (const Item& item : items) {
+    scalar_reports += scalar.Insert(item.key, item.value) ? 1 : 0;
+  }
+  const size_t batch_reports = batched.InsertBatch(items);
+
+  EXPECT_EQ(scalar_reports, batch_reports);
+  EXPECT_EQ(scalar.SerializeState(), batched.SerializeState());
+  for (uint64_t key = 0; key < 700; ++key) {
+    ASSERT_EQ(scalar.QueryQweight(key), batched.QueryQweight(key));
+    ASSERT_EQ(scalar.IsCandidate(key), batched.IsCandidate(key));
+  }
+}
+
+TEST(SingleHashProbeTest, PreviousMappingSchemeCheckpointIsRejected) {
+  CandidatePart part(PartOptions(5, 16));
+  const uint32_t bucket = part.BucketOf(77);
+  part.SetSlot(part.FindEmpty(bucket), part.FingerprintOf(77), 3);
+
+  std::vector<uint8_t> bytes;
+  part.AppendTo(&bytes);
+
+  // Restoring the genuine payload works.
+  CandidatePart same(PartOptions(5, 16));
+  {
+    ByteReader reader(bytes);
+    ASSERT_TRUE(same.ReadFrom(&reader));
+  }
+
+  // The payload leads with the mapping scheme; a checkpoint written under
+  // scheme 2 carries fingerprints from the old second hash, which the
+  // single-hash probe could never find again — fail closed.
+  uint32_t stale = kKeyMappingScheme - 1;
+  std::memcpy(bytes.data(), &stale, sizeof(stale));
+  CandidatePart reject(PartOptions(5, 16));
+  ByteReader reader(bytes);
+  EXPECT_FALSE(reject.ReadFrom(&reader));
+}
+
+}  // namespace
+}  // namespace qf

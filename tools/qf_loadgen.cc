@@ -26,8 +26,10 @@
 #include "common/time.h"
 #include "common/zipf.h"
 #include "net/client.h"
+#include "net/server.h"
 #include "obs/registry.h"
 #include "obs/sink.h"
+#include "parallel/placement.h"
 #include "stream/item.h"
 
 namespace qf {
@@ -47,6 +49,20 @@ void PrintUsage() {
       "  --alpha=X             Zipf skew (default 1.1)\n"
       "  --value=X             per-item value (default 1.0)\n"
       "  --seed=N              RNG seed base (default 1)\n\n"
+      "placement:\n"
+      "  --pin-cpus            pin connection c to core pin-offset + c, so\n"
+      "                        client threads stop migrating onto the\n"
+      "                        server's reactor/worker cores\n"
+      "  --pin-offset=N        first core for --pin-cpus (default 0)\n\n"
+      "sweep mode (in-process servers, exercises SO_REUSEPORT):\n"
+      "  --sweep-reactors=LIST   e.g. 1,2,4 — for each R, boot a loopback\n"
+      "                        qf_server with R reactors on an ephemeral\n"
+      "                        port, run the load shape above against it,\n"
+      "                        and print items/s per R. --expect-rate then\n"
+      "                        applies to the best config.\n"
+      "  --sweep-shards=N      shards for the swept servers (default 4)\n"
+      "  --sweep-memory=BYTES  filter budget for the swept servers\n"
+      "                        (default 1048576)\n\n"
       "wrap-up:\n"
       "  --drain               CONTROL kDrain after the load\n"
       "  --stats               print server WireStats after the load\n"
@@ -63,8 +79,12 @@ struct WorkerResult {
 
 void RunWorker(int id, const std::string& host, uint16_t port,
                uint64_t items, size_t batch, size_t window, uint64_t keys,
-               double alpha, double value, uint64_t seed,
+               double alpha, double value, uint64_t seed, int pin_cpu,
                obs::Histogram* rtt_ns, WorkerResult* result) {
+  // Pinning the client side keeps these threads off the server's reactor
+  // and worker cores on shared-machine (loopback) runs — otherwise the
+  // scheduler's migrations are the dominant noise in the measured rate.
+  if (pin_cpu >= 0) PinThreadToCore(pin_cpu);
   net::QfClient client;
   if (!client.Connect(host, port)) {
     result->error = client.error();
@@ -112,6 +132,141 @@ void RunWorker(int id, const std::string& host, uint16_t port,
   result->ok = true;
 }
 
+struct LoadShape {
+  int connections;
+  uint64_t total_items;
+  size_t batch;
+  size_t window;
+  uint64_t keys;
+  double alpha;
+  double value;
+  uint64_t seed;
+  bool pin_cpus;
+  int pin_offset;
+};
+
+/// Runs the full multi-connection load against host:port. Returns false on
+/// any connection failure; on success *rate_out is achieved items/s.
+bool RunLoad(const std::string& host, uint16_t port, const LoadShape& shape,
+             obs::Histogram* rtt_ns, double* rate_out) {
+  std::vector<WorkerResult> results(
+      static_cast<size_t>(shape.connections));
+  std::vector<std::thread> threads;
+  const uint64_t per_conn =
+      shape.total_items / static_cast<uint64_t>(shape.connections);
+  const uint64_t t0 = MonotonicNanos();
+  for (int c = 0; c < shape.connections; ++c) {
+    // The last connection absorbs the rounding remainder.
+    const uint64_t n =
+        c == shape.connections - 1
+            ? shape.total_items -
+                  per_conn * static_cast<uint64_t>(shape.connections - 1)
+            : per_conn;
+    const int pin_cpu = shape.pin_cpus ? shape.pin_offset + c : -1;
+    threads.emplace_back(RunWorker, c, host, port, n, shape.batch,
+                         shape.window, shape.keys, shape.alpha, shape.value,
+                         shape.seed, pin_cpu, rtt_ns,
+                         &results[static_cast<size_t>(c)]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      static_cast<double>(MonotonicNanos() - t0) * 1e-9;
+
+  uint64_t items = 0;
+  for (size_t c = 0; c < results.size(); ++c) {
+    if (!results[c].ok) {
+      std::fprintf(stderr, "qf_loadgen: connection %zu failed: %s\n", c,
+                   results[c].error.c_str());
+      return false;
+    }
+    items += results[c].items;
+  }
+  *rate_out = static_cast<double>(items) / elapsed_s;
+  std::printf(
+      "qf_loadgen: %llu items over %d connections in %.3f s = %.0f "
+      "items/s\n",
+      static_cast<unsigned long long>(items), shape.connections, elapsed_s,
+      *rate_out);
+  return true;
+}
+
+/// Sweep mode: boots one in-process loopback server per reactor count,
+/// runs the identical load shape against each, and prints the scaling
+/// table. This is what lets CI gate the SO_REUSEPORT path without shell
+/// choreography around background qf_server processes.
+int RunReactorSweep(const std::vector<int>& reactor_counts,
+                    const LoadShape& shape, int sweep_shards,
+                    size_t sweep_memory, double expect_rate,
+                    obs::Histogram* rtt_ns) {
+  double best_rate = 0.0;
+  int best_reactors = 0;
+  std::vector<double> rates;
+  for (const int reactors : reactor_counts) {
+    net::QfServer::Options opts;
+    opts.port = 0;  // ephemeral: sweeps never collide
+    opts.num_shards = sweep_shards;
+    opts.filter.memory_bytes = sweep_memory;
+    opts.reactors = reactors;
+    net::QfServer server(opts);
+    if (!server.Start()) {
+      std::fprintf(stderr, "qf_loadgen: sweep reactors=%d: %s\n", reactors,
+                   server.error().c_str());
+      return 1;
+    }
+    std::printf("qf_loadgen: sweep reactors=%d (port %u)\n", reactors,
+                server.port());
+    double rate = 0.0;
+    if (!RunLoad("127.0.0.1", server.port(), shape, rtt_ns, &rate)) {
+      server.Stop();
+      return 1;
+    }
+    // Conservation check after a quiesce: every acked item reached a shard
+    // regardless of which reactor carried it.
+    net::QfClient ctl;
+    if (!ctl.Connect("127.0.0.1", server.port()) || !ctl.Drain()) {
+      std::fprintf(stderr, "qf_loadgen: sweep drain: %s\n",
+                   ctl.error().c_str());
+      server.Stop();
+      return 1;
+    }
+    net::WireStats stats;
+    if (!ctl.Stats(&stats) ||
+        stats.items_processed != stats.items_ingested) {
+      std::fprintf(stderr,
+                   "qf_loadgen: sweep reactors=%d lost items (%llu ingested,"
+                   " %llu processed)\n",
+                   reactors,
+                   static_cast<unsigned long long>(stats.items_ingested),
+                   static_cast<unsigned long long>(stats.items_processed));
+      server.Stop();
+      return 1;
+    }
+    server.Stop();
+    rates.push_back(rate);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best_reactors = reactors;
+    }
+  }
+  std::printf("qf_loadgen: sweep summary (%d cores online):\n",
+              OnlineCores());
+  for (size_t i = 0; i < reactor_counts.size(); ++i) {
+    std::printf("  reactors=%-2d %12.0f items/s (%.2fx of reactors=%d)\n",
+                reactor_counts[i], rates[i],
+                rates[0] > 0.0 ? rates[i] / rates[0] : 0.0,
+                reactor_counts[0]);
+  }
+  if (expect_rate > 0.0 && best_rate < expect_rate) {
+    std::fprintf(
+        stderr,
+        "qf_loadgen: best sweep config (reactors=%d) achieved %.0f items/s "
+        "< expected %.0f\n",
+        best_reactors, best_rate, expect_rate);
+    return 1;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   if (flags.Has("help")) {
@@ -130,6 +285,13 @@ int Main(int argc, char** argv) {
   const double alpha = flags.GetDouble("alpha", 1.1);
   const double value = flags.GetDouble("value", 1.0);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const bool pin_cpus = flags.Has("pin-cpus");
+  const int pin_offset = static_cast<int>(flags.GetInt("pin-offset", 0));
+  const std::string sweep_list = flags.GetString("sweep-reactors", "");
+  const int sweep_shards =
+      static_cast<int>(flags.GetInt("sweep-shards", 4));
+  const size_t sweep_memory =
+      static_cast<size_t>(flags.GetInt("sweep-memory", 1 << 20));
   const bool do_drain = flags.Has("drain");
   const bool do_stats = flags.Has("stats");
   const bool do_shutdown = flags.Has("shutdown");
@@ -151,39 +313,42 @@ int Main(int argc, char** argv) {
       "qf_loadgen_ingest_rtt_ns",
       "INGEST frame round-trip latency (send to ack, ns)");
 
-  std::vector<WorkerResult> results(static_cast<size_t>(connections));
-  std::vector<std::thread> threads;
-  const uint64_t per_conn = total_items / static_cast<uint64_t>(connections);
-  const uint64_t t0 = MonotonicNanos();
-  for (int c = 0; c < connections; ++c) {
-    // The last connection absorbs the rounding remainder.
-    const uint64_t n = c == connections - 1
-                           ? total_items - per_conn * static_cast<uint64_t>(
-                                                          connections - 1)
-                           : per_conn;
-    threads.emplace_back(RunWorker, c, host, port, n, batch, window, keys,
-                         alpha, value, seed, &rtt_ns,
-                         &results[static_cast<size_t>(c)]);
-  }
-  for (std::thread& t : threads) t.join();
-  const double elapsed_s =
-      static_cast<double>(MonotonicNanos() - t0) * 1e-9;
+  LoadShape shape;
+  shape.connections = connections;
+  shape.total_items = total_items;
+  shape.batch = batch;
+  shape.window = window;
+  shape.keys = keys;
+  shape.alpha = alpha;
+  shape.value = value;
+  shape.seed = seed;
+  shape.pin_cpus = pin_cpus;
+  shape.pin_offset = pin_offset;
 
-  uint64_t items = 0;
-  for (size_t c = 0; c < results.size(); ++c) {
-    if (!results[c].ok) {
-      std::fprintf(stderr, "qf_loadgen: connection %zu failed: %s\n", c,
-                   results[c].error.c_str());
-      return 1;
+  if (!sweep_list.empty()) {
+    std::vector<int> reactor_counts;
+    size_t pos = 0;
+    while (pos < sweep_list.size()) {
+      size_t comma = sweep_list.find(',', pos);
+      if (comma == std::string::npos) comma = sweep_list.size();
+      const int r = std::atoi(sweep_list.substr(pos, comma - pos).c_str());
+      if (r < 1) {
+        std::fprintf(stderr, "qf_loadgen: bad --sweep-reactors=%s\n",
+                     sweep_list.c_str());
+        return 2;
+      }
+      reactor_counts.push_back(r);
+      pos = comma + 1;
     }
-    items += results[c].items;
+    return RunReactorSweep(reactor_counts, shape, sweep_shards,
+                           sweep_memory, expect_rate, &rtt_ns);
   }
-  const double rate = static_cast<double>(items) / elapsed_s;
+
+  double rate = 0.0;
+  if (!RunLoad(host, port, shape, &rtt_ns, &rate)) return 1;
   const obs::HistogramData rtt = rtt_ns.Merged();
   std::printf(
-      "qf_loadgen: %llu items over %d connections in %.3f s = %.0f items/s\n"
       "  ingest rtt: p50 %.1f us, p99 %.1f us, max %.1f us (%llu frames)\n",
-      static_cast<unsigned long long>(items), connections, elapsed_s, rate,
       static_cast<double>(rtt.Quantile(0.50)) * 1e-3,
       static_cast<double>(rtt.Quantile(0.99)) * 1e-3,
       static_cast<double>(rtt.max()) * 1e-3,

@@ -44,6 +44,13 @@ void PrintUsage() {
       "  --layout=NAME         vague layout: classic | blocked (default\n"
       "                        blocked; blocked = one cache miss per item)\n\n"
       "serving:\n"
+      "  --reactors=N          SO_REUSEPORT event loops, one pipeline\n"
+      "                        producer each (default 1)\n"
+      "  --pin                 pin shard workers and reactors to cores\n"
+      "  --core-offset=N       first core for the round-robin pinning\n"
+      "  --first-touch         pre-fault arenas/sketches on their worker's\n"
+      "                        core (NUMA first-touch; implies nothing\n"
+      "                        without --pin)\n"
       "  --batch=N             pipeline batch size (default 32)\n"
       "  --alert-ring=N        per-shard alert-ring records (default 4096)\n"
       "  --max-frame=BYTES     protocol frame cap (default 64 MiB)\n"
@@ -99,6 +106,11 @@ int Main(int argc, char** argv) {
   opts.criteria =
       Criteria(flags.GetDouble("eps", 30.0), flags.GetDouble("delta", 0.95),
                flags.GetDouble("threshold", 300.0));
+  opts.reactors = static_cast<int>(flags.GetInt("reactors", 1));
+  opts.placement.pin_threads = flags.Has("pin");
+  opts.placement.core_offset =
+      static_cast<int>(flags.GetInt("core-offset", 0));
+  opts.placement.first_touch_arenas = flags.Has("first-touch");
   opts.batch_size = static_cast<size_t>(flags.GetInt("batch", 32));
   opts.alert_ring_records =
       static_cast<size_t>(flags.GetInt("alert-ring", 4096));
@@ -142,10 +154,12 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "qf_server: listening on %s:%u (%d shards, %zu-byte budget, %s "
-      "vague layout)\n",
-      opts.host.c_str(), server.port(), opts.num_shards,
-      opts.filter.memory_bytes, VagueLayoutName(opts.filter.vague_layout));
+      "qf_server: listening on %s:%u (%d shards, %d reactor%s%s, %zu-byte "
+      "budget, %s vague layout)\n",
+      opts.host.c_str(), server.port(), opts.num_shards, server.reactors(),
+      server.reactors() == 1 ? "" : "s",
+      opts.placement.pin_threads ? ", pinned" : "", opts.filter.memory_bytes,
+      VagueLayoutName(opts.filter.vague_layout));
   std::fflush(stdout);
 
   obs::MetricsSink sink(obs::MetricsRegistry::Global(), sink_opts);

@@ -69,7 +69,19 @@ cat "${TMP}/server2.log"
 grep -q "restored checkpoint" "${TMP}/server2.log" || {
   echo "serve_smoke: restart did not restore the checkpoint" >&2; exit 1; }
 
-echo "== phase 3: validate Prometheus expositions =="
+echo "== phase 3: multi-reactor serving (SO_REUSEPORT) =="
+# A 2-reactor server must survive concurrent ingest + a global quiesce
+# (drain) + protocol shutdown; conservation is checked server-side by
+# qf_loadgen --stats (ingested == processed after the drain).
+start_server "${TMP}/server3.log" --reactors=2
+"${BUILD}/tools/qf_loadgen" --port="${PORT}" --connections=4 \
+  --items=200000 --drain --stats --shutdown
+wait "${SERVER_PID}"; SERVER_PID=""
+cat "${TMP}/server3.log"
+grep -q "2 reactors" "${TMP}/server3.log" || {
+  echo "serve_smoke: server did not boot 2 reactors" >&2; exit 1; }
+
+echo "== phase 4: validate Prometheus expositions =="
 "${BUILD}/tools/qf_top" --check-prom="${TMP}/server.prom"
 "${BUILD}/tools/qf_top" --check-prom="${TMP}/loadgen.prom"
 echo "serve_smoke: ok"
