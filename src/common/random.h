@@ -56,6 +56,19 @@ class Rng {
   /// True with probability `p` (clamped to [0, 1]).
   bool Bernoulli(double p) { return NextDouble() < p; }
 
+  /// Snapshot / restore of the 4-word xoshiro state, for durable
+  /// checkpoints (src/durable/): a recovered filter must continue the
+  /// probabilistic-rounding draw sequence exactly where the crashed one
+  /// left off. Restoring drops the Box-Muller cache — the insertion path
+  /// never draws Gaussians, so nothing observable depends on it.
+  void GetState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void SetState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+    has_cached_gaussian_ = false;
+  }
+
   /// Standard normal draw (Box-Muller; uses two uniforms per pair, caches
   /// the second).
   double NextGaussian() {

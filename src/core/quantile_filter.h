@@ -114,6 +114,14 @@ class QuantileFilter {
   /// unsupported SketchT falls back to kClassic).
   VagueLayout vague_layout() const { return vague_.layout(); }
   const Stats& stats() const { return stats_; }
+
+  /// RNG snapshot for durable checkpoints (src/durable/checkpoint.h).
+  /// SerializeState deliberately excludes rng_ so "QFS2"/"QFS4" blobs stay
+  /// byte-compatible across builds, but crash recovery restores a blob and
+  /// then replays the WAL tail — the replayed probabilistic-rounding draws
+  /// only match the pre-crash filter if the generator state rides along.
+  void GetRngState(uint64_t out[4]) const { rng_.GetState(out); }
+  void SetRngState(const uint64_t in[4]) { rng_.SetState(in); }
   const CandidatePart& candidate_part() const { return candidate_; }
   size_t MemoryBytes() const {
     return candidate_.MemoryBytes() + vague_.MemoryBytes();

@@ -173,6 +173,17 @@ class ShardedQuantileFilter {
     return true;
   }
 
+  /// Restores a single shard from a per-shard SerializeState frame (the
+  /// unit a delta checkpoint stores for each dirty shard — see
+  /// src/durable/checkpoint.h). Fails closed on a CRC-less or corrupt
+  /// frame; other shards are untouched either way, so the caller decides
+  /// whether a failed delta application invalidates the whole restore.
+  bool RestoreShardState(int s, const std::vector<uint8_t>& bytes) {
+    if (s < 0 || s >= num_shards_) return false;
+    CrcStatus crc = CrcStatus::kOk;
+    return shards_[s]->RestoreState(bytes, &crc) && crc == CrcStatus::kOk;
+  }
+
   /// Publishes every shard's unflushed stats deltas to the global metrics
   /// counters (see QuantileFilter::FlushMetrics). Caller must hold exclusive
   /// access to all shards — e.g. after IngestPipeline::Stop() has joined the

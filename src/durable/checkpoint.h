@@ -1,0 +1,107 @@
+// Durable checkpoint store: full + incremental delta checkpoints
+// (DESIGN.md §14).
+//
+// A checkpoint captures filter state at a WAL position so boot replay only
+// re-drives the log tail past it. Two kinds:
+//
+//   * full  — the whole ShardedQuantileFilter::SerializeState "QFS4"/"QSH2"
+//     blob. Self-contained; chain base.
+//   * delta — only the shards whose item counters advanced since the parent
+//     checkpoint (shard-granular dirty tracking: one shard = one candidate
+//     part + one blocked/classic vague part, serialized with the existing
+//     per-shard SerializeState). Parent-linked by id.
+//
+// File layout (one file per checkpoint, written atomically):
+//
+//   ckpt-%016llx.qfck = WrapCrc({u32 "QFCP", u32 version=1, u64 id,
+//                                u64 parent_id, u64 wal_gen,
+//                                u64 covered_seq, u8 kind, body})
+//   full  body: {u32 rng_shards, rng_shards x (4 x u64 rng),
+//                SerializeState blob}
+//   delta body: {u32 total_shards, u32 ndirty,
+//                ndirty x (u32 shard, 4 x u64 rng, u64 len, bytes)}
+//
+// The per-shard RNG words exist because SerializeState deliberately
+// excludes the probabilistic-rounding generator (its blobs stay
+// byte-compatible across builds): replaying a WAL tail on top of a restored
+// checkpoint only reproduces the pre-crash filter bit-for-bit if the
+// generator resumes mid-sequence too (core/quantile_filter.h GetRngState).
+//
+// LoadNewest resolves the newest checkpoint whose whole delta chain down to
+// a full base validates; a corrupt top falls back to the next lower id
+// (recovery then fails closed anyway if retention already reaped the log
+// segments that fallback would need — never a silent partial restore).
+
+#ifndef QUANTILEFILTER_DURABLE_CHECKPOINT_H_
+#define QUANTILEFILTER_DURABLE_CHECKPOINT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "durable/storage.h"
+
+namespace qf::durable {
+
+inline constexpr uint32_t kCheckpointMagic = 0x50434651;  // "QFCP"
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+enum class CheckpointKind : uint8_t { kFull = 0, kDelta = 1 };
+
+/// Checkpoint file name for an id ("ckpt-%016x.qfck").
+std::string CheckpointName(uint64_t id);
+bool ParseCheckpointName(const std::string& name, uint64_t* id);
+
+/// One filter's xoshiro256** snapshot (QuantileFilter::GetRngState).
+using RngState = std::array<uint64_t, 4>;
+
+/// One dirty shard's serialized state inside a delta checkpoint.
+struct ShardDelta {
+  uint32_t shard = 0;
+  RngState rng{};
+  std::vector<uint8_t> bytes;
+};
+
+/// Result of LoadNewest: the full base blob plus the delta chain to apply
+/// on top of it, oldest first. `found == false` with `ok == true` means a
+/// clean slate (fresh directory).
+struct LoadedCheckpoints {
+  bool ok = false;
+  bool found = false;
+  std::string error;
+  std::string warning;  // corrupt tops skipped during fallback
+  uint64_t id = 0;      // newest checkpoint in the chain
+  uint64_t base_id = 0;
+  uint64_t wal_gen = 0;
+  uint64_t covered_seq = 0;
+  uint32_t total_shards = 0;  // 0 when the chain is a bare full checkpoint
+  std::vector<uint8_t> base;
+  std::vector<RngState> base_rng;  // per shard, captured with `base`
+  std::vector<std::vector<ShardDelta>> deltas;  // oldest -> newest
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(Storage* storage) : storage_(storage) {}
+
+  bool WriteFull(uint64_t id, uint64_t wal_gen, uint64_t covered_seq,
+                 const std::vector<uint8_t>& blob,
+                 const std::vector<RngState>& rng_states);
+  bool WriteDelta(uint64_t id, uint64_t parent_id, uint64_t wal_gen,
+                  uint64_t covered_seq, uint32_t total_shards,
+                  const std::vector<ShardDelta>& dirty);
+
+  LoadedCheckpoints LoadNewest();
+
+  /// Deletes checkpoints with id < keep_from_id (the live chain's base).
+  void Retain(uint64_t keep_from_id);
+  void RemoveAll();
+
+ private:
+  Storage* storage_;
+};
+
+}  // namespace qf::durable
+
+#endif  // QUANTILEFILTER_DURABLE_CHECKPOINT_H_

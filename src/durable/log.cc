@@ -1,0 +1,347 @@
+#include "durable/log.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/serialize.h"
+
+namespace qf::durable {
+
+namespace {
+
+constexpr char kSegmentPrefix[] = "seg-";
+constexpr char kSegmentSuffix[] = ".qfwal";
+constexpr size_t kHexDigits = 16;
+
+// [u32 len][WrapCrc(payload)] — one frame, emitted as a single Append so a
+// torn write is always a strict prefix of exactly one frame.
+std::vector<uint8_t> BuildFrame(std::vector<uint8_t> payload) {
+  std::vector<uint8_t> wrapped = WrapCrc(std::move(payload));
+  std::vector<uint8_t> frame;
+  frame.reserve(sizeof(uint32_t) + wrapped.size());
+  AppendPod(static_cast<uint32_t>(wrapped.size()), &frame);
+  frame.insert(frame.end(), wrapped.begin(), wrapped.end());
+  return frame;
+}
+
+struct SegmentHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint64_t wal_gen;
+  uint64_t first_seq;
+};
+
+std::vector<uint8_t> BuildHeaderFrame(uint64_t gen, uint64_t first_seq) {
+  std::vector<uint8_t> payload;
+  AppendPod(kWalMagic, &payload);
+  AppendPod(kWalVersion, &payload);
+  AppendPod(gen, &payload);
+  AppendPod(first_seq, &payload);
+  return BuildFrame(std::move(payload));
+}
+
+void Fail(LogScan* scan, const std::string& name, const char* why) {
+  scan->ok = false;
+  scan->error = name.empty() ? why : (name + ": " + why);
+}
+
+}  // namespace
+
+std::string SegmentName(uint64_t first_seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%016" PRIx64 "%s", kSegmentPrefix,
+                first_seq, kSegmentSuffix);
+  return buf;
+}
+
+bool ParseSegmentName(const std::string& name, uint64_t* first_seq) {
+  const size_t prefix_len = sizeof(kSegmentPrefix) - 1;
+  const size_t suffix_len = sizeof(kSegmentSuffix) - 1;
+  if (name.size() != prefix_len + kHexDigits + suffix_len) return false;
+  if (name.compare(0, prefix_len, kSegmentPrefix) != 0) return false;
+  if (name.compare(prefix_len + kHexDigits, suffix_len, kSegmentSuffix) != 0)
+    return false;
+  uint64_t seq = 0;
+  for (size_t i = 0; i < kHexDigits; ++i) {
+    char c = name[prefix_len + i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    seq = (seq << 4) | digit;
+  }
+  *first_seq = seq;
+  return true;
+}
+
+bool ParseFsyncMode(const std::string& text, FsyncMode* mode) {
+  if (text == "none") {
+    *mode = FsyncMode::kNone;
+  } else if (text == "group") {
+    *mode = FsyncMode::kGroup;
+  } else if (text == "ingest") {
+    *mode = FsyncMode::kIngest;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* FsyncModeName(FsyncMode mode) {
+  switch (mode) {
+    case FsyncMode::kNone:
+      return "none";
+    case FsyncMode::kGroup:
+      return "group";
+    case FsyncMode::kIngest:
+      return "ingest";
+  }
+  return "?";
+}
+
+WalWriter::WalWriter(Storage* storage, WalOptions options)
+    : storage_(storage), options_(options) {}
+
+bool WalWriter::Init(uint64_t gen, uint64_t next_seq) {
+  gen_ = gen;
+  next_seq_ = next_seq;
+  sealed_.clear();
+  // Pre-crash segments stay sealed on disk until a checkpoint covers them;
+  // record them so Retain() can reap across the restart. A record-free
+  // leftover can share a name with the segment we are about to open —
+  // OpenSegment removes it before writing.
+  std::vector<std::string> names;
+  if (!storage_->List(&names)) return false;
+  for (const std::string& name : names) {
+    uint64_t first_seq = 0;
+    if (!ParseSegmentName(name, &first_seq)) continue;
+    if (first_seq >= next_seq_) continue;  // record-free or colliding
+    sealed_.emplace_back(name, first_seq);
+  }
+  std::sort(sealed_.begin(), sealed_.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return OpenSegment();
+}
+
+bool WalWriter::OpenSegment() {
+  active_name_ = SegmentName(next_seq_);
+  active_first_seq_ = next_seq_;
+  storage_->Remove(active_name_);  // reap a record-free leftover, if any
+  std::vector<uint8_t> frame = BuildHeaderFrame(gen_, next_seq_);
+  if (!storage_->Append(active_name_, frame)) return false;
+  active_bytes_ = frame.size();
+  ++segments_written_;
+  if (options_.fsync == FsyncMode::kIngest) {
+    return storage_->Sync(active_name_);
+  }
+  return true;
+}
+
+bool WalWriter::Append(std::span<const Item> items, uint64_t* seq_out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(sizeof(uint64_t) + 2 * sizeof(uint32_t) +
+                  items.size() * sizeof(Item));
+  AppendPod(next_seq_, &payload);
+  AppendPod(static_cast<uint32_t>(items.size()), &payload);
+  AppendPod(static_cast<uint32_t>(0), &payload);
+  const uint8_t* raw = reinterpret_cast<const uint8_t*>(items.data());
+  payload.insert(payload.end(), raw, raw + items.size() * sizeof(Item));
+  std::vector<uint8_t> frame = BuildFrame(std::move(payload));
+  if (!storage_->Append(active_name_, frame)) return false;
+  active_bytes_ += frame.size();
+  if (seq_out != nullptr) *seq_out = next_seq_;
+  ++next_seq_;
+  if (options_.fsync == FsyncMode::kIngest &&
+      !storage_->Sync(active_name_)) {
+    return false;
+  }
+  if (active_bytes_ >= options_.segment_bytes) {
+    // Seal before rotating so a sealed segment is fully durable (kNone
+    // deliberately skips the barrier everywhere).
+    if (options_.fsync != FsyncMode::kNone &&
+        !storage_->Sync(active_name_)) {
+      return false;
+    }
+    sealed_.emplace_back(active_name_, active_first_seq_);
+    return OpenSegment();
+  }
+  return true;
+}
+
+bool WalWriter::Sync() { return storage_->Sync(active_name_); }
+
+void WalWriter::Retain(uint64_t covered_seq) {
+  while (!sealed_.empty()) {
+    uint64_t next_first =
+        sealed_.size() > 1 ? sealed_[1].second : active_first_seq_;
+    if (next_first == 0 || next_first - 1 > covered_seq) break;
+    storage_->Remove(sealed_.front().first);
+    sealed_.erase(sealed_.begin());
+  }
+}
+
+bool WalWriter::ResetTimeline(uint64_t new_gen) {
+  std::vector<std::string> names;
+  if (storage_->List(&names)) {
+    for (const std::string& name : names) {
+      uint64_t first_seq = 0;
+      if (ParseSegmentName(name, &first_seq)) storage_->Remove(name);
+    }
+  }
+  gen_ = new_gen;
+  next_seq_ = 1;
+  sealed_.clear();
+  return OpenSegment();
+}
+
+LogScan ScanWal(Storage& storage, uint64_t expected_gen, uint64_t applied_seq,
+                bool repair_torn_tail) {
+  LogScan scan;
+  scan.ok = true;
+  scan.next_seq = applied_seq + 1;
+  scan.wal_gen = expected_gen;
+
+  std::vector<std::string> names;
+  if (!storage.List(&names)) {
+    Fail(&scan, "", "storage list failed");
+    return scan;
+  }
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const std::string& name : names) {
+    uint64_t first_seq = 0;
+    if (ParseSegmentName(name, &first_seq)) {
+      segments.emplace_back(first_seq, name);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  uint64_t expected = 0;  // next record seq we must see; 0 = not yet anchored
+  for (size_t si = 0; si < segments.size(); ++si) {
+    const std::string& name = segments[si].second;
+    const bool last_segment = si + 1 == segments.size();
+    std::vector<uint8_t> bytes;
+    if (!storage.Read(name, &bytes)) {
+      Fail(&scan, name, "unreadable segment");
+      return scan;
+    }
+    ++scan.segments_scanned;
+    if (bytes.empty()) {
+      // A previous torn-header repair truncated it to nothing. Only ever
+      // legitimate as the final segment.
+      if (!last_segment) {
+        Fail(&scan, name, "empty non-final segment");
+        return scan;
+      }
+      continue;
+    }
+
+    size_t pos = 0;
+    bool saw_header = false;
+    while (pos < bytes.size()) {
+      uint32_t len = 0;
+      bool torn = bytes.size() - pos < sizeof(uint32_t);
+      if (!torn) {
+        std::memcpy(&len, bytes.data() + pos, sizeof(uint32_t));
+        torn = bytes.size() - pos - sizeof(uint32_t) < len;
+      }
+      if (torn) {
+        // Incomplete trailing frame: the legitimate residue of a crash
+        // mid-append — but only at the very end of the log.
+        if (!last_segment) {
+          Fail(&scan, name, "incomplete frame in non-final segment");
+          return scan;
+        }
+        ++scan.torn_truncations;
+        if (repair_torn_tail) storage.Truncate(name, pos);
+        break;
+      }
+      const uint8_t* payload = nullptr;
+      size_t payload_size = 0;
+      CrcStatus status =
+          UnwrapCrc(bytes.data() + pos + sizeof(uint32_t), len, &payload,
+                    &payload_size);
+      if (status != CrcStatus::kOk) {
+        // A *complete* frame that fails its CRC is corruption, not a torn
+        // write; never guess at it, in any position.
+        Fail(&scan, name, "frame crc mismatch");
+        return scan;
+      }
+      pos += sizeof(uint32_t) + len;
+
+      ByteReader reader(payload, payload_size);
+      if (!saw_header) {
+        SegmentHeader header{};
+        if (!reader.Read(&header.magic) || !reader.Read(&header.version) ||
+            !reader.Read(&header.wal_gen) || !reader.Read(&header.first_seq) ||
+            reader.remaining() != 0) {
+          Fail(&scan, name, "malformed segment header");
+          return scan;
+        }
+        if (header.magic != kWalMagic || header.version != kWalVersion) {
+          Fail(&scan, name, "bad segment magic/version");
+          return scan;
+        }
+        if (scan.wal_gen == 0) scan.wal_gen = header.wal_gen;
+        if (header.wal_gen != scan.wal_gen) {
+          Fail(&scan, name, "stale-generation segment");
+          return scan;
+        }
+        if (header.first_seq != segments[si].first) {
+          Fail(&scan, name, "segment name/header first-seq mismatch");
+          return scan;
+        }
+        if (expected == 0) {
+          if (header.first_seq > applied_seq + 1) {
+            Fail(&scan, name, "replay gap after checkpoint");
+            return scan;
+          }
+          expected = header.first_seq;
+        } else if (header.first_seq != expected) {
+          Fail(&scan, name, "segment sequence discontinuity");
+          return scan;
+        }
+        saw_header = true;
+        continue;
+      }
+
+      uint64_t seq = 0;
+      uint32_t count = 0;
+      uint32_t pad = 0;
+      if (!reader.Read(&seq) || !reader.Read(&count) || !reader.Read(&pad) ||
+          reader.remaining() != static_cast<size_t>(count) * sizeof(Item)) {
+        Fail(&scan, name, "malformed record");
+        return scan;
+      }
+      if (seq != expected) {
+        Fail(&scan, name, "record sequence discontinuity");
+        return scan;
+      }
+      ++expected;
+      if (seq > applied_seq) {
+        const uint8_t* items_bytes =
+            payload + sizeof(uint64_t) + 2 * sizeof(uint32_t);
+        size_t old_size = scan.tail.size();
+        scan.tail.resize(old_size + count);
+        if (count > 0) {
+          std::memcpy(scan.tail.data() + old_size, items_bytes,
+                      static_cast<size_t>(count) * sizeof(Item));
+        }
+        ++scan.tail_records;
+      }
+    }
+    if (scan.torn_truncations > 0) break;  // torn tail ends the log
+  }
+
+  if (expected != 0) scan.next_seq = std::max(scan.next_seq, expected);
+  return scan;
+}
+
+}  // namespace qf::durable

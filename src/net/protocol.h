@@ -93,8 +93,14 @@ struct WireStats {
   uint64_t accepts = 0;           // connections accepted since boot
   uint64_t active_connections = 0;
   uint64_t slow_disconnects = 0;  // connections dropped over write-queue cap
+  // Durability (src/durable/): zero when the server runs without --wal-dir.
+  uint64_t wal_records_appended = 0;   // ingest batches logged since boot
+  uint64_t wal_records_replayed = 0;   // log-tail records re-driven at boot
+  uint64_t wal_torn_truncations = 0;   // torn trailing frames repaired
+  uint64_t wal_segments_written = 0;   // segment files opened since boot
+  uint64_t wal_checkpoints_written = 0;  // full + delta checkpoints
 };
-static_assert(sizeof(WireStats) == 8 * sizeof(uint64_t));
+static_assert(sizeof(WireStats) == 13 * sizeof(uint64_t));
 
 /// One alert on the wire. `seq` counts ALERT frames on this connection;
 /// gaps never occur (drops happen upstream of the per-connection stream and
@@ -135,6 +141,7 @@ enum class ErrorCode : uint32_t {
   kBadPayload = 3,
   kSlowConsumer = 4,
   kShuttingDown = 5,
+  kInternal = 6,  // server-side failure (e.g. a WAL append error)
 };
 
 // ---------------------------------------------------------------------------

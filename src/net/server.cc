@@ -15,6 +15,7 @@
 #include <cstring>
 #include <utility>
 
+#include "durable/recovery.h"
 #include "obs/instrument.h"
 #include "parallel/park.h"
 
@@ -98,7 +99,50 @@ struct NetMetrics {
     return *m;
   }
 };
+
+/// Durability metric bundle (DESIGN.md §14): recovery and log progress must
+/// be observable — a replayed boot that looks like a fresh one hides data
+/// loss.
+struct DurableMetrics {
+  obs::Counter& segments_written;
+  obs::Counter& records_appended;
+  obs::Counter& records_replayed;
+  obs::Counter& torn_truncations;
+  obs::Counter& checkpoints_written;
+
+  static DurableMetrics& Get() {
+    static DurableMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new DurableMetrics{
+          r.GetCounter("qf_durable_segments_written_total",
+                       "WAL segment files opened"),
+          r.GetCounter("qf_durable_records_appended_total",
+                       "ingest batches appended to the WAL"),
+          r.GetCounter("qf_durable_records_replayed_total",
+                       "WAL records re-driven through the pipeline at boot"),
+          r.GetCounter("qf_durable_torn_truncations_total",
+                       "torn trailing WAL frames truncated during recovery"),
+          r.GetCounter("qf_durable_checkpoints_written_total",
+                       "full + delta checkpoints written"),
+      };
+    }();
+    return *m;
+  }
+};
 #endif  // QF_METRICS
+
+/// Per-shard RNG snapshot accompanying a durable checkpoint: SerializeState
+/// blobs exclude the rounding generator, but WAL-tail replay must resume its
+/// draw sequence exactly (durable/checkpoint.h).
+template <typename ShardedT>
+std::vector<durable::RngState> GatherRngStates(const ShardedT& filter) {
+  std::vector<durable::RngState> out(
+      static_cast<size_t>(filter.num_shards()));
+  for (int s = 0; s < filter.num_shards(); ++s) {
+    filter.shard(s).GetRngState(out[static_cast<size_t>(s)].data());
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -160,6 +204,10 @@ QfServer::~QfServer() {
 
 bool QfServer::Start() {
   if (running_.load(std::memory_order_acquire)) return true;
+
+  // Durable recovery runs first: a corrupt log or checkpoint chain must
+  // refuse to boot (fail closed) before any socket accepts traffic.
+  if (options_.durable.enabled() && !SetupDurable()) return false;
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -238,6 +286,15 @@ bool QfServer::Start() {
 
   // Workers spawn (and pre-fault their arenas) before any reactor can push.
   pipeline_.Start();
+  // Re-drive the recovered log tail through producer slot 0 on this thread,
+  // before reactor 0 exists to contend for the slot. The fence inside
+  // ReplayRecoveredTail releases the slot and waits until every replayed
+  // item is applied, so reactors start from exactly the pre-crash state.
+  if (durable_enabled_ && !ReplayRecoveredTail()) {
+    pipeline_.Stop();
+    running_.store(false, std::memory_order_release);
+    return false;
+  }
   for (auto& rx : reactors_) {
     Reactor* p = rx.get();
     p->thread = std::thread([this, p] { Loop(*p); });
@@ -275,7 +332,245 @@ WireStats QfServer::StatsSnapshot() const {
   s.accepts = accepts_.load(std::memory_order_relaxed);
   s.active_connections = active_connections_.load(std::memory_order_relaxed);
   s.slow_disconnects = slow_disconnects_.load(std::memory_order_relaxed);
+  s.wal_records_appended =
+      wal_records_appended_.load(std::memory_order_relaxed);
+  s.wal_records_replayed =
+      wal_records_replayed_.load(std::memory_order_relaxed);
+  s.wal_torn_truncations =
+      wal_torn_truncations_.load(std::memory_order_relaxed);
+  s.wal_segments_written = wal_ ? wal_->segments_written() : 0;
+  s.wal_checkpoints_written =
+      wal_checkpoints_written_.load(std::memory_order_relaxed);
   return s;
+}
+
+bool QfServer::SetupDurable() {
+  durable_enabled_ = true;
+  if (options_.durable.storage != nullptr) {
+    storage_ = options_.durable.storage;
+  } else {
+    owned_storage_ =
+        std::make_unique<durable::FsStorage>(options_.durable.wal_dir);
+    if (!owned_storage_->ok()) {
+      error_ = "wal storage: " + owned_storage_->error();
+      return false;
+    }
+    storage_ = owned_storage_.get();
+  }
+  checkpoints_ = std::make_unique<durable::CheckpointStore>(storage_);
+
+  durable::RecoverOptions ropts;
+  ropts.repair_torn_tail = true;
+  durable::Recovered rec = durable::Recover(*storage_, ropts);
+  if (!rec.ok) {
+    error_ = "durable recovery refused to boot (fail closed): " + rec.error;
+    return false;
+  }
+  std::string apply_error;
+  if (!durable::ApplyCheckpoints(rec, &filter_, &apply_error)) {
+    error_ = "durable recovery refused to boot (fail closed): " + apply_error;
+    return false;
+  }
+
+  recovery_ = RecoveryInfo{};
+  recovery_.durable = true;
+  recovery_.had_checkpoint = rec.had_checkpoint;
+  recovery_.checkpoint_id = rec.checkpoint_id;
+  recovery_.replayed_records = rec.tail_records;
+  recovery_.replayed_items = rec.tail.size();
+  recovery_.segments_scanned = rec.segments_scanned;
+  recovery_.torn_truncations = rec.torn_truncations;
+  recovery_.warning = rec.warning;
+  replay_tail_ = std::move(rec.tail);
+
+  next_checkpoint_id_ = rec.checkpoint_id + 1;
+  last_checkpoint_id_ = rec.checkpoint_id;
+  chain_base_id_ = rec.had_checkpoint ? rec.base_id : 0;
+  checkpoints_since_full_ = 0;
+  items_at_last_checkpoint_ = 0;
+  // Pipeline counters start at zero each boot; a delta against the
+  // recovered checkpoint must treat the replayed tail as dirtying its
+  // shards, which a zero baseline does exactly.
+  shard_items_at_checkpoint_.assign(
+      static_cast<size_t>(filter_.num_shards()), 0);
+  final_checkpoint_written_ = false;
+
+  wal_records_appended_.store(0, std::memory_order_relaxed);
+  wal_records_replayed_.store(0, std::memory_order_relaxed);
+  wal_torn_truncations_.store(rec.torn_truncations,
+                              std::memory_order_relaxed);
+  wal_checkpoints_written_.store(0, std::memory_order_relaxed);
+  QF_OBS({
+    if (rec.torn_truncations > 0) {
+      DurableMetrics::Get().torn_truncations.Add(rec.torn_truncations);
+    }
+  });
+
+  durable::WalOptions wopts;
+  wopts.segment_bytes = options_.durable.segment_bytes;
+  wopts.fsync = options_.durable.fsync;
+  wal_ = std::make_unique<durable::WalWriter>(storage_, wopts);
+  if (!wal_->Init(rec.wal_gen, rec.next_seq)) {
+    error_ = "wal writer init failed";
+    return false;
+  }
+  wal_segments_observed_ = wal_->segments_written();
+  QF_OBS(DurableMetrics::Get().segments_written.Add(wal_segments_observed_));
+  return true;
+}
+
+bool QfServer::ReplayRecoveredTail() {
+  if (!replay_tail_.empty()) {
+    pipeline_.PushBatchFrom(0, replay_tail_);
+    // Conservation (ingested == processed after a drain) must hold across
+    // the restart, so replayed items count as ingested.
+    items_ingested_.fetch_add(replay_tail_.size(),
+                              std::memory_order_relaxed);
+  }
+  // Flush + release producer slot 0 and wait until every worker applied
+  // its replayed items; reactors then observe the recovered state.
+  pipeline_.FenceFrom(0);
+  // Reports re-detected during replay were already delivered (at most
+  // once) by the crashed process; discard their alert records so a
+  // post-restart subscriber never sees a pre-crash duplicate. Runs before
+  // the reactors spawn, so this thread is the rings' only consumer.
+  pipeline_.DrainAlerts([](int, const Pipeline::AlertRecord&) {});
+  wal_records_replayed_.store(recovery_.replayed_records,
+                              std::memory_order_relaxed);
+  QF_OBS({
+    if (recovery_.replayed_records > 0) {
+      DurableMetrics::Get().records_replayed.Add(recovery_.replayed_records);
+    }
+  });
+  replay_tail_.clear();
+  replay_tail_.shrink_to_fit();
+  return true;
+}
+
+void QfServer::FlushGroupCommit(Reactor& rx) {
+  if (rx.deferred_acks.empty()) return;
+  bool synced;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    synced = wal_->Sync();
+  }
+  std::vector<DeferredAck> acks;
+  acks.swap(rx.deferred_acks);
+  for (DeferredAck& ack : acks) {
+    auto it = rx.conns.find(ack.fd);
+    if (it == rx.conns.end() || it->second->gen != ack.gen) continue;
+    if (!synced) {
+      // The durability promise behind these acks failed; closing the
+      // connection (instead of acking anyway) tells the client its
+      // unacked window may not survive a crash.
+      CloseConn(rx, it->second.get(), /*slow=*/false);
+      continue;
+    }
+    QueueWrite(rx, it->second.get(), ack.bytes);
+  }
+}
+
+void QfServer::MaybeCheckpoint(Reactor& rx) {
+  const uint64_t interval = options_.durable.checkpoint_interval_items;
+  if (interval == 0) return;
+  if (items_ingested_.load(std::memory_order_relaxed) -
+          items_at_last_checkpoint_ <
+      interval) {
+    return;
+  }
+  // Capture under the global quiesce (shards quiescent, WAL position
+  // exact); write + fsync the checkpoint file OUTSIDE it so the slow part
+  // never stalls the reactor group — this is what lets delta checkpoints
+  // replace the full-"QFS4"-under-quiesce pattern.
+  uint64_t covered = 0;
+  bool full = false;
+  std::vector<uint8_t> full_blob;
+  std::vector<durable::RngState> full_rng;
+  std::vector<durable::ShardDelta> dirty;
+  std::vector<uint64_t> new_baseline(shard_items_at_checkpoint_.size(), 0);
+  uint64_t new_items_baseline = 0;
+  WithGlobalQuiesce(rx, [&] {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    covered = wal_->next_seq() - 1;
+    full = chain_base_id_ == 0 ||
+           (options_.durable.full_checkpoint_every > 0 &&
+            checkpoints_since_full_ + 1 >=
+                options_.durable.full_checkpoint_every);
+    for (int s = 0; s < filter_.num_shards(); ++s) {
+      const uint64_t processed = pipeline_.shard_items(s);
+      new_baseline[static_cast<size_t>(s)] = processed;
+      if (!full &&
+          processed != shard_items_at_checkpoint_[static_cast<size_t>(s)]) {
+        durable::ShardDelta d;
+        d.shard = static_cast<uint32_t>(s);
+        filter_.shard(s).GetRngState(d.rng.data());
+        d.bytes = filter_.shard(s).SerializeState();
+        dirty.push_back(std::move(d));
+      }
+    }
+    if (full) {
+      full_blob = filter_.SerializeState();
+      full_rng = GatherRngStates(filter_);
+    }
+    new_items_baseline = items_ingested_.load(std::memory_order_relaxed);
+  });
+  if (!full && dirty.empty()) {
+    // Interval elapsed but no shard advanced past the fence (all counted
+    // items were already covered); just restart the cadence.
+    items_at_last_checkpoint_ = new_items_baseline;
+    return;
+  }
+  const uint64_t id = next_checkpoint_id_;
+  bool ok;
+  if (full) {
+    ok = checkpoints_->WriteFull(id, wal_->wal_gen(), covered, full_blob,
+                                 full_rng);
+  } else {
+    ok = checkpoints_->WriteDelta(id, last_checkpoint_id_, wal_->wal_gen(),
+                                  covered,
+                                  static_cast<uint32_t>(filter_.num_shards()),
+                                  dirty);
+  }
+  if (!ok) return;  // baselines untouched: shards stay dirty, retried later
+  next_checkpoint_id_ = id + 1;
+  last_checkpoint_id_ = id;
+  if (full) {
+    chain_base_id_ = id;
+    checkpoints_since_full_ = 0;
+  } else {
+    ++checkpoints_since_full_;
+  }
+  shard_items_at_checkpoint_ = new_baseline;
+  items_at_last_checkpoint_ = new_items_baseline;
+  wal_checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  QF_OBS(DurableMetrics::Get().checkpoints_written.Add(1));
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal_->Retain(covered);
+  }
+  checkpoints_->Retain(chain_base_id_);
+}
+
+void QfServer::WriteFinalCheckpoint() {
+  // Runs on the last exiting reactor after pipeline_.Stop(): the filter is
+  // quiescent and no other thread touches the WAL.
+  if (!durable_enabled_ || final_checkpoint_written_) return;
+  final_checkpoint_written_ = true;
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  const uint64_t covered = wal_->next_seq() - 1;
+  const uint64_t id = next_checkpoint_id_;
+  if (!checkpoints_->WriteFull(id, wal_->wal_gen(), covered,
+                               filter_.SerializeState(),
+                               GatherRngStates(filter_))) {
+    return;  // the log still covers everything; next boot replays it
+  }
+  next_checkpoint_id_ = id + 1;
+  last_checkpoint_id_ = id;
+  chain_base_id_ = id;
+  wal_checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  QF_OBS(DurableMetrics::Get().checkpoints_written.Add(1));
+  wal_->Retain(covered);
+  checkpoints_->Retain(id);
 }
 
 void QfServer::ServiceQuiesce(Reactor& rx) {
@@ -415,6 +710,15 @@ void QfServer::Loop(Reactor& rx) {
       pipeline_.FlushFrom(rx.idx);
       rx.pushed = false;
     }
+    if (durable_enabled_) {
+      // Group commit: one fsync covers every ingest ack deferred during
+      // this loop iteration. Checkpoint duty lives on reactor 0 so delta
+      // cadence is single-threaded.
+      FlushGroupCommit(rx);
+      if (rx.idx == 0 && !stopping_.load(std::memory_order_relaxed)) {
+        MaybeCheckpoint(rx);
+      }
+    }
     if (rx.idx == 0) BroadcastAlerts(rx);
   }
 
@@ -422,6 +726,7 @@ void QfServer::Loop(Reactor& rx) {
   // THEN leave the live set — a coordinator mid-quiesce stops waiting for
   // this reactor only after its flush, keeping fences exact.
   pipeline_.FlushFrom(rx.idx);
+  if (durable_enabled_) FlushGroupCommit(rx);
   active_reactors_.fetch_sub(1, std::memory_order_acq_rel);
 
   for (auto& [fd, conn] : rx.conns) {
@@ -436,6 +741,7 @@ void QfServer::Loop(Reactor& rx) {
   if (exited_reactors_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
       num_reactors_) {
     pipeline_.Stop();
+    WriteFinalCheckpoint();
     running_.store(false, std::memory_order_release);
   }
 }
@@ -533,6 +839,14 @@ void QfServer::HandleFrame(Reactor& rx, Conn* conn, const FrameView& frame) {
     NetMetrics::Get().frames_by_type[type_idx]->Add(1);
   }
 #endif
+  // Per-connection response order must match request order. Deferred ingest
+  // acks (group commit) would otherwise be overtaken by the immediate reply
+  // to a QUERY/CONTROL that arrived in the same read, so sync-and-flush them
+  // before handling any non-ingest frame.
+  if (durable_enabled_ && frame.type != FrameType::kIngest &&
+      !rx.deferred_acks.empty()) {
+    FlushGroupCommit(rx);
+  }
   if (stopping_.load(std::memory_order_acquire)) {
     SendError(rx, conn, ErrorCode::kShuttingDown, "server is shutting down");
     return;
@@ -591,6 +905,47 @@ void QfServer::HandleIngest(Reactor& rx, Conn* conn, const FrameView& frame) {
   std::vector<uint8_t> reply;
   EncodeIngestAckTo(token, count,
                     items_ingested_.load(std::memory_order_relaxed), &reply);
+  if (durable_enabled_) {
+    // Log-before-ack: the batch (even an empty one — it consumes a seq, so
+    // ack order stays aligned with log order) is appended to the WAL before
+    // the client can observe the ack. In kGroup mode the ack is deferred to
+    // the fsync at the bottom of this loop iteration (group commit); kIngest
+    // synced inside Append; kNone promises SIGKILL-durability only.
+    bool appended;
+    uint64_t new_segments = 0;
+    {
+      std::lock_guard<std::mutex> lock(wal_mu_);
+      appended = wal_->Append(
+          std::span<const Item>(rx.scratch.data(), count), nullptr);
+      if (appended && wal_->segments_written() != wal_segments_observed_) {
+        new_segments = wal_->segments_written() - wal_segments_observed_;
+        wal_segments_observed_ = wal_->segments_written();
+      }
+    }
+    QF_OBS({
+      if (new_segments > 0) {
+        DurableMetrics::Get().segments_written.Add(new_segments);
+      }
+    });
+    if (!appended) {
+      // The items are in the pipeline but not in the log; without an ack
+      // the acked-prefix contract still holds. Surface the storage failure
+      // instead of pretending the batch is durable.
+      SendError(rx, conn, ErrorCode::kInternal, "wal append failed");
+      return;
+    }
+    wal_records_appended_.fetch_add(1, std::memory_order_relaxed);
+    QF_OBS(DurableMetrics::Get().records_appended.Add(1));
+    if (options_.durable.fsync == durable::FsyncMode::kGroup) {
+      rx.deferred_acks.push_back(
+          DeferredAck{conn->fd, conn->gen, std::move(reply)});
+      QF_OBS({
+        NetMetrics::Get().ingest_items.Add(count);
+        NetMetrics::Get().ingest_frame_ns.Record(MonotonicNanos() - t0);
+      });
+      return;
+    }
+  }
   QueueWrite(rx, conn, reply);
   QF_OBS({
     NetMetrics::Get().ingest_items.Add(count);
@@ -706,6 +1061,41 @@ void QfServer::HandleControl(Reactor& rx, Conn* conn, const FrameView& frame) {
         // Workers observe the restored state through their next ring pop /
         // control-slot post; parked peer reactors through the quiesce
         // release (release/acquire pairs in both protocols).
+        if (ok && durable_enabled_) {
+          // The restored blob replaces history: every logged record and
+          // every checkpoint describes a filter that no longer exists. Bump
+          // the WAL generation (stale segments from the old timeline fail
+          // closed if they somehow survive) and anchor the new timeline
+          // with a full checkpoint of the restored blob at covered_seq 0.
+          std::lock_guard<std::mutex> lock(wal_mu_);
+          wal_->ResetTimeline(wal_->wal_gen() + 1);
+          wal_segments_observed_ = wal_->segments_written();
+          const uint64_t id = next_checkpoint_id_;
+          if (checkpoints_->WriteFull(id, wal_->wal_gen(), 0, req.op_payload,
+                                      GatherRngStates(filter_))) {
+            next_checkpoint_id_ = id + 1;
+            last_checkpoint_id_ = id;
+            chain_base_id_ = id;
+            checkpoints_since_full_ = 0;
+            wal_checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+            QF_OBS(DurableMetrics::Get().checkpoints_written.Add(1));
+            checkpoints_->Retain(id);
+          } else {
+            // Anchor write failed: drop the old chain entirely rather than
+            // let a next boot pair old-generation checkpoints with the new
+            // log. An empty store plus the fresh log replays from scratch.
+            checkpoints_->RemoveAll();
+            last_checkpoint_id_ = 0;
+            chain_base_id_ = 0;
+            checkpoints_since_full_ = 0;
+          }
+          for (int s = 0; s < filter_.num_shards(); ++s) {
+            shard_items_at_checkpoint_[static_cast<size_t>(s)] =
+                pipeline_.shard_items(s);
+          }
+          items_at_last_checkpoint_ =
+              items_ingested_.load(std::memory_order_relaxed);
+        }
         EncodeControlResultTo(
             req.token, req.op,
             ok ? ControlStatus::kOk : ControlStatus::kRejected, {}, &reply);

@@ -54,6 +54,9 @@
 #include <vector>
 
 #include "core/sharded_filter.h"
+#include "durable/checkpoint.h"
+#include "durable/log.h"
+#include "durable/storage.h"
 #include "net/protocol.h"
 #include "parallel/pipeline.h"
 #include "parallel/placement.h"
@@ -103,6 +106,29 @@ class QfServer {
     /// SO_SNDBUF for accepted sockets (0 = kernel default). Tests shrink it
     /// so slow-consumer backpressure surfaces without megabytes of alerts.
     int so_sndbuf = 0;
+
+    /// Durability (src/durable/, DESIGN.md §14). Off unless wal_dir is set
+    /// or a Storage is injected. When on, Start() recovers the newest valid
+    /// checkpoint + log tail (refusing to boot on corruption — fail
+    /// closed), every INGEST batch is logged before its ack, and reactor 0
+    /// writes delta checkpoints on an item cadence.
+    struct Durable {
+      std::string wal_dir;  // FsStorage directory (created if missing)
+      /// Test injection: use this Storage instead of wal_dir (non-owning;
+      /// must outlive the server).
+      durable::Storage* storage = nullptr;
+      durable::FsyncMode fsync = durable::FsyncMode::kGroup;
+      uint64_t segment_bytes = 4u << 20;
+      /// Ingested items between background checkpoints (0 = only the final
+      /// checkpoint written by a clean Stop()).
+      uint64_t checkpoint_interval_items = 0;
+      /// Every Nth background checkpoint is full instead of delta, bounding
+      /// chain length (the final shutdown checkpoint is always full).
+      uint64_t full_checkpoint_every = 8;
+
+      bool enabled() const { return !wal_dir.empty() || storage != nullptr; }
+    };
+    Durable durable;
   };
 
   explicit QfServer(const Options& options);
@@ -132,6 +158,20 @@ class QfServer {
   /// Live server counters (the same snapshot CONTROL kStats serves).
   WireStats StatsSnapshot() const;
 
+  /// Outcome of the durable recovery run by the last Start(). All zeros
+  /// when the server runs without Options::durable.
+  struct RecoveryInfo {
+    bool durable = false;         // durability active for this run
+    bool had_checkpoint = false;  // restored a checkpoint chain
+    uint64_t checkpoint_id = 0;
+    uint64_t replayed_records = 0;
+    uint64_t replayed_items = 0;
+    uint32_t segments_scanned = 0;
+    uint32_t torn_truncations = 0;
+    std::string warning;
+  };
+  const RecoveryInfo& recovery() const { return recovery_; }
+
   /// The serving filter; read it only when the server is stopped.
   const Sharded& filter() const { return filter_; }
 
@@ -152,6 +192,15 @@ class QfServer {
     Pipeline::AlertRecord rec;
   };
 
+  /// An ingest ack held back until the WAL's group-commit fsync (fsync mode
+  /// kGroup): identified by fd + generation so a connection closed (or the
+  /// fd reused) before the flush drops its ack instead of misdelivering.
+  struct DeferredAck {
+    int fd = -1;
+    uint32_t gen = 0;
+    std::vector<uint8_t> bytes;
+  };
+
   /// Per-reactor state. Every field is owned by its reactor thread except
   /// the mailbox (mutex-protected) and wake_fd (written by anyone).
   struct Reactor {
@@ -165,6 +214,8 @@ class QfServer {
     bool pushed = false;       // items staged since the last FlushFrom
     int shutdown_fd = -1;      // conn whose kShutdown ack must drain here
     std::vector<Item> scratch; // INGEST decode staging (reused)
+    // Ingest acks awaiting the group-commit fsync (durable kGroup mode).
+    std::vector<DeferredAck> deferred_acks;
     // Alerts forwarded from reactor 0 for this reactor's subscribers.
     std::mutex mail_mu;
     std::vector<DrainedAlert> mail;
@@ -204,6 +255,18 @@ class QfServer {
   /// disconnect). Returns false if the connection was closed.
   bool QueueWrite(Reactor& rx, Conn* conn, const std::vector<uint8_t>& bytes);
   bool FlushWrites(Reactor& rx, Conn* conn);
+  /// Durability (DESIGN.md §14). SetupDurable opens the storage, resolves
+  /// checkpoints and scans the log (fail closed on corruption); Replay
+  /// re-drives the recovered tail through producer slot 0 before the
+  /// reactors spawn. FlushGroupCommit fsyncs the log and releases the
+  /// reactor's deferred acks; MaybeCheckpoint runs the background delta-
+  /// checkpoint cadence on reactor 0; WriteFinalCheckpoint runs once after
+  /// the pipeline stops on a clean shutdown.
+  bool SetupDurable();
+  bool ReplayRecoveredTail();
+  void FlushGroupCommit(Reactor& rx);
+  void MaybeCheckpoint(Reactor& rx);
+  void WriteFinalCheckpoint();
   void SendError(Reactor& rx, Conn* conn, ErrorCode code,
                  const std::string& message);
   void CloseConn(Reactor& rx, Conn* conn, bool slow);
@@ -244,6 +307,38 @@ class QfServer {
   std::atomic<uint64_t> accepts_{0};
   std::atomic<uint64_t> slow_disconnects_{0};
   std::atomic<uint64_t> active_connections_{0};
+
+  // --- Durability state (engaged iff options_.durable.enabled()) ---
+  bool durable_enabled_ = false;
+  std::unique_ptr<durable::FsStorage> owned_storage_;
+  durable::Storage* storage_ = nullptr;
+  std::unique_ptr<durable::WalWriter> wal_;
+  std::unique_ptr<durable::CheckpointStore> checkpoints_;
+  /// Serializes WAL appends/syncs/retention across reactors (WalWriter is
+  /// single-writer). Held briefly per INGEST frame.
+  std::mutex wal_mu_;
+  /// Last wal_->segments_written() published to the qf_durable_* metrics
+  /// (guarded by wal_mu_; rotations happen inside Append).
+  uint64_t wal_segments_observed_ = 0;
+  RecoveryInfo recovery_;
+  std::vector<Item> replay_tail_;  // recovered log tail until replayed
+
+  // Checkpoint-chain bookkeeping. Written only with the filter quiescent
+  // (under a global quiesce on reactor 0, or after the pipeline stops), so
+  // plain fields suffice.
+  uint64_t next_checkpoint_id_ = 1;
+  uint64_t last_checkpoint_id_ = 0;  // delta parent (last successful write)
+  uint64_t chain_base_id_ = 0;
+  uint64_t checkpoints_since_full_ = 0;
+  uint64_t items_at_last_checkpoint_ = 0;
+  std::vector<uint64_t> shard_items_at_checkpoint_;
+  bool final_checkpoint_written_ = false;
+
+  // Durable counters mirrored into WireStats + qf_durable_* metrics.
+  std::atomic<uint64_t> wal_records_appended_{0};
+  std::atomic<uint64_t> wal_records_replayed_{0};
+  std::atomic<uint64_t> wal_torn_truncations_{0};
+  std::atomic<uint64_t> wal_checkpoints_written_{0};
 };
 
 }  // namespace qf::net

@@ -469,6 +469,16 @@ class IngestPipeline {
         std::memory_order_relaxed);
   }
 
+  /// Items processed by shard `s`'s worker. Exact only behind a fence or
+  /// global quiesce; the durable layer samples it there to decide which
+  /// shards are dirty since the last delta checkpoint (a shard whose count
+  /// did not advance cannot have mutated — each shard is single-writer and
+  /// queries are const).
+  uint64_t shard_items(int s) const {
+    return workers_[static_cast<size_t>(s)].items.load(
+        std::memory_order_relaxed);
+  }
+
   /// Keys reported by shard `s`, in processing order. Only populated when
   /// Options::collect_reported_keys is set.
   const std::vector<uint64_t>& reported_keys(int s) const {

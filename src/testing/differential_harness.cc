@@ -150,6 +150,28 @@ std::vector<FuzzConfig> BuildConfigs() {
       /*value_levels=*/{10.0, 150.0, 350.0, 700.0},
   });
 
+  configs.push_back(FuzzConfig{
+      /*name=*/"durable-replay",
+      /*sketch=*/SketchKind::kCountSketch16,
+      /*memory_bytes=*/8 * 1024,
+      /*num_shards=*/2,
+      /*election=*/ElectionStrategy::kComparative,
+      /*key_universe=*/4096,
+      /*exact_regime=*/false,
+      /*use_exact_detector=*/false,
+      // No merges: MergeFrom bypasses the log, so the recovered track could
+      // not mirror it (the serving layer has no merge op either).
+      /*allow_merge=*/false,
+      /*criteria=*/{Criteria(2.0, 0.7, 100.0), Criteria(4.0, 0.65, 200.0)},
+      /*value_levels=*/{10.0, 150.0, 250.0, 600.0},
+      /*layout=*/VagueLayout::kClassic,
+      // WAL-write + crash + replay at every sharded barrier: checkpoint
+      // chain (rng-chosen full/delta, with retention) + tail replay into a
+      // fresh sharded filter must match the never-crashed sequential track
+      // bit-for-bit, and a torn-tail copy must recover exactly a prefix.
+      /*durable_replay=*/true,
+  });
+
   return configs;
 }
 

@@ -48,6 +48,10 @@
 #include "common/random.h"
 #include "core/quantile_filter.h"
 #include "core/sharded_filter.h"
+#include "durable/checkpoint.h"
+#include "durable/log.h"
+#include "durable/recovery.h"
+#include "durable/storage.h"
 #include "parallel/pipeline.h"
 #include "sketch/count_min_sketch.h"
 #include "sketch/count_sketch.h"
@@ -107,6 +111,14 @@ struct FuzzConfig {
   /// sketches silently run classic, so pair kBlocked with a kind that
   /// supports it.
   VagueLayout layout = VagueLayout::kClassic;
+  /// Durable-replay track: every sharded-track insert is also appended to a
+  /// MemStorage-backed WAL; at each sharded barrier the harness "crashes"
+  /// (recovers checkpoint + log tail into a fresh sharded filter) and the
+  /// recovered state must match the sequential sharded track bit-for-bit.
+  /// A second recovery from a torn copy of the storage checks the
+  /// truncated-tail path replays exactly a prefix. rng-chosen full/delta
+  /// checkpoints and retention run between barriers.
+  bool durable_replay = false;
 };
 
 /// The built-in configuration matrix (seed % size selects one per run).
@@ -172,6 +184,17 @@ class DifferentialHarness {
         sharded_pipe_(MakeOptions(config), config.criteria[0],
                       config.num_shards) {
     if (config.use_exact_detector) exact_.emplace(config.criteria[0]);
+    if (config.durable_replay) {
+      wal_storage_.emplace();
+      durable::WalOptions wopts;
+      wopts.segment_bytes = 1024;  // tiny: rotation runs on every schedule
+      wopts.fsync = durable::FsyncMode::kNone;
+      wal_.emplace(&*wal_storage_, wopts);
+      wal_->Init(1, 1);
+      ckpts_.emplace(&*wal_storage_);
+      durable_counts_.assign(static_cast<size_t>(config.num_shards), 0);
+      durable_baseline_ = durable_counts_;
+    }
   }
 
   FuzzResult Run(const std::vector<Op>& ops) {
@@ -294,6 +317,15 @@ class DifferentialHarness {
     // The sharded tracks replay the default-criteria view of the stream at
     // the next full checkpoint (both lazily, so they stay aligned).
     sharded_pending_.push_back(Item{key, value});
+    if (config_.durable_replay) {
+      // Log-before-apply, exactly like the serving layer: the WAL sees the
+      // item before any filter does, so a "crash" at a barrier can always
+      // rebuild the sequential track from checkpoint + tail.
+      const Item logged{key, value};
+      if (!wal_->Append(std::span<const Item>(&logged, 1), nullptr)) {
+        Fail(i, "durable-replay WAL append failed");
+      }
+    }
   }
 
   /// Drains the batch buffer through InsertBatch with arbitrary split
@@ -412,6 +444,34 @@ class DifferentialHarness {
     sharded_pending_.clear();
     sharded_seq_.Reset();
     sharded_pipe_.Reset();
+    if (config_.durable_replay) {
+      // Mirrors CONTROL kRestore: the old log describes a filter that no
+      // longer exists, so the generation bumps and history is dropped. The
+      // anchor full checkpoint is not optional — Reset() clears counters but
+      // leaves each shard's probabilistic-rounding generator evolved, so
+      // replay-from-empty with freshly seeded generators could never be
+      // bit-identical. The anchor pins the post-reset state, RNG included.
+      if (!wal_->ResetTimeline(wal_->wal_gen() + 1)) {
+        Fail(i, "durable-replay WAL ResetTimeline failed");
+        return;
+      }
+      ckpts_->RemoveAll();
+      std::fill(durable_counts_.begin(), durable_counts_.end(), 0);
+      durable_baseline_ = durable_counts_;
+      const uint64_t id = durable_next_id_++;
+      std::vector<durable::RngState> rng(
+          static_cast<size_t>(config_.num_shards));
+      for (int s = 0; s < config_.num_shards; ++s) {
+        sharded_seq_.shard(s).GetRngState(rng[static_cast<size_t>(s)].data());
+      }
+      if (!ckpts_->WriteFull(id, wal_->wal_gen(), 0,
+                             sharded_seq_.SerializeState(), rng)) {
+        Fail(i, "durable-replay anchor checkpoint write failed");
+        return;
+      }
+      durable_base_id_ = id;
+      durable_last_id_ = id;
+    }
   }
 
   /// aux picks the checkpoint depth: every checkpoint compares reports and
@@ -517,6 +577,9 @@ class DifferentialHarness {
     uint64_t seq_reports = 0;
     for (const Item& item : sharded_pending_) {
       const int s = sharded_seq_.ShardFor(item.key);
+      if (config_.durable_replay) {
+        ++durable_counts_[static_cast<size_t>(s)];
+      }
       if (sharded_seq_.Insert(item.key, item.value)) {
         seq_keys[static_cast<size_t>(s)].push_back(item.key);
         ++seq_reports;
@@ -604,7 +667,117 @@ class DifferentialHarness {
            "RestoreState");
       return;
     }
+    if (config_.durable_replay) CheckDurableReplay(i);
     sharded_pending_.clear();
+  }
+
+  /// The durable-replay track's crash point: maybe write a (full or delta)
+  /// durable checkpoint of the sequential sharded filter, then recover from
+  /// storage as a cold boot would — checkpoint chain + WAL tail — into a
+  /// fresh sharded filter, and require per-shard bit-identity with the
+  /// filter that never crashed. A second recovery runs against a copy of
+  /// the storage with the last segment torn mid-byte, and must come back
+  /// with exactly a prefix of the clean tail.
+  void CheckDurableReplay(size_t i) {
+    if (result_.failed) return;
+    const uint32_t r = static_cast<uint32_t>(rng_.Next());
+    if ((r & 1u) != 0) {
+      const uint64_t covered = wal_->next_seq() - 1;
+      const uint64_t id = durable_next_id_++;
+      const bool full = durable_base_id_ == 0 || (r & 6u) == 0;
+      bool wrote;
+      if (full) {
+        std::vector<durable::RngState> rng(
+            static_cast<size_t>(config_.num_shards));
+        for (int s = 0; s < config_.num_shards; ++s) {
+          sharded_seq_.shard(s).GetRngState(rng[static_cast<size_t>(s)].data());
+        }
+        wrote = ckpts_->WriteFull(id, wal_->wal_gen(), covered,
+                                  sharded_seq_.SerializeState(), rng);
+      } else {
+        std::vector<durable::ShardDelta> dirty;
+        for (int s = 0; s < config_.num_shards; ++s) {
+          if (durable_counts_[static_cast<size_t>(s)] !=
+              durable_baseline_[static_cast<size_t>(s)]) {
+            durable::ShardDelta d;
+            d.shard = static_cast<uint32_t>(s);
+            sharded_seq_.shard(s).GetRngState(d.rng.data());
+            d.bytes = sharded_seq_.shard(s).SerializeState();
+            dirty.push_back(std::move(d));
+          }
+        }
+        wrote = ckpts_->WriteDelta(id, durable_last_id_, wal_->wal_gen(),
+                                   covered,
+                                   static_cast<uint32_t>(config_.num_shards),
+                                   dirty);
+      }
+      if (!wrote) {
+        Fail(i, "durable-replay checkpoint write failed");
+        return;
+      }
+      if (full) durable_base_id_ = id;
+      durable_last_id_ = id;
+      durable_baseline_ = durable_counts_;
+      wal_->Retain(covered);
+      ckpts_->Retain(durable_base_id_);
+    }
+
+    durable::Recovered rec = durable::Recover(*wal_storage_, {});
+    if (!rec.ok) {
+      Fail(i, "durable-replay recovery failed: " + rec.error);
+      return;
+    }
+    Sharded recovered(MakeOptions(config_), config_.criteria[0],
+                      config_.num_shards);
+    std::string err;
+    if (!durable::ApplyCheckpoints(rec, &recovered, &err)) {
+      Fail(i, "durable-replay checkpoint restore failed: " + err);
+      return;
+    }
+    for (const Item& item : rec.tail) recovered.Insert(item.key, item.value);
+    for (int s = 0; s < config_.num_shards; ++s) {
+      if (recovered.shard(s).SerializeState() !=
+          sharded_seq_.shard(s).SerializeState()) {
+        std::ostringstream msg;
+        msg << "durable-replay shard " << s << " state diverged after "
+            << "checkpoint + tail recovery (" << rec.tail_records
+            << " tail records)";
+        Fail(i, msg.str());
+        return;
+      }
+    }
+
+    // Torn-tail crash: shear the newest segment mid-frame and recover
+    // read-only. The result must be the clean tail minus a suffix — never a
+    // failure, never extra or reordered items.
+    durable::MemStorage torn;
+    std::string last_segment;
+    for (const auto& [name, bytes] : wal_storage_->blobs()) {
+      torn.blobs()[name] = bytes;
+      uint64_t first_seq;
+      if (durable::ParseSegmentName(name, &first_seq)) last_segment = name;
+    }
+    if (!last_segment.empty()) {
+      std::vector<uint8_t>& seg = torn.blobs()[last_segment];
+      if (!seg.empty()) {
+        seg.resize(seg.size() - 1 - rng_.NextBounded(seg.size()));
+      }
+    }
+    durable::Recovered trec = durable::Recover(torn, {});
+    if (!trec.ok) {
+      Fail(i, "durable-replay torn-tail recovery failed closed: " +
+                  trec.error);
+      return;
+    }
+    if (trec.tail.size() > rec.tail.size() ||
+        !std::equal(trec.tail.begin(), trec.tail.end(), rec.tail.begin(),
+                    [](const Item& a, const Item& b) {
+                      return a.key == b.key && a.value == b.value;
+                    })) {
+      Fail(i,
+           "durable-replay torn-tail recovery is not a prefix of the clean "
+           "tail");
+    }
   }
 
   static std::string Describe(const char* what, uint64_t key) {
@@ -643,6 +816,16 @@ class DifferentialHarness {
 
   ReferenceModel model_;
   std::optional<ExactDetector> exact_;
+
+  // Durable-replay track (config_.durable_replay only).
+  std::optional<durable::MemStorage> wal_storage_;
+  std::optional<durable::WalWriter> wal_;
+  std::optional<durable::CheckpointStore> ckpts_;
+  std::vector<uint64_t> durable_counts_;    // items fed per shard (seq track)
+  std::vector<uint64_t> durable_baseline_;  // counts at the last checkpoint
+  uint64_t durable_next_id_ = 1;
+  uint64_t durable_last_id_ = 0;
+  uint64_t durable_base_id_ = 0;
 
   size_t criteria_idx_ = 0;
   FuzzResult result_;

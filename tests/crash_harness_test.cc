@@ -1,0 +1,66 @@
+// Crash-injection harness smoke (DESIGN.md §14): a handful of
+// RunCrashTrial seeds in the tier-1 gate, spanning 1- and 2-reactor
+// servers, log-only and checkpointed recovery, and the torn-write shim.
+// The full 100-trial kill-anywhere matrix lives in tools/qf_crashtest
+// (CI's crash-smoke job); these runs keep the harness itself from rotting
+// between CI runs.
+//
+// Deliberately NOT in the sanitizer_concurrency entry: each trial forks a
+// serving child and SIGKILLs it, and TSan does not support running threads
+// created before fork in the child. ASan handles it fine — CI's
+// crash-smoke job runs the standalone driver under the asan preset.
+
+#include "testing/crash_harness.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace qf::testing {
+namespace {
+
+CrashTrialResult RunTrial(uint64_t seed, int reactors, bool torn,
+                     uint64_t checkpoint_interval) {
+  CrashTrialOptions options;
+  options.seed = seed;
+  options.reactors = reactors;
+  options.arm_torn_write = torn;
+  options.checkpoint_interval_items = checkpoint_interval;
+  options.dir = ::testing::TempDir() + "qf_crash_harness/trial-" +
+                std::to_string(seed) + "-" + std::to_string(reactors) +
+                (torn ? "-torn" : "") +
+                (checkpoint_interval ? "-ckpt" : "");
+  CrashTrialResult result;
+  RunCrashTrial(options, &result);
+  return result;
+}
+
+TEST(CrashHarnessTest, SingleReactorKillAnywhereRecovers) {
+  const CrashTrialResult r = RunTrial(301, 1, false, 0);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(CrashHarnessTest, TwoReactorKillAnywhereRecovers) {
+  const CrashTrialResult r = RunTrial(302, 2, false, 0);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(CrashHarnessTest, TornFinalSegmentWriteRecovers) {
+  const CrashTrialResult r = RunTrial(303, 1, true, 0);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.killed_by_shim);
+  EXPECT_EQ(r.torn_truncations, 1u);
+}
+
+TEST(CrashHarnessTest, TornWriteUnderTwoReactorsRecovers) {
+  const CrashTrialResult r = RunTrial(304, 2, true, 0);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(CrashHarnessTest, CheckpointedRecoveryReplaysOnlyTheTail) {
+  const CrashTrialResult r = RunTrial(305, 2, false, 64);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+}  // namespace
+}  // namespace qf::testing

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "durable/log.h"
 #include "net/server.h"
 #include "obs/sink.h"
 
@@ -56,6 +57,14 @@ void PrintUsage() {
       "  --max-frame=BYTES     protocol frame cap (default 64 MiB)\n"
       "  --max-write-queue=BYTES  per-connection write cap (default 8 MiB)\n"
       "  --checkpoint=PATH     restore at boot (if present), save on exit\n\n"
+      "durability (DESIGN.md §14; supersedes --checkpoint when set):\n"
+      "  --wal-dir=DIR         write-ahead-log + checkpoint directory;\n"
+      "                        boot replays it, ingest acks become durable\n"
+      "  --wal-fsync=MODE      none | group | ingest (default group:\n"
+      "                        one fsync per reactor loop batches acks)\n"
+      "  --wal-segment-bytes=N log segment rotation size (default 4 MiB)\n"
+      "  --checkpoint-interval=N  checkpoint after N ingested items\n"
+      "                        (0 = only at shutdown; default 0)\n\n"
       "observability:\n"
       "  --metrics-jsonl=PATH  append metric snapshots as JSON lines\n"
       "  --metrics-prom=PATH   atomically rewrite Prometheus exposition\n"
@@ -119,7 +128,28 @@ int Main(int argc, char** argv) {
   opts.max_write_queue_bytes =
       static_cast<size_t>(flags.GetInt("max-write-queue", 8 << 20));
 
-  const std::string checkpoint = flags.GetString("checkpoint", "");
+  std::string checkpoint = flags.GetString("checkpoint", "");
+  opts.durable.wal_dir = flags.GetString("wal-dir", "");
+  const std::string fsync_mode = flags.GetString("wal-fsync", "group");
+  if (!durable::ParseFsyncMode(fsync_mode, &opts.durable.fsync)) {
+    std::fprintf(stderr, "qf_server: unknown --wal-fsync=%s (see --help)\n",
+                 fsync_mode.c_str());
+    return 2;
+  }
+  opts.durable.segment_bytes = static_cast<size_t>(
+      flags.GetInt("wal-segment-bytes",
+                   static_cast<int64_t>(opts.durable.segment_bytes)));
+  opts.durable.checkpoint_interval_items =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-interval", 0));
+  if (!opts.durable.wal_dir.empty() && !checkpoint.empty()) {
+    // The WAL directory owns recovery end to end; a side checkpoint file
+    // restored over the replayed state would fork history.
+    std::fprintf(stderr,
+                 "qf_server: --wal-dir supersedes --checkpoint=%s "
+                 "(ignoring the file)\n",
+                 checkpoint.c_str());
+    checkpoint.clear();
+  }
   obs::MetricsSink::Options sink_opts;
   sink_opts.jsonl_path = flags.GetString("metrics-jsonl", "");
   sink_opts.prom_path = flags.GetString("metrics-prom", "");
@@ -152,6 +182,23 @@ int Main(int argc, char** argv) {
   if (!server.Start()) {
     std::fprintf(stderr, "qf_server: %s\n", server.error().c_str());
     return 1;
+  }
+  if (server.recovery().durable) {
+    const auto& rec = server.recovery();
+    // serve_smoke.sh greps this banner after a kill -9 restart.
+    std::printf(
+        "qf_server: recovered: replayed %llu records (%llu items), "
+        "%llu segments scanned, checkpoint %s, %llu torn truncation%s\n",
+        static_cast<unsigned long long>(rec.replayed_records),
+        static_cast<unsigned long long>(rec.replayed_items),
+        static_cast<unsigned long long>(rec.segments_scanned),
+        rec.had_checkpoint ? "restored" : "none",
+        static_cast<unsigned long long>(rec.torn_truncations),
+        rec.torn_truncations == 1 ? "" : "s");
+    if (!rec.warning.empty()) {
+      std::fprintf(stderr, "qf_server: recovery warning: %s\n",
+                   rec.warning.c_str());
+    }
   }
   std::printf(
       "qf_server: listening on %s:%u (%d shards, %d reactor%s%s, %zu-byte "

@@ -84,4 +84,27 @@ grep -q "2 reactors" "${TMP}/server3.log" || {
 echo "== phase 4: validate Prometheus expositions =="
 "${BUILD}/tools/qf_top" --check-prom="${TMP}/server.prom"
 "${BUILD}/tools/qf_top" --check-prom="${TMP}/loadgen.prom"
+
+echo "== phase 5: durable WAL crash recovery (kill -9 mid-load) =="
+# A 2-reactor server logging to a WAL dies hard mid-ingest; the restart
+# must replay the log (DESIGN.md §14) and then serve a clean drain with
+# conservation intact (checked server-side by qf_loadgen --stats).
+WAL="${TMP}/wal"
+start_server "${TMP}/server5.log" --reactors=2 --wal-dir="${WAL}"
+"${BUILD}/tools/qf_loadgen" --port="${PORT}" --connections=2 \
+  --items=2000000 > "${TMP}/loadgen5.log" 2>&1 &
+LOADGEN_PID=$!
+sleep 1
+kill -9 "${SERVER_PID}"; SERVER_PID=""
+wait "${LOADGEN_PID}" || true  # the load dies with the server: expected
+ls "${WAL}"/seg-*.qfwal > /dev/null 2>&1 || {
+  echo "serve_smoke: no WAL segments written before the kill" >&2; exit 1; }
+
+start_server "${TMP}/server6.log" --reactors=2 --wal-dir="${WAL}"
+"${BUILD}/tools/qf_loadgen" --port="${PORT}" --connections=1 --items=100000 \
+  --drain --stats --shutdown
+wait "${SERVER_PID}"; SERVER_PID=""
+cat "${TMP}/server6.log"
+grep -Eq "recovered: replayed [1-9][0-9]* records" "${TMP}/server6.log" || {
+  echo "serve_smoke: restart did not replay the WAL tail" >&2; exit 1; }
 echo "serve_smoke: ok"
