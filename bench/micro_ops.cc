@@ -8,6 +8,7 @@
 #include "baseline/sketch_polymer.h"
 #include "baseline/squad.h"
 #include "common/random.h"
+#include "common/time.h"
 #include "common/zipf.h"
 #include "core/naive_filter.h"
 #include "core/quantile_filter.h"
@@ -67,16 +68,47 @@ BENCHMARK(BM_QuantileFilterInsert)->Arg(1 << 16)->Arg(1 << 20);
 // and asserts the per-insert delta stays under the 3% budget. The
 // `qf_metrics` counter lets the script verify each binary's actual mode
 // instead of trusting its own build flags.
+//
+// The metrics=ON leg runs with stage spans AND trace sampling enabled
+// (DESIGN.md §15): every 32 inserts — one worst-case minimum-size span — it
+// replays the marginal per-span work ProcessSpan adds: the 1-in-4 sampled
+// pair of stage-histogram records and the 1-in-64 sampled TraceRing emit.
+// The recorded values are loop-derived rather than re-clocked because the
+// real path reuses the t0/dur timestamps it already takes for the
+// pre-existing qf_pipeline_ingest_batch_ns series; the marginal cost of the
+// stage spans is the records and the sample decisions, not the clock.
 void BM_QuantileFilterInsertMetricsGate(benchmark::State& state) {
   const Workload& w = SharedWorkload();
   DefaultQuantileFilter::Options o;
   o.memory_bytes = 1 << 18;
   DefaultQuantileFilter filter(o, Criteria(30, 0.95, 300));
+#if QF_METRICS
+  obs::TraceRing::Global().Enable();
+  obs::StageMetrics& stm = obs::StageMetrics::Get();
+#endif
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(filter.Insert(w.keys[i], w.values[i]));
     i = (i + 1) & (kStreamLen - 1);
+#if QF_METRICS
+    if ((i & 31u) == 0) {
+      const uint64_t span_ns = static_cast<uint64_t>((i & 4095u) + 500u);
+      if (obs::StageRecordSampleHit()) {
+        stm.queue_wait_ns.Record(span_ns);
+        stm.insert_ns.Record(span_ns);
+      }
+      obs::TraceRing& tr = obs::TraceRing::Global();
+      if (tr.enabled() && obs::StageTraceSampleHit()) {
+        const uint64_t now = MonotonicNanos();
+        tr.Emit(obs::TraceEvent::kBatchProcess, /*tid=*/0, now - span_ns,
+                span_ns, /*arg=*/32);
+      }
+    }
+#endif
   }
+#if QF_METRICS
+  obs::TraceRing::Global().Disable();
+#endif
   state.SetItemsProcessed(state.iterations());
   state.counters["qf_metrics"] = QF_METRICS;
 }

@@ -93,6 +93,32 @@ const char* GitSha() {
 #endif
 }
 
+/// Machine fingerprint for the trajectory: qf_bench_gate only compares runs
+/// from the same CPU model + thread count, so numbers from a different
+/// runner class never trip (or mask) a regression. Best-effort: "unknown"
+/// where /proc/cpuinfo has no "model name" line (non-x86, sandboxes).
+std::string CpuModel() {
+  std::string model = "unknown";
+  if (std::FILE* f = std::fopen("/proc/cpuinfo", "rb")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::strncmp(line, "model name", 10) != 0) continue;
+      const char* colon = std::strchr(line, ':');
+      if (colon == nullptr) break;
+      ++colon;
+      while (*colon == ' ' || *colon == '\t') ++colon;
+      model.assign(colon);
+      while (!model.empty() && (model.back() == '\n' || model.back() == '"' ||
+                                model.back() == '\\')) {
+        model.pop_back();
+      }
+      break;
+    }
+    std::fclose(f);
+  }
+  return model;
+}
+
 double Seconds(std::chrono::steady_clock::time_point start,
                std::chrono::steady_clock::time_point stop) {
   return std::chrono::duration<double>(stop - start).count();
@@ -236,11 +262,12 @@ std::string RunJson(const std::vector<Measurement>& all, size_t items,
   std::snprintf(buf, sizeof(buf),
                 "  {\n    \"items\": %zu,\n    \"reps\": %d,\n"
                 "    \"simd\": \"%s\",\n    \"hardware_threads\": %u,\n"
+                "    \"cpu_model\": \"%s\",\n"
                 "    \"git_sha\": \"%s\",\n    \"unix_time\": %lld,\n"
                 "    \"results\": [\n",
                 items, reps, QF_SIMD_NAME,
-                std::thread::hardware_concurrency(), GitSha(),
-                static_cast<long long>(std::time(nullptr)));
+                std::thread::hardware_concurrency(), CpuModel().c_str(),
+                GitSha(), static_cast<long long>(std::time(nullptr)));
   out += buf;
   for (size_t i = 0; i < all.size(); ++i) {
     const Measurement& m = all[i];

@@ -38,6 +38,16 @@ class ByteReader {
     return true;
   }
 
+  /// Advances past `n` bytes without copying them out.
+  bool Skip(size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
   template <typename T>
   bool ReadVector(std::vector<T>* out) {
     static_assert(std::is_trivially_copyable_v<T>);

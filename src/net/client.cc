@@ -224,6 +224,15 @@ bool QfClient::Stats(WireStats* out) {
   return true;
 }
 
+bool QfClient::FetchMetrics(obs::MetricsSnapshot* out) {
+  ControlResult result;
+  if (!ControlRoundTrip(ControlOp::kMetrics, {}, &result)) return false;
+  if (out != nullptr && !ParseMetricsPayload(result.payload, out)) {
+    return Fail("protocol: malformed metrics payload");
+  }
+  return true;
+}
+
 bool QfClient::Shutdown() {
   return ControlRoundTrip(ControlOp::kShutdown, {}, nullptr);
 }

@@ -73,6 +73,11 @@ class QfClient {
   bool Checkpoint(std::vector<uint8_t>* blob);
   bool Restore(std::span<const uint8_t> blob);
   bool Stats(WireStats* out);
+  /// Fetches the server's full MetricsRegistry snapshot (CONTROL kMetrics,
+  /// DESIGN.md §15). Help/unit strings are not carried on the wire, so the
+  /// returned samples have empty help/unit. Fails (connection still usable)
+  /// against pre-kMetrics servers, which reject the unknown op.
+  bool FetchMetrics(obs::MetricsSnapshot* out);
   /// Asks the server to drain and exit; returns once the server acked.
   bool Shutdown();
 

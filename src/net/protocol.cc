@@ -264,6 +264,139 @@ bool ParseWireStats(std::span<const uint8_t> payload, WireStats* out) {
   return true;
 }
 
+namespace {
+
+void AppendName(const std::string& name, std::vector<uint8_t>* out) {
+  // Oversized names are a registry bug, not wire data; truncate rather than
+  // emit a payload our own parser rejects.
+  const size_t len =
+      name.size() < kMetricsMaxNameLen ? name.size() : kMetricsMaxNameLen;
+  AppendValue(static_cast<uint16_t>(len), out);
+  AppendRaw(name.data(), len, out);
+}
+
+bool ReadName(ByteReader* reader, std::span<const uint8_t> payload,
+              std::string* out) {
+  uint16_t len = 0;
+  if (!reader->Read(&len)) return false;
+  if (len < 1 || len > kMetricsMaxNameLen) return false;
+  const size_t start = payload.size() - reader->remaining();
+  if (!reader->Skip(len)) return false;
+  out->assign(reinterpret_cast<const char*>(payload.data()) + start, len);
+  return true;
+}
+
+}  // namespace
+
+void EncodeMetricsPayloadTo(const obs::MetricsSnapshot& snap,
+                            std::vector<uint8_t>* out) {
+  AppendValue(kMetricsPayloadMagic, out);
+  AppendValue(kMetricsPayloadVersion, out);
+  AppendValue(static_cast<uint16_t>(0), out);  // reserved
+  AppendValue(snap.wall_ns, out);
+  AppendValue(snap.mono_ns, out);
+  AppendValue(static_cast<uint32_t>(snap.counters.size()), out);
+  AppendValue(static_cast<uint32_t>(snap.gauges.size()), out);
+  AppendValue(static_cast<uint32_t>(snap.histograms.size()), out);
+  for (const obs::CounterSample& c : snap.counters) {
+    AppendName(c.name, out);
+    AppendValue(c.value, out);
+  }
+  for (const obs::GaugeSample& g : snap.gauges) {
+    AppendName(g.name, out);
+    AppendValue(g.value, out);
+  }
+  for (const obs::HistogramSample& h : snap.histograms) {
+    AppendName(h.name, out);
+    AppendValue(h.data.count(), out);
+    AppendValue(h.data.sum(), out);
+    AppendValue(h.data.max(), out);
+    uint32_t nonzero = 0;
+    for (size_t i = 0; i < obs::HistogramLayout::kNumBuckets; ++i) {
+      if (h.data.bucket(i) != 0) ++nonzero;
+    }
+    AppendValue(nonzero, out);
+    for (size_t i = 0; i < obs::HistogramLayout::kNumBuckets; ++i) {
+      const uint64_t c = h.data.bucket(i);
+      if (c == 0) continue;
+      AppendValue(static_cast<uint32_t>(i), out);
+      AppendValue(c, out);
+    }
+  }
+}
+
+bool ParseMetricsPayload(std::span<const uint8_t> payload,
+                         obs::MetricsSnapshot* out) {
+  ByteReader reader(payload.data(), payload.size());
+  uint32_t magic = 0;
+  uint16_t version = 0, reserved = 0;
+  if (!reader.Read(&magic) || !reader.Read(&version) ||
+      !reader.Read(&reserved)) {
+    return false;
+  }
+  if (magic != kMetricsPayloadMagic || version != kMetricsPayloadVersion ||
+      reserved != 0) {
+    return false;
+  }
+  obs::MetricsSnapshot snap;
+  uint32_t n_counters = 0, n_gauges = 0, n_histograms = 0;
+  if (!reader.Read(&snap.wall_ns) || !reader.Read(&snap.mono_ns) ||
+      !reader.Read(&n_counters) || !reader.Read(&n_gauges) ||
+      !reader.Read(&n_histograms)) {
+    return false;
+  }
+  // Each record is >= 11 bytes; bound the reserves by the payload size so a
+  // forged count cannot force a huge allocation before the reads fail.
+  if (static_cast<size_t>(n_counters) * 11 > payload.size() ||
+      static_cast<size_t>(n_gauges) * 11 > payload.size() ||
+      static_cast<size_t>(n_histograms) * 31 > payload.size()) {
+    return false;
+  }
+  snap.counters.resize(n_counters);
+  for (obs::CounterSample& c : snap.counters) {
+    if (!ReadName(&reader, payload, &c.name) ||
+        !reader.Read(&c.value)) {
+      return false;
+    }
+  }
+  snap.gauges.resize(n_gauges);
+  for (obs::GaugeSample& g : snap.gauges) {
+    if (!ReadName(&reader, payload, &g.name) ||
+        !reader.Read(&g.value)) {
+      return false;
+    }
+  }
+  snap.histograms.resize(n_histograms);
+  for (obs::HistogramSample& h : snap.histograms) {
+    uint64_t count = 0, sum = 0, max = 0;
+    uint32_t n_buckets = 0;
+    if (!ReadName(&reader, payload, &h.name) ||
+        !reader.Read(&count) || !reader.Read(&sum) || !reader.Read(&max) ||
+        !reader.Read(&n_buckets)) {
+      return false;
+    }
+    if (n_buckets > obs::HistogramLayout::kNumBuckets) return false;
+    uint64_t prev_index = 0;
+    bool first = true;
+    for (uint32_t b = 0; b < n_buckets; ++b) {
+      uint32_t index = 0;
+      uint64_t bucket_count = 0;
+      if (!reader.Read(&index) || !reader.Read(&bucket_count)) return false;
+      // Canonical form: strictly increasing in-range indices, no zero runs.
+      if (index >= obs::HistogramLayout::kNumBuckets) return false;
+      if (!first && index <= prev_index) return false;
+      if (bucket_count == 0) return false;
+      h.data.AddBucket(index, bucket_count);
+      prev_index = index;
+      first = false;
+    }
+    h.data.AddTotals(count, sum, max);
+  }
+  if (reader.remaining() != 0) return false;  // exact-size contract
+  *out = std::move(snap);
+  return true;
+}
+
 bool ParseError(std::span<const uint8_t> payload, ErrorFrame* out) {
   ByteReader reader(payload.data(), payload.size());
   uint32_t code = 0;

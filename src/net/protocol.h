@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/registry.h"
 #include "stream/item.h"
 
 namespace qf::net {
@@ -71,8 +72,9 @@ enum class ControlOp : uint8_t {
   kCheckpoint = 3,  // drain, then reply payload: SerializeState() blob
   kRestore = 4,     // request payload: checkpoint blob; drain, then restore
   kShutdown = 5,    // drain, ack, then stop serving
+  kMetrics = 6,     // reply payload: full MetricsRegistry snapshot (§15)
 };
-inline constexpr uint8_t kMaxControlOp = 5;
+inline constexpr uint8_t kMaxControlOp = 6;
 
 /// CONTROL_RESULT status byte.
 enum class ControlStatus : uint8_t {
@@ -225,6 +227,33 @@ bool ParseControlResult(std::span<const uint8_t> payload, ControlResult* out);
 
 bool ParseAlert(std::span<const uint8_t> payload, WireAlert* out);
 bool ParseWireStats(std::span<const uint8_t> payload, WireStats* out);
+
+// ControlOp::kMetrics reply payload ("wire metrics snapshot", DESIGN.md §15):
+//
+//   u32 magic = kMetricsPayloadMagic     u16 version = kMetricsPayloadVersion
+//   u16 reserved = 0
+//   u64 wall_ns   u64 mono_ns
+//   u32 n_counters   u32 n_gauges   u32 n_histograms
+//   counters:   n_counters   x { u16 name_len, name bytes, u64 value }
+//   gauges:     n_gauges     x { u16 name_len, name bytes, i64 value }
+//   histograms: n_histograms x { u16 name_len, name bytes,
+//                                u64 count, u64 sum, u64 max,
+//                                u32 n_buckets,
+//                                n_buckets x { u32 index, u64 count } }
+//
+// Buckets are sparse (non-zero only) with strictly increasing indices below
+// HistogramLayout::kNumBuckets; help/unit strings stay server-side. The
+// parser is fail-closed: any shape violation (bad magic/version, name length
+// outside [1, kMetricsMaxNameLen], non-canonical buckets, trailing bytes)
+// returns false and leaves *out untouched.
+inline constexpr uint32_t kMetricsPayloadMagic = 0x51464D53;  // "QFMS"
+inline constexpr uint16_t kMetricsPayloadVersion = 1;
+inline constexpr size_t kMetricsMaxNameLen = 1024;
+
+void EncodeMetricsPayloadTo(const obs::MetricsSnapshot& snap,
+                            std::vector<uint8_t>* out);
+bool ParseMetricsPayload(std::span<const uint8_t> payload,
+                         obs::MetricsSnapshot* out);
 
 struct ErrorFrame {
   ErrorCode code = ErrorCode::kMalformedFrame;

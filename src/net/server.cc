@@ -19,10 +19,10 @@
 #include "obs/instrument.h"
 #include "parallel/park.h"
 
-#if QF_METRICS
+// Unconditional: the CONTROL kMetrics handler snapshots the registry even
+// in QF_METRICS=0 builds (the registry is just near-empty there).
 #include "common/time.h"
 #include "obs/registry.h"
-#endif
 
 namespace qf::net {
 
@@ -55,6 +55,7 @@ struct NetMetrics {
   obs::Counter& alerts_streamed;
   obs::Counter& protocol_errors;
   obs::Gauge& active_connections;
+  obs::Gauge& alert_delivery_lag_ns;
   obs::Histogram& ingest_frame_ns;
   obs::Histogram& query_frame_ns;
   obs::Histogram& control_frame_ns;
@@ -78,6 +79,8 @@ struct NetMetrics {
           r.GetCounter("qf_net_protocol_errors_total",
                        "connections poisoned by malformed frames"),
           r.GetGauge("qf_net_active_connections", "open connections"),
+          r.GetGauge("qf_net_alert_delivery_lag_ns",
+                     "latest detection-to-subscriber-write lag"),
           r.GetHistogram("qf_net_ingest_frame_ns",
                          "INGEST frame handling latency (ns)"),
           r.GetHistogram("qf_net_query_frame_ns",
@@ -109,6 +112,7 @@ struct DurableMetrics {
   obs::Counter& records_replayed;
   obs::Counter& torn_truncations;
   obs::Counter& checkpoints_written;
+  obs::Histogram& sync_latency_ns;
 
   static DurableMetrics& Get() {
     static DurableMetrics* m = [] {
@@ -124,6 +128,10 @@ struct DurableMetrics {
                        "torn trailing WAL frames truncated during recovery"),
           r.GetCounter("qf_durable_checkpoints_written_total",
                        "full + delta checkpoints written"),
+          r.GetHistogram("qf_durable_sync_latency_ns",
+                         "WAL append to durable (group-commit sync "
+                         "complete), per deferred ack",
+                         "ns"),
       };
     }();
     return *m;
@@ -449,11 +457,28 @@ bool QfServer::ReplayRecoveredTail() {
 
 void QfServer::FlushGroupCommit(Reactor& rx) {
   if (rx.deferred_acks.empty()) return;
+#if QF_METRICS
+  const uint64_t sync_t0 = MonotonicNanos();
+#endif
   bool synced;
   {
     std::lock_guard<std::mutex> lock(wal_mu_);
     synced = wal_->Sync();
   }
+#if QF_METRICS
+  const uint64_t sync_t1 = MonotonicNanos();
+  {
+    obs::StageMetrics& stm = obs::StageMetrics::Get();
+    stm.wal_sync_ns.Record(sync_t1 - sync_t0);
+    obs::TraceRing& tr = obs::TraceRing::Global();
+    if (tr.enabled() && obs::StageTraceSampleHit()) {
+      tr.Emit(obs::TraceEvent::kWalSync,
+              static_cast<uint16_t>(obs::kReactorTidBase + rx.idx), sync_t0,
+              sync_t1 - sync_t0, rx.deferred_acks.size());
+    }
+  }
+  uint64_t ack_bytes = 0;
+#endif
   std::vector<DeferredAck> acks;
   acks.swap(rx.deferred_acks);
   for (DeferredAck& ack : acks) {
@@ -467,7 +492,26 @@ void QfServer::FlushGroupCommit(Reactor& rx) {
       continue;
     }
     QueueWrite(rx, it->second.get(), ack.bytes);
+    QF_OBS({
+      if (ack.append_ns != 0) {
+        // Two views of the same deferral: sync latency ends when the data
+        // is durable, ack latency when the ack bytes hit the write queue.
+        DurableMetrics::Get().sync_latency_ns.Record(sync_t1 - ack.append_ns);
+        obs::StageMetrics::Get().ack_ns.Record(MonotonicNanos() -
+                                               ack.append_ns);
+        ack_bytes += ack.bytes.size();
+      }
+    });
   }
+  QF_OBS({
+    obs::TraceRing& tr = obs::TraceRing::Global();
+    if (tr.enabled() && obs::StageTraceSampleHit()) {
+      const uint64_t now = MonotonicNanos();
+      tr.Emit(obs::TraceEvent::kAckFlush,
+              static_cast<uint16_t>(obs::kReactorTidBase + rx.idx), sync_t1,
+              now - sync_t1, ack_bytes);
+    }
+  });
 }
 
 void QfServer::MaybeCheckpoint(Reactor& rx) {
@@ -896,11 +940,30 @@ void QfServer::HandleIngest(Reactor& rx, Conn* conn, const FrameView& frame) {
     return;
   }
   rx.scratch.resize(count);
+#if QF_METRICS
+  uint64_t t_decode = t0, t_push = t0;
+#endif
   if (count > 0) {
     std::memcpy(rx.scratch.data(), payload.data() + 12,
                 static_cast<size_t>(count) * sizeof(Item));
+    QF_OBS(t_decode = MonotonicNanos());
     pipeline_.PushBatchFrom(rx.idx, rx.scratch);
+    QF_OBS(t_push = MonotonicNanos());
   }
+  QF_OBS({
+    // Stage spans (DESIGN.md §15): decode = header parse + payload staging,
+    // arena push = the scatter through PushBatchFrom. Per frame, not per
+    // item, so the clock reads amortize across the batch.
+    obs::StageMetrics& stm = obs::StageMetrics::Get();
+    stm.decode_ns.Record(t_decode - t0);
+    stm.arena_push_ns.Record(t_push - t_decode);
+    obs::TraceRing& tr = obs::TraceRing::Global();
+    if (tr.enabled() && obs::StageTraceSampleHit()) {
+      tr.Emit(obs::TraceEvent::kFrameDecode,
+              static_cast<uint16_t>(obs::kReactorTidBase + rx.idx), t0,
+              t_push - t0, count);
+    }
+  });
   items_ingested_.fetch_add(count, std::memory_order_relaxed);
   std::vector<uint8_t> reply;
   EncodeIngestAckTo(token, count,
@@ -937,8 +1000,9 @@ void QfServer::HandleIngest(Reactor& rx, Conn* conn, const FrameView& frame) {
     wal_records_appended_.fetch_add(1, std::memory_order_relaxed);
     QF_OBS(DurableMetrics::Get().records_appended.Add(1));
     if (options_.durable.fsync == durable::FsyncMode::kGroup) {
-      rx.deferred_acks.push_back(
-          DeferredAck{conn->fd, conn->gen, std::move(reply)});
+      DeferredAck deferred{conn->fd, conn->gen, std::move(reply), 0};
+      QF_OBS(deferred.append_ns = MonotonicNanos());
+      rx.deferred_acks.push_back(std::move(deferred));
       QF_OBS({
         NetMetrics::Get().ingest_items.Add(count);
         NetMetrics::Get().ingest_frame_ns.Record(MonotonicNanos() - t0);
@@ -1102,6 +1166,24 @@ void QfServer::HandleControl(Reactor& rx, Conn* conn, const FrameView& frame) {
       });
       break;
     }
+    case ControlOp::kMetrics: {
+      // Full registry snapshot over the wire (DESIGN.md §15). No quiesce:
+      // counters/histograms are designed for concurrent snapshot reads, and
+      // a monitoring poll must never stall ingest. With QF_METRICS=0 the
+      // registry is simply (near-)empty — the op still succeeds.
+      std::vector<uint8_t> payload;
+      EncodeMetricsPayloadTo(obs::MetricsRegistry::Global().Snapshot(),
+                             &payload);
+      constexpr size_t kControlResultHeader = 10;
+      if (payload.size() + kControlResultHeader > options_.max_frame_bytes) {
+        EncodeControlResultTo(req.token, req.op, ControlStatus::kRejected,
+                              {}, &reply);
+      } else {
+        EncodeControlResultTo(req.token, req.op, ControlStatus::kOk, payload,
+                              &reply);
+      }
+      break;
+    }
     case ControlOp::kShutdown: {
       WithGlobalQuiesce(rx, [] {});
       EncodeControlResultTo(req.token, req.op, ControlStatus::kOk, {},
@@ -1167,6 +1249,29 @@ void QfServer::DeliverAlerts(Reactor& rx,
     QF_OBS(NetMetrics::Get().alerts_streamed.Add(drained.size()));
     QueueWrite(rx, conn, bytes);  // may disconnect a slow subscriber
   }
+  QF_OBS({
+    // Alert-delivery lag: detection stamp (worker) -> subscriber write
+    // queued (reactor 0 or a forwarded peer). Last-write-wins gauge over
+    // the newest drained record; a growing value means the alert path is
+    // falling behind ingest. Only meaningful when someone subscribed.
+    if (subscriber_fds.empty()) return;
+    const uint64_t now = MonotonicNanos();
+    uint64_t newest = 0;
+    for (const DrainedAlert& d : drained) {
+      if (d.rec.detect_ns > newest) newest = d.rec.detect_ns;
+    }
+    if (newest != 0 && now > newest) {
+      NetMetrics::Get().alert_delivery_lag_ns.Set(
+          static_cast<int64_t>(now - newest));
+    }
+    obs::TraceRing& tr = obs::TraceRing::Global();
+    if (tr.enabled() && newest != 0 && now > newest &&
+        obs::StageTraceSampleHit()) {
+      tr.Emit(obs::TraceEvent::kAlertDeliver,
+              static_cast<uint16_t>(obs::kReactorTidBase + rx.idx), newest,
+              now - newest, drained.size());
+    }
+  });
 }
 
 bool QfServer::QueueWrite(Reactor& rx, Conn* conn,

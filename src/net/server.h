@@ -199,6 +199,9 @@ class QfServer {
     int fd = -1;
     uint32_t gen = 0;
     std::vector<uint8_t> bytes;
+    /// MonotonicNanos() at WAL append (QF_METRICS builds; 0 otherwise) —
+    /// the start of the qf_durable_sync_latency_ns / qf_stage_ack_ns spans.
+    uint64_t append_ns = 0;
   };
 
   /// Per-reactor state. Every field is owned by its reactor thread except

@@ -26,14 +26,27 @@
 
 namespace qf::obs {
 
-/// Event kinds recorded by the stack's instrumentation sites.
+/// Event kinds recorded by the stack's instrumentation sites. Events 5+ are
+/// the serving-path stage spans (DESIGN.md §15): reactors and workers emit
+/// into the same ring with disjoint tid rows (see kReactorTidBase), so a
+/// chrome://tracing load shows one request's decode -> queue-wait -> insert
+/// -> wal-sync -> ack chain stitched across threads.
 enum class TraceEvent : uint16_t {
   kBatchProcess = 0,  // worker: one InsertBatch call; arg = items
   kBatchShip = 1,     // dispatcher: one ring push; arg = items
   kRingStall = 2,     // dispatcher: backpressure wait; arg = shard
   kFlush = 3,         // dispatcher: Flush(); arg = shards flushed
   kSnapshot = 4,      // exporter: registry snapshot; arg = metrics
+  kFrameDecode = 5,   // reactor: INGEST frame decode + stage; arg = items
+  kQueueWait = 6,     // worker: span publish -> pop wait; arg = items
+  kWalSync = 7,       // reactor: WAL group-commit sync; arg = acks released
+  kAckFlush = 8,      // reactor: deferred-ack release; arg = ack bytes
+  kAlertDeliver = 9,  // reactor 0: alert broadcast; arg = subscribers
 };
+
+/// Reactor emissions use tid = kReactorTidBase + reactor index so their
+/// trace rows never collide with worker rows (tid = shard index).
+inline constexpr uint16_t kReactorTidBase = 256;
 
 inline const char* TraceEventName(TraceEvent e) {
   switch (e) {
@@ -42,6 +55,11 @@ inline const char* TraceEventName(TraceEvent e) {
     case TraceEvent::kRingStall: return "ring_stall";
     case TraceEvent::kFlush: return "flush";
     case TraceEvent::kSnapshot: return "snapshot";
+    case TraceEvent::kFrameDecode: return "frame_decode";
+    case TraceEvent::kQueueWait: return "queue_wait";
+    case TraceEvent::kWalSync: return "wal_sync";
+    case TraceEvent::kAckFlush: return "ack_flush";
+    case TraceEvent::kAlertDeliver: return "alert_deliver";
   }
   return "unknown";
 }

@@ -150,6 +150,10 @@ class IngestPipeline {
   struct AlertRecord {
     uint64_t key = 0;
     double value = 0.0;  // the item value that triggered the report
+    /// MonotonicNanos() at detection (QF_METRICS builds; 0 otherwise). The
+    /// serving layer turns this into the alert-delivery lag gauge when the
+    /// record is written to subscribers.
+    uint64_t detect_ns = 0;
   };
 
   /// Answer to a point query executed on the owning shard's worker thread.
@@ -492,7 +496,12 @@ class IngestPipeline {
   struct SpanDesc {
     uint64_t begin = 0;  // monotone item sequence number, never wrapped
     uint32_t count = 0;
-    uint32_t pad = 0;
+    /// Low 32 bits of MonotonicNanos() at publish (0 = unstamped), used by
+    /// the worker to attribute ring/queue wait (qf_stage_queue_wait_ns).
+    /// u32 wraparound makes waits beyond ~4.29 s alias; such spans land in
+    /// the histogram's tail, which is exactly where a 4 s queue wait
+    /// belongs anyway.
+    uint32_t publish_ns32 = 0;
   };
 
   /// One producer→shard channel. The first block is producer-owned hot
@@ -716,7 +725,15 @@ class IngestPipeline {
     if (c.staged == 0) return;
     ProducerBlock& b = producers_[p];
     SpscRing<SpanDesc>& ring = *c.ring;
+#if QF_METRICS
+    // Queue-wait stamp. Taken before the push, so producer backpressure
+    // stalls count as queue wait too (the span IS waiting for the ring).
+    uint32_t publish_ns32 = static_cast<uint32_t>(MonotonicNanos());
+    if (publish_ns32 == 0) publish_ns32 = 1;  // 0 means unstamped
+    const SpanDesc desc{c.produced, c.staged, publish_ns32};
+#else
     const SpanDesc desc{c.produced, c.staged, 0};
+#endif
 #if QF_METRICS
     uint64_t stalls = 0;
     uint64_t stall_start_ns = 0;
@@ -907,6 +924,22 @@ class IngestPipeline {
     state.batches.fetch_add(1, std::memory_order_relaxed);
 #if QF_METRICS
     const uint64_t t0 = MonotonicNanos();
+    obs::StageMetrics& stm = obs::StageMetrics::Get();
+    // Per-span stage records are sampled (one decision covers both the
+    // queue-wait and insert histograms for this span, so the pair stays
+    // correlated); per-frame stages record every event.
+    const bool stage_sample = obs::StageRecordSampleHit();
+    if (desc.publish_ns32 != 0) {
+      // u32 delta against the publish stamp; valid for waits < ~4.29 s.
+      const uint32_t wait_ns =
+          static_cast<uint32_t>(t0) - desc.publish_ns32;
+      if (stage_sample) stm.queue_wait_ns.Record(wait_ns);
+      obs::TraceRing& tr = obs::TraceRing::Global();
+      if (tr.enabled() && obs::StageTraceSampleHit()) {
+        tr.Emit(obs::TraceEvent::kQueueWait, static_cast<uint16_t>(s),
+                t0 - wait_ns, wait_ns, desc.count);
+      }
+    }
 #endif
     // A span that wraps the arena end becomes two InsertBatch calls;
     // chunking preserves bit-identity (insert_batch_test.cc).
@@ -920,6 +953,7 @@ class IngestPipeline {
     obs::ShardMetrics& sm = shard_metrics_[static_cast<size_t>(s)];
     sm.ingest_ns.Record(dur);
     sm.batch_items.Record(desc.count);
+    if (stage_sample) stm.insert_ns.Record(dur);
     obs::PipelineMetrics& pm = obs::PipelineMetrics::Get();
     pm.items_processed.Add(desc.count);
     pm.batches.Add(1);
@@ -943,9 +977,14 @@ class IngestPipeline {
             if (collect_reported_keys_) {
               state.reported_keys.push_back(item.key);
             }
-            if (alerts != nullptr &&
-                !alerts->TryPush(AlertRecord{item.key, item.value})) {
-              state.alerts_dropped.fetch_add(1, std::memory_order_relaxed);
+            if (alerts != nullptr) {
+              AlertRecord record{item.key, item.value, 0};
+              // Reports are rare (outstanding keys only), so the detection
+              // stamp costs one clock read per alert, not per item.
+              QF_OBS(record.detect_ns = MonotonicNanos());
+              if (!alerts->TryPush(record)) {
+                state.alerts_dropped.fetch_add(1, std::memory_order_relaxed);
+              }
             }
           });
     }

@@ -3,38 +3,57 @@
 # with metrics ON and OFF, runs the insert gate fixture in both binaries and
 # fails if the instrumented per-insert cost exceeds the budget (default 3%).
 #
-# Usage: tools/check_metrics_overhead.sh [budget_percent] [repetitions]
+# Both binaries are built first, then measured in interleaved rounds
+# (ON, OFF, ON, OFF, ...) — machine drift (frequency scaling, noisy
+# neighbours on a small CI box) hits adjacent rounds equally instead of
+# biasing whichever leg happened to run second. The gate compares the
+# median of per-round medians.
+#
+# Usage: tools/check_metrics_overhead.sh [budget_percent] [repetitions] [rounds]
 # Run from the repository root. Exit 0 iff overhead <= budget.
 set -euo pipefail
 
 BUDGET_PCT="${1:-3}"
-REPS="${2:-9}"
+REPS="${2:-5}"
+ROUNDS="${3:-3}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BENCH_ARGS=(--benchmark_filter='BM_QuantileFilterInsertMetricsGate$'
             --benchmark_repetitions="${REPS}"
             --benchmark_report_aggregates_only=true
             --benchmark_format=json)
 
-build_and_run() {  # $1 = ON|OFF, $2 = output json
-  local mode="$1" out="$2"
+build_gate() {  # $1 = ON|OFF
+  local mode="$1"
   local dir="${ROOT}/build-gate-$(echo "${mode}" | tr '[:upper:]' '[:lower:]')"
   cmake -B "${dir}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release \
         -DQF_METRICS="${mode}" >/dev/null
   cmake --build "${dir}" -j --target micro_ops >/dev/null
-  "${dir}/bench/micro_ops" "${BENCH_ARGS[@]}" > "${out}"
 }
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
 
 echo "building metrics=ON and metrics=OFF gate binaries..."
-build_and_run ON "${TMP}/on.json"
-build_and_run OFF "${TMP}/off.json"
+build_gate ON
+build_gate OFF
 
-python3 - "${TMP}/on.json" "${TMP}/off.json" "${BUDGET_PCT}" <<'PY'
-import json, sys
+# Warm-up pass (discarded): stabilizes frequency/cache state after the build.
+"${ROOT}/build-gate-on/bench/micro_ops" "${BENCH_ARGS[@]}" \
+    --benchmark_repetitions=1 >/dev/null
 
-def median_ns(path, expect_metrics):
+for ((k = 0; k < ROUNDS; ++k)); do
+  "${ROOT}/build-gate-on/bench/micro_ops" "${BENCH_ARGS[@]}" \
+      > "${TMP}/on.${k}.json"
+  "${ROOT}/build-gate-off/bench/micro_ops" "${BENCH_ARGS[@]}" \
+      > "${TMP}/off.${k}.json"
+done
+
+python3 - "${TMP}" "${ROUNDS}" "${BUDGET_PCT}" <<'PY'
+import json, statistics, sys
+
+tmp, rounds, budget = sys.argv[1], int(sys.argv[2]), float(sys.argv[3])
+
+def round_median_ns(path, expect_metrics):
     doc = json.load(open(path))
     med = None
     for b in doc["benchmarks"]:
@@ -48,10 +67,13 @@ def median_ns(path, expect_metrics):
                  f"expected {expect_metrics} (wrong build?)")
     return float(med["cpu_time"])
 
-on = median_ns(sys.argv[1], 1)
-off = median_ns(sys.argv[2], 0)
-budget = float(sys.argv[3])
+on_meds = [round_median_ns(f"{tmp}/on.{k}.json", 1) for k in range(rounds)]
+off_meds = [round_median_ns(f"{tmp}/off.{k}.json", 0) for k in range(rounds)]
+on = statistics.median(on_meds)
+off = statistics.median(off_meds)
 delta = (on - off) / off * 100.0
+print(f"per-round medians: ON {['%.2f' % m for m in on_meds]}, "
+      f"OFF {['%.2f' % m for m in off_meds]}")
 print(f"insert cost: metrics ON {on:.2f} ns, OFF {off:.2f} ns, "
       f"delta {delta:+.2f}% (budget {budget}%)")
 if delta > budget:

@@ -281,6 +281,11 @@ void ParseDecodedFrame(const net::Frame& frame) {
       net::ParseControlResult(frame.payload, &r);
       net::WireStats stats;
       net::ParseWireStats(r.payload, &stats);
+      // The same embedded payload doubles as a metrics snapshot candidate
+      // (CONTROL kMetrics, §15): the parser must fail closed on anything
+      // that isn't an intact QFMS blob — never crash, never over-allocate.
+      obs::MetricsSnapshot snap;
+      net::ParseMetricsPayload(r.payload, &snap);
       return;
     }
     case net::FrameType::kAlert: {
@@ -312,16 +317,52 @@ std::vector<uint8_t> GenerateWireStream(Rng& rng) {
     return stream;
   }
   // Valid-ish frames: random declared type, random payload bytes — typed
-  // encoders for INGEST some of the time so the item fast path is hit.
+  // encoders for INGEST some of the time so the item fast path is hit, and
+  // for CONTROL_RESULT(kMetrics) so the mangling strategies below corrupt
+  // real QFMS snapshots (truncation / bit flips inside names, counts,
+  // bucket indices), not just random bytes.
   const uint64_t frames = 1 + rng.NextBounded(6);
   for (uint64_t f = 0; f < frames; ++f) {
-    if (rng.NextBounded(4) == 0) {
+    const uint64_t pick = rng.NextBounded(8);
+    if (pick < 2) {
       std::vector<Item> items(static_cast<size_t>(rng.NextBounded(64)));
       for (Item& item : items) {
         item.key = rng.Next();
         item.value = rng.NextDouble();
       }
       net::EncodeIngestTo(rng.Next(), items, &stream);
+    } else if (pick == 2) {
+      obs::MetricsSnapshot snap;
+      snap.wall_ns = rng.Next();
+      snap.mono_ns = rng.Next();
+      const uint64_t counters = rng.NextBounded(4);
+      for (uint64_t i = 0; i < counters; ++i) {
+        obs::CounterSample c;
+        c.name = "qf_fuzz_counter_" + std::to_string(i);
+        c.value = rng.Next();
+        snap.counters.push_back(std::move(c));
+      }
+      const uint64_t gauges = rng.NextBounded(3);
+      for (uint64_t i = 0; i < gauges; ++i) {
+        obs::GaugeSample g;
+        g.name = "qf_fuzz_gauge_" + std::to_string(i);
+        g.value = static_cast<int64_t>(rng.Next());
+        snap.gauges.push_back(std::move(g));
+      }
+      const uint64_t hists = rng.NextBounded(3);
+      for (uint64_t i = 0; i < hists; ++i) {
+        obs::HistogramSample h;
+        h.name = "qf_fuzz_hist_" + std::to_string(i);
+        const uint64_t records = rng.NextBounded(64);
+        for (uint64_t r = 0; r < records; ++r) {
+          h.data.Record(rng.NextBounded(1 << 20));
+        }
+        snap.histograms.push_back(std::move(h));
+      }
+      std::vector<uint8_t> payload;
+      net::EncodeMetricsPayloadTo(snap, &payload);
+      net::EncodeControlResultTo(rng.Next(), net::ControlOp::kMetrics,
+                                 net::ControlStatus::kOk, payload, &stream);
     } else {
       const auto type =
           static_cast<net::FrameType>(1 + rng.NextBounded(net::kMaxFrameType));

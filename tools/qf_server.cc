@@ -24,6 +24,7 @@
 #include "durable/log.h"
 #include "net/server.h"
 #include "obs/sink.h"
+#include "obs/trace_ring.h"
 
 namespace qf {
 namespace {
@@ -68,7 +69,10 @@ void PrintUsage() {
       "observability:\n"
       "  --metrics-jsonl=PATH  append metric snapshots as JSON lines\n"
       "  --metrics-prom=PATH   atomically rewrite Prometheus exposition\n"
-      "  --metrics-interval-ms=N  snapshot period (default 1000)\n");
+      "  --metrics-interval-ms=N  snapshot period (default 1000)\n"
+      "  --trace-json=PATH     enable the trace ring (sampled stage spans,\n"
+      "                        DESIGN.md §15) and dump chrome://tracing\n"
+      "                        JSON at shutdown\n");
 }
 
 bool ReadFile(const std::string& path, std::vector<uint8_t>* out) {
@@ -155,6 +159,7 @@ int Main(int argc, char** argv) {
   sink_opts.prom_path = flags.GetString("metrics-prom", "");
   sink_opts.interval_ms =
       static_cast<int>(flags.GetInt("metrics-interval-ms", 1000));
+  const std::string trace_json = flags.GetString("trace-json", "");
 
   const std::vector<std::string> unknown = flags.UnqueriedFlags();
   if (!unknown.empty()) {
@@ -213,6 +218,7 @@ int Main(int argc, char** argv) {
   if (!sink_opts.jsonl_path.empty() || !sink_opts.prom_path.empty()) {
     sink.Start();
   }
+  if (!trace_json.empty()) obs::TraceRing::Global().Enable();
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
@@ -222,6 +228,19 @@ int Main(int argc, char** argv) {
   }
   server.Stop();
   sink.Stop();
+  if (!trace_json.empty()) {
+    // Stop() joined reactors and workers, so the ring is quiescent (the
+    // dump contract in trace_ring.h).
+    obs::TraceRing::Global().Disable();
+    if (obs::TraceRing::Global().DumpChromeJson(trace_json)) {
+      std::fprintf(stderr, "qf_server: wrote trace %s (%zu spans)\n",
+                   trace_json.c_str(),
+                   obs::TraceRing::Global().CountEntries());
+    } else {
+      std::fprintf(stderr, "qf_server: failed to write trace %s\n",
+                   trace_json.c_str());
+    }
+  }
 
   if (!checkpoint.empty()) {
     const std::vector<uint8_t> blob = server.filter().SerializeState();

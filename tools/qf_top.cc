@@ -1,5 +1,5 @@
-// qf_top — terminal viewer for the metrics snapshots a running benchmark
-// (or any MetricsSink user) exports.
+// qf_top — terminal viewer for QuantileFilter metrics, from a snapshot file
+// or attached to a live server.
 //
 // Modes:
 //   qf_top --file=metrics.jsonl [--interval-ms=N]
@@ -8,6 +8,12 @@
 //       monotonic timestamps of consecutive snapshots. Ctrl-C to exit.
 //   qf_top --file=metrics.jsonl --once
 //       Renders the newest snapshot once and exits (no rates).
+//   qf_top --connect=host:port [--once] [--interval-ms=N]
+//       Live mode (DESIGN.md §15): attaches to a running qf_server, polls
+//       the full registry over CONTROL kMetrics (QfClient::FetchMetrics)
+//       plus the WireStats counters over CONTROL kStats, and renders both —
+//       including the per-stage qf_stage_* latency histograms, the
+//       qf_durable_* counters, and the wal_* serving stats.
 //   qf_top --check-prom=metrics.prom
 //       Validates a Prometheus text-exposition file (HELP/TYPE and sample
 //       syntax) and prints a family/sample summary. Exit 0 iff valid and
@@ -20,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <fstream>
 #include <map>
@@ -29,7 +36,10 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "net/client.h"
+#include "net/protocol.h"
 #include "obs/export.h"
+#include "obs/registry.h"
 
 namespace qf::obs {
 namespace {
@@ -55,7 +65,57 @@ struct Parsed {
   std::map<std::string, double> gauges;
   // name -> {count, sum, max, mean, p0.5, ...}
   std::map<std::string, std::map<std::string, double>> histograms;
+  // Live mode only: WireStats fields from CONTROL kStats (wal_* included).
+  std::map<std::string, double> server;
 };
+
+/// Converts a wire-fetched registry snapshot into the same shape the JSONL
+/// parser produces, deriving the summary fields RenderJsonLine would have
+/// written (count/sum/max/mean plus the export quantiles).
+Parsed FromWireSnapshot(const MetricsSnapshot& snap) {
+  Parsed out;
+  out.ts_ns = snap.wall_ns;
+  out.mono_ns = snap.mono_ns;
+  for (const CounterSample& c : snap.counters) {
+    out.counters[c.name] = static_cast<double>(c.value);
+  }
+  for (const GaugeSample& g : snap.gauges) {
+    out.gauges[g.name] = static_cast<double>(g.value);
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    auto& dst = out.histograms[h.name];
+    dst["count"] = static_cast<double>(h.data.count());
+    dst["sum"] = static_cast<double>(h.data.sum());
+    dst["max"] = static_cast<double>(h.data.max());
+    dst["mean"] = h.data.Mean();
+    dst["p0.5"] = static_cast<double>(h.data.Quantile(0.5));
+    dst["p0.9"] = static_cast<double>(h.data.Quantile(0.9));
+    dst["p0.99"] = static_cast<double>(h.data.Quantile(0.99));
+    dst["p0.999"] = static_cast<double>(h.data.Quantile(0.999));
+  }
+  return out;
+}
+
+/// All WireStats fields by name — wal_* durability progress included, so a
+/// durable server's log/checkpoint activity is visible in the dashboard.
+std::map<std::string, double> WireStatsMap(const qf::net::WireStats& s) {
+  return {
+      {"items_ingested", static_cast<double>(s.items_ingested)},
+      {"items_processed", static_cast<double>(s.items_processed)},
+      {"reports", static_cast<double>(s.reports)},
+      {"alerts_streamed", static_cast<double>(s.alerts_streamed)},
+      {"alerts_dropped", static_cast<double>(s.alerts_dropped)},
+      {"accepts", static_cast<double>(s.accepts)},
+      {"active_connections", static_cast<double>(s.active_connections)},
+      {"slow_disconnects", static_cast<double>(s.slow_disconnects)},
+      {"wal_records_appended", static_cast<double>(s.wal_records_appended)},
+      {"wal_records_replayed", static_cast<double>(s.wal_records_replayed)},
+      {"wal_torn_truncations", static_cast<double>(s.wal_torn_truncations)},
+      {"wal_segments_written", static_cast<double>(s.wal_segments_written)},
+      {"wal_checkpoints_written",
+       static_cast<double>(s.wal_checkpoints_written)},
+  };
+}
 
 bool ParseSnapshotLine(const std::string& line, Parsed* out,
                        std::string* error) {
@@ -169,7 +229,67 @@ void Render(const Parsed& snap, const Parsed* prev, const std::string& path,
                   Human(HistField(h, "max")).c_str());
     }
   }
+  if (!snap.server.empty()) {
+    std::printf("\n%-44s %12s %10s\n", "SERVER (CONTROL kStats)", "value",
+                "rate/s");
+    for (const auto& [name, value] : snap.server) {
+      std::string rate = "-";
+      if (dt > 0.0 && prev != nullptr) {
+        auto it = prev->server.find(name);
+        if (it != prev->server.end() && value >= it->second) {
+          rate = Human((value - it->second) / dt);
+        }
+      }
+      std::printf("%-44s %12s %10s\n", name.c_str(), Human(value).c_str(),
+                  rate.c_str());
+    }
+  }
   std::fflush(stdout);
+}
+
+/// Live-server mode: poll CONTROL kMetrics + kStats over one connection.
+int ConnectMain(const std::string& endpoint, bool once, int interval_ms) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+    std::fprintf(stderr, "qf_top: --connect expects host:port, got %s\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "qf_top: bad port in %s\n", endpoint.c_str());
+    return 2;
+  }
+  qf::net::QfClient client;
+  if (!client.Connect(host, static_cast<uint16_t>(port))) {
+    std::fprintf(stderr, "qf_top: cannot connect to %s: %s\n",
+                 endpoint.c_str(), client.error().c_str());
+    return 2;
+  }
+  Parsed prev;
+  bool have_prev = false;
+  for (;;) {
+    MetricsSnapshot snap;
+    if (!client.FetchMetrics(&snap)) {
+      std::fprintf(stderr, "qf_top: FetchMetrics failed: %s\n",
+                   client.error().c_str());
+      return 1;
+    }
+    Parsed parsed = FromWireSnapshot(snap);
+    qf::net::WireStats stats;
+    if (!client.Stats(&stats)) {
+      std::fprintf(stderr, "qf_top: Stats failed: %s\n",
+                   client.error().c_str());
+      return 1;
+    }
+    parsed.server = WireStatsMap(stats);
+    Render(parsed, have_prev ? &prev : nullptr, endpoint, !once);
+    prev = std::move(parsed);
+    have_prev = true;
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
 }
 
 int CheckProm(const std::string& path) {
@@ -198,6 +318,7 @@ int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   const std::string check_prom = flags.GetString("check-prom", "");
   const std::string file = flags.GetString("file", "");
+  const std::string connect = flags.GetString("connect", "");
   const bool once = flags.GetBool("once", false);
   const int interval_ms =
       static_cast<int>(flags.GetInt("interval-ms", 1000));
@@ -209,10 +330,12 @@ int Main(int argc, char** argv) {
     return 2;
   }
   if (!check_prom.empty()) return CheckProm(check_prom);
+  if (!connect.empty()) return ConnectMain(connect, once, interval_ms);
   if (file.empty()) {
     std::fprintf(stderr,
                  "usage: qf_top --file=metrics.jsonl [--once] "
-                 "[--interval-ms=N] | qf_top --check-prom=metrics.prom\n");
+                 "[--interval-ms=N] | qf_top --connect=host:port [--once] "
+                 "| qf_top --check-prom=metrics.prom\n");
     return 2;
   }
 
